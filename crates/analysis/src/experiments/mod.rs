@@ -1,0 +1,173 @@
+//! The reproduction's experiment suite.
+//!
+//! The paper (SPAA'14) is pure theory — it has no tables or figures — so
+//! the experiment IDs here are defined by DESIGN.md's per-experiment
+//! index, each derived from a theorem, lemma, or proof construction:
+//!
+//! | ID | Validates |
+//! |----|-----------|
+//! | F1 | Theorem 1/2 — Intermediate-SRPT's ratio grows like Θ(log P) |
+//! | F2 | Theorem 1's `4^{1/(1−α)}` constant and the jump at `α = 1` |
+//! | F3 | Lemma 10 — greedy hybrid is `Ω(P)` on the trap family |
+//! | F4 | Theorem 2 — every policy suffers `Ω(log P)` vs the adversary |
+//! | F5 | The overload/underload regime switch of Intermediate-SRPT |
+//! | F6 | Machine-count independence of the ratio (Theorem 1 has no m) |
+//! | T1 | Cross-policy comparison on Poisson workloads |
+//! | T2 | Lemmas 1/4/5 hold pointwise on traces |
+//! | T3 | Potential-function conditions (§2.1–2.5) hold on traces |
+//! | T4 | EQUI is ~2-competitive on batch release (Edmonds sanity) |
+//! | T5 | Fairness: the stretch trade-off behind SRPT-style policies |
+//! | X2 | Speed augmentation rescues EQUI/LAPS (related-work claims) |
+//! | X3 | Ablation: the regime boundary belongs exactly at \|A\| = m |
+//!
+//! Each experiment returns tables (terminal + markdown + CSV renderable)
+//! and a `pass` verdict encoding the paper-predicted *shape* (who wins, by
+//! roughly what factor, where the crossover falls) — not absolute numbers.
+
+mod f1;
+mod f2;
+mod f3;
+mod f4;
+mod f5;
+mod f6;
+mod t1;
+mod t2;
+mod t3;
+mod t4;
+mod t5;
+mod x2;
+mod x3;
+
+use crate::table::Table;
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Shrink grids for CI/tests (seconds instead of minutes).
+    pub quick: bool,
+    /// Base RNG seed for randomized workloads.
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            seed: 0x5eed_5eed,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Quick-mode options (used by tests and `--quick`).
+    pub fn quick() -> Self {
+        Self {
+            quick: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// The output of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExpResult {
+    /// Experiment id (`f1` … `t4`).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Free-form notes (parameters, caveats, derived constants).
+    pub notes: Vec<String>,
+    /// Whether the paper-predicted shape held.
+    pub pass: bool,
+}
+
+impl ExpResult {
+    /// Renders everything for a terminal.
+    pub fn render(&self) -> String {
+        let mut out = format!("### {} — {}\n", self.id.to_uppercase(), self.title);
+        for t in &self.tables {
+            out.push('\n');
+            out.push_str(&t.render());
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out.push_str(&format!(
+            "  verdict: {}\n",
+            if self.pass { "SHAPE OK" } else { "SHAPE MISMATCH" }
+        ));
+        out
+    }
+}
+
+/// All experiment ids, in presentation order.
+pub fn all_ids() -> &'static [&'static str] {
+    &["f1", "f2", "f3", "f4", "f5", "f6", "t1", "t2", "t3", "t4", "t5", "x2", "x3"]
+}
+
+/// Runs one experiment by id.
+pub fn run(id: &str, opts: &ExpOptions) -> Option<ExpResult> {
+    match id.to_ascii_lowercase().as_str() {
+        "f1" => Some(f1::run(opts)),
+        "f2" => Some(f2::run(opts)),
+        "f3" => Some(f3::run(opts)),
+        "f4" => Some(f4::run(opts)),
+        "f5" => Some(f5::run(opts)),
+        "f6" => Some(f6::run(opts)),
+        "t1" => Some(t1::run(opts)),
+        "t2" => Some(t2::run(opts)),
+        "t3" => Some(t3::run(opts)),
+        "t4" => Some(t4::run(opts)),
+        "t5" => Some(t5::run(opts)),
+        "x2" => Some(x2::run(opts)),
+        "x3" => Some(x3::run(opts)),
+        _ => None,
+    }
+}
+
+pub(crate) mod util {
+    use parsched::PolicyKind;
+    use parsched_opt::OptEstimate;
+    use parsched_sim::{AllocationPlan, Instance, SimError};
+
+    /// A cheap witness set for OPT upper bounds on large adversarial
+    /// instances (the full policy set includes Greedy, whose quantum
+    /// re-decisions are costly at scale).
+    pub(crate) fn cheap_witnesses() -> Vec<PolicyKind> {
+        vec![PolicyKind::SequentialSrpt, PolicyKind::Equi]
+    }
+
+    /// Brackets OPT using the cheap witnesses plus any hand plans.
+    pub(crate) fn bracket_cheap(
+        instance: &Instance,
+        m: f64,
+        plans: &[(String, AllocationPlan)],
+    ) -> Result<OptEstimate, SimError> {
+        OptEstimate::bracket_with(instance, m, &cheap_witnesses(), plans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("nope", &ExpOptions::quick()).is_none());
+    }
+
+    #[test]
+    fn all_ids_resolve() {
+        // Smoke-run of the registry happens in integration tests (each
+        // experiment is exercised there); here we only check the id map is
+        // total without running anything heavy.
+        for id in all_ids() {
+            assert!(matches!(
+                *id,
+                "f1" | "f2" | "f3" | "f4" | "f5" | "f6" | "t1" | "t2" | "t3" | "t4" | "t5" | "x2" | "x3"
+            ));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! T1 — cross-policy comparison on Poisson workloads.
+//!
+//! The motivating table: mean flow time of every policy across offered
+//! loads and parallelizability levels, averaged over seeds. The paper's
+//! thesis translates to: Intermediate-SRPT should be at or near the best
+//! policy across the whole grid, while each baseline has a region where it
+//! falls off (Parallel-SRPT at low α, Sequential-SRPT at low load with
+//! parallel work, EQUI/LAPS under heavy overload of mixed sizes).
+
+use parsched::PolicyKind;
+use parsched_opt::bounds;
+use parsched_sim::simulate;
+use parsched_workloads::random::{AlphaDist, PoissonWorkload, SizeDist};
+
+use super::{ExpOptions, ExpResult};
+use crate::stats::geomean;
+use crate::sweep::{grid2, parallel_map};
+use crate::table::{fnum, Table};
+
+const M: f64 = 8.0;
+const P: f64 = 32.0;
+
+pub(super) fn run(opts: &ExpOptions) -> ExpResult {
+    let loads: Vec<f64> = if opts.quick {
+        vec![0.6, 1.1]
+    } else {
+        vec![0.5, 0.8, 0.95, 1.2]
+    };
+    let alphas: Vec<f64> = if opts.quick {
+        vec![0.5]
+    } else {
+        vec![0.25, 0.5, 0.75]
+    };
+    let seeds: Vec<u64> = if opts.quick {
+        vec![opts.seed]
+    } else {
+        (0..3).map(|i| opts.seed + i).collect()
+    };
+    let n = if opts.quick { 150 } else { 500 };
+    let policies = PolicyKind::all_standard();
+
+    let cells = grid2(&grid2(&loads, &alphas), &seeds);
+    let results = parallel_map(cells, |((load, alpha), seed)| {
+        let sizes = SizeDist::Pareto { p: P, shape: 1.5 };
+        let w = PoissonWorkload {
+            n,
+            rate: PoissonWorkload::rate_for_load(load, M, &sizes),
+            sizes,
+            alphas: AlphaDist::Fixed(alpha),
+            seed,
+        };
+        let inst = w.generate().expect("workload");
+        let lb = bounds::lower_bound(&inst, M);
+        let flows: Vec<(String, f64)> = PolicyKind::all_standard()
+            .iter()
+            .map(|k| {
+                let f = simulate(&inst, &mut k.build(), M)
+                    .expect("policy run")
+                    .metrics
+                    .total_flow;
+                (k.name(), f)
+            })
+            .collect();
+        (load, alpha, lb, flows)
+    });
+
+    // Aggregate per (load, α): normalized flow = flow / LB, geomean over
+    // seeds.
+    let mut headers = vec!["load".to_string(), "α".to_string()];
+    headers.extend(policies.iter().map(|k| k.name()));
+    let mut table = Table::with_headers(
+        format!("T1: flow / OPT-LB per policy (m={M}, P={P}, Pareto sizes, n={n})"),
+        headers,
+    );
+
+    let mut isrpt_wins = 0usize;
+    let mut combos = 0usize;
+    for &load in &loads {
+        for &alpha in &alphas {
+            let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+            for (l, a, lb, flows) in &results {
+                if (*l - load).abs() < 1e-12 && (*a - alpha).abs() < 1e-12 {
+                    for (i, (_, f)) in flows.iter().enumerate() {
+                        per_policy[i].push(f / lb);
+                    }
+                }
+            }
+            let norms: Vec<f64> = per_policy.iter().map(|v| geomean(v)).collect();
+            combos += 1;
+            let best = norms.iter().copied().fold(f64::INFINITY, f64::min);
+            // Intermediate-SRPT is index 0 in all_standard().
+            if norms[0] <= best * 1.25 {
+                isrpt_wins += 1;
+            }
+            let mut row = vec![fnum(load), fnum(alpha)];
+            row.extend(norms.iter().map(|&x| fnum(x)));
+            table.push_row(row);
+        }
+    }
+
+    let pass = isrpt_wins * 4 >= combos * 3; // near-best in ≥75% of cells
+    ExpResult {
+        id: "t1",
+        title: "Cross-policy comparison on Poisson workloads",
+        tables: vec![table],
+        notes: vec![
+            "cells are geometric means over seeds of total flow / provable OPT lower bound"
+                .to_string(),
+            format!("Intermediate-SRPT within 25% of the best policy in {isrpt_wins}/{combos} cells"),
+        ],
+        pass,
+    }
+}

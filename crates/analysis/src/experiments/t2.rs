@@ -1,0 +1,128 @@
+//! T2 — Lemmas 1, 4, and 5 hold pointwise on real traces.
+//!
+//! The three structural lemmas are proved against *any* feasible schedule,
+//! so we run Intermediate-SRPT in lockstep with every other policy as the
+//! reference, on random and adversarial workloads, and report the worst
+//! slack of each inequality over every overloaded sample. All slacks must
+//! be ≤ 0.
+
+use parsched::{IntermediateSrpt, PolicyKind};
+use parsched_workloads::random::{AlphaDist, PoissonWorkload, SizeDist};
+use parsched_workloads::GreedyTrap;
+
+use super::{ExpOptions, ExpResult};
+use crate::potential::lockstep_report;
+use crate::sweep::parallel_map;
+use crate::table::{fnum, Table};
+
+const M: f64 = 4.0;
+const P: f64 = 32.0;
+const ALPHA: f64 = 0.5;
+
+pub(super) fn run(opts: &ExpOptions) -> ExpResult {
+    let n = if opts.quick { 100 } else { 400 };
+    let references: Vec<PolicyKind> = PolicyKind::all_standard()
+        .into_iter()
+        .filter(|k| *k != PolicyKind::Greedy || !opts.quick)
+        .collect();
+
+    // Workload 1: overloaded Poisson; workload 2: the greedy trap (heavy
+    // class structure).
+    let sizes = SizeDist::LogUniform { p: P };
+    let poisson = PoissonWorkload {
+        n,
+        rate: PoissonWorkload::rate_for_load(1.3, M, &sizes),
+        sizes,
+        alphas: AlphaDist::Fixed(ALPHA),
+        seed: opts.seed,
+    }
+    .generate()
+    .expect("poisson");
+    let trap = GreedyTrap::new(M as usize, ALPHA)
+        .with_stream_duration(if opts.quick { 8.0 } else { 32.0 })
+        .instance()
+        .expect("trap");
+    let workloads = vec![("poisson-1.3x", poisson), ("greedy-trap", trap)];
+
+    let mut cells = Vec::new();
+    for (wname, inst) in &workloads {
+        for kind in &references {
+            cells.push((wname.to_string(), inst.clone(), *kind));
+        }
+    }
+    let rows = parallel_map(cells, |(wname, inst, kind)| {
+        let rep = lockstep_report(
+            &inst,
+            M,
+            &mut IntermediateSrpt::new(),
+            &mut kind.build(),
+            ALPHA,
+        )
+        .expect("lockstep");
+        (wname, kind.name(), rep)
+    });
+
+    let mut table = Table::new(
+        format!("T2: worst lemma slacks, Intermediate-SRPT vs reference (m={M}, ≤0 ⇒ holds)"),
+        &["workload", "reference", "samples", "Lemma 1", "Lemma 4", "Lemma 5"],
+    );
+    let mut all_hold = true;
+    for (wname, rname, rep) in &rows {
+        let l = &rep.lemmas;
+        all_hold &= l.lemma1_ok() && l.lemma4_ok() && l.lemma5_ok();
+        table.push_row(vec![
+            wname.clone(),
+            rname.clone(),
+            l.overloaded_samples.to_string(),
+            fnum(l.lemma1_worst),
+            fnum(l.lemma4_worst),
+            fnum(l.lemma5_worst),
+        ]);
+    }
+    let checked_samples: usize = rows.iter().map(|(_, _, r)| r.lemmas.overloaded_samples).sum();
+
+    // Second table: how close Lemma 4's per-class ceiling m·2^{k+1} comes
+    // to binding (peak ΔV_{≤k} / ceiling, worst class per reference).
+    let mut util_table = Table::new(
+        "T2b: Lemma 4 utilization per class — peak ΔV_{≤k} / (m·2^{k+1}), ≤1 ⇒ holds",
+        &["workload", "reference", "max over k", "binding class"],
+    );
+    let mut max_utilization = f64::NEG_INFINITY;
+    for (wname, rname, rep) in &rows {
+        let util = rep.lemmas.lemma4_utilization(M);
+        let (worst_k, worst_u) = util
+            .iter()
+            .fold((0, f64::NEG_INFINITY), |acc, &(k, u)| {
+                if u > acc.1 {
+                    (k, u)
+                } else {
+                    acc
+                }
+            });
+        max_utilization = max_utilization.max(worst_u);
+        util_table.push_row(vec![
+            wname.clone(),
+            rname.clone(),
+            fnum(worst_u),
+            worst_k.to_string(),
+        ]);
+    }
+
+    ExpResult {
+        id: "t2",
+        title: "Lemmas 1, 4, 5 verified pointwise on traces",
+        tables: vec![table, util_table],
+        notes: vec![
+            format!(
+                "{checked_samples} overloaded samples checked across {} (workload, reference) pairs",
+                rows.len()
+            ),
+            format!(
+                "Lemma 4's ceiling peaked at {:.0}% utilization — the bound has real teeth \
+                 on these traces, it is not vacuously loose",
+                100.0 * max_utilization
+            ),
+        ],
+        pass: all_hold && checked_samples > 0 && max_utilization <= 1.0 + 1e-9,
+    }
+}

@@ -1,0 +1,147 @@
+//! ASCII Gantt charts from allocation traces.
+//!
+//! Renders one row per job on a fixed-width time axis; cell shading
+//! encodes the processor share held at that moment:
+//!
+//! ```text
+//! j0 |████████▓▓▓▓······|  share: █ ≥ 1, ▓ ≥ ½, ▒ ≥ ¼, ░ > 0, · idle
+//! ```
+//!
+//! Useful for eyeballing regime switches (Intermediate-SRPT flips from
+//! one-processor bars to wide fractional shading exactly when the alive
+//! count crosses `m`) and for the examples' output.
+
+use std::collections::BTreeMap;
+
+use parsched_sim::{AllocationSegment, JobId};
+
+/// Shading characters by share, descending thresholds.
+const SHADES: [(f64, char); 4] = [(1.0, '█'), (0.5, '▓'), (0.25, '▒'), (0.0, '░')];
+
+fn shade(share: f64) -> char {
+    for &(threshold, ch) in &SHADES {
+        if share > threshold || (threshold == 0.0 && share > 0.0) {
+            return ch;
+        }
+        if (share - threshold).abs() < 1e-12 && threshold > 0.0 {
+            return ch;
+        }
+    }
+    '·'
+}
+
+/// Renders a Gantt chart of `segments` over `[0, horizon]` using `width`
+/// character columns. Jobs are rows, ordered by id. Shares are normalized
+/// by `norm` before shading (pass `1.0` to shade by absolute processors,
+/// or `m` to shade by fraction of the machine).
+///
+/// ```
+/// use parsched_analysis::gantt::render_gantt;
+/// use parsched_sim::{AllocationSegment, JobId};
+///
+/// let segs = [AllocationSegment { start: 0.0, end: 2.0, id: JobId(0), share: 1.0 }];
+/// let chart = render_gantt(&segs, 4.0, 8, 1.0);
+/// assert!(chart.starts_with("j0 |████····|"));
+/// ```
+pub fn render_gantt(
+    segments: &[AllocationSegment],
+    horizon: f64,
+    width: usize,
+    norm: f64,
+) -> String {
+    assert!(horizon > 0.0 && width >= 4 && norm > 0.0);
+    // Per job, per column: max share seen in that column's time window.
+    let mut rows: BTreeMap<JobId, Vec<f64>> = BTreeMap::new();
+    let col_dt = horizon / width as f64;
+    for seg in segments {
+        let row = rows.entry(seg.id).or_insert_with(|| vec![0.0; width]);
+        let first = ((seg.start / col_dt).floor() as usize).min(width - 1);
+        let last = (((seg.end - 1e-12) / col_dt).floor() as usize).min(width - 1);
+        for cell in row.iter_mut().take(last + 1).skip(first) {
+            *cell = cell.max(seg.share / norm);
+        }
+    }
+    let mut out = String::new();
+    let label_w = rows
+        .keys()
+        .map(|id| id.to_string().len())
+        .max()
+        .unwrap_or(2);
+    for (id, cells) in &rows {
+        out.push_str(&format!("{:>label_w$} |", id.to_string()));
+        for &c in cells {
+            out.push(if c > 0.0 { shade(c) } else { '·' });
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "{:>label_w$}  0{:>width$.1}\n",
+        "t",
+        horizon,
+        width = width - 1
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(start: f64, end: f64, id: u64, share: f64) -> AllocationSegment {
+        AllocationSegment {
+            start,
+            end,
+            id: JobId(id),
+            share,
+        }
+    }
+
+    #[test]
+    fn renders_rows_per_job() {
+        let segs = vec![seg(0.0, 5.0, 0, 1.0), seg(5.0, 10.0, 1, 2.0)];
+        let g = render_gantt(&segs, 10.0, 10, 1.0);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3); // two jobs + axis
+        assert!(lines[0].contains("j0"));
+        // Job 0 busy in the first half only.
+        let row0: String = lines[0].chars().filter(|c| *c == '█' || *c == '·').collect();
+        assert!(row0.starts_with("█████"));
+        assert!(row0.ends_with("·····"));
+    }
+
+    #[test]
+    fn shading_tracks_share_magnitude() {
+        assert_eq!(shade(2.0), '█');
+        assert_eq!(shade(1.0), '█');
+        assert_eq!(shade(0.6), '▓');
+        assert_eq!(shade(0.5), '▓');
+        assert_eq!(shade(0.3), '▒');
+        assert_eq!(shade(0.1), '░');
+    }
+
+    #[test]
+    fn normalization_rescales_shading() {
+        let segs = vec![seg(0.0, 4.0, 0, 2.0)];
+        // Absolute: share 2 → █. Normalized by m=8: 0.25 → ▒.
+        assert!(render_gantt(&segs, 4.0, 8, 1.0).contains('█'));
+        assert!(render_gantt(&segs, 4.0, 8, 8.0).contains('▒'));
+    }
+
+    #[test]
+    fn end_to_end_from_engine_trace() {
+        use parsched::IntermediateSrpt;
+        use parsched_sim::{simulate_with_observer, AllocationTrace, Instance};
+        use parsched_speedup::Curve;
+        let inst = Instance::from_sizes(
+            &[(0.0, 2.0), (0.0, 2.0), (0.0, 2.0)],
+            Curve::power(0.5),
+        )
+        .unwrap();
+        let mut trace = AllocationTrace::new();
+        let out = simulate_with_observer(&inst, &mut IntermediateSrpt::new(), 2.0, &mut trace)
+            .unwrap();
+        let g = render_gantt(trace.segments(), out.metrics.makespan, 24, 1.0);
+        assert_eq!(g.lines().count(), 4);
+        assert!(g.contains('█'));
+    }
+}

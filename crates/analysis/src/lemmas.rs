@@ -1,0 +1,241 @@
+//! Pointwise checkers for Lemma 1, Lemma 4, and Lemma 5.
+//!
+//! All three lemmas hold for the algorithm's schedule against **any**
+//! feasible reference schedule — their proofs only use that the reference
+//! processes at most `m` volume per unit time — so we check them against
+//! every policy we can run, not just a hypothetical optimum:
+//!
+//! * **Lemma 4**: at overloaded times, `ΔV_{≤k}(t) ≤ m·2^{k+1}` for every
+//!   class `k` (volume in classes `≤ k`, where class `k` holds remaining
+//!   lengths in `[2^k, 2^{k+1})` and class `−1` holds lengths below 1).
+//! * **Lemma 5**: `δ^A_{≥0,≤k_max}(t) ≤ m(k_max + 2) + 2δ^OPT_{≤k_max}(t)`.
+//! * **Lemma 1**: `|A(t)| ≤ m(3 + log P) + 2|OPT(t)|` (Lemma 5 plus the
+//!   observation that class `−1` holds at most `m` of the algorithm's
+//!   jobs at overloaded times).
+
+use parsched::theory;
+use parsched_sim::{class_index, AliveSnapshot};
+
+/// The measurements from one overloaded sample point.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LemmaSample {
+    /// Whether the algorithm was overloaded (`|A(t)| ≥ m`) — the lemmas
+    /// only claim anything there.
+    pub overloaded: bool,
+    /// `max_k (ΔV_{≤k} − m·2^{k+1})` — Lemma 4 slack; `≤ 0` means it holds.
+    pub lemma4_slack: f64,
+    /// `δ^A_{≥0} − (m(k_max+2) + 2δ^OPT)` — Lemma 5 slack.
+    pub lemma5_slack: f64,
+    /// `|A| − (m(3+log₂P) + 2|OPT|)` — Lemma 1 slack.
+    pub lemma1_slack: f64,
+    /// Per class `k`: `ΔV_{≤k}` (one entry per `k ∈ [−1, k_max]`, in
+    /// order) — lets callers see how close each class comes to its
+    /// `m·2^{k+1}` ceiling.
+    pub dv_prefix_by_class: Vec<(i32, f64)>,
+}
+
+/// Aggregated worst-case slacks over a whole trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LemmaReport {
+    /// Number of overloaded samples checked.
+    pub overloaded_samples: usize,
+    /// Worst Lemma 4 slack (≤ 0 ⇒ lemma held everywhere).
+    pub lemma4_worst: f64,
+    /// Worst Lemma 5 slack.
+    pub lemma5_worst: f64,
+    /// Worst Lemma 1 slack.
+    pub lemma1_worst: f64,
+    /// Per class `k`: the largest `ΔV_{≤k}` observed at any overloaded
+    /// sample (compare against Lemma 4's ceiling `m·2^{k+1}`).
+    pub dv_peak_by_class: std::collections::BTreeMap<i32, f64>,
+}
+
+impl Default for LemmaReport {
+    fn default() -> Self {
+        Self {
+            overloaded_samples: 0,
+            lemma4_worst: f64::NEG_INFINITY,
+            lemma5_worst: f64::NEG_INFINITY,
+            lemma1_worst: f64::NEG_INFINITY,
+            dv_peak_by_class: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+impl LemmaReport {
+    /// Folds one sample into the aggregate.
+    pub fn absorb(&mut self, sample: &LemmaSample) {
+        if !sample.overloaded {
+            return;
+        }
+        self.overloaded_samples += 1;
+        self.lemma4_worst = self.lemma4_worst.max(sample.lemma4_slack);
+        self.lemma5_worst = self.lemma5_worst.max(sample.lemma5_slack);
+        self.lemma1_worst = self.lemma1_worst.max(sample.lemma1_slack);
+        for &(k, dv) in &sample.dv_prefix_by_class {
+            let e = self.dv_peak_by_class.entry(k).or_insert(f64::NEG_INFINITY);
+            *e = e.max(dv);
+        }
+    }
+
+    /// Lemma 4's utilization per class: `(k, peak ΔV_{≤k} / (m·2^{k+1}))`,
+    /// ascending in `k`. Values ≤ 1 everywhere ⇔ the lemma held; values
+    /// near 1 show where the bound is nearly tight.
+    pub fn lemma4_utilization(&self, m: f64) -> Vec<(i32, f64)> {
+        self.dv_peak_by_class
+            .iter()
+            .map(|(&k, &dv)| (k, dv / parsched::theory::lemma4_rhs(m, k)))
+            .collect()
+    }
+
+    /// Lemma 1 held at every overloaded sample.
+    pub fn lemma1_ok(&self) -> bool {
+        self.overloaded_samples == 0 || self.lemma1_worst <= 1e-6
+    }
+
+    /// Lemma 4 held at every overloaded sample.
+    pub fn lemma4_ok(&self) -> bool {
+        self.overloaded_samples == 0 || self.lemma4_worst <= 1e-6
+    }
+
+    /// Lemma 5 held at every overloaded sample.
+    pub fn lemma5_ok(&self) -> bool {
+        self.overloaded_samples == 0 || self.lemma5_worst <= 1e-6
+    }
+}
+
+/// Evaluates all three lemmas at one instant from both schedules' alive
+/// snapshots. `p` is the instance's size ratio `P` (sizes assumed
+/// normalized to `[1, P]`, as in the paper).
+pub fn check_sample(
+    alg: &[AliveSnapshot],
+    reference: &[AliveSnapshot],
+    m: f64,
+    p: f64,
+) -> LemmaSample {
+    let m_int = m.round().max(1.0) as usize;
+    let overloaded = alg.len() >= m_int;
+    if !overloaded {
+        return LemmaSample {
+            overloaded: false,
+            ..LemmaSample::default()
+        };
+    }
+    let kmax = theory::k_max(p);
+    // Volumes per class for ΔV_{≤k}; snapshots may carry remainders a hair
+    // above P (they can't: remaining ≤ size ≤ P), clamp classes into range.
+    let class_of = |remaining: f64| class_index(remaining.max(1e-12)).clamp(-1, kmax);
+    let mut dv_by_class = vec![0.0f64; (kmax + 2) as usize]; // index k+1
+    for j in alg {
+        dv_by_class[(class_of(j.remaining) + 1) as usize] += j.remaining;
+    }
+    for j in reference {
+        dv_by_class[(class_of(j.remaining) + 1) as usize] -= j.remaining;
+    }
+    let mut lemma4_slack = f64::NEG_INFINITY;
+    let mut dv_prefix_by_class = Vec::with_capacity((kmax + 2) as usize);
+    let mut prefix = 0.0;
+    for k in -1..=kmax {
+        prefix += dv_by_class[(k + 1) as usize];
+        dv_prefix_by_class.push((k, prefix));
+        lemma4_slack = lemma4_slack.max(prefix - theory::lemma4_rhs(m, k));
+    }
+    // Lemma 5: algorithm jobs in classes ≥ 0 vs all reference jobs.
+    let alg_ge0 = alg.iter().filter(|j| class_of(j.remaining) >= 0).count();
+    let lemma5_slack = alg_ge0 as f64 - theory::lemma5_rhs(m, p, reference.len());
+    // Lemma 1: all algorithm jobs.
+    let lemma1_slack = alg.len() as f64 - theory::lemma1_rhs(m, p, reference.len());
+    LemmaSample {
+        overloaded,
+        lemma4_slack,
+        lemma5_slack,
+        lemma1_slack,
+        dv_prefix_by_class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_sim::JobId;
+    use parsched_speedup::Curve;
+
+    fn snap(id: u64, remaining: f64) -> AliveSnapshot {
+        AliveSnapshot {
+            id: JobId(id),
+            release: id as f64,
+            size: remaining.max(1.0),
+            remaining,
+            curve: Curve::power(0.5),
+        }
+    }
+
+    #[test]
+    fn underloaded_samples_are_skipped() {
+        let s = check_sample(&[snap(0, 1.0)], &[], 4.0, 8.0);
+        assert!(!s.overloaded);
+        let mut rep = LemmaReport::default();
+        rep.absorb(&s);
+        assert_eq!(rep.overloaded_samples, 0);
+        assert!(rep.lemma1_ok() && rep.lemma4_ok() && rep.lemma5_ok());
+    }
+
+    #[test]
+    fn hand_computed_slacks() {
+        // m = 2, P = 8 (k_max = 3). Algorithm holds 4 jobs with remaining
+        // 0.5, 1, 2, 4; reference empty.
+        let alg = vec![snap(0, 0.5), snap(1, 1.0), snap(2, 2.0), snap(3, 4.0)];
+        let s = check_sample(&alg, &[], 2.0, 8.0);
+        assert!(s.overloaded);
+        // Lemma 1: 4 − 2(3+3) − 0 = −8.
+        assert!((s.lemma1_slack - (4.0 - 12.0)).abs() < 1e-9);
+        // Lemma 5: jobs in classes ≥0 = 3; rhs = 2·(3+2) = 10 → −7.
+        assert!((s.lemma5_slack - (3.0 - 10.0)).abs() < 1e-9);
+        // Lemma 4 prefix sums: k=−1: 0.5 − 2·1 = −1.5; k=0: 1.5 − 4 = −2.5;
+        // k=1: 3.5 − 8; k=2: 7.5 − 16; k=3: 7.5 − 32. Max = −1.5.
+        assert!((s.lemma4_slack - (-1.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violation_is_detected() {
+        // Pathological state (not reachable by Intermediate-SRPT): m = 1,
+        // P = 2, 20 algorithm jobs of remaining 1.5, empty reference.
+        let alg: Vec<_> = (0..20).map(|i| snap(i, 1.5)).collect();
+        let s = check_sample(&alg, &[], 1.0, 2.0);
+        // Lemma 1 rhs = 1·(3+1) = 4 < 20 → positive slack.
+        assert!(s.lemma1_slack > 0.0);
+        // Lemma 4 at k=0: ΔV = 30 > 1·2 → violated.
+        assert!(s.lemma4_slack > 0.0);
+        let mut rep = LemmaReport::default();
+        rep.absorb(&s);
+        assert!(!rep.lemma1_ok() && !rep.lemma4_ok());
+    }
+
+    #[test]
+    fn per_class_utilization_is_tracked() {
+        // m = 2, P = 8. Algorithm: remaining 2, 2, 4, 4; reference empty.
+        let alg = vec![snap(0, 2.0), snap(1, 2.0), snap(2, 4.0), snap(3, 4.0)];
+        let s = check_sample(&alg, &[], 2.0, 8.0);
+        let mut rep = LemmaReport::default();
+        rep.absorb(&s);
+        // ΔV_{≤1} = 4 vs ceiling m·2² = 8 → utilization 0.5;
+        // ΔV_{≤2} = 12 vs m·2³ = 16 → 0.75.
+        let util = rep.lemma4_utilization(2.0);
+        let at = |k: i32| util.iter().find(|&&(kk, _)| kk == k).map(|&(_, u)| u);
+        assert!((at(1).expect("class 1") - 0.5).abs() < 1e-9);
+        assert!((at(2).expect("class 2") - 0.75).abs() < 1e-9);
+        // Utilization ≤ 1 everywhere ⇔ Lemma 4 held.
+        assert!(util.iter().all(|&(_, u)| u <= 1.0));
+    }
+
+    #[test]
+    fn reference_jobs_relax_the_bounds() {
+        let alg: Vec<_> = (0..6).map(|i| snap(i, 2.0)).collect();
+        let without = check_sample(&alg, &[], 2.0, 8.0);
+        let reference: Vec<_> = (10..13).map(|i| snap(i, 2.0)).collect();
+        let with = check_sample(&alg, &reference, 2.0, 8.0);
+        assert!(with.lemma1_slack < without.lemma1_slack);
+        assert!(with.lemma5_slack < without.lemma5_slack);
+        assert!(with.lemma4_slack < without.lemma4_slack);
+    }
+}

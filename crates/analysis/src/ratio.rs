@@ -1,0 +1,86 @@
+//! Direction-aware competitive-ratio measurements.
+
+use parsched_opt::OptEstimate;
+use serde::{Deserialize, Serialize};
+
+/// One measured competitive-ratio data point: an algorithm's total flow
+/// against a bracket `LB ≤ OPT ≤ UB`.
+///
+/// Because OPT is bracketed rather than computed, a "ratio" is an
+/// interval. The two accessors pick the *rigorous* end per claim:
+///
+/// * Proving an algorithm is **bad** (lower-bound experiments F3, F4) uses
+///   [`RatioMeasurement::proven_at_least`] = `flow / UB` — the algorithm
+///   is at least this much worse than some feasible schedule, hence than
+///   OPT.
+/// * Proving an algorithm is **good** (upper-bound experiments F1, F2)
+///   uses [`RatioMeasurement::proven_at_most`] = `flow / LB` — the
+///   algorithm is at most this much worse than the provable lower bound,
+///   hence than OPT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatioMeasurement {
+    /// Display name of the measured algorithm.
+    pub algorithm: String,
+    /// The algorithm's total flow time.
+    pub flow: f64,
+    /// The OPT bracket.
+    pub opt: OptEstimate,
+}
+
+impl RatioMeasurement {
+    /// Creates a measurement.
+    pub fn new(algorithm: impl Into<String>, flow: f64, opt: OptEstimate) -> Self {
+        Self {
+            algorithm: algorithm.into(),
+            flow,
+            opt,
+        }
+    }
+
+    /// Rigorous lower bound on the true competitive ratio: `flow / UB`.
+    pub fn proven_at_least(&self) -> f64 {
+        self.flow / self.opt.upper
+    }
+
+    /// Rigorous upper bound on the true competitive ratio: `flow / LB`.
+    pub fn proven_at_most(&self) -> f64 {
+        self.flow / self.opt.lower
+    }
+
+    /// `[at_least, at_most]` formatted for tables.
+    pub fn interval_string(&self) -> String {
+        format!(
+            "[{:.2}, {:.2}]",
+            self.proven_at_least(),
+            self.proven_at_most()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(lower: f64, upper: f64) -> OptEstimate {
+        OptEstimate {
+            lower,
+            upper,
+            upper_witness: "w".into(),
+        }
+    }
+
+    #[test]
+    fn interval_ends_are_ordered() {
+        let m = RatioMeasurement::new("alg", 20.0, est(5.0, 10.0));
+        assert_eq!(m.proven_at_least(), 2.0);
+        assert_eq!(m.proven_at_most(), 4.0);
+        assert!(m.proven_at_least() <= m.proven_at_most());
+        assert_eq!(m.interval_string(), "[2.00, 4.00]");
+    }
+
+    #[test]
+    fn tight_bracket_collapses_the_interval() {
+        let m = RatioMeasurement::new("alg", 12.0, est(6.0, 6.0));
+        assert_eq!(m.proven_at_least(), m.proven_at_most());
+    }
+}

@@ -1,0 +1,135 @@
+//! Deterministic parallel parameter sweeps.
+//!
+//! Every experiment is a grid of independent simulation runs; this module
+//! fans them out over a crossbeam channel to scoped worker threads and
+//! returns results **in input order**, so sweeps are reproducible
+//! regardless of scheduling. (rayon is not in the approved offline crate
+//! set; a channel + `std::thread::scope` work pool is all these
+//! embarrassingly parallel sweeps need.)
+
+use parking_lot::Mutex;
+
+/// Maps `f` over `items` in parallel, preserving input order.
+///
+/// Uses up to `std::thread::available_parallelism()` workers (capped by
+/// the item count). Panics in `f` propagate after the scope joins.
+///
+/// ```
+/// let squares = parsched_analysis::parallel_map(vec![1, 2, 3], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9]);
+/// ```
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        tx.send(pair).expect("queue is open");
+    }
+    drop(tx);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Ok((i, item)) = rx.recv() {
+                    let r = f(item);
+                    results.lock()[i] = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+/// The Cartesian product of two parameter slices, row-major — the common
+/// shape of a two-axis sweep grid.
+pub fn grid2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(items, |x| x * 2);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map((0..257).collect::<Vec<_>>(), |x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_fast_path() {
+        assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_for_blocking_work() {
+        // 8 tasks that each sleep 20ms: serial would take ≥160ms.
+        let start = std::time::Instant::now();
+        parallel_map((0..8).collect::<Vec<_>>(), |_| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        });
+        let elapsed = start.elapsed();
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        if workers >= 4 {
+            assert!(
+                elapsed < std::time::Duration::from_millis(150),
+                "took {elapsed:?} on {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn grid2_is_row_major() {
+        let g = grid2(&[1, 2], &["a", "b", "c"]);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[0], (1, "a"));
+        assert_eq!(g[2], (1, "c"));
+        assert_eq!(g[3], (2, "a"));
+    }
+}

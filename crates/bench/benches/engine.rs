@@ -1,0 +1,77 @@
+//! Engine throughput: events per second as the instance, machine count,
+//! and schedule representation scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use parsched::IntermediateSrpt;
+use parsched_bench::poisson_fixture;
+use parsched_sim::{simulate, PlannedPolicy};
+use parsched_workloads::GreedyTrap;
+
+fn engine_scaling_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/jobs");
+    g.sample_size(20);
+    for &n in &[100usize, 1_000, 10_000] {
+        let inst = poisson_fixture(n, 0.9, 8.0);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                let out = simulate(black_box(inst), &mut IntermediateSrpt::new(), 8.0).unwrap();
+                black_box(out.metrics.total_flow)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn engine_scaling_m(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/machines");
+    g.sample_size(20);
+    for &m in &[2.0f64, 8.0, 32.0, 128.0] {
+        let inst = poisson_fixture(2_000, 0.9, m);
+        g.bench_with_input(BenchmarkId::from_parameter(m as u64), &inst, |b, inst| {
+            b.iter(|| {
+                let out = simulate(black_box(inst), &mut IntermediateSrpt::new(), m).unwrap();
+                black_box(out.metrics.total_flow)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn planned_schedule_replay(c: &mut Criterion) {
+    // Executing a large piecewise-constant plan (the OPT-certificate
+    // path): dominated by per-segment share lookups.
+    let trap = GreedyTrap::new(16, 0.5).with_stream_duration(64.0);
+    let inst = trap.instance().unwrap();
+    let plan = trap.alternative_plan().unwrap();
+    c.bench_function("engine/planned_replay_trap_m16", |b| {
+        b.iter(|| {
+            let out = simulate(
+                black_box(&inst),
+                &mut PlannedPolicy::new(plan.clone()),
+                16.0,
+            )
+            .unwrap();
+            black_box(out.metrics.total_flow)
+        })
+    });
+}
+
+fn plan_from_tracks(c: &mut Criterion) {
+    // The sweep-merge that turns per-job tracks into a plan.
+    let trap = GreedyTrap::new(36, 0.5).with_stream_duration(128.0);
+    c.bench_function("engine/plan_from_tracks_m36", |b| {
+        b.iter(|| black_box(trap.alternative_plan().unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    engine_scaling_n,
+    engine_scaling_m,
+    planned_schedule_replay,
+    plan_from_tracks
+);
+criterion_main!(benches);

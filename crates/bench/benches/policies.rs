@@ -1,0 +1,68 @@
+//! Per-policy scheduling overhead, and the X1 ablation: the greedy
+//! hybrid's re-decision resolution (accuracy knob) vs simulation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsched::{GreedyHybrid, PolicyKind};
+use parsched_bench::poisson_fixture;
+use parsched_sim::simulate;
+
+fn policy_overhead(c: &mut Criterion) {
+    let inst = poisson_fixture(2_000, 1.0, 8.0);
+    let mut g = c.benchmark_group("policies/overhead");
+    g.sample_size(20);
+    for kind in PolicyKind::all_standard() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let out = simulate(black_box(&inst), &mut kind.build(), 8.0).unwrap();
+                    black_box(out.metrics.total_flow)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// X1 ablation: the greedy quantum. Finer resolution tracks the
+/// continuous-time policy better but multiplies events. The companion
+/// accuracy numbers (flow drift per resolution) are printed by this bench
+/// once at startup so the trade-off is visible next to the timings.
+fn greedy_resolution_ablation(c: &mut Criterion) {
+    let inst = poisson_fixture(500, 1.0, 8.0);
+    let baseline = simulate(&inst, &mut GreedyHybrid::with_resolution(0.005), 8.0)
+        .unwrap()
+        .metrics
+        .total_flow;
+    eprintln!("greedy resolution ablation (flow vs resolution=0.005 baseline {baseline:.2}):");
+    for &res in &[0.5f64, 0.2, 0.1, 0.05, 0.02] {
+        let flow = simulate(&inst, &mut GreedyHybrid::with_resolution(res), 8.0)
+            .unwrap()
+            .metrics;
+        eprintln!(
+            "  resolution {res:>5}: flow {:.2} ({:+.3}%), events {}",
+            flow.total_flow,
+            100.0 * (flow.total_flow - baseline) / baseline,
+            flow.events
+        );
+    }
+    let mut g = c.benchmark_group("policies/greedy_resolution");
+    g.sample_size(10);
+    for &res in &[0.5f64, 0.1, 0.02] {
+        g.bench_with_input(BenchmarkId::from_parameter(res), &res, |b, &res| {
+            b.iter(|| {
+                let out =
+                    simulate(black_box(&inst), &mut GreedyHybrid::with_resolution(res), 8.0)
+                        .unwrap();
+                black_box(out.metrics.total_flow)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, policy_overhead, greedy_resolution_ablation);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! End-to-end tests of the `parsched` binary.
+
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parsched"))
+}
+
+#[test]
+fn list_shows_every_experiment() {
+    let out = bin().arg("list").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    for id in ["f1", "f2", "f3", "f4", "f5", "f6", "t1", "t2", "t3", "t4", "t5", "x2", "x3"] {
+        assert!(text.contains(id), "missing {id} in:\n{text}");
+    }
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("compare"));
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = bin().output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).expect("utf8").contains("USAGE"));
+}
+
+#[test]
+fn unknown_experiment_is_an_error() {
+    let out = bin().args(["exp", "zz"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).expect("utf8").contains("unknown experiment"));
+}
+
+#[test]
+fn quick_experiment_runs_and_reports_shape() {
+    let out = bin().args(["exp", "f5", "--quick"]).output().expect("run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("SHAPE OK"));
+    assert!(text.contains("F5b"));
+}
+
+#[test]
+fn markdown_and_csv_flags_add_formats() {
+    let out = bin()
+        .args(["exp", "f5", "--quick", "--md", "--csv"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("markdown ("));
+    assert!(text.contains("csv ("));
+    assert!(text.contains("|---|"));
+}
+
+#[test]
+fn gen_then_run_pipeline() {
+    let out = bin()
+        .args(["gen", "--kind", "poisson", "--n", "20", "--m", "4", "--p", "8"])
+        .output()
+        .expect("gen");
+    assert!(out.status.success());
+    let csv = String::from_utf8(out.stdout).expect("utf8");
+    assert!(csv.starts_with("id,release,size,curve\n"));
+    assert_eq!(csv.lines().count(), 21);
+
+    // Pipe it back through `run` via stdin.
+    let mut child = bin()
+        .args(["run", "--instance", "-", "--policy", "isrpt", "--m", "4", "--gantt", "40", "--bracket"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn run");
+    use std::io::Write as _;
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(csv.as_bytes())
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("Intermediate-SRPT on m=4"));
+    assert!(text.contains("n=20"));
+    assert!(text.contains('█'), "gantt missing: {text}");
+    assert!(text.contains("ratio ∈"));
+}
+
+#[test]
+fn gen_covers_every_family() {
+    for kind in ["poisson", "batch", "sawtooth", "trap", "mix"] {
+        let out = bin()
+            .args(["gen", "--kind", kind, "--n", "16", "--m", "4"])
+            .output()
+            .expect("gen");
+        assert!(out.status.success(), "{kind}");
+        let csv = String::from_utf8(out.stdout).expect("utf8");
+        assert!(csv.lines().count() > 2, "{kind} produced {csv}");
+    }
+    let out = bin().args(["gen", "--kind", "bogus"]).output().expect("gen");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn compare_prints_policy_table() {
+    let out = bin()
+        .args(["compare", "--n", "40", "--m", "4"])
+        .output()
+        .expect("compare");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("Intermediate-SRPT"));
+    assert!(text.contains("OPT bracket"));
+}
+
+#[test]
+fn run_with_speed_augmentation() {
+    let gen = bin()
+        .args(["gen", "--kind", "batch", "--n", "10", "--m", "4"])
+        .output()
+        .expect("gen");
+    let tmp = std::env::temp_dir().join("parsched_cli_test_batch.csv");
+    std::fs::write(&tmp, &gen.stdout).expect("write tmp");
+    let out = bin()
+        .args([
+            "run",
+            "--instance",
+            tmp.to_str().expect("utf8 path"),
+            "--policy",
+            "equi",
+            "--m",
+            "4",
+            "--speed",
+            "2.0",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("(speed 2)"));
+    let _ = std::fs::remove_file(&tmp);
+}

@@ -1,0 +1,118 @@
+//! # parsched — Intermediate-SRPT and friends
+//!
+//! Scheduling algorithms for tasks of *intermediate parallelizability*,
+//! reproducing **"Competitively Scheduling Tasks with Intermediate
+//! Parallelizability"** (Im, Moseley, Pruhs, Torng — SPAA 2014).
+//!
+//! The setting: `m` identical processors must be divided among online jobs
+//! whose speed-up curves are `Γ(x) = x` for `x ≤ 1` and `Γ(x) = x^α` for
+//! `x ≥ 1`, with `α ∈ (0, 1)` strictly between sequential (`α = 0`) and
+//! fully parallelizable (`α = 1`). The objective is total flow (waiting)
+//! time, judged by the competitive ratio against the offline optimum on
+//! instances with job sizes in `[1, P]`.
+//!
+//! ## The algorithms
+//!
+//! * [`IntermediateSrpt`] — **the paper's algorithm (Theorem 1)**: when at
+//!   least `m` jobs are alive, run Sequential-SRPT (the `m` jobs with least
+//!   remaining work get one processor each); when fewer than `m` jobs are
+//!   alive, split the processors evenly (EQUI). It is
+//!   `O(4^{1/(1-α)} · log P)`-competitive, which is optimal up to the
+//!   constant: Theorem 2 shows *every* algorithm is `Ω(log P)`-competitive
+//!   the moment `α < 1`.
+//! * [`ParallelSrpt`] — all `m` processors to the job with least remaining
+//!   work; optimal for fully parallelizable jobs, terrible otherwise.
+//! * [`SequentialSrpt`] — one processor each to the (up to `m`) jobs with
+//!   least remaining work; `O(log P)`-competitive for sequential jobs
+//!   (Leonardi–Raz).
+//! * [`GreedyHybrid`] — the "natural" greedy of the paper's §3 that
+//!   maximizes the instantaneous drain rate of the fractional number of
+//!   unfinished jobs. Lemma 10 shows its competitive ratio is
+//!   `Ω(max{P, n^{1/3}})` — the cautionary tale motivating
+//!   Intermediate-SRPT.
+//! * [`Equi`] — even split among all alive jobs (Edmonds),
+//!   [`Laps`] — even split among the `⌈β·n⌉` latest-arriving jobs
+//!   (Edmonds–Pruhs), and [`Setf`] — rate-equalized sharing among the
+//!   least-processed jobs; the non-clairvoyant baselines from the related
+//!   work.
+//! * [`ThresholdSrpt`] — Intermediate-SRPT with the regime boundary moved
+//!   to `⌈θ·m⌉` (the X3 ablation; `θ = 1` is the paper's algorithm), and
+//!   [`RandomAllocation`] — a seeded feasible fuzzing policy used as an
+//!   arbitrary reference schedule by the lemma checkers.
+//!
+//! All of them implement [`parsched_sim::Policy`] and run on the exact
+//! continuous-time engine in `parsched-sim`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use parsched::IntermediateSrpt;
+//! use parsched_sim::{simulate, Instance};
+//! use parsched_speedup::Curve;
+//!
+//! // Six jobs of intermediate parallelizability (α = 0.5) on 4 processors.
+//! let inst = Instance::from_sizes(
+//!     &[(0.0, 8.0), (0.0, 1.0), (0.0, 2.0), (1.0, 4.0), (2.0, 1.0), (3.0, 2.0)],
+//!     Curve::power(0.5),
+//! ).unwrap();
+//! let outcome = simulate(&inst, &mut IntermediateSrpt::new(), 4.0).unwrap();
+//! assert_eq!(outcome.metrics.num_jobs, 6);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod equi;
+mod greedy;
+mod intermediate_srpt;
+mod laps;
+mod parallel_srpt;
+mod random_alloc;
+mod registry;
+mod sequential_srpt;
+mod setf;
+pub mod theory;
+mod threshold_srpt;
+mod weighted;
+
+pub use equi::Equi;
+pub use greedy::GreedyHybrid;
+pub use intermediate_srpt::IntermediateSrpt;
+pub use laps::Laps;
+pub use parallel_srpt::ParallelSrpt;
+pub use random_alloc::RandomAllocation;
+pub use registry::PolicyKind;
+pub use sequential_srpt::SequentialSrpt;
+pub use setf::Setf;
+pub use threshold_srpt::ThresholdSrpt;
+pub use weighted::WeightedIntermediateSrpt;
+
+pub(crate) mod util {
+    use parsched_sim::AliveJob;
+
+    /// Indices of `jobs` ordered by (remaining work, release, id) — the
+    /// SRPT order with a deterministic tie-break.
+    pub(crate) fn srpt_order(jobs: &[AliveJob<'_>]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..jobs.len()).collect();
+        idx.sort_by(|&a, &b| {
+            jobs[a]
+                .remaining
+                .partial_cmp(&jobs[b].remaining)
+                .expect("remaining work is finite")
+                .then(
+                    jobs[a]
+                        .release()
+                        .partial_cmp(&jobs[b].release())
+                        .expect("release times are finite"),
+                )
+                .then(jobs[a].id().cmp(&jobs[b].id()))
+        });
+        idx
+    }
+
+    /// The integral machine count used by policies that reason about "one
+    /// job per machine" (the paper's `m` is an integer).
+    pub(crate) fn machine_count(m: f64) -> usize {
+        (m.round().max(1.0)) as usize
+    }
+}

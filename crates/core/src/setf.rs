@@ -1,0 +1,253 @@
+//! SETF: Shortest Elapsed Time First.
+
+use parsched_sim::{AliveJob, Policy, Time};
+
+/// Relative tolerance for "tied" elapsed work (floats from prior merges).
+const TIE_TOL: f64 = 1e-7;
+
+/// **SETF** — serve the jobs that have received the *least processing so
+/// far* (elapsed work `p_j − p_j(t)`).
+///
+/// The classic non-clairvoyant policy (a continuous multi-level feedback
+/// queue), included because the speed-up-curve literature the paper builds
+/// on (Edmonds; Edmonds–Pruhs) uses it as the canonical foil to EQUI/LAPS.
+///
+/// # Generalization to heterogeneous speed-up curves
+///
+/// SETF's defining invariant is that the least-processed jobs are served
+/// so that they *stay tied*: on a single machine the tied group time-shares
+/// and every member's elapsed work grows at the same rate. With speed-up
+/// curves, equal *shares* would break the invariant instantly (different
+/// `Γ_j` ⇒ different elapsed growth ⇒ the ordering churns at rate ∞ — a
+/// Zeno simulation). The faithful generalization served here gives the
+/// tied group **rate-equalizing shares**: find the common rate `ρ` with
+/// `Σ_j Γ_j⁻¹(ρ) = m` (bisection; capped at the group's saturation rate,
+/// idling leftover processors exactly like SETF on sequential jobs would)
+/// and allocate `x_j = Γ_j⁻¹(ρ)`.
+///
+/// With that choice the group's membership and `ρ` are constant between
+/// events, so the policy requests one exact re-decision when the group's
+/// elapsed work catches up to the next-least-processed job — the
+/// simulation is event-exact, like the SRPT family.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Setf;
+
+impl Setf {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Rate-equalizing shares for the group `jobs[i]` for `i ∈ group`:
+    /// returns `(ρ, shares for the group in group order)`.
+    fn equalize(m: f64, jobs: &[AliveJob<'_>], group: &[usize]) -> (f64, Vec<f64>) {
+        // The group's achievable common rate is capped by each member's
+        // saturation at full machine.
+        let rho_max = group
+            .iter()
+            .map(|&i| jobs[i].curve().rate(m))
+            .fold(f64::INFINITY, f64::min);
+        let demand = |rho: f64| -> f64 {
+            group
+                .iter()
+                .map(|&i| jobs[i].curve().inverse_rate(rho).unwrap_or(f64::INFINITY))
+                .sum()
+        };
+        // If even the saturation rate under-uses the machine, run saturated
+        // (the leftover processors cannot speed up the least-processed
+        // jobs; SETF does not look ahead).
+        let rho = if demand(rho_max) <= m {
+            rho_max
+        } else {
+            let (mut lo, mut hi) = (0.0f64, rho_max);
+            for _ in 0..64 {
+                let mid = 0.5 * (lo + hi);
+                if demand(mid) <= m {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        let shares = group
+            .iter()
+            .map(|&i| jobs[i].curve().inverse_rate(rho).unwrap_or(m))
+            .collect();
+        (rho, shares)
+    }
+}
+
+impl Policy for Setf {
+    fn name(&self) -> String {
+        "SETF".to_string()
+    }
+
+    fn assign(
+        &mut self,
+        _now: Time,
+        m: f64,
+        jobs: &[AliveJob<'_>],
+        shares: &mut [f64],
+    ) -> Option<f64> {
+        let n = jobs.len();
+        if n == 0 {
+            return None;
+        }
+        shares.fill(0.0);
+        let elapsed = |j: &AliveJob<'_>| (j.size() - j.remaining).max(0.0);
+        let min_elapsed = jobs.iter().map(elapsed).fold(f64::INFINITY, f64::min);
+        let tol = TIE_TOL * min_elapsed.max(1.0);
+        let group: Vec<usize> = (0..n)
+            .filter(|&i| elapsed(&jobs[i]) <= min_elapsed + tol)
+            .collect();
+        let (rho, group_shares) = Self::equalize(m, jobs, &group);
+        for (&i, &s) in group.iter().zip(&group_shares) {
+            shares[i] = s.min(m);
+        }
+        if rho <= 0.0 {
+            // Degenerate (cannot happen for valid curves with m > 0), but
+            // never divide by zero below.
+            return None;
+        }
+        // Exact next membership change: the group catches the closest
+        // outsider at gap/ρ.
+        let next_gap = jobs
+            .iter()
+            .map(elapsed)
+            .filter(|&e| e > min_elapsed + tol)
+            .map(|e| e - min_elapsed)
+            .fold(f64::INFINITY, f64::min);
+        if next_gap.is_finite() {
+            Some((next_gap / rho).max(1e-9))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_sim::{simulate, Instance, JobId, JobSpec};
+    use parsched_speedup::Curve;
+
+    #[test]
+    fn fresh_identical_jobs_share_equally() {
+        let specs = [
+            JobSpec::new(JobId(0), 0.0, 5.0, Curve::FullyParallel),
+            JobSpec::new(JobId(1), 0.0, 2.0, Curve::FullyParallel),
+        ];
+        let views: Vec<AliveJob<'_>> = specs
+            .iter()
+            .map(|s| AliveJob { spec: s, remaining: s.size })
+            .collect();
+        let mut shares = vec![0.0; 2];
+        Setf::new().assign(0.0, 4.0, &views, &mut shares);
+        assert_eq!(shares, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn heterogeneous_group_gets_rate_equalizing_shares() {
+        // One fully parallel and one α=0.5 job, both fresh, m = 6.
+        // Equal rate ρ: x_par = ρ, x_pow = ρ² (for ρ ≥ 1); ρ + ρ² = 6 → ρ = 2.
+        let specs = [
+            JobSpec::new(JobId(0), 0.0, 5.0, Curve::FullyParallel),
+            JobSpec::new(JobId(1), 0.0, 5.0, Curve::power(0.5)),
+        ];
+        let views: Vec<AliveJob<'_>> = specs
+            .iter()
+            .map(|s| AliveJob { spec: s, remaining: s.size })
+            .collect();
+        let mut shares = vec![0.0; 2];
+        Setf::new().assign(0.0, 6.0, &views, &mut shares);
+        assert!((shares[0] - 2.0).abs() < 1e-6, "{shares:?}");
+        assert!((shares[1] - 4.0).abs() < 1e-6, "{shares:?}");
+    }
+
+    #[test]
+    fn sequential_group_idles_leftover_processors() {
+        // Three sequential jobs on m = 8: each saturates at rate 1 with 1
+        // processor; 5 processors idle — exactly SETF's behavior.
+        let specs: Vec<JobSpec> = (0..3)
+            .map(|i| JobSpec::new(JobId(i), 0.0, 4.0, Curve::Sequential))
+            .collect();
+        let views: Vec<AliveJob<'_>> = specs
+            .iter()
+            .map(|s| AliveJob { spec: s, remaining: s.size })
+            .collect();
+        let mut shares = vec![0.0; 3];
+        Setf::new().assign(0.0, 8.0, &views, &mut shares);
+        assert!(shares.iter().all(|&s| (s - 1.0).abs() < 1e-6), "{shares:?}");
+    }
+
+    #[test]
+    fn least_processed_job_monopolizes() {
+        let specs = [
+            JobSpec::new(JobId(0), 0.0, 5.0, Curve::FullyParallel),
+            JobSpec::new(JobId(1), 0.0, 5.0, Curve::FullyParallel),
+        ];
+        let views = vec![
+            AliveJob { spec: &specs[0], remaining: 3.0 },  // elapsed 2
+            AliveJob { spec: &specs[1], remaining: 4.5 },  // elapsed 0.5
+        ];
+        let mut shares = vec![0.0; 2];
+        let quantum = Setf::new().assign(0.0, 4.0, &views, &mut shares);
+        assert_eq!(shares, vec![0.0, 4.0]);
+        // Catch-up in exactly gap/ρ = 1.5/4.
+        assert!((quantum.expect("gap exists") - 1.5 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_arrival_preempts() {
+        // Fully parallel, m = 2: job 0 (size 4) runs alone on [0,1)
+        // (elapsed 2). Job 1 (size 1, elapsed 0) arrives at 1 and
+        // monopolizes; it finishes (at 1.5) before catching up.
+        let inst = Instance::new(vec![
+            JobSpec::new(JobId(0), 0.0, 4.0, Curve::FullyParallel),
+            JobSpec::new(JobId(1), 1.0, 1.0, Curve::FullyParallel),
+        ])
+        .unwrap();
+        let out = simulate(&inst, &mut Setf::new(), 2.0).unwrap();
+        assert_eq!(out.flow_of(JobId(1)), Some(0.5));
+        assert_eq!(out.flow_of(JobId(0)), Some(2.5));
+    }
+
+    #[test]
+    fn catch_up_merges_service_groups_without_zeno() {
+        // Job 0 gets a 1-unit head start; job 1 catches up and they finish
+        // together. The run must complete in a handful of events (the old
+        // equal-share formulation leapfrogged with ~1e-6 quanta).
+        let inst = Instance::new(vec![
+            JobSpec::new(JobId(0), 0.0, 3.0, Curve::FullyParallel),
+            JobSpec::new(JobId(1), 0.5, 3.0, Curve::FullyParallel),
+        ])
+        .unwrap();
+        let out = simulate(&inst, &mut Setf::new(), 2.0).unwrap();
+        assert!(out.metrics.events < 20, "Zeno: {} events", out.metrics.events);
+        let c0 = out.completed.iter().find(|c| c.id == JobId(0)).unwrap().completion;
+        let c1 = out.completed.iter().find(|c| c.id == JobId(1)).unwrap().completion;
+        assert!((c0 - c1).abs() < 1e-3, "{c0} vs {c1}");
+        assert!((out.metrics.makespan - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn long_mixed_run_terminates_quickly() {
+        // Regression for the Zeno bug: a mixed-α Poisson-ish workload must
+        // finish with an event count polynomial in n.
+        let jobs: Vec<JobSpec> = (0..40)
+            .map(|i| {
+                JobSpec::new(
+                    JobId(i),
+                    i as f64 * 0.7,
+                    1.0 + (i as f64 * 2.3) % 9.0,
+                    Curve::power(0.2 + 0.6 * ((i % 7) as f64 / 6.0)),
+                )
+            })
+            .collect();
+        let inst = Instance::new(jobs).unwrap();
+        let out = simulate(&inst, &mut Setf::new(), 4.0).unwrap();
+        assert_eq!(out.metrics.num_jobs, 40);
+        assert!(out.metrics.events < 4000, "{} events", out.metrics.events);
+    }
+}

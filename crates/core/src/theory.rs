@@ -1,0 +1,153 @@
+//! Closed-form quantities from the paper's statements and proofs.
+//!
+//! These are used by the workload generators (to size the adversarial
+//! constructions exactly as the proofs do) and by the analysis crate's
+//! lemma checkers (to evaluate the right-hand sides of the paper's
+//! inequalities).
+
+/// `4^{1/(1-α)}` — the α-dependent constant of Theorem 1. Returns `∞` as
+/// `α → 1` (the bound degenerates exactly when jobs become fully
+/// parallelizable, where the optimal ratio drops to 1).
+pub fn four_power(alpha: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&alpha));
+    if alpha >= 1.0 {
+        f64::INFINITY
+    } else {
+        4f64.powf(1.0 / (1.0 - alpha))
+    }
+}
+
+/// Theorem 1's upper bound *shape* `4^{1/(1-α)} · log₂ P` (the `O(1)`
+/// factor normalized to 1). Our F1/F2 experiments check measured ratios
+/// stay below a constant multiple of this.
+pub fn theorem1_bound(alpha: f64, p: f64) -> f64 {
+    debug_assert!(p >= 1.0);
+    four_power(alpha) * p.log2().max(1.0)
+}
+
+/// `k_max = ⌊log₂ P⌋`: the largest job class (§2.2).
+pub fn k_max(p: f64) -> i32 {
+    debug_assert!(p >= 1.0);
+    p.log2().floor() as i32
+}
+
+/// Lemma 1's right-hand side: `m(3 + log₂ P) + 2|OPT(t)|`.
+pub fn lemma1_rhs(m: f64, p: f64, opt_alive: usize) -> f64 {
+    m * (3.0 + p.log2().max(0.0)) + 2.0 * opt_alive as f64
+}
+
+/// Lemma 4's right-hand side: `m · 2^{k+1}`, the most volume (in classes
+/// `≤ k`) by which the algorithm can trail any feasible schedule at an
+/// overloaded time.
+pub fn lemma4_rhs(m: f64, k: i32) -> f64 {
+    m * 2f64.powi(k + 1)
+}
+
+/// Lemma 5's right-hand side: `m(k_max + 2) + 2|OPT_{≤k_max}(t)|`.
+pub fn lemma5_rhs(m: f64, p: f64, opt_alive: usize) -> f64 {
+    m * (k_max(p) as f64 + 2.0) + 2.0 * opt_alive as f64
+}
+
+/// Theorem 2's length-reduction factor `r = ½(1 − 2^{-ε})` where
+/// `ε = 1 − α`. Long-job lengths shrink by `r` each phase.
+pub fn reduction_factor(alpha: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&alpha), "Theorem 2 needs α < 1");
+    let eps = 1.0 - alpha;
+    0.5 * (1.0 - 2f64.powf(-eps))
+}
+
+/// Theorem 2's phase count `L = ½ · log_{1/r} P`.
+pub fn phase_count(alpha: f64, p: f64) -> f64 {
+    let r = reduction_factor(alpha);
+    0.5 * p.ln() / (1.0 / r).ln()
+}
+
+/// `log_{1/r} P` — the adversary's threshold unit (the online algorithm is
+/// tested against `m · log_{1/r} P` remaining short-job work at each phase
+/// midpoint).
+pub fn log_inv_r(alpha: f64, p: f64) -> f64 {
+    let r = reduction_factor(alpha);
+    p.ln() / (1.0 / r).ln()
+}
+
+/// Theorem 2's per-phase surviving-long-job fraction
+/// `½ · (2^ε − 1)/(2^ε + 1)`: at time `T`, at least this fraction of each
+/// phase's `m/2` long jobs must remain unfinished.
+pub fn survival_fraction(alpha: f64) -> f64 {
+    let eps = 1.0 - alpha;
+    let t = 2f64.powf(eps);
+    0.5 * (t - 1.0) / (t + 1.0)
+}
+
+/// The potential function's constant prefactor (§2.3 defines
+/// `Φ(t) = 16 Σ z_i(t) / Γ_i(m / rank(i, t))`).
+pub const PHI_PREFACTOR: f64 = 16.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_power_extremes() {
+        assert_eq!(four_power(0.0), 4.0);
+        assert!((four_power(0.5) - 16.0).abs() < 1e-9);
+        assert_eq!(four_power(1.0), f64::INFINITY);
+        assert!((four_power(0.75) - 256.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn theorem1_bound_grows_logarithmically() {
+        let b1 = theorem1_bound(0.5, 16.0);
+        let b2 = theorem1_bound(0.5, 256.0);
+        assert!((b2 / b1 - 2.0).abs() < 1e-9); // log 256 / log 16 = 2
+    }
+
+    #[test]
+    fn k_max_matches_class_definition() {
+        assert_eq!(k_max(1.0), 0);
+        assert_eq!(k_max(2.0), 1);
+        assert_eq!(k_max(1023.0), 9);
+        assert_eq!(k_max(1024.0), 10);
+    }
+
+    #[test]
+    fn lemma_rhs_values() {
+        // m = 4, P = 8, |OPT| = 3: 4·(3+3) + 6 = 30.
+        assert!((lemma1_rhs(4.0, 8.0, 3) - 30.0).abs() < 1e-9);
+        // m = 4, k = 2: 4·8 = 32.
+        assert!((lemma4_rhs(4.0, 2) - 32.0).abs() < 1e-9);
+        // m = 4, P = 8 (k_max = 3), |OPT| = 3: 4·5 + 6 = 26.
+        assert!((lemma5_rhs(4.0, 8.0, 3) - 26.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_factor_behaviour() {
+        // ε = 1 (α = 0): r = ½(1 − ½) = ¼.
+        assert!((reduction_factor(0.0) - 0.25).abs() < 1e-12);
+        // As α → 1 (ε → 0), r → 0: phases shrink violently.
+        assert!(reduction_factor(0.99) < 0.01);
+        // r < ½ always, so lengths at least halve each phase.
+        for a in [0.0, 0.3, 0.5, 0.9] {
+            assert!(reduction_factor(a) < 0.5);
+            assert!(reduction_factor(a) > 0.0);
+        }
+    }
+
+    #[test]
+    fn phase_count_is_half_log() {
+        // α = 0 → r = ¼ → log_{4} P = log₂ P / 2; L = log₂ P / 4.
+        let l = phase_count(0.0, 256.0);
+        assert!((l - 2.0).abs() < 1e-9);
+        assert!((log_inv_r(0.0, 256.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survival_fraction_positive_below_one() {
+        for a in [0.0, 0.25, 0.5, 0.75, 0.95] {
+            let f = survival_fraction(a);
+            assert!(f > 0.0 && f < 0.5, "α={a}: {f}");
+        }
+        // ε = 1: ½ · (2−1)/(2+1) = 1/6.
+        assert!((survival_fraction(0.0) - 1.0 / 6.0).abs() < 1e-12);
+    }
+}

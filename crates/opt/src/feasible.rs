@@ -1,0 +1,99 @@
+//! Feasible-schedule upper bounds on OPT.
+
+use parsched::PolicyKind;
+use parsched_sim::{simulate, AllocationPlan, Instance, PlannedPolicy, SimError};
+
+/// The best feasible schedule found for an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibleResult {
+    /// Its total flow time (an upper bound on OPT).
+    pub flow: f64,
+    /// Which schedule achieved it.
+    pub witness: String,
+    /// Flow of every schedule that ran successfully, by name.
+    pub all: Vec<(String, f64)>,
+}
+
+/// Runs every policy in `kinds` plus every named plan in `extra_plans` on
+/// `instance` and returns the best total flow.
+///
+/// Individual schedules may fail (e.g. a hand plan that stalls on an
+/// instance it wasn't built for) — failures are skipped, but at least one
+/// schedule must succeed.
+pub fn best_feasible(
+    instance: &Instance,
+    m: f64,
+    kinds: &[PolicyKind],
+    extra_plans: &[(String, AllocationPlan)],
+) -> Result<FeasibleResult, SimError> {
+    let mut all = Vec::new();
+    for kind in kinds {
+        if let Ok(outcome) = simulate(instance, &mut kind.build(), m) {
+            all.push((kind.name(), outcome.metrics.total_flow));
+        }
+    }
+    for (name, plan) in extra_plans {
+        if let Ok(outcome) = simulate(instance, &mut PlannedPolicy::named(plan.clone(), name), m) {
+            all.push((name.clone(), outcome.metrics.total_flow));
+        }
+    }
+    let best = all
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .cloned()
+        .ok_or_else(|| SimError::BadInstance {
+            what: "no feasible schedule succeeded".to_string(),
+        })?;
+    Ok(FeasibleResult {
+        flow: best.1,
+        witness: best.0,
+        all,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_speedup::Curve;
+
+    #[test]
+    fn picks_the_best_policy() {
+        // Underloaded parallel work: Parallel-SRPT/EQUI beat
+        // Sequential-SRPT; the winner must not be Sequential-SRPT's value.
+        let inst = Instance::from_sizes(&[(0.0, 8.0)], Curve::FullyParallel).unwrap();
+        let res = best_feasible(&inst, 4.0, &PolicyKind::all_standard(), &[]).unwrap();
+        assert!((res.flow - 2.0).abs() < 1e-6, "{res:?}");
+        assert!(res.all.len() >= 5);
+        // Every recorded flow is ≥ the winner.
+        assert!(res.all.iter().all(|&(_, f)| f >= res.flow - 1e-9));
+    }
+
+    #[test]
+    fn includes_extra_plans() {
+        use parsched_sim::{JobId, PlanSegment};
+        // A hand plan that happens to be optimal for one sequential job.
+        let inst = Instance::from_sizes(&[(0.0, 2.0)], Curve::Sequential).unwrap();
+        let plan = AllocationPlan::new(
+            vec![PlanSegment {
+                start: 0.0,
+                end: 2.0,
+                shares: vec![(JobId(0), 1.0)],
+            }],
+            1.0,
+        )
+        .unwrap();
+        let res =
+            best_feasible(&inst, 1.0, &[], &[("hand".to_string(), plan)]).unwrap();
+        assert_eq!(res.witness, "hand");
+        assert!((res.flow - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_when_nothing_succeeds() {
+        let inst = Instance::from_sizes(&[(0.0, 2.0)], Curve::Sequential).unwrap();
+        // An empty plan stalls → no successful schedule.
+        let plan = AllocationPlan::new(vec![], 1.0).unwrap();
+        let err = best_feasible(&inst, 1.0, &[], &[("empty".to_string(), plan)]).unwrap_err();
+        assert!(matches!(err, SimError::BadInstance { .. }));
+    }
+}

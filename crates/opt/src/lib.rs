@@ -1,0 +1,125 @@
+//! Bracketing the offline optimum.
+//!
+//! Computing the true optimal total flow time for malleable jobs with
+//! speed-up curves is intractable at experiment scale, and the paper never
+//! needs it exactly: its upper-bound proof charges against *any* feasible
+//! schedule, and its lower-bound proofs exhibit explicit feasible
+//! schedules. This crate follows the same discipline and produces a
+//! rigorous **bracket** `LB ≤ OPT ≤ UB`:
+//!
+//! * **Lower bounds** ([`bounds`]) — quantities provably `≤ OPT`:
+//!   * [`bounds::processing_lb`]: `Σ_j p_j / Γ_j(m)` — no schedule can run
+//!     a job faster than `Γ_j(m)`.
+//!   * [`bounds::srpt_fluid_lb`]: drop the per-job rate cap; because
+//!     `Γ(x) ≤ x`, any real schedule drains at most `m` total volume per
+//!     unit time, so the relaxation is a single speed-`m` processor with
+//!     preemption — whose exact optimum is classic SRPT
+//!     ([`SrptSingleMachine`]).
+//!   * [`bounds::lower_bound`]: the max of the above.
+//! * **Upper bounds** ([`feasible`]) — the best flow among feasible
+//!   schedules actually executed on the simulator: every policy in
+//!   [`parsched::PolicyKind`] plus any hand-constructed
+//!   [`parsched_sim::AllocationPlan`] (e.g. the paper's standard/alternative
+//!   schedules from `parsched-workloads`).
+//!
+//! Every competitive ratio this repository reports is then an interval:
+//! `flow_A / UB ≤ ratio ≤ flow_A / LB`, with the conservative end chosen
+//! per claim direction (see `parsched-analysis`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod feasible;
+mod srpt_single;
+
+pub use feasible::{best_feasible, FeasibleResult};
+pub use srpt_single::SrptSingleMachine;
+
+use parsched_sim::{Instance, SimError};
+use serde::{Deserialize, Serialize};
+
+/// A rigorous bracket on the optimal total flow time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptEstimate {
+    /// Provable lower bound on OPT.
+    pub lower: f64,
+    /// Flow of the best feasible schedule found (an upper bound on OPT).
+    pub upper: f64,
+    /// Name of the schedule achieving `upper`.
+    pub upper_witness: String,
+}
+
+impl OptEstimate {
+    /// Brackets OPT for `instance` on `m` processors using the standard
+    /// policy set as feasible witnesses.
+    ///
+    /// ```
+    /// use parsched_opt::OptEstimate;
+    /// use parsched_sim::Instance;
+    /// use parsched_speedup::Curve;
+    ///
+    /// let inst = Instance::from_sizes(&[(0.0, 8.0)], Curve::power(0.5)).unwrap();
+    /// let est = OptEstimate::bracket(&inst, 4.0).unwrap();
+    /// // One job: OPT = 8 / Γ(4) = 4, and the bracket pins it.
+    /// assert!((est.lower - 4.0).abs() < 1e-6 && (est.upper - 4.0).abs() < 1e-6);
+    /// ```
+    pub fn bracket(instance: &Instance, m: f64) -> Result<Self, SimError> {
+        Self::bracket_with(instance, m, &parsched::PolicyKind::all_standard(), &[])
+    }
+
+    /// Brackets OPT with a custom policy set and extra planned schedules.
+    pub fn bracket_with(
+        instance: &Instance,
+        m: f64,
+        kinds: &[parsched::PolicyKind],
+        extra_plans: &[(String, parsched_sim::AllocationPlan)],
+    ) -> Result<Self, SimError> {
+        let lower = bounds::lower_bound(instance, m);
+        let best = best_feasible(instance, m, kinds, extra_plans)?;
+        Ok(Self {
+            lower,
+            upper: best.flow,
+            upper_witness: best.witness,
+        })
+    }
+
+    /// Interval for the competitive ratio of a schedule with total flow
+    /// `alg_flow`: `[alg/upper, alg/lower]`.
+    pub fn ratio_interval(&self, alg_flow: f64) -> (f64, f64) {
+        (alg_flow / self.upper, alg_flow / self.lower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_speedup::Curve;
+
+    #[test]
+    fn bracket_is_ordered_and_tight_on_singleton() {
+        // One α=0.5 job of size 8 on m = 4: OPT gives it everything →
+        // flow 8/Γ(4) = 4. processing_lb = 4 exactly; Intermediate-SRPT
+        // achieves it.
+        let inst = Instance::from_sizes(&[(0.0, 8.0)], Curve::power(0.5)).unwrap();
+        let est = OptEstimate::bracket(&inst, 4.0).unwrap();
+        assert!(est.lower <= est.upper * (1.0 + 1e-6));
+        assert!((est.lower - 4.0).abs() < 1e-6);
+        assert!((est.upper - 4.0).abs() < 1e-6);
+        let (lo, hi) = est.ratio_interval(8.0);
+        assert!((lo - 2.0).abs() < 1e-6 && (hi - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bracket_orders_on_random_instance() {
+        let inst = Instance::from_sizes(
+            &[(0.0, 4.0), (0.5, 1.0), (1.0, 2.0), (1.5, 8.0), (2.0, 1.0)],
+            Curve::power(0.5),
+        )
+        .unwrap();
+        let est = OptEstimate::bracket(&inst, 2.0).unwrap();
+        assert!(est.lower > 0.0);
+        assert!(est.lower <= est.upper + 1e-9, "{est:?}");
+        assert!(!est.upper_witness.is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Classic preemptive SRPT on a single machine — the exact optimum of the
+//! fluid relaxation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use parsched_sim::Instance;
+
+/// An exact, heap-based simulator of preemptive **SRPT on one machine of
+/// speed `s`** (Shortest Remaining Processing Time), which is the optimal
+/// policy for total flow time in that model.
+///
+/// Used as the fluid relaxation of the malleable problem: summing
+/// `Γ_j(x_j) ≤ x_j` over jobs shows no feasible schedule drains more than
+/// `m` volume per unit time, so SRPT at speed `m` lower-bounds every
+/// feasible malleable schedule's total flow.
+///
+/// Runs in `O(n log n)` — independent of the engine, so it doubles as an
+/// oracle in the engine's own differential tests.
+#[derive(Debug, Clone, Copy)]
+pub struct SrptSingleMachine {
+    /// Machine speed.
+    pub speed: f64,
+}
+
+/// Total-ordered f64 for the heap.
+#[derive(PartialEq, PartialOrd)]
+struct Rem(f64);
+impl Eq for Rem {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Rem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl SrptSingleMachine {
+    /// Creates the simulator with the given machine speed.
+    pub fn new(speed: f64) -> Self {
+        assert!(speed > 0.0 && speed.is_finite());
+        Self { speed }
+    }
+
+    /// Total flow time of SRPT on the instance's `(release, size)` pairs
+    /// (speed-up curves are ignored: this is the fluid relaxation).
+    pub fn total_flow(&self, instance: &Instance) -> f64 {
+        let jobs = instance.jobs();
+        if jobs.is_empty() {
+            return 0.0;
+        }
+        // Jobs are sorted by release already.
+        let mut heap: BinaryHeap<Reverse<(Rem, u64)>> = BinaryHeap::new();
+        let mut total = 0.0;
+        let mut now = 0.0f64;
+        let mut alive = 0usize;
+        let mut i = 0;
+        loop {
+            // Advance to the next arrival if nothing is queued.
+            if heap.is_empty() {
+                if i >= jobs.len() {
+                    break;
+                }
+                now = now.max(jobs[i].release);
+            }
+            // Admit everything due.
+            while i < jobs.len() && jobs[i].release <= now + 1e-12 {
+                heap.push(Reverse((Rem(jobs[i].size), jobs[i].id.0)));
+                alive += 1;
+                i += 1;
+            }
+            let Some(Reverse((Rem(rem), id))) = heap.pop() else {
+                continue;
+            };
+            let finish_at = now + rem / self.speed;
+            let next_arrival = jobs.get(i).map(|j| j.release);
+            match next_arrival {
+                Some(t) if t < finish_at - 1e-12 => {
+                    // Preempt at the arrival.
+                    let worked = (t - now) * self.speed;
+                    total += (t - now) * alive as f64;
+                    heap.push(Reverse((Rem(rem - worked), id)));
+                    now = t;
+                }
+                _ => {
+                    total += (finish_at - now) * alive as f64;
+                    alive -= 1;
+                    now = finish_at;
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_speedup::Curve;
+
+    fn inst(jobs: &[(f64, f64)]) -> Instance {
+        Instance::from_sizes(jobs, Curve::FullyParallel).unwrap()
+    }
+
+    #[test]
+    fn single_job() {
+        let srpt = SrptSingleMachine::new(2.0);
+        assert!((srpt.total_flow(&inst(&[(0.0, 4.0)])) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_runs_shortest_first() {
+        // Speed 1, sizes 1, 2, 3 at t=0 → completions 1, 3, 6 → flow 10.
+        let srpt = SrptSingleMachine::new(1.0);
+        assert!((srpt.total_flow(&inst(&[(0.0, 3.0), (0.0, 1.0), (0.0, 2.0)])) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preemption_on_shorter_arrival() {
+        // Speed 1: size 4 at t=0; size 1 at t=1.
+        // [0,1): job0. t=1: job1 (rem 1 < 3) preempts, done at 2 (flow 1).
+        // job0 done at 5 (flow 5). Total 6.
+        let srpt = SrptSingleMachine::new(1.0);
+        assert!((srpt.total_flow(&inst(&[(0.0, 4.0), (1.0, 1.0)])) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_preemption_on_longer_arrival() {
+        // Speed 1: size 2 at t=0; size 5 at t=1 → job0 finishes at 2
+        // (flow 2), job1 at 7 (flow 6). Total 8.
+        let srpt = SrptSingleMachine::new(1.0);
+        assert!((srpt.total_flow(&inst(&[(0.0, 2.0), (1.0, 5.0)])) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_gap_between_jobs() {
+        let srpt = SrptSingleMachine::new(1.0);
+        // Job at t=0 size 1; job at t=10 size 1 → flows 1 + 1.
+        assert!((srpt.total_flow(&inst(&[(0.0, 1.0), (10.0, 1.0)])) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let srpt = SrptSingleMachine::new(1.0);
+        assert_eq!(srpt.total_flow(&inst(&[])), 0.0);
+    }
+
+    #[test]
+    fn matches_engine_parallel_srpt() {
+        // Differential test: the engine running Parallel-SRPT on fully
+        // parallelizable jobs must equal analytic SRPT at speed m.
+        use parsched::ParallelSrpt;
+        use parsched_sim::simulate;
+        let jobs = [(0.0, 5.0), (0.3, 1.0), (1.1, 2.5), (2.0, 0.7), (2.0, 4.0), (6.0, 1.0)];
+        let instance = inst(&jobs);
+        let m = 3.0;
+        let engine_flow = simulate(&instance, &mut ParallelSrpt::new(), m)
+            .unwrap()
+            .metrics
+            .total_flow;
+        let analytic = SrptSingleMachine::new(m).total_flow(&instance);
+        assert!(
+            (engine_flow - analytic).abs() < 1e-6,
+            "engine {engine_flow} vs analytic {analytic}"
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Plain-text (CSV) persistence for instances.
+//!
+//! The offline dependency set has no serde *format* crate, so instances
+//! round-trip through a small hand-rolled CSV dialect:
+//!
+//! ```text
+//! id,release,size,curve
+//! 0,0.0,16,pow:0.5
+//! 1,1.5,2,seq
+//! 2,2.0,4,amdahl:0.25
+//! 3,3.0,8,pwl:0 0;2 2;8 5
+//! ```
+//!
+//! `curve` is one of `par`, `seq`, `pow:<α>`, `amdahl:<s>`, or
+//! `pwl:<x y;…>`. Floats print with enough digits to round-trip exactly.
+
+use parsched_speedup::{Curve, PiecewiseLinear};
+
+use crate::error::SimError;
+use crate::job::{Instance, JobId, JobSpec};
+
+fn curve_to_field(curve: &Curve) -> String {
+    match curve {
+        Curve::FullyParallel => "par".to_string(),
+        Curve::Sequential => "seq".to_string(),
+        Curve::Power { alpha } => format!("pow:{alpha:?}"),
+        Curve::Amdahl { serial_fraction } => format!("amdahl:{serial_fraction:?}"),
+        Curve::Piecewise(p) => {
+            let pts: Vec<String> = p
+                .points()
+                .iter()
+                .map(|(x, y)| format!("{x:?} {y:?}"))
+                .collect();
+            format!("pwl:{}", pts.join(";"))
+        }
+    }
+}
+
+fn curve_from_field(field: &str) -> Result<Curve, SimError> {
+    let bad = |what: String| SimError::BadInstance { what };
+    match field {
+        "par" => Ok(Curve::FullyParallel),
+        "seq" => Ok(Curve::Sequential),
+        other => {
+            if let Some(alpha) = other.strip_prefix("pow:") {
+                let alpha: f64 = alpha
+                    .parse()
+                    .map_err(|e| bad(format!("bad power exponent: {e}")))?;
+                Curve::try_power(alpha).map_err(|e| bad(e.to_string()))
+            } else if let Some(s) = other.strip_prefix("amdahl:") {
+                let s: f64 = s
+                    .parse()
+                    .map_err(|e| bad(format!("bad Amdahl fraction: {e}")))?;
+                Curve::try_amdahl(s).map_err(|e| bad(e.to_string()))
+            } else if let Some(pts) = other.strip_prefix("pwl:") {
+                let mut points = Vec::new();
+                for pair in pts.split(';') {
+                    let mut it = pair.split_whitespace();
+                    let x: f64 = it
+                        .next()
+                        .ok_or_else(|| bad("pwl point missing x".into()))?
+                        .parse()
+                        .map_err(|e| bad(format!("bad pwl x: {e}")))?;
+                    let y: f64 = it
+                        .next()
+                        .ok_or_else(|| bad("pwl point missing y".into()))?
+                        .parse()
+                        .map_err(|e| bad(format!("bad pwl y: {e}")))?;
+                    points.push((x, y));
+                }
+                Ok(Curve::Piecewise(
+                    PiecewiseLinear::new(points).map_err(|e| bad(e.to_string()))?,
+                ))
+            } else {
+                Err(bad(format!("unknown curve '{other}'")))
+            }
+        }
+    }
+}
+
+/// Serializes an instance to the CSV dialect above (with header). A
+/// fifth `weight` column is emitted only when some job's weight differs
+/// from 1, keeping the common unweighted files minimal.
+pub fn instance_to_csv(instance: &Instance) -> String {
+    let weighted = instance.jobs().iter().any(|j| j.weight != 1.0);
+    let mut out = String::from(if weighted {
+        "id,release,size,curve,weight\n"
+    } else {
+        "id,release,size,curve\n"
+    });
+    for j in instance.jobs() {
+        if weighted {
+            out.push_str(&format!(
+                "{},{:?},{:?},{},{:?}\n",
+                j.id.0,
+                j.release,
+                j.size,
+                curve_to_field(&j.curve),
+                j.weight
+            ));
+        } else {
+            out.push_str(&format!(
+                "{},{:?},{:?},{}\n",
+                j.id.0,
+                j.release,
+                j.size,
+                curve_to_field(&j.curve)
+            ));
+        }
+    }
+    out
+}
+
+/// Parses an instance from the CSV dialect above. The header row is
+/// required; blank lines and `#` comments are ignored.
+pub fn instance_from_csv(text: &str) -> Result<Instance, SimError> {
+    let bad = |line: usize, what: &str| SimError::BadInstance {
+        what: format!("csv line {line}: {what}"),
+    };
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+    let weighted = match lines.next() {
+        Some((_, h)) if h.trim() == "id,release,size,curve" => false,
+        Some((_, h)) if h.trim() == "id,release,size,curve,weight" => true,
+        _ => {
+            return Err(SimError::BadInstance {
+                what: "missing csv header 'id,release,size,curve[,weight]'".to_string(),
+            })
+        }
+    };
+    let mut jobs = Vec::new();
+    for (ln, line) in lines {
+        let mut fields = line.splitn(4, ',');
+        let id: u64 = fields
+            .next()
+            .ok_or_else(|| bad(ln + 1, "missing id"))?
+            .trim()
+            .parse()
+            .map_err(|_| bad(ln + 1, "bad id"))?;
+        let release: f64 = fields
+            .next()
+            .ok_or_else(|| bad(ln + 1, "missing release"))?
+            .trim()
+            .parse()
+            .map_err(|_| bad(ln + 1, "bad release"))?;
+        let size: f64 = fields
+            .next()
+            .ok_or_else(|| bad(ln + 1, "missing size"))?
+            .trim()
+            .parse()
+            .map_err(|_| bad(ln + 1, "bad size"))?;
+        let rest = fields.next().ok_or_else(|| bad(ln + 1, "missing curve"))?;
+        let (curve_field, weight) = if weighted {
+            let (c, w) = rest
+                .rsplit_once(',')
+                .ok_or_else(|| bad(ln + 1, "missing weight"))?;
+            let w: f64 = w.trim().parse().map_err(|_| bad(ln + 1, "bad weight"))?;
+            (c, w)
+        } else {
+            (rest, 1.0)
+        };
+        let curve = curve_from_field(curve_field.trim())?;
+        jobs.push(JobSpec::new(JobId(id), release, size, curve).with_weight(weight));
+    }
+    Instance::new(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        Instance::new(vec![
+            JobSpec::new(JobId(0), 0.0, 16.0, Curve::power(0.5)),
+            JobSpec::new(JobId(1), 1.5, 2.0, Curve::Sequential),
+            JobSpec::new(JobId(2), 2.0, 4.0, Curve::try_amdahl(0.25).unwrap()),
+            JobSpec::new(JobId(3), 3.0, 8.0, Curve::FullyParallel),
+            JobSpec::new(
+                JobId(4),
+                4.0,
+                1.0,
+                Curve::Piecewise(PiecewiseLinear::saturating(2.0).unwrap()),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let inst = sample();
+        let csv = instance_to_csv(&inst);
+        let back = instance_from_csv(&csv).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn round_trip_preserves_awkward_floats() {
+        let inst = Instance::new(vec![JobSpec::new(
+            JobId(0),
+            0.1 + 0.2, // 0.30000000000000004
+            1.0 / 3.0,
+            Curve::power(1.0 / 7.0),
+        )])
+        .unwrap();
+        let back = instance_from_csv(&instance_to_csv(&inst)).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn weighted_instances_round_trip_with_fifth_column() {
+        let inst = Instance::new(vec![
+            JobSpec::new(JobId(0), 0.0, 2.0, Curve::power(0.5)).with_weight(3.5),
+            JobSpec::new(JobId(1), 1.0, 4.0, Curve::Sequential), // weight 1
+        ])
+        .unwrap();
+        let csv = instance_to_csv(&inst);
+        assert!(csv.starts_with("id,release,size,curve,weight\n"), "{csv}");
+        let back = instance_from_csv(&csv).unwrap();
+        assert_eq!(inst, back);
+        assert_eq!(back.jobs()[0].weight, 3.5);
+        assert_eq!(back.jobs()[1].weight, 1.0);
+    }
+
+    #[test]
+    fn unweighted_instances_omit_the_weight_column() {
+        let csv = instance_to_csv(&sample());
+        assert!(csv.starts_with("id,release,size,curve\n"));
+        assert!(!csv.contains("weight"));
+    }
+
+    #[test]
+    fn weighted_header_requires_weight_field() {
+        let err = instance_from_csv("id,release,size,curve,weight\n0,0,1,seq\n").unwrap_err();
+        assert!(err.to_string().contains("weight"), "{err}");
+        // The weight must also be valid.
+        assert!(instance_from_csv("id,release,size,curve,weight\n0,0,1,seq,-2\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# a comment\nid,release,size,curve\n\n0,0,1,seq\n# trailing\n";
+        let inst = instance_from_csv(text).unwrap();
+        assert_eq!(inst.len(), 1);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_with_line_numbers() {
+        assert!(instance_from_csv("nope").is_err());
+        let err = instance_from_csv("id,release,size,curve\n0,x,1,seq\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(instance_from_csv("id,release,size,curve\n0,0,1,pow:9\n").is_err());
+        assert!(instance_from_csv("id,release,size,curve\n0,0,1,banana\n").is_err());
+        assert!(instance_from_csv("id,release,size,curve\n0,0,1,pwl:0 0;1\n").is_err());
+        // Semantic validation still applies (duplicate ids).
+        assert!(instance_from_csv("id,release,size,curve\n0,0,1,seq\n0,1,1,seq\n").is_err());
+    }
+
+    #[test]
+    fn generated_instances_round_trip() {
+        // A denser instance with many distinct power exponents.
+        let jobs: Vec<JobSpec> = (0..50)
+            .map(|i| {
+                JobSpec::new(
+                    JobId(i),
+                    i as f64 * 0.37,
+                    1.0 + (i as f64 * 1.61803) % 15.0,
+                    Curve::power((i as f64 * 0.0199) % 1.0),
+                )
+            })
+            .collect();
+        let inst = Instance::new(jobs).unwrap();
+        assert_eq!(instance_from_csv(&instance_to_csv(&inst)).unwrap(), inst);
+    }
+}

@@ -1,0 +1,855 @@
+//! The event-driven simulation engine.
+//!
+//! Between events (arrival, completion, quantum expiry) the allocation is
+//! constant, so each job's remaining work decreases linearly and the next
+//! completion time is computed in closed form. The engine therefore
+//! processes `O(arrivals + completions + quanta)` events, each costing
+//! `O(n)` for the alive set — no time discretization, no drift.
+
+use parsched_speedup::{Curve, EPS};
+
+use crate::error::SimError;
+use crate::job::{Instance, JobId, JobSpec, Time, Work};
+use crate::metrics::{CompletedJob, RunMetrics, RunOutcome};
+use crate::observer::{NullObserver, Observer};
+use crate::policy::{AliveJob, Policy};
+use crate::source::{ArrivalSource, StaticSource, SystemView};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of processors `m` (may be fractional in principle; the paper
+    /// uses integers).
+    pub m: f64,
+    /// Resource-augmentation speed factor: every rate is multiplied by this
+    /// (1.0 = the paper's plain competitive-analysis setting; `1 + ε` for
+    /// speed-augmentation experiments).
+    pub speed: f64,
+    /// Hard cap on processed events, to catch runaway quantum loops.
+    pub max_events: u64,
+    /// Hard cap on simulated time.
+    pub max_time: Time,
+}
+
+impl EngineConfig {
+    /// Default configuration for `m` processors.
+    pub fn new(m: f64) -> Self {
+        Self {
+            m,
+            speed: 1.0,
+            max_events: 20_000_000,
+            max_time: f64::INFINITY,
+        }
+    }
+
+    /// Sets the speed-augmentation factor.
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        self.speed = speed;
+        self
+    }
+
+    /// Sets the event budget.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Sets the time horizon.
+    pub fn with_max_time(mut self, max_time: Time) -> Self {
+        self.max_time = max_time;
+        self
+    }
+}
+
+/// An owned snapshot of one alive job (used by lockstep analyses that hold
+/// snapshots of two engines simultaneously).
+#[derive(Debug, Clone)]
+pub struct AliveSnapshot {
+    /// Job id.
+    pub id: JobId,
+    /// Release time.
+    pub release: Time,
+    /// Original size.
+    pub size: Work,
+    /// Remaining work.
+    pub remaining: Work,
+    /// Speed-up curve.
+    pub curve: Curve,
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    spec: JobSpec,
+    remaining: Work,
+    done: bool,
+}
+
+/// The simulation engine. See the crate docs for the architecture and
+/// [`simulate`] for the one-call entry point.
+pub struct Engine<'a> {
+    cfg: EngineConfig,
+    policy: &'a mut dyn Policy,
+    source: &'a mut dyn ArrivalSource,
+    observer: &'a mut dyn Observer,
+    jobs: Vec<JobRecord>,
+    ids: std::collections::HashMap<JobId, usize>,
+    /// Indices into `jobs` of unfinished, released jobs.
+    alive: Vec<usize>,
+    /// Allocation for `alive[i]` (valid when `alloc_fresh`).
+    shares: Vec<f64>,
+    /// Drain rate of `alive[i]` (speed-adjusted; valid when `alloc_fresh`).
+    rates: Vec<f64>,
+    now: Time,
+    alloc_fresh: bool,
+    quantum_deadline: Option<Time>,
+    events: u64,
+    finished: bool,
+    // Accumulators.
+    total_flow: f64,
+    max_flow: f64,
+    frac_flow: f64,
+    alive_integral: f64,
+    completed: Vec<CompletedJob>,
+    emitted: Vec<JobSpec>,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine over the given policy, arrival source, and
+    /// observer. The policy is `reset()` so engines can reuse policy values.
+    pub fn new(
+        cfg: EngineConfig,
+        policy: &'a mut dyn Policy,
+        source: &'a mut dyn ArrivalSource,
+        observer: &'a mut dyn Observer,
+    ) -> Self {
+        policy.reset();
+        Self {
+            cfg,
+            policy,
+            source,
+            observer,
+            jobs: Vec::new(),
+            ids: std::collections::HashMap::new(),
+            alive: Vec::new(),
+            shares: Vec::new(),
+            rates: Vec::new(),
+            now: 0.0,
+            alloc_fresh: false,
+            quantum_deadline: None,
+            events: 0,
+            finished: false,
+            total_flow: 0.0,
+            max_flow: 0.0,
+            frac_flow: 0.0,
+            alive_integral: 0.0,
+            completed: Vec::new(),
+            emitted: Vec::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of unfinished released jobs `|A(t)|`.
+    pub fn num_alive(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether the run has finished (no alive jobs, source exhausted).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Remaining work of a job: `Some(0.0)` once completed, `None` if the
+    /// job has not been released (emitted) yet.
+    pub fn remaining_of(&self, id: JobId) -> Option<Work> {
+        self.ids.get(&id).map(|&i| {
+            let rec = &self.jobs[i];
+            if rec.done {
+                0.0
+            } else {
+                rec.remaining
+            }
+        })
+    }
+
+    /// Owned snapshots of all alive jobs (unsorted).
+    pub fn alive_snapshot(&self) -> Vec<AliveSnapshot> {
+        self.alive
+            .iter()
+            .map(|&i| {
+                let rec = &self.jobs[i];
+                AliveSnapshot {
+                    id: rec.spec.id,
+                    release: rec.spec.release,
+                    size: rec.spec.size,
+                    remaining: rec.remaining,
+                    curve: rec.spec.curve.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Total unfinished work `Σ_{j ∈ A(t)} p_j(t)` (the paper's volume
+    /// `V(t)`).
+    pub fn total_remaining(&self) -> Work {
+        self.alive.iter().map(|&i| self.jobs[i].remaining).sum()
+    }
+
+    fn snap_tolerance(size: Work) -> f64 {
+        EPS * size.max(1.0)
+    }
+
+    /// Releases all arrivals due at the current time. Returns whether any
+    /// arrived.
+    fn admit_due_arrivals(&mut self) -> Result<bool, SimError> {
+        let mut any = false;
+        loop {
+            match self.source.next_time() {
+                Some(t) if t <= self.now + EPS * self.now.max(1.0) => {
+                    let batch = {
+                        let views: Vec<AliveJob<'_>> = self
+                            .alive
+                            .iter()
+                            .map(|&i| AliveJob {
+                                spec: &self.jobs[i].spec,
+                                remaining: self.jobs[i].remaining,
+                            })
+                            .collect();
+                        let view = SystemView {
+                            now: self.now,
+                            m: self.cfg.m,
+                            alive: &views,
+                        };
+                        self.source.emit(&view)
+                    };
+                    if batch.is_empty() {
+                        // An empty batch is a decision-only wakeup (used by
+                        // adaptive adversaries at phase midpoints); the
+                        // source must still make progress or we'd loop
+                        // forever.
+                        let stuck = self
+                            .source
+                            .next_time()
+                            .is_some_and(|nt| nt <= t + EPS * t.abs().max(1.0));
+                        if stuck {
+                            return Err(SimError::BadInstance {
+                                what: format!("source emitted nothing at its next_time {t} and did not advance"),
+                            });
+                        }
+                        continue;
+                    }
+                    for spec in &batch {
+                        if spec.release < self.now - EPS * self.now.max(1.0) {
+                            return Err(SimError::ArrivalInPast {
+                                now: self.now,
+                                release: spec.release,
+                            });
+                        }
+                        if self.ids.contains_key(&spec.id) {
+                            return Err(SimError::BadInstance {
+                                what: format!("duplicate job id {}", spec.id),
+                            });
+                        }
+                        let idx = self.jobs.len();
+                        self.ids.insert(spec.id, idx);
+                        self.jobs.push(JobRecord {
+                            spec: spec.clone(),
+                            remaining: spec.size,
+                            done: false,
+                        });
+                        self.alive.push(idx);
+                        self.emitted.push(spec.clone());
+                    }
+                    self.observer.on_arrivals(self.now, &batch);
+                    any = true;
+                }
+                _ => break,
+            }
+        }
+        if any {
+            self.alloc_fresh = false;
+        }
+        Ok(any)
+    }
+
+    /// Re-runs the policy and recomputes rates and the quantum deadline.
+    fn refresh_allocation(&mut self) -> Result<(), SimError> {
+        self.shares.clear();
+        self.shares.resize(self.alive.len(), 0.0);
+        self.rates.clear();
+        self.rates.resize(self.alive.len(), 0.0);
+        self.quantum_deadline = None;
+        if self.alive.is_empty() {
+            self.alloc_fresh = true;
+            return Ok(());
+        }
+        let views: Vec<AliveJob<'_>> = self
+            .alive
+            .iter()
+            .map(|&i| AliveJob {
+                spec: &self.jobs[i].spec,
+                remaining: self.jobs[i].remaining,
+            })
+            .collect();
+        let quantum = self
+            .policy
+            .assign(self.now, self.cfg.m, &views, &mut self.shares);
+        // Validate feasibility.
+        let mut total = 0.0;
+        for &s in &self.shares {
+            if !s.is_finite() || s < -EPS {
+                return Err(SimError::InvalidShare {
+                    at: self.now,
+                    share: s,
+                    policy: self.policy.name(),
+                });
+            }
+            total += s.max(0.0);
+        }
+        if total > self.cfg.m * (1.0 + 1e-9) + EPS {
+            return Err(SimError::InfeasibleAllocation {
+                at: self.now,
+                requested: total,
+                available: self.cfg.m,
+                policy: self.policy.name(),
+            });
+        }
+        for (i, &idx) in self.alive.iter().enumerate() {
+            let share = self.shares[i].max(0.0);
+            self.shares[i] = share;
+            self.rates[i] = self.cfg.speed * self.jobs[idx].spec.curve.rate(share);
+        }
+        if let Some(q) = quantum {
+            if q.is_finite() && q > 0.0 {
+                self.quantum_deadline = Some(self.now + q);
+            }
+        }
+        self.observer.on_allocation(self.now, &views, &self.shares);
+        self.alloc_fresh = true;
+        Ok(())
+    }
+
+    /// The next time at which anything happens (completion, arrival, or
+    /// quantum expiry), or `None` when the run is over.
+    pub fn next_event_time(&mut self) -> Result<Option<Time>, SimError> {
+        if self.finished {
+            return Ok(None);
+        }
+        // Arrivals due exactly now (including the ones at t = 0 before the
+        // first step) must be admitted before deciding the allocation.
+        self.admit_due_arrivals()?;
+        if !self.alloc_fresh {
+            self.refresh_allocation()?;
+        }
+        let mut next: Option<Time> = None;
+        let mut consider = |t: Time| {
+            if next.is_none_or(|n| t < n) {
+                next = Some(t);
+            }
+        };
+        for (i, &idx) in self.alive.iter().enumerate() {
+            if self.rates[i] > 0.0 {
+                consider(self.now + self.jobs[idx].remaining / self.rates[i]);
+            }
+        }
+        if let Some(t) = self.source.next_time() {
+            consider(t.max(self.now));
+        }
+        if let Some(t) = self.quantum_deadline {
+            consider(t.max(self.now));
+        }
+        match next {
+            Some(t) => Ok(Some(t)),
+            None => {
+                if self.alive.is_empty() {
+                    self.finished = true;
+                    Ok(None)
+                } else {
+                    Err(SimError::Stalled {
+                        at: self.now,
+                        alive: self.alive.len(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Advances the clock to `t` (which must not exceed the next event
+    /// time), integrating metrics and processing completions and arrivals
+    /// that fall exactly at `t`.
+    pub fn advance_to(&mut self, t: Time) -> Result<(), SimError> {
+        debug_assert!(t >= self.now - EPS * self.now.max(1.0), "time went backwards");
+        if !self.alloc_fresh {
+            self.refresh_allocation()?;
+        }
+        let dt = (t - self.now).max(0.0);
+        if dt > 0.0 {
+            self.alive_integral += self.alive.len() as f64 * dt;
+            for (i, &idx) in self.alive.iter().enumerate() {
+                let rec = &mut self.jobs[idx];
+                let drained = self.rates[i] * dt;
+                // Fractional flow: ∫ p_j(τ)/p_j dτ over [now, t], exact for
+                // the linear drain.
+                self.frac_flow += (rec.remaining - drained / 2.0).max(0.0) * dt / rec.spec.size;
+                rec.remaining = (rec.remaining - drained).max(0.0);
+            }
+            self.observer.on_advance(self.now, t);
+            self.now = t;
+        } else {
+            self.now = self.now.max(t);
+        }
+        // Completions at the new time.
+        let mut completed_any = false;
+        let mut i = 0;
+        while i < self.alive.len() {
+            let idx = self.alive[i];
+            let rec = &mut self.jobs[idx];
+            if rec.remaining <= Self::snap_tolerance(rec.spec.size) {
+                rec.remaining = 0.0;
+                rec.done = true;
+                let cj = CompletedJob {
+                    id: rec.spec.id,
+                    release: rec.spec.release,
+                    size: rec.spec.size,
+                    completion: self.now,
+                    weight: rec.spec.weight,
+                };
+                self.total_flow += cj.flow();
+                self.max_flow = self.max_flow.max(cj.flow());
+                let spec = rec.spec.clone();
+                self.completed.push(cj);
+                self.observer.on_completion(self.now, &spec);
+                self.alive.swap_remove(i);
+                completed_any = true;
+            } else {
+                i += 1;
+            }
+        }
+        if completed_any {
+            self.alloc_fresh = false;
+        }
+        // Quantum expiry forces a re-decision.
+        if let Some(q) = self.quantum_deadline {
+            if self.now + EPS * self.now.max(1.0) >= q {
+                self.alloc_fresh = false;
+            }
+        }
+        // Arrivals due exactly now.
+        self.admit_due_arrivals()?;
+        Ok(())
+    }
+
+    /// Processes one event. Returns `false` when the run is complete.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        let Some(t) = self.next_event_time()? else {
+            return Ok(false);
+        };
+        if t > self.cfg.max_time {
+            return Err(SimError::TimeLimit {
+                limit: self.cfg.max_time,
+            });
+        }
+        self.events += 1;
+        if self.events > self.cfg.max_events {
+            return Err(SimError::EventLimit {
+                limit: self.cfg.max_events,
+            });
+        }
+        self.advance_to(t)?;
+        Ok(true)
+    }
+
+    /// Runs to completion and returns the outcome.
+    pub fn run(mut self) -> Result<RunOutcome, SimError> {
+        while self.step()? {}
+        self.into_outcome()
+    }
+
+    /// Finalizes the run into a [`RunOutcome`] (all jobs must be finished).
+    pub fn into_outcome(self) -> Result<RunOutcome, SimError> {
+        let n = self.completed.len();
+        let total_stretch: f64 = self.completed.iter().map(|c| c.stretch()).sum();
+        let total_weighted_flow: f64 = self.completed.iter().map(|c| c.weighted_flow()).sum();
+        let max_stretch = self
+            .completed
+            .iter()
+            .map(|c| c.stretch())
+            .fold(0.0, f64::max);
+        let metrics = RunMetrics {
+            total_flow: self.total_flow,
+            mean_flow: if n == 0 { 0.0 } else { self.total_flow / n as f64 },
+            max_flow: self.max_flow,
+            fractional_flow: self.frac_flow,
+            makespan: self
+                .completed
+                .iter()
+                .map(|c| c.completion)
+                .fold(0.0, f64::max),
+            num_jobs: n,
+            events: self.events,
+            alive_integral: self.alive_integral,
+            total_stretch,
+            max_stretch,
+            total_weighted_flow,
+        };
+        Ok(RunOutcome {
+            metrics,
+            completed: self.completed,
+            instance: Instance::new(self.emitted)?,
+        })
+    }
+}
+
+/// Simulates `policy` on `instance` with `m` processors using default
+/// engine settings.
+pub fn simulate(
+    instance: &Instance,
+    policy: &mut dyn Policy,
+    m: f64,
+) -> Result<RunOutcome, SimError> {
+    let mut obs = NullObserver;
+    simulate_with_observer(instance, policy, m, &mut obs)
+}
+
+/// Like [`simulate`], but with a custom [`Observer`].
+pub fn simulate_with_observer(
+    instance: &Instance,
+    policy: &mut dyn Policy,
+    m: f64,
+    observer: &mut dyn Observer,
+) -> Result<RunOutcome, SimError> {
+    let mut source = StaticSource::new(instance);
+    Engine::new(EngineConfig::new(m), policy, &mut source, observer).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::EquiSplit;
+    use parsched_speedup::Curve;
+
+    fn inst(jobs: &[(f64, f64)], curve: Curve) -> Instance {
+        Instance::from_sizes(jobs, curve).unwrap()
+    }
+
+    #[test]
+    fn single_sequential_job_cannot_be_sped_up() {
+        // One sequential job of size 5 on 8 processors: flow = 5.
+        let outcome = simulate(&inst(&[(0.0, 5.0)], Curve::Sequential), &mut EquiSplit, 8.0).unwrap();
+        assert!((outcome.metrics.total_flow - 5.0).abs() < 1e-9);
+        assert_eq!(outcome.metrics.num_jobs, 1);
+    }
+
+    #[test]
+    fn single_parallel_job_uses_all_processors() {
+        let outcome =
+            simulate(&inst(&[(0.0, 8.0)], Curve::FullyParallel), &mut EquiSplit, 4.0).unwrap();
+        assert!((outcome.metrics.total_flow - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_power_jobs_under_equi() {
+        // 2 jobs, size 4, α = 0.5, m = 4 → each at rate √2, both finish at
+        // 4/√2 = 2√2; total flow = 4√2.
+        let outcome =
+            simulate(&inst(&[(0.0, 4.0), (0.0, 4.0)], Curve::power(0.5)), &mut EquiSplit, 4.0)
+                .unwrap();
+        assert!((outcome.metrics.total_flow - 4.0 * 2f64.sqrt()).abs() < 1e-9);
+        assert!((outcome.metrics.makespan - 2.0 * 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mid_run_arrival_triggers_reallocation() {
+        // m=2 fully parallel. Job0 size 4 at t=0 (rate 2); job1 size 2 at t=1.
+        // t∈[0,1): job0 alone, rate 2, remaining 2 at t=1.
+        // t≥1: each gets 1 processor, rate 1. Job1 (rem 2) and job0 (rem 2)
+        // both finish at t=3. Flows: 3 and 2 → total 5.
+        let outcome = simulate(
+            &inst(&[(0.0, 4.0), (1.0, 2.0)], Curve::FullyParallel),
+            &mut EquiSplit,
+            2.0,
+        )
+        .unwrap();
+        assert!((outcome.metrics.total_flow - 5.0).abs() < 1e-9);
+        assert_eq!(outcome.flow_of(JobId(0)), Some(3.0));
+        assert_eq!(outcome.flow_of(JobId(1)), Some(2.0));
+    }
+
+    #[test]
+    fn alive_integral_equals_total_flow() {
+        let outcome = simulate(
+            &inst(&[(0.0, 3.0), (0.5, 1.0), (2.0, 2.5)], Curve::power(0.7)),
+            &mut EquiSplit,
+            3.0,
+        )
+        .unwrap();
+        assert!(
+            (outcome.metrics.alive_integral - outcome.metrics.total_flow).abs() < 1e-6,
+            "∫|A| = {} vs Σflow = {}",
+            outcome.metrics.alive_integral,
+            outcome.metrics.total_flow
+        );
+    }
+
+    #[test]
+    fn fractional_flow_never_exceeds_integral_flow() {
+        let outcome = simulate(
+            &inst(&[(0.0, 3.0), (0.5, 1.0), (2.0, 2.5)], Curve::power(0.7)),
+            &mut EquiSplit,
+            3.0,
+        )
+        .unwrap();
+        assert!(outcome.metrics.fractional_flow <= outcome.metrics.total_flow + 1e-9);
+        assert!(outcome.metrics.fractional_flow > 0.0);
+    }
+
+    /// A policy that allocates nothing, to exercise the stall detector.
+    struct Starver;
+    impl Policy for Starver {
+        fn name(&self) -> String {
+            "starver".into()
+        }
+        fn assign(&mut self, _: Time, _: f64, _: &[AliveJob<'_>], shares: &mut [f64]) -> Option<f64> {
+            shares.fill(0.0);
+            None
+        }
+    }
+
+    #[test]
+    fn starvation_is_detected() {
+        let err = simulate(&inst(&[(0.0, 1.0)], Curve::Sequential), &mut Starver, 1.0).unwrap_err();
+        assert!(matches!(err, SimError::Stalled { alive: 1, .. }));
+    }
+
+    /// A policy that over-allocates.
+    struct GreedyHog;
+    impl Policy for GreedyHog {
+        fn name(&self) -> String {
+            "hog".into()
+        }
+        fn assign(&mut self, _: Time, m: f64, _: &[AliveJob<'_>], shares: &mut [f64]) -> Option<f64> {
+            shares.fill(m); // every job demands all processors
+            None
+        }
+    }
+
+    #[test]
+    fn infeasible_allocation_is_rejected() {
+        let err = simulate(
+            &inst(&[(0.0, 1.0), (0.0, 1.0)], Curve::Sequential),
+            &mut GreedyHog,
+            2.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InfeasibleAllocation { .. }));
+    }
+
+    #[test]
+    fn event_limit_guards_runaway_quanta() {
+        struct TinyQuantum;
+        impl Policy for TinyQuantum {
+            fn name(&self) -> String {
+                "tiny".into()
+            }
+            fn assign(
+                &mut self,
+                _: Time,
+                m: f64,
+                jobs: &[AliveJob<'_>],
+                shares: &mut [f64],
+            ) -> Option<f64> {
+                let each = m / jobs.len() as f64;
+                shares.fill(each);
+                Some(1e-7)
+            }
+        }
+        let instance = inst(&[(0.0, 100.0)], Curve::Sequential);
+        let mut p = TinyQuantum;
+        let mut source = StaticSource::new(&instance);
+        let mut obs = NullObserver;
+        let engine = Engine::new(
+            EngineConfig::new(1.0).with_max_events(1000),
+            &mut p,
+            &mut source,
+            &mut obs,
+        );
+        let err = engine.run().unwrap_err();
+        assert!(matches!(err, SimError::EventLimit { limit: 1000 }));
+    }
+
+    #[test]
+    fn time_limit_is_enforced() {
+        let instance = inst(&[(0.0, 100.0)], Curve::Sequential);
+        let mut p = EquiSplit;
+        let mut source = StaticSource::new(&instance);
+        let mut obs = NullObserver;
+        let engine = Engine::new(
+            EngineConfig::new(1.0).with_max_time(10.0),
+            &mut p,
+            &mut source,
+            &mut obs,
+        );
+        let err = engine.run().unwrap_err();
+        assert!(matches!(err, SimError::TimeLimit { .. }), "{err:?}");
+    }
+
+    /// A source that emits a job whose release time lies in the past.
+    struct StaleSource {
+        fired: bool,
+    }
+    impl crate::source::ArrivalSource for StaleSource {
+        fn next_time(&self) -> Option<Time> {
+            (!self.fired).then_some(5.0)
+        }
+        fn emit(&mut self, _view: &crate::source::SystemView<'_>) -> Vec<JobSpec> {
+            self.fired = true;
+            vec![JobSpec::new(JobId(0), 1.0, 1.0, Curve::Sequential)]
+        }
+    }
+
+    #[test]
+    fn stale_arrivals_are_rejected() {
+        let mut p = EquiSplit;
+        let mut source = StaleSource { fired: false };
+        let mut obs = NullObserver;
+        let err = Engine::new(EngineConfig::new(1.0), &mut p, &mut source, &mut obs)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::ArrivalInPast { .. }), "{err:?}");
+    }
+
+    /// A source that emits the same job id twice.
+    struct DuplicatingSource {
+        count: usize,
+    }
+    impl crate::source::ArrivalSource for DuplicatingSource {
+        fn next_time(&self) -> Option<Time> {
+            (self.count < 2).then_some(self.count as f64)
+        }
+        fn emit(&mut self, view: &crate::source::SystemView<'_>) -> Vec<JobSpec> {
+            self.count += 1;
+            vec![JobSpec::new(JobId(7), view.now, 10.0, Curve::Sequential)]
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_from_sources_are_rejected() {
+        let mut p = EquiSplit;
+        let mut source = DuplicatingSource { count: 0 };
+        let mut obs = NullObserver;
+        let err = Engine::new(EngineConfig::new(1.0), &mut p, &mut source, &mut obs)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadInstance { .. }), "{err:?}");
+    }
+
+    /// A source that wakes up but never advances its next_time.
+    struct StuckSource;
+    impl crate::source::ArrivalSource for StuckSource {
+        fn next_time(&self) -> Option<Time> {
+            Some(1.0)
+        }
+        fn emit(&mut self, _view: &crate::source::SystemView<'_>) -> Vec<JobSpec> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn non_advancing_empty_sources_are_rejected() {
+        let mut p = EquiSplit;
+        let mut source = StuckSource;
+        let mut obs = NullObserver;
+        let err = Engine::new(EngineConfig::new(1.0), &mut p, &mut source, &mut obs)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadInstance { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn speed_augmentation_scales_flow() {
+        let instance = inst(&[(0.0, 4.0)], Curve::FullyParallel);
+        let mut p = EquiSplit;
+        let mut source = StaticSource::new(&instance);
+        let mut obs = NullObserver;
+        let outcome = Engine::new(
+            EngineConfig::new(2.0).with_speed(2.0),
+            &mut p,
+            &mut source,
+            &mut obs,
+        )
+        .run()
+        .unwrap();
+        // Rate 2 processors × speed 2 = 4 → size-4 job finishes at t = 1.
+        assert!((outcome.metrics.total_flow - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outcome_instance_matches_input() {
+        let instance = inst(&[(0.0, 2.0), (1.0, 3.0)], Curve::power(0.5));
+        let outcome = simulate(&instance, &mut EquiSplit, 2.0).unwrap();
+        assert_eq!(outcome.instance, instance);
+    }
+
+    #[test]
+    fn remaining_of_tracks_lifecycle() {
+        let instance = inst(&[(0.0, 2.0), (5.0, 1.0)], Curve::Sequential);
+        let mut p = EquiSplit;
+        let mut source = StaticSource::new(&instance);
+        let mut obs = NullObserver;
+        let mut engine = Engine::new(EngineConfig::new(1.0), &mut p, &mut source, &mut obs);
+        // Before any event, job 1 hasn't been emitted.
+        assert_eq!(engine.remaining_of(JobId(1)), None);
+        let t = engine.next_event_time().unwrap().unwrap();
+        assert!((t - 2.0).abs() < 1e-9); // completion of job 0
+        assert_eq!(engine.remaining_of(JobId(0)), Some(2.0));
+        engine.advance_to(1.0).unwrap(); // partial advance is allowed
+        assert_eq!(engine.remaining_of(JobId(0)), Some(1.0));
+        engine.advance_to(2.0).unwrap();
+        assert_eq!(engine.remaining_of(JobId(0)), Some(0.0)); // done
+        assert_eq!(engine.num_alive(), 0);
+        while engine.step().unwrap() {}
+        assert!(engine.is_finished());
+    }
+
+    #[test]
+    fn stretch_metrics_match_hand_computation() {
+        // m = 1, sequential sizes 1 and 2: completions at 1, 3.
+        // Stretches: 1/1 = 1 and 3/2 = 1.5.
+        let outcome = simulate(
+            &inst(&[(0.0, 1.0), (0.0, 2.0)], Curve::Sequential),
+            &mut crate::policy::EquiSplit,
+            1.0,
+        )
+        .unwrap();
+        // EQUI on m=1: both share 0.5 → rates 0.5; size-1 done at 2
+        // (stretch 2), then size-2 with 1 left at rate 1 → done at 3
+        // (stretch 1.5).
+        assert!((outcome.metrics.total_stretch - 3.5).abs() < 1e-9);
+        assert!((outcome.metrics.max_stretch - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_instance_finishes_immediately() {
+        let instance = Instance::new(vec![]).unwrap();
+        let outcome = simulate(&instance, &mut EquiSplit, 4.0).unwrap();
+        assert_eq!(outcome.metrics.num_jobs, 0);
+        assert_eq!(outcome.metrics.total_flow, 0.0);
+    }
+
+    #[test]
+    fn simultaneous_completions_handled_in_one_event() {
+        // Two identical jobs complete at the same instant.
+        let outcome = simulate(
+            &inst(&[(0.0, 2.0), (0.0, 2.0)], Curve::Sequential),
+            &mut EquiSplit,
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(outcome.metrics.num_jobs, 2);
+        assert!((outcome.metrics.makespan - 2.0).abs() < 1e-9);
+        assert!((outcome.metrics.total_flow - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,69 @@
+//! Continuous-time, event-driven simulator for malleable tasks with
+//! speed-up curves.
+//!
+//! This crate is the machine-model substrate for the SPAA'14 reproduction:
+//! `m` identical unit-speed processors that can be **fractionally divided**
+//! among jobs, where a job allocated `x` processors drains work at rate
+//! `Γ_j(x)` given by its speed-up curve ([`parsched_speedup::Curve`]).
+//!
+//! # Architecture
+//!
+//! * [`Instance`] / [`JobSpec`] — a static description of a workload.
+//! * [`Policy`] — an online scheduler: at each decision point it maps the
+//!   set of alive jobs to a processor allocation (and may request an early
+//!   re-decision via a *quantum*, used by policies whose allocation drifts
+//!   between discrete events, like the paper's §3 greedy hybrid).
+//! * [`ArrivalSource`] — where jobs come from. [`StaticSource`] replays an
+//!   [`Instance`]; adaptive adversaries (the paper's Theorem 2 construction)
+//!   implement this trait and may inspect the live system state through
+//!   [`SystemView`] when deciding what to release next.
+//! * [`Engine`] — the event loop. Between events every allocation is
+//!   constant, so each job's remaining work is a linear function of time and
+//!   the engine computes the next completion **analytically**; for all the
+//!   SRPT-family policies in `parsched` the simulation is therefore exact
+//!   (up to `f64`), not time-stepped.
+//! * [`Observer`] — trace hooks (per event) used by the potential-function
+//!   instrumentation and the lemma checkers in `parsched-analysis`.
+//! * [`AllocationPlan`] / [`PlannedPolicy`] — replay a hand-constructed
+//!   schedule (the paper's "standard" and "alternative" OPT schedules).
+//!
+//! # Example
+//!
+//! ```
+//! use parsched_sim::{simulate, Instance, JobSpec, JobId, EquiSplit};
+//! use parsched_speedup::Curve;
+//!
+//! // Two jobs of intermediate parallelizability on 4 processors.
+//! let inst = Instance::new(vec![
+//!     JobSpec::new(JobId(0), 0.0, 4.0, Curve::power(0.5)),
+//!     JobSpec::new(JobId(1), 0.0, 4.0, Curve::power(0.5)),
+//! ]).unwrap();
+//! let outcome = simulate(&inst, &mut EquiSplit::new(), 4.0).unwrap();
+//! // Each job gets 2 processors → rate √2 → finishes at 4/√2 ≈ 2.83.
+//! assert!((outcome.metrics.total_flow - 2.0 * 4.0 / 2f64.sqrt()).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+mod engine;
+mod error;
+mod job;
+mod metrics;
+mod observer;
+mod plan;
+mod policy;
+pub mod quantized;
+mod source;
+
+pub use engine::{simulate, simulate_with_observer, AliveSnapshot, Engine, EngineConfig};
+pub use error::SimError;
+pub use job::{class_index, num_classes, Instance, JobId, JobSpec, Time, Work};
+pub use metrics::{CompletedJob, RunMetrics, RunOutcome};
+pub use observer::{
+    AliveTrace, AllocationSegment, AllocationTrace, NullObserver, Observer, TracePoint,
+};
+pub use plan::{AllocationPlan, PlanSegment, PlannedPolicy};
+pub use policy::{AliveJob, EquiSplit, Policy};
+pub use source::{ArrivalSource, StaticSource, SystemView};

@@ -1,0 +1,296 @@
+//! Trace hooks fired by the engine at every event boundary.
+
+use crate::job::{JobSpec, Time};
+use crate::policy::AliveJob;
+
+/// Callbacks invoked by the [`crate::Engine`] as the simulation advances.
+///
+/// All methods have empty defaults; implement only what you need. The
+/// engine guarantees the call order per event boundary at time `t`:
+/// `on_completion`* → `on_arrivals`? → `on_allocation` (for the interval
+/// *starting* at `t`).
+pub trait Observer {
+    /// Jobs released at time `t` (called once per batch).
+    fn on_arrivals(&mut self, t: Time, jobs: &[JobSpec]) {
+        let _ = (t, jobs);
+    }
+
+    /// A job completed at time `t`.
+    fn on_completion(&mut self, t: Time, job: &JobSpec) {
+        let _ = (t, job);
+    }
+
+    /// A fresh allocation decision covering the interval starting at `t`:
+    /// `shares[i]` processors for `jobs[i]`.
+    fn on_allocation(&mut self, t: Time, jobs: &[AliveJob<'_>], shares: &[f64]) {
+        let _ = (t, jobs, shares);
+    }
+
+    /// The engine advanced from `t0` to `t1` with a constant allocation.
+    fn on_advance(&mut self, t0: Time, t1: Time) {
+        let _ = (t0, t1);
+    }
+}
+
+/// An observer that records nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// One sample of the alive-job count step function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Sample time.
+    pub t: Time,
+    /// `|A(t)|` immediately after the event at `t`.
+    pub alive: usize,
+}
+
+/// Records the step function `t ↦ |A(t)|` (one point per event).
+///
+/// Used by experiment F5 to visualize Intermediate-SRPT's regime switching
+/// between overloaded (`|A(t)| ≥ m`) and underloaded times.
+#[derive(Debug, Default, Clone)]
+pub struct AliveTrace {
+    points: Vec<TracePoint>,
+    alive_now: usize,
+}
+
+impl AliveTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded samples in time order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Largest observed `|A(t)|`.
+    pub fn peak(&self) -> usize {
+        self.points.iter().map(|p| p.alive).max().unwrap_or(0)
+    }
+
+    /// `|A(t)|` at an arbitrary time (the value of the step function:
+    /// the last sample at or before `t`; 0 before the first sample).
+    pub fn alive_at(&self, t: Time) -> usize {
+        let idx = self.points.partition_point(|p| p.t <= t + 1e-12);
+        if idx == 0 {
+            0
+        } else {
+            self.points[idx - 1].alive
+        }
+    }
+
+    /// Fraction of *event samples* at which `|A(t)| ≥ m` (a cheap summary
+    /// of how often the system was overloaded; time-weighted statistics can
+    /// be derived from [`AliveTrace::points`]).
+    pub fn overloaded_fraction(&self, m: usize) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let over = self.points.iter().filter(|p| p.alive >= m).count();
+        over as f64 / self.points.len() as f64
+    }
+
+    fn push(&mut self, t: Time) {
+        // Collapse repeated samples at the same instant: keep the last.
+        if let Some(last) = self.points.last_mut() {
+            if last.t == t {
+                last.alive = self.alive_now;
+                return;
+            }
+        }
+        self.points.push(TracePoint {
+            t,
+            alive: self.alive_now,
+        });
+    }
+}
+
+impl Observer for AliveTrace {
+    fn on_arrivals(&mut self, t: Time, jobs: &[JobSpec]) {
+        self.alive_now += jobs.len();
+        self.push(t);
+    }
+
+    fn on_completion(&mut self, t: Time, _job: &JobSpec) {
+        self.alive_now -= 1;
+        self.push(t);
+    }
+}
+
+/// One constant-allocation segment of one job's schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocationSegment {
+    /// Segment start.
+    pub start: Time,
+    /// Segment end.
+    pub end: Time,
+    /// The job.
+    pub id: crate::job::JobId,
+    /// Processors held throughout the segment.
+    pub share: f64,
+}
+
+/// Records the full allocation timeline of a run: one
+/// [`AllocationSegment`] per (job, constant-allocation interval).
+///
+/// This is the observer behind Gantt-chart rendering and share-based
+/// post-hoc analyses. Adjacent segments with the same share are merged.
+#[derive(Debug, Default, Clone)]
+pub struct AllocationTrace {
+    segments: Vec<AllocationSegment>,
+    current: Vec<(crate::job::JobId, f64)>,
+}
+
+impl AllocationTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded segments in time order (per interval; jobs within an
+    /// interval are in allocation order).
+    pub fn segments(&self) -> &[AllocationSegment] {
+        &self.segments
+    }
+
+    /// Total processor-time recorded (`Σ share·(end − start)`).
+    pub fn total_processor_time(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.share * (s.end - s.start))
+            .sum()
+    }
+
+    /// The segments of one job, in time order.
+    pub fn of_job(&self, id: crate::job::JobId) -> Vec<AllocationSegment> {
+        self.segments.iter().filter(|s| s.id == id).copied().collect()
+    }
+}
+
+impl Observer for AllocationTrace {
+    fn on_allocation(&mut self, _t: Time, jobs: &[AliveJob<'_>], shares: &[f64]) {
+        self.current = jobs
+            .iter()
+            .zip(shares)
+            .filter(|&(_, &s)| s > 0.0)
+            .map(|(j, &s)| (j.id(), s))
+            .collect();
+    }
+
+    fn on_advance(&mut self, t0: Time, t1: Time) {
+        if t1 <= t0 {
+            return;
+        }
+        for &(id, share) in &self.current {
+            // Merge with the previous segment of the same job when the
+            // allocation is unchanged and the intervals abut.
+            if let Some(last) = self
+                .segments
+                .iter_mut()
+                .rev()
+                .find(|s| s.id == id && (s.end - t0).abs() < 1e-12)
+            {
+                if (last.share - share).abs() < 1e-12 {
+                    last.end = t1;
+                    continue;
+                }
+            }
+            self.segments.push(AllocationSegment {
+                start: t0,
+                end: t1,
+                id,
+                share,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use parsched_speedup::Curve;
+
+    fn spec(id: u64) -> JobSpec {
+        JobSpec::new(JobId(id), 0.0, 1.0, Curve::Sequential)
+    }
+
+    #[test]
+    fn alive_trace_counts_arrivals_and_completions() {
+        let mut tr = AliveTrace::new();
+        tr.on_arrivals(0.0, &[spec(0), spec(1)]);
+        tr.on_arrivals(1.0, &[spec(2)]);
+        tr.on_completion(2.0, &spec(0));
+        assert_eq!(
+            tr.points(),
+            &[
+                TracePoint { t: 0.0, alive: 2 },
+                TracePoint { t: 1.0, alive: 3 },
+                TracePoint { t: 2.0, alive: 2 },
+            ]
+        );
+        assert_eq!(tr.peak(), 3);
+    }
+
+    #[test]
+    fn alive_trace_collapses_simultaneous_events() {
+        let mut tr = AliveTrace::new();
+        tr.on_arrivals(0.0, &[spec(0)]);
+        tr.on_completion(1.0, &spec(0));
+        tr.on_arrivals(1.0, &[spec(1), spec(2)]);
+        // Both t=1 events collapse to the final state.
+        assert_eq!(tr.points().len(), 2);
+        assert_eq!(tr.points()[1], TracePoint { t: 1.0, alive: 2 });
+    }
+
+    #[test]
+    fn alive_at_reads_the_step_function() {
+        let mut tr = AliveTrace::new();
+        tr.on_arrivals(1.0, &[spec(0), spec(1)]);
+        tr.on_completion(3.0, &spec(0));
+        assert_eq!(tr.alive_at(0.5), 0);
+        assert_eq!(tr.alive_at(1.0), 2);
+        assert_eq!(tr.alive_at(2.9), 2);
+        assert_eq!(tr.alive_at(3.0), 1);
+        assert_eq!(tr.alive_at(99.0), 1);
+    }
+
+    #[test]
+    fn allocation_trace_records_and_merges_segments() {
+        use crate::engine::simulate_with_observer;
+        use crate::job::Instance;
+        use crate::policy::EquiSplit;
+        // Two sequential jobs, m = 2: each holds 1 processor from 0 to its
+        // completion; the allocation never changes so segments merge.
+        let inst = Instance::from_sizes(&[(0.0, 2.0), (0.0, 3.0)], Curve::Sequential).unwrap();
+        let mut trace = AllocationTrace::new();
+        simulate_with_observer(&inst, &mut EquiSplit, 2.0, &mut trace).unwrap();
+        let j0 = trace.of_job(JobId(0));
+        assert_eq!(j0.len(), 1);
+        assert!((j0[0].start - 0.0).abs() < 1e-12 && (j0[0].end - 2.0).abs() < 1e-9);
+        assert!((j0[0].share - 1.0).abs() < 1e-12);
+        let j1 = trace.of_job(JobId(1));
+        // Job 1: share 1 on [0,2), then share 2 on [2,3) — distinct
+        // segments because the share changed.
+        assert_eq!(j1.len(), 2);
+        assert!((j1[1].share - 2.0).abs() < 1e-12);
+        // Processor-time = total work actually drained at Γ(x) ≤ x… for
+        // sequential jobs share 2 wastes 1: 2 + (2 + 2·1) = work 5 ≤ 6.
+        assert!((trace.total_processor_time() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overloaded_fraction_counts_samples() {
+        let mut tr = AliveTrace::new();
+        tr.on_arrivals(0.0, &[spec(0), spec(1)]); // alive 2
+        tr.on_completion(1.0, &spec(0)); // alive 1
+        assert_eq!(tr.overloaded_fraction(2), 0.5);
+        assert_eq!(tr.overloaded_fraction(5), 0.0);
+        assert_eq!(AliveTrace::new().overloaded_fraction(1), 0.0);
+    }
+}

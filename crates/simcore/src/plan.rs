@@ -1,0 +1,380 @@
+//! Fixed allocation timelines ("planned" schedules).
+//!
+//! The paper's lower-bound proofs exhibit explicit feasible schedules (the
+//! "standard schedule" of Theorem 2 and the "alternative algorithm" of
+//! Lemma 10) whose flow time upper-bounds OPT. [`AllocationPlan`] expresses
+//! such a schedule as a piecewise-constant allocation timeline, and
+//! [`PlannedPolicy`] replays it through the ordinary [`Policy`] interface so
+//! the engine can execute and *verify* it (a plan that fails to finish its
+//! jobs, or overcommits processors, is rejected at construction or run
+//! time).
+
+use std::collections::HashMap;
+
+use parsched_speedup::EPS;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::job::{JobId, Time};
+use crate::policy::{AliveJob, Policy};
+
+/// A constant allocation over a half-open time interval `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanSegment {
+    /// Interval start.
+    pub start: Time,
+    /// Interval end (exclusive).
+    pub end: Time,
+    /// Processor shares per job during the interval. Jobs not listed get 0.
+    pub shares: Vec<(JobId, f64)>,
+}
+
+/// A piecewise-constant allocation timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationPlan {
+    segments: Vec<PlanSegment>,
+}
+
+impl AllocationPlan {
+    /// Builds a plan, validating segment ordering and feasibility on `m`
+    /// processors.
+    pub fn new(mut segments: Vec<PlanSegment>, m: f64) -> Result<Self, SimError> {
+        segments.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+        let mut prev_end = 0.0;
+        for (i, seg) in segments.iter().enumerate() {
+            if !seg.start.is_finite() || !seg.end.is_finite() || seg.end <= seg.start {
+                return Err(SimError::BadInstance {
+                    what: format!("plan segment {i} has invalid interval [{}, {})", seg.start, seg.end),
+                });
+            }
+            if seg.start < prev_end - EPS {
+                return Err(SimError::BadInstance {
+                    what: format!("plan segment {i} overlaps its predecessor"),
+                });
+            }
+            prev_end = seg.end;
+            let total: f64 = seg.shares.iter().map(|&(_, s)| s.max(0.0)).sum();
+            if seg.shares.iter().any(|&(_, s)| !s.is_finite() || s < -EPS) {
+                return Err(SimError::BadInstance {
+                    what: format!("plan segment {i} has an invalid share"),
+                });
+            }
+            if total > m * (1.0 + 1e-9) + EPS {
+                return Err(SimError::BadInstance {
+                    what: format!("plan segment {i} uses {total} > {m} processors"),
+                });
+            }
+        }
+        Ok(Self { segments })
+    }
+
+    /// Builds a plan from per-job *tracks* — intervals `(start, end, job,
+    /// share)` that may overlap in time across jobs.
+    ///
+    /// The paper's hand-constructed OPT schedules are naturally expressed
+    /// as one track per job ("this long job holds one machine for the whole
+    /// phase"); this constructor sweeps the track endpoints and merges them
+    /// into the non-overlapping piecewise-constant segments the plan
+    /// representation requires, validating feasibility (`Σ shares ≤ m`) in
+    /// every elementary interval.
+    pub fn from_tracks(tracks: &[(Time, Time, JobId, f64)], m: f64) -> Result<Self, SimError> {
+        #[derive(Clone, Copy)]
+        enum Edge {
+            Start(usize),
+            End(usize),
+        }
+        let mut events: Vec<(Time, Edge)> = Vec::with_capacity(tracks.len() * 2);
+        for (i, &(start, end, id, share)) in tracks.iter().enumerate() {
+            if !start.is_finite() || !end.is_finite() || end <= start {
+                return Err(SimError::BadInstance {
+                    what: format!("track for {id} has invalid interval [{start}, {end})"),
+                });
+            }
+            if !share.is_finite() || share < 0.0 {
+                return Err(SimError::BadInstance {
+                    what: format!("track for {id} has invalid share {share}"),
+                });
+            }
+            events.push((start, Edge::Start(i)));
+            events.push((end, Edge::End(i)));
+        }
+        // Ends before starts at equal times, so back-to-back tracks of the
+        // same job don't double-count.
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("finite times").then_with(|| {
+                let rank = |e: &Edge| match e {
+                    Edge::End(_) => 0,
+                    Edge::Start(_) => 1,
+                };
+                rank(&a.1).cmp(&rank(&b.1))
+            })
+        });
+        let mut segments = Vec::new();
+        let mut active: HashMap<JobId, f64> = HashMap::new();
+        let mut prev_t: Option<Time> = None;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            if let Some(p) = prev_t {
+                if t > p + EPS && !active.is_empty() {
+                    let shares: Vec<(JobId, f64)> = active
+                        .iter()
+                        .filter(|&(_, &s)| s > EPS)
+                        .map(|(&id, &s)| (id, s))
+                        .collect();
+                    if !shares.is_empty() {
+                        segments.push(PlanSegment {
+                            start: p,
+                            end: t,
+                            shares,
+                        });
+                    }
+                }
+            }
+            // Apply every edge at this timestamp.
+            while i < events.len() && events[i].0 <= t + EPS {
+                match events[i].1 {
+                    Edge::End(k) => {
+                        let (_, _, id, share) = tracks[k];
+                        if let Some(s) = active.get_mut(&id) {
+                            *s -= share;
+                            if *s <= EPS {
+                                active.remove(&id);
+                            }
+                        }
+                    }
+                    Edge::Start(k) => {
+                        let (_, _, id, share) = tracks[k];
+                        *active.entry(id).or_insert(0.0) += share;
+                    }
+                }
+                i += 1;
+            }
+            prev_t = Some(t);
+        }
+        Self::new(segments, m)
+    }
+
+    /// The validated segments in time order.
+    pub fn segments(&self) -> &[PlanSegment] {
+        &self.segments
+    }
+
+    /// The segment active at time `t`, if any.
+    pub fn segment_at(&self, t: Time) -> Option<&PlanSegment> {
+        // Last segment with start ≤ t whose end is still ahead.
+        let idx = self.segments.partition_point(|s| s.start <= t + EPS);
+        if idx == 0 {
+            return None;
+        }
+        let seg = &self.segments[idx - 1];
+        (t < seg.end - EPS).then_some(seg)
+    }
+
+    /// End time of the final segment (0 for an empty plan).
+    pub fn horizon(&self) -> Time {
+        self.segments.last().map_or(0.0, |s| s.end)
+    }
+}
+
+/// Replays an [`AllocationPlan`] as a [`Policy`].
+///
+/// Jobs alive but absent from the current segment receive zero processors;
+/// time outside all segments is idle. Combined with the engine's stall
+/// detection this means an incomplete plan fails loudly rather than
+/// producing a bogus flow time.
+#[derive(Debug, Clone)]
+pub struct PlannedPolicy {
+    plan: AllocationPlan,
+    name: String,
+}
+
+impl PlannedPolicy {
+    /// Wraps a plan.
+    pub fn new(plan: AllocationPlan) -> Self {
+        Self {
+            plan,
+            name: "planned".to_string(),
+        }
+    }
+
+    /// Wraps a plan with a display name.
+    pub fn named(plan: AllocationPlan, name: impl Into<String>) -> Self {
+        Self {
+            plan,
+            name: name.into(),
+        }
+    }
+}
+
+impl Policy for PlannedPolicy {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn assign(
+        &mut self,
+        now: Time,
+        _m: f64,
+        jobs: &[AliveJob<'_>],
+        shares: &mut [f64],
+    ) -> Option<f64> {
+        shares.fill(0.0);
+        match self.plan.segment_at(now) {
+            Some(seg) => {
+                let lookup: HashMap<JobId, f64> = seg.shares.iter().copied().collect();
+                for (i, job) in jobs.iter().enumerate() {
+                    if let Some(&s) = lookup.get(&job.id()) {
+                        shares[i] = s.max(0.0);
+                    }
+                }
+                // Re-decide exactly at the segment boundary.
+                Some((seg.end - now).max(EPS))
+            }
+            None => {
+                // Idle until the next segment starts (if any).
+                let next_start = self
+                    .plan
+                    .segments()
+                    .iter()
+                    .map(|s| s.start)
+                    .find(|&s| s > now + EPS);
+                next_start.map(|s| s - now)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::job::{Instance, JobSpec};
+    use parsched_speedup::Curve;
+
+    fn seg(start: f64, end: f64, shares: &[(u64, f64)]) -> PlanSegment {
+        PlanSegment {
+            start,
+            end,
+            shares: shares.iter().map(|&(id, s)| (JobId(id), s)).collect(),
+        }
+    }
+
+    #[test]
+    fn plan_validation_rejects_overlap_and_overcommit() {
+        assert!(AllocationPlan::new(vec![seg(0.0, 1.0, &[]), seg(0.5, 2.0, &[])], 2.0).is_err());
+        assert!(AllocationPlan::new(vec![seg(1.0, 1.0, &[])], 2.0).is_err());
+        assert!(AllocationPlan::new(vec![seg(0.0, 1.0, &[(0, 1.5), (1, 1.0)])], 2.0).is_err());
+        assert!(AllocationPlan::new(vec![seg(0.0, 1.0, &[(0, f64::NAN)])], 2.0).is_err());
+        assert!(AllocationPlan::new(vec![seg(0.0, 1.0, &[(0, 2.0)])], 2.0).is_ok());
+    }
+
+    #[test]
+    fn segment_lookup() {
+        let plan = AllocationPlan::new(
+            vec![seg(0.0, 1.0, &[(0, 1.0)]), seg(2.0, 3.0, &[(1, 1.0)])],
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(plan.segment_at(0.5).unwrap().start, 0.0);
+        assert!(plan.segment_at(1.5).is_none()); // gap
+        assert_eq!(plan.segment_at(2.0).unwrap().start, 2.0);
+        assert!(plan.segment_at(3.5).is_none()); // past horizon
+        assert_eq!(plan.horizon(), 3.0);
+    }
+
+    #[test]
+    fn planned_policy_executes_a_simple_schedule() {
+        // Two sequential unit jobs on one processor, run back to back.
+        let instance = Instance::new(vec![
+            JobSpec::new(JobId(0), 0.0, 1.0, Curve::Sequential),
+            JobSpec::new(JobId(1), 0.0, 1.0, Curve::Sequential),
+        ])
+        .unwrap();
+        let plan = AllocationPlan::new(
+            vec![seg(0.0, 1.0, &[(0, 1.0)]), seg(1.0, 2.0, &[(1, 1.0)])],
+            1.0,
+        )
+        .unwrap();
+        let outcome = simulate(&instance, &mut PlannedPolicy::new(plan), 1.0).unwrap();
+        assert_eq!(outcome.flow_of(JobId(0)), Some(1.0));
+        assert_eq!(outcome.flow_of(JobId(1)), Some(2.0));
+    }
+
+    #[test]
+    fn planned_policy_idles_through_gaps() {
+        // Job released at 0 but only scheduled from t=2.
+        let instance =
+            Instance::new(vec![JobSpec::new(JobId(0), 0.0, 1.0, Curve::Sequential)]).unwrap();
+        let plan = AllocationPlan::new(vec![seg(2.0, 3.5, &[(0, 1.0)])], 1.0).unwrap();
+        let outcome = simulate(&instance, &mut PlannedPolicy::new(plan), 1.0).unwrap();
+        assert_eq!(outcome.flow_of(JobId(0)), Some(3.0));
+    }
+
+    #[test]
+    fn from_tracks_merges_overlapping_intervals() {
+        // Job 0 holds one machine on [0, 4); job 1 holds one on [1, 2).
+        let plan = AllocationPlan::from_tracks(
+            &[(0.0, 4.0, JobId(0), 1.0), (1.0, 2.0, JobId(1), 1.0)],
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(plan.segments().len(), 3);
+        let mid = plan.segment_at(1.5).unwrap();
+        assert_eq!(mid.shares.len(), 2);
+        let early = plan.segment_at(0.5).unwrap();
+        assert_eq!(early.shares, vec![(JobId(0), 1.0)]);
+    }
+
+    #[test]
+    fn from_tracks_detects_overcommit() {
+        let err = AllocationPlan::from_tracks(
+            &[(0.0, 2.0, JobId(0), 1.5), (1.0, 3.0, JobId(1), 1.0)],
+            2.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::BadInstance { .. }));
+    }
+
+    #[test]
+    fn from_tracks_back_to_back_same_job() {
+        // Two adjacent tracks of the same job don't double-count at the
+        // shared boundary.
+        let plan = AllocationPlan::from_tracks(
+            &[(0.0, 1.0, JobId(0), 2.0), (1.0, 2.0, JobId(0), 2.0)],
+            2.0,
+        )
+        .unwrap();
+        for seg in plan.segments() {
+            assert_eq!(seg.shares, vec![(JobId(0), 2.0)]);
+        }
+    }
+
+    #[test]
+    fn from_tracks_executes_correctly() {
+        // The merged plan actually schedules: 2 sequential jobs, job 0 on
+        // machine A the whole time, job 1 on machine B.
+        let instance = Instance::new(vec![
+            JobSpec::new(JobId(0), 0.0, 3.0, Curve::Sequential),
+            JobSpec::new(JobId(1), 1.0, 1.0, Curve::Sequential),
+        ])
+        .unwrap();
+        let plan = AllocationPlan::from_tracks(
+            &[(0.0, 3.0, JobId(0), 1.0), (1.0, 2.0, JobId(1), 1.0)],
+            2.0,
+        )
+        .unwrap();
+        let outcome = simulate(&instance, &mut PlannedPolicy::new(plan), 2.0).unwrap();
+        assert_eq!(outcome.flow_of(JobId(0)), Some(3.0));
+        assert_eq!(outcome.flow_of(JobId(1)), Some(1.0));
+    }
+
+    #[test]
+    fn incomplete_plan_stalls_loudly() {
+        let instance =
+            Instance::new(vec![JobSpec::new(JobId(0), 0.0, 5.0, Curve::Sequential)]).unwrap();
+        let plan = AllocationPlan::new(vec![seg(0.0, 1.0, &[(0, 1.0)])], 1.0).unwrap();
+        let err = simulate(&instance, &mut PlannedPolicy::new(plan), 1.0).unwrap_err();
+        assert!(matches!(err, SimError::Stalled { .. }));
+    }
+}

@@ -1,0 +1,170 @@
+//! The online scheduling policy interface.
+
+use parsched_speedup::Curve;
+
+use crate::job::{JobId, JobSpec, Time, Work};
+
+/// A view of one unfinished job handed to a [`Policy`] at a decision point.
+#[derive(Debug, Clone, Copy)]
+pub struct AliveJob<'a> {
+    /// The job's immutable description.
+    pub spec: &'a JobSpec,
+    /// Remaining unprocessed work `p_j(t)`.
+    pub remaining: Work,
+}
+
+impl AliveJob<'_> {
+    /// Job id.
+    pub fn id(&self) -> JobId {
+        self.spec.id
+    }
+
+    /// Release time `r_j`.
+    pub fn release(&self) -> Time {
+        self.spec.release
+    }
+
+    /// Original size `p_j`.
+    pub fn size(&self) -> Work {
+        self.spec.size
+    }
+
+    /// Speed-up curve `Γ_j`.
+    pub fn curve(&self) -> &Curve {
+        &self.spec.curve
+    }
+}
+
+/// An online scheduler: maps the current system state to a processor
+/// allocation.
+///
+/// # Contract
+///
+/// * `assign` must fill `shares[i]` with the allocation of `jobs[i]`; each
+///   share must be finite and `≥ 0`, and the shares must sum to at most `m`
+///   (the engine verifies this and fails the run otherwise).
+/// * The engine calls `assign` at every *event* (arrival, completion) and
+///   whenever the previously returned *quantum* expires. Returning
+///   `Some(dt)` asks for re-decision after at most `dt` time units even if
+///   no discrete event happens — policies whose preferred allocation drifts
+///   as remaining work drains (e.g. the §3 greedy hybrid) use this; policies
+///   whose allocation only changes at events return `None` and are simulated
+///   exactly.
+/// * `reset` restores the policy to its initial state so one policy value
+///   can be reused across runs.
+pub trait Policy {
+    /// Stable display name (used in tables, errors, and traces).
+    fn name(&self) -> String;
+
+    /// Chooses the allocation at time `now` for the given alive jobs on `m`
+    /// processors. Returns an optional re-decision quantum.
+    fn assign(&mut self, now: Time, m: f64, jobs: &[AliveJob<'_>], shares: &mut [f64])
+        -> Option<f64>;
+
+    /// Restores initial state (default: stateless, nothing to do).
+    fn reset(&mut self) {}
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn assign(
+        &mut self,
+        now: Time,
+        m: f64,
+        jobs: &[AliveJob<'_>],
+        shares: &mut [f64],
+    ) -> Option<f64> {
+        (**self).assign(now, m, jobs, shares)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+/// The simplest useful policy: split all `m` processors evenly among all
+/// alive jobs (EQUI / processor sharing, Edmonds [TCS'00]).
+///
+/// Lives in `parsched-sim` (rather than the policy crate) so the engine can
+/// be tested and documented without a circular dev-dependency; the policy
+/// crate re-exports it as `Equi`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EquiSplit;
+
+impl EquiSplit {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Policy for EquiSplit {
+    fn name(&self) -> String {
+        "EQUI".to_string()
+    }
+
+    fn assign(
+        &mut self,
+        _now: Time,
+        m: f64,
+        jobs: &[AliveJob<'_>],
+        shares: &mut [f64],
+    ) -> Option<f64> {
+        if jobs.is_empty() {
+            return None;
+        }
+        let each = m / jobs.len() as f64;
+        shares.fill(each);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_speedup::Curve;
+
+    #[test]
+    fn equi_splits_evenly() {
+        let specs: Vec<JobSpec> = (0..4)
+            .map(|i| JobSpec::new(JobId(i), 0.0, 1.0, Curve::FullyParallel))
+            .collect();
+        let jobs: Vec<AliveJob<'_>> = specs.iter().map(|s| AliveJob { spec: s, remaining: 1.0 }).collect();
+        let mut shares = vec![0.0; 4];
+        let q = EquiSplit::new().assign(0.0, 6.0, &jobs, &mut shares);
+        assert_eq!(q, None);
+        assert!(shares.iter().all(|&s| (s - 1.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn equi_handles_empty_system() {
+        let mut shares: Vec<f64> = vec![];
+        assert_eq!(EquiSplit::new().assign(0.0, 6.0, &[], &mut shares), None);
+    }
+
+    #[test]
+    fn boxed_policy_delegates() {
+        let mut p: Box<dyn Policy> = Box::new(EquiSplit::new());
+        assert_eq!(p.name(), "EQUI");
+        p.reset();
+        let spec = JobSpec::new(JobId(0), 0.0, 1.0, Curve::Sequential);
+        let jobs = [AliveJob { spec: &spec, remaining: 0.5 }];
+        let mut shares = [0.0];
+        p.assign(0.0, 2.0, &jobs, &mut shares);
+        assert_eq!(shares[0], 2.0);
+    }
+
+    #[test]
+    fn alive_job_accessors() {
+        let spec = JobSpec::new(JobId(7), 1.5, 3.0, Curve::power(0.5));
+        let j = AliveJob { spec: &spec, remaining: 2.0 };
+        assert_eq!(j.id(), JobId(7));
+        assert_eq!(j.release(), 1.5);
+        assert_eq!(j.size(), 3.0);
+        assert_eq!(j.remaining, 2.0);
+        assert_eq!(j.curve().rate(4.0), 2.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! A deliberately naive fixed-timestep simulator, kept as a differential
+//! oracle for the exact event-driven [`crate::Engine`].
+//!
+//! The event engine computes completions analytically and is what every
+//! experiment uses; this module re-simulates the same semantics with a
+//! fixed quantum `dt` (allocations recomputed every step, work drained by
+//! `Γ(x)·dt`, completions detected at step boundaries). As `dt → 0` its
+//! flow time converges to the exact engine's — the differential tests in
+//! this module and the workspace property suite pin both implementations
+//! against each other, so a bug would have to be present in two
+//! independently written simulators to go unnoticed.
+
+use parsched_speedup::EPS;
+
+use crate::error::SimError;
+use crate::job::{Instance, Time};
+use crate::policy::{AliveJob, Policy};
+
+/// Result of a quantized run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedOutcome {
+    /// Total flow time (completions rounded up to step boundaries, so
+    /// this converges to the exact value from above as `dt → 0`).
+    pub total_flow: f64,
+    /// Number of completed jobs.
+    pub num_jobs: usize,
+    /// Steps executed.
+    pub steps: u64,
+}
+
+/// Simulates `policy` on `instance` with timestep `dt`.
+///
+/// Errors mirror the exact engine's: infeasible allocations are rejected,
+/// and a configurable step budget guards against starvation (a policy
+/// that never serves some job).
+pub fn simulate_quantized(
+    instance: &Instance,
+    policy: &mut dyn Policy,
+    m: f64,
+    dt: Time,
+    max_steps: u64,
+) -> Result<QuantizedOutcome, SimError> {
+    assert!(dt > 0.0 && dt.is_finite());
+    policy.reset();
+    let jobs = instance.jobs();
+    let mut remaining: Vec<f64> = jobs.iter().map(|j| j.size).collect();
+    let mut done: Vec<bool> = vec![false; jobs.len()];
+    let mut next_arrival = 0usize;
+    let mut alive: Vec<usize> = Vec::new();
+    let mut total_flow = 0.0;
+    let mut completed = 0usize;
+    let mut steps = 0u64;
+    let mut now = 0.0f64;
+    let mut shares: Vec<f64> = Vec::new();
+
+    while completed < jobs.len() {
+        steps += 1;
+        if steps > max_steps {
+            return Err(SimError::EventLimit { limit: max_steps });
+        }
+        // Admit arrivals due by the start of this step.
+        while next_arrival < jobs.len() && jobs[next_arrival].release <= now + EPS {
+            alive.push(next_arrival);
+            next_arrival += 1;
+        }
+        if alive.is_empty() {
+            // Jump to the next arrival (aligned to the step grid).
+            let t = jobs[next_arrival].release;
+            let k = ((t - now) / dt).floor().max(0.0);
+            now += (k + 1.0) * dt;
+            continue;
+        }
+        // Ask the policy.
+        let views: Vec<AliveJob<'_>> = alive
+            .iter()
+            .map(|&i| AliveJob {
+                spec: &jobs[i],
+                remaining: remaining[i],
+            })
+            .collect();
+        shares.clear();
+        shares.resize(alive.len(), 0.0);
+        policy.assign(now, m, &views, &mut shares);
+        let total: f64 = shares.iter().map(|s| s.max(0.0)).sum();
+        if total > m * (1.0 + 1e-9) + EPS {
+            return Err(SimError::InfeasibleAllocation {
+                at: now,
+                requested: total,
+                available: m,
+                policy: policy.name(),
+            });
+        }
+        // Drain for one step.
+        now += dt;
+        let mut i = 0;
+        while i < alive.len() {
+            let idx = alive[i];
+            let rate = jobs[idx].curve.rate(shares[i].max(0.0));
+            remaining[idx] -= rate * dt;
+            if remaining[idx] <= EPS * jobs[idx].size.max(1.0) {
+                remaining[idx] = 0.0;
+                done[idx] = true;
+                total_flow += now - jobs[idx].release;
+                completed += 1;
+                alive.swap_remove(i);
+                shares.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    debug_assert!(done.iter().all(|&d| d));
+    Ok(QuantizedOutcome {
+        total_flow,
+        num_jobs: completed,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::policy::EquiSplit;
+    use parsched_speedup::Curve;
+
+    fn inst(jobs: &[(f64, f64)], curve: Curve) -> Instance {
+        Instance::from_sizes(jobs, curve).unwrap()
+    }
+
+    #[test]
+    fn converges_to_the_exact_engine() {
+        let instance = inst(
+            &[(0.0, 3.0), (0.5, 1.0), (2.0, 2.5), (2.0, 4.0)],
+            Curve::power(0.6),
+        );
+        let exact = simulate(&instance, &mut EquiSplit, 3.0)
+            .unwrap()
+            .metrics
+            .total_flow;
+        let mut prev_err = f64::INFINITY;
+        for dt in [0.1, 0.01, 0.001] {
+            let q = simulate_quantized(&instance, &mut EquiSplit, 3.0, dt, 10_000_000).unwrap();
+            let err = (q.total_flow - exact).abs();
+            assert!(err < prev_err + 1e-12, "error should shrink: dt={dt}, {err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 0.05, "final error too large: {prev_err}");
+    }
+
+    #[test]
+    fn quantized_flow_upper_bounds_exact_flow() {
+        // Completions are rounded up to step boundaries, so the quantized
+        // flow can only overestimate (given the same trajectory).
+        let instance = inst(&[(0.0, 2.0), (0.0, 1.0)], Curve::Sequential);
+        let exact = simulate(&instance, &mut EquiSplit, 2.0)
+            .unwrap()
+            .metrics
+            .total_flow;
+        let q = simulate_quantized(&instance, &mut EquiSplit, 2.0, 0.05, 1_000_000).unwrap();
+        assert!(q.total_flow >= exact - 1e-9);
+        assert_eq!(q.num_jobs, 2);
+    }
+
+    #[test]
+    fn idle_gaps_are_skipped_on_the_grid() {
+        let instance = inst(&[(0.0, 1.0), (100.0, 1.0)], Curve::Sequential);
+        let q = simulate_quantized(&instance, &mut EquiSplit, 1.0, 0.5, 1_000_000).unwrap();
+        // Should not take 200+ steps of idling per unit: the gap is jumped.
+        assert!(q.steps < 50, "steps = {}", q.steps);
+        assert_eq!(q.num_jobs, 2);
+    }
+
+    #[test]
+    fn step_budget_is_enforced() {
+        let instance = inst(&[(0.0, 1000.0)], Curve::Sequential);
+        let err = simulate_quantized(&instance, &mut EquiSplit, 1.0, 0.001, 100).unwrap_err();
+        assert!(matches!(err, SimError::EventLimit { limit: 100 }));
+    }
+}

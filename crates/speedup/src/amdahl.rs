@@ -1,0 +1,76 @@
+//! Amdahl's-law speed-up curve (an extension beyond the paper's family).
+
+/// Rate of an Amdahl curve with serial fraction `s ∈ [0, 1]`.
+///
+/// For `x ≥ 1` processors the classic Amdahl's-law speed-up applies:
+/// `Γ(x) = 1 / (s + (1 - s)/x)`, which saturates at `1/s` as `x → ∞`.
+/// For `x ≤ 1` we keep the model's convention `Γ(x) = x` (a fractional
+/// processor processes work proportionally), which joins continuously at
+/// `x = 1` where both branches give `1`.
+///
+/// This curve is not part of the SPAA'14 family but is the workhorse of
+/// practical parallel-performance modelling; it is concave and
+/// non-decreasing, so every result in this repository that only relies on
+/// those properties (e.g. the engine, EQUI's batch guarantee) applies to it.
+#[inline]
+pub fn amdahl_rate(serial_fraction: f64, x: f64) -> f64 {
+    debug_assert!(
+        (0.0..=1.0).contains(&serial_fraction),
+        "serial fraction out of range: {serial_fraction}"
+    );
+    debug_assert!(x >= 0.0, "negative processor allocation: {x}");
+    if x <= 1.0 {
+        x
+    } else {
+        1.0 / (serial_fraction + (1.0 - serial_fraction) / x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn matches_classic_amdahl_points() {
+        // s = 0.5: speed-up with many processors approaches 2.
+        assert!(approx_eq(amdahl_rate(0.5, 1.0), 1.0));
+        assert!(approx_eq(amdahl_rate(0.5, 2.0), 1.0 / (0.5 + 0.25)));
+        assert!(amdahl_rate(0.5, 1e9) < 2.0);
+        assert!(amdahl_rate(0.5, 1e9) > 1.999);
+    }
+
+    #[test]
+    fn zero_serial_fraction_is_fully_parallel() {
+        for x in [1.0, 2.0, 8.0, 100.0] {
+            assert!(approx_eq(amdahl_rate(0.0, x), x));
+        }
+    }
+
+    #[test]
+    fn unit_serial_fraction_is_sequential() {
+        for x in [1.0, 2.0, 8.0, 100.0] {
+            assert!(approx_eq(amdahl_rate(1.0, x), 1.0));
+        }
+    }
+
+    #[test]
+    fn linear_below_one_processor() {
+        assert_eq!(amdahl_rate(0.3, 0.0), 0.0);
+        assert_eq!(amdahl_rate(0.3, 0.5), 0.5);
+    }
+
+    #[test]
+    fn concave_sampled() {
+        // Midpoint test on a grid: Γ((a+b)/2) ≥ (Γ(a)+Γ(b))/2.
+        let s = 0.2;
+        let grid: Vec<f64> = (0..50).map(|i| i as f64 * 0.5).collect();
+        for &a in &grid {
+            for &b in &grid {
+                let mid = amdahl_rate(s, (a + b) / 2.0);
+                let chord = (amdahl_rate(s, a) + amdahl_rate(s, b)) / 2.0;
+                assert!(mid + 1e-9 >= chord, "not concave at a={a}, b={b}");
+            }
+        }
+    }
+}

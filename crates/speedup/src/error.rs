@@ -1,0 +1,84 @@
+//! Error type for curve construction and validation.
+
+use std::fmt;
+
+/// Why a speed-up curve description was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CurveError {
+    /// Power-law exponent outside `[0, 1]`.
+    AlphaOutOfRange {
+        /// The offending exponent.
+        alpha: f64,
+    },
+    /// Amdahl serial fraction outside `[0, 1]`.
+    SerialFractionOutOfRange {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// A piecewise-linear curve whose breakpoints are not strictly
+    /// increasing in `x`.
+    NonIncreasingBreakpoints {
+        /// Index of the first offending breakpoint.
+        index: usize,
+    },
+    /// A piecewise-linear curve that decreases somewhere.
+    Decreasing {
+        /// Index of the first offending breakpoint.
+        index: usize,
+    },
+    /// A piecewise-linear curve that is not concave (a segment slope
+    /// increases).
+    NotConcave {
+        /// Index of the segment whose slope exceeds its predecessor's.
+        index: usize,
+    },
+    /// A piecewise-linear curve that does not start at the origin.
+    MissingOrigin,
+    /// A piecewise-linear curve with fewer than two breakpoints.
+    TooFewBreakpoints,
+    /// A value (breakpoint coordinate, exponent, …) was NaN or infinite.
+    NotFinite,
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::AlphaOutOfRange { alpha } => {
+                write!(f, "power-law exponent α={alpha} outside [0, 1]")
+            }
+            CurveError::SerialFractionOutOfRange { fraction } => {
+                write!(f, "Amdahl serial fraction {fraction} outside [0, 1]")
+            }
+            CurveError::NonIncreasingBreakpoints { index } => {
+                write!(f, "breakpoint {index}: x-coordinates must be strictly increasing")
+            }
+            CurveError::Decreasing { index } => {
+                write!(f, "breakpoint {index}: curve must be non-decreasing")
+            }
+            CurveError::NotConcave { index } => {
+                write!(f, "segment {index}: slope increases, curve must be concave")
+            }
+            CurveError::MissingOrigin => write!(f, "piecewise curve must start at (0, 0)"),
+            CurveError::TooFewBreakpoints => {
+                write!(f, "piecewise curve needs at least two breakpoints")
+            }
+            CurveError::NotFinite => write!(f, "curve parameter is NaN or infinite"),
+        }
+    }
+}
+
+impl std::error::Error for CurveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msg = CurveError::AlphaOutOfRange { alpha: 1.5 }.to_string();
+        assert!(msg.contains("1.5"));
+        assert!(msg.contains("[0, 1]"));
+        let msg = CurveError::NotConcave { index: 3 }.to_string();
+        assert!(msg.contains("3"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Floating-point comparison helpers shared across the workspace.
+//!
+//! The simulator advances continuous time with `f64` arithmetic; event times
+//! and remaining-work values accumulate rounding error, so every comparison
+//! that decides control flow (did a job complete? are two event times equal?)
+//! goes through the tolerant helpers here.
+
+/// Absolute tolerance used throughout the simulator.
+///
+/// Chosen so that instances with sizes up to ~`1e9` and millions of events
+/// still resolve completions unambiguously, while remaining far above the
+/// noise floor of accumulated `f64` error for the workloads in this
+/// repository (sizes in `[1, P]` with `P ≤ 2^20`).
+pub const EPS: f64 = 1e-9;
+
+/// `a == b` up to [`EPS`], scaled by magnitude for large values.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= EPS * scale
+}
+
+/// `a <= b` up to [`EPS`], scaled by magnitude for large values.
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    a - b <= EPS * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_accepts_tiny_differences() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(approx_eq(0.0, 1e-10));
+        assert!(approx_eq(1e9, 1e9 + 0.5e0)); // scaled tolerance
+    }
+
+    #[test]
+    fn approx_eq_rejects_real_differences() {
+        assert!(!approx_eq(1.0, 1.001));
+        assert!(!approx_eq(0.0, 1e-6));
+    }
+
+    #[test]
+    fn approx_le_is_tolerant_at_the_boundary() {
+        assert!(approx_le(1.0, 1.0));
+        assert!(approx_le(1.0 + 1e-12, 1.0));
+        assert!(approx_le(0.5, 1.0));
+        assert!(!approx_le(1.1, 1.0));
+    }
+
+    #[test]
+    fn approx_le_scales_with_magnitude() {
+        assert!(approx_le(1e12 + 1.0, 1e12));
+        assert!(!approx_le(1e12 + 1e5, 1e12));
+    }
+}

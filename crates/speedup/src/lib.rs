@@ -1,0 +1,50 @@
+//! Speed-up curve algebra for malleable-task scheduling.
+//!
+//! This crate implements the job-parallelizability model of
+//! *"Competitively Scheduling Tasks with Intermediate Parallelizability"*
+//! (Im, Moseley, Pruhs, Torng — SPAA 2014). A **speed-up curve**
+//! `Γ: [0, ∞) → [0, ∞)` gives the rate at which work on a job is processed
+//! when the job is allocated `x` (possibly fractional) processors.
+//!
+//! The paper's central family is the *power-law* curve with exponent
+//! `α ∈ [0, 1]`:
+//!
+//! ```text
+//! Γ(x) = x       for x ≤ 1
+//! Γ(x) = x^α     for x ≥ 1
+//! ```
+//!
+//! `α = 1` is a **fully parallelizable** job, `α = 0` a **sequential** job,
+//! and `α ∈ (0, 1)` a job of **intermediate parallelizability**. All curves
+//! in this crate are non-decreasing, concave, and satisfy `Γ(0) = 0`; these
+//! invariants are what the paper's proofs (e.g. its Proposition 1) rely on,
+//! and they are enforced by [`Curve::validate`] and checked by property
+//! tests.
+//!
+//! # Quick example
+//!
+//! ```
+//! use parsched_speedup::Curve;
+//!
+//! let half = Curve::power(0.5);
+//! assert_eq!(half.rate(0.25), 0.25);  // sub-processor allocations are linear
+//! assert_eq!(half.rate(1.0), 1.0);
+//! assert_eq!(half.rate(4.0), 2.0);    // 4 processors → rate 4^0.5 = 2
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod amdahl;
+mod curve;
+mod error;
+mod float;
+mod piecewise;
+mod power;
+
+pub use amdahl::amdahl_rate;
+pub use curve::Curve;
+pub use error::CurveError;
+pub use float::{approx_eq, approx_le, EPS};
+pub use piecewise::PiecewiseLinear;
+pub use power::power_rate;

@@ -1,0 +1,214 @@
+//! Concave piecewise-linear speed-up curves.
+//!
+//! These model arbitrary measured speed-up profiles (the "arbitrary speed-up
+//! curves" of Edmonds [TCS'00] and Edmonds–Pruhs [TALG'12], cited by the
+//! paper as the general setting). Any non-decreasing concave curve through
+//! the origin can be approximated to arbitrary precision by this type.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CurveError;
+
+/// A concave, non-decreasing, piecewise-linear curve through the origin.
+///
+/// Defined by breakpoints `(x_0, y_0) = (0, 0), (x_1, y_1), …, (x_k, y_k)`
+/// with strictly increasing `x_i`, non-decreasing `y_i`, and non-increasing
+/// segment slopes. Beyond the last breakpoint the curve continues with the
+/// final segment's slope (commonly zero: a saturating curve).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinear {
+    points: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Builds a curve from breakpoints, validating all invariants.
+    ///
+    /// The first breakpoint must be `(0, 0)`.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self, CurveError> {
+        if points.len() < 2 {
+            return Err(CurveError::TooFewBreakpoints);
+        }
+        if points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(CurveError::NotFinite);
+        }
+        if points[0] != (0.0, 0.0) {
+            return Err(CurveError::MissingOrigin);
+        }
+        let mut prev_slope = f64::INFINITY;
+        for i in 1..points.len() {
+            let (x0, y0) = points[i - 1];
+            let (x1, y1) = points[i];
+            if x1 <= x0 {
+                return Err(CurveError::NonIncreasingBreakpoints { index: i });
+            }
+            if y1 < y0 {
+                return Err(CurveError::Decreasing { index: i });
+            }
+            let slope = (y1 - y0) / (x1 - x0);
+            if slope > prev_slope + 1e-12 {
+                return Err(CurveError::NotConcave { index: i });
+            }
+            prev_slope = slope;
+        }
+        Ok(Self { points })
+    }
+
+    /// A saturating two-segment curve: linear speed-up until `knee`
+    /// processors, flat afterwards. `knee = 1` gives the sequential curve.
+    pub fn saturating(knee: f64) -> Result<Self, CurveError> {
+        Self::new(vec![(0.0, 0.0), (knee, knee), (knee + 1.0, knee)])
+    }
+
+    /// Samples a power-law curve at `segments` integer-ish points, producing
+    /// a piecewise-linear under-approximation useful for testing generic
+    /// curve handling against the closed form.
+    pub fn sampled_power(alpha: f64, max_x: f64, segments: usize) -> Result<Self, CurveError> {
+        let segments = segments.max(2);
+        let mut points = Vec::with_capacity(segments + 1);
+        points.push((0.0, 0.0));
+        for i in 1..=segments {
+            let x = max_x * i as f64 / segments as f64;
+            points.push((x, crate::power::power_rate(alpha, x)));
+        }
+        Self::new(points)
+    }
+
+    /// The curve's breakpoints.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Evaluates the curve at `x ≥ 0`.
+    pub fn rate(&self, x: f64) -> f64 {
+        debug_assert!(x >= 0.0, "negative processor allocation: {x}");
+        let pts = &self.points;
+        // Find the segment containing x by binary search on breakpoint xs.
+        let idx = pts.partition_point(|&(px, _)| px < x);
+        if idx == 0 {
+            return pts[0].1; // x == 0
+        }
+        let (x1, y1) = if idx < pts.len() {
+            pts[idx]
+        } else {
+            // Extrapolate with the last segment's slope.
+            let (xa, ya) = pts[pts.len() - 2];
+            let (xb, yb) = pts[pts.len() - 1];
+            let slope = (yb - ya) / (xb - xa);
+            return yb + slope * (x - xb);
+        };
+        let (x0, y0) = pts[idx - 1];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(
+            PiecewiseLinear::new(vec![(0.0, 0.0)]),
+            Err(CurveError::TooFewBreakpoints)
+        );
+        assert_eq!(
+            PiecewiseLinear::new(vec![(1.0, 1.0), (2.0, 2.0)]),
+            Err(CurveError::MissingOrigin)
+        );
+        assert_eq!(
+            PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 1.0), (1.0, 2.0)]),
+            Err(CurveError::NonIncreasingBreakpoints { index: 2 })
+        );
+        assert_eq!(
+            PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]),
+            Err(CurveError::Decreasing { index: 2 })
+        );
+        // Slope increases 0.5 → 2: convex kink.
+        assert_eq!(
+            PiecewiseLinear::new(vec![(0.0, 0.0), (2.0, 1.0), (3.0, 3.0)]),
+            Err(CurveError::NotConcave { index: 2 })
+        );
+        assert_eq!(
+            PiecewiseLinear::new(vec![(0.0, 0.0), (f64::NAN, 1.0)]),
+            Err(CurveError::NotFinite)
+        );
+    }
+
+    #[test]
+    fn saturating_curve_evaluates() {
+        let c = PiecewiseLinear::saturating(4.0).unwrap();
+        assert!(approx_eq(c.rate(0.0), 0.0));
+        assert!(approx_eq(c.rate(2.0), 2.0));
+        assert!(approx_eq(c.rate(4.0), 4.0));
+        assert!(approx_eq(c.rate(100.0), 4.0)); // flat extrapolation
+    }
+
+    #[test]
+    fn interpolates_between_breakpoints() {
+        let c = PiecewiseLinear::new(vec![(0.0, 0.0), (2.0, 2.0), (6.0, 4.0)]).unwrap();
+        assert!(approx_eq(c.rate(1.0), 1.0));
+        assert!(approx_eq(c.rate(4.0), 3.0));
+        // Beyond last breakpoint: slope 0.5 continues.
+        assert!(approx_eq(c.rate(8.0), 5.0));
+    }
+
+    proptest::proptest! {
+        /// Random valid concave curves: built from positive widths and
+        /// non-increasing positive-then-possibly-zero slopes.
+        #[test]
+        fn random_concave_curves_validate_and_stay_concave(
+            widths in proptest::collection::vec(0.1f64..4.0, 1..8),
+            slope_drops in proptest::collection::vec(0.0f64..1.0, 1..8),
+            first_slope in 0.1f64..2.0,
+            a in 0.0f64..20.0,
+            b in 0.0f64..20.0,
+        ) {
+            let n = widths.len().min(slope_drops.len());
+            let mut points = vec![(0.0, 0.0)];
+            let mut slope = first_slope;
+            let (mut x, mut y) = (0.0, 0.0);
+            for i in 0..n {
+                x += widths[i];
+                y += slope * widths[i];
+                points.push((x, y));
+                slope *= 1.0 - slope_drops[i]; // non-increasing
+            }
+            let curve = PiecewiseLinear::new(points).expect("constructed concave curve");
+            // Monotonicity and midpoint concavity on random sample pairs.
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            proptest::prop_assert!(curve.rate(lo) <= curve.rate(hi) + 1e-9);
+            let mid = curve.rate((lo + hi) / 2.0);
+            let chord = (curve.rate(lo) + curve.rate(hi)) / 2.0;
+            proptest::prop_assert!(mid + 1e-9 >= chord);
+        }
+
+        /// inverse_rate ∘ rate is the identity wherever the curve is
+        /// strictly increasing.
+        #[test]
+        fn inverse_round_trips_on_increasing_curves(
+            knee in 0.5f64..8.0,
+            x in 0.0f64..8.0,
+        ) {
+            use crate::curve::Curve;
+            let c = Curve::Piecewise(PiecewiseLinear::new(
+                vec![(0.0, 0.0), (knee, knee), (knee + 4.0, knee + 1.0)],
+            ).expect("valid curve"));
+            let x = x.min(knee + 4.0);
+            let r = c.rate(x);
+            if let Some(x2) = c.inverse_rate(r) {
+                proptest::prop_assert!((c.rate(x2) - r).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_power_matches_closed_form_at_breakpoints() {
+        let c = PiecewiseLinear::sampled_power(0.5, 16.0, 32).unwrap();
+        for &(x, y) in c.points() {
+            assert!(approx_eq(y, crate::power::power_rate(0.5, x)));
+        }
+        // Chord lies below the concave closed form between breakpoints.
+        assert!(c.rate(2.3) <= crate::power::power_rate(0.5, 2.3) + 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! The paper's power-law speed-up curve.
+
+/// Rate of the SPAA'14 power-law curve: `Γ(x) = x` for `x ≤ 1`,
+/// `Γ(x) = x^α` for `x ≥ 1`.
+///
+/// `α = 1` degenerates to fully parallelizable (`Γ(x) = x` everywhere) and
+/// `α = 0` to sequential (`Γ(x) = 1` for `x ≥ 1`). The two branches agree at
+/// `x = 1`, so the curve is continuous; it is concave because the slope
+/// drops from `1` to `α·x^{α-1} ≤ 1` at the knee and keeps decreasing.
+///
+/// The caller is responsible for `α ∈ [0, 1]` and `x ≥ 0` (checked in debug
+/// builds); [`crate::Curve::power`] validates `α` at construction time.
+#[inline]
+pub fn power_rate(alpha: f64, x: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&alpha), "alpha out of range: {alpha}");
+    debug_assert!(x >= 0.0, "negative processor allocation: {x}");
+    if x <= 1.0 || alpha == 1.0 {
+        x
+    } else if alpha == 0.0 {
+        1.0
+    } else {
+        x.powf(alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn linear_below_one_processor() {
+        for alpha in [0.0, 0.3, 0.7, 1.0] {
+            assert_eq!(power_rate(alpha, 0.0), 0.0);
+            assert_eq!(power_rate(alpha, 0.25), 0.25);
+            assert_eq!(power_rate(alpha, 1.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn power_above_one_processor() {
+        assert!(approx_eq(power_rate(0.5, 4.0), 2.0));
+        assert!(approx_eq(power_rate(0.5, 9.0), 3.0));
+        assert!(approx_eq(power_rate(1.0, 7.0), 7.0));
+        assert!(approx_eq(power_rate(0.0, 7.0), 1.0));
+    }
+
+    #[test]
+    fn continuous_at_the_knee() {
+        for alpha in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let below = power_rate(alpha, 1.0 - 1e-12);
+            let above = power_rate(alpha, 1.0 + 1e-12);
+            assert!(approx_eq(below, above), "discontinuity at knee for α={alpha}");
+        }
+    }
+
+    #[test]
+    fn alpha_extremes_match_special_curves() {
+        for x in [0.1, 0.9, 1.0, 2.0, 16.0, 1000.0] {
+            // α = 1 ≡ fully parallel
+            assert!(approx_eq(power_rate(1.0, x), x));
+            // α = 0 ≡ sequential
+            assert!(approx_eq(power_rate(0.0, x), x.min(1.0)));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Batch workloads: everything released at time 0.
+//!
+//! This is the setting of Edmonds et al.'s classic result that EQUI is
+//! 2-competitive for total flow time with *arbitrary* speed-up curves —
+//! experiment T4 uses these generators to sanity-check the whole substrate
+//! against prior art.
+
+use parsched_sim::{Instance, JobId, JobSpec, SimError};
+use parsched_speedup::Curve;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::random::{AlphaDist, SizeDist};
+
+/// A batch workload: `n` jobs all released at `t = 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchWorkload {
+    /// Number of jobs.
+    pub n: usize,
+    /// Size distribution.
+    pub sizes: SizeDist,
+    /// Parallelizability distribution.
+    pub alphas: AlphaDist,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BatchWorkload {
+    /// Generates the instance.
+    pub fn generate(&self) -> Result<Instance, SimError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let jobs = (0..self.n)
+            .map(|i| {
+                let size = self.sizes.sample(&mut rng).max(1e-9);
+                let alpha = self.alphas.sample(&mut rng).clamp(0.0, 1.0);
+                JobSpec::new(JobId(i as u64), 0.0, size, Curve::power(alpha))
+            })
+            .collect();
+        Instance::new(jobs)
+    }
+
+    /// A batch with mixed *curve shapes* (power, Amdahl, saturating
+    /// piecewise) rather than only the paper's power family — exercises the
+    /// "arbitrary speed-up curves" claim of EQUI's guarantee.
+    pub fn generate_mixed_curves(&self) -> Result<Instance, SimError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let jobs = (0..self.n)
+            .map(|i| {
+                let size = self.sizes.sample(&mut rng).max(1e-9);
+                let alpha = self.alphas.sample(&mut rng).clamp(0.0, 1.0);
+                let curve = match i % 3 {
+                    0 => Curve::power(alpha),
+                    1 => Curve::try_amdahl(1.0 - alpha).expect("valid fraction"),
+                    _ => Curve::Piecewise(
+                        parsched_speedup::PiecewiseLinear::saturating(1.0 + 4.0 * alpha)
+                            .expect("valid knee"),
+                    ),
+                };
+                JobSpec::new(JobId(i as u64), 0.0, size, curve)
+            })
+            .collect();
+        Instance::new(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_jobs_release_at_zero() {
+        let w = BatchWorkload {
+            n: 64,
+            sizes: SizeDist::LogUniform { p: 32.0 },
+            alphas: AlphaDist::Fixed(0.5),
+            seed: 1,
+        };
+        let inst = w.generate().unwrap();
+        assert_eq!(inst.len(), 64);
+        assert!(inst.jobs().iter().all(|j| j.release == 0.0));
+    }
+
+    #[test]
+    fn mixed_curves_cycle_through_shapes() {
+        let w = BatchWorkload {
+            n: 9,
+            sizes: SizeDist::Fixed(4.0),
+            alphas: AlphaDist::Fixed(0.5),
+            seed: 2,
+        };
+        let inst = w.generate_mixed_curves().unwrap();
+        let labels: Vec<String> = inst.jobs().iter().map(|j| j.curve.label()).collect();
+        assert!(labels.iter().any(|l| l.starts_with("pow")));
+        assert!(labels.iter().any(|l| l.starts_with("amdahl")));
+        assert!(labels.iter().any(|l| l.starts_with("pwl")));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = BatchWorkload {
+            n: 16,
+            sizes: SizeDist::Pareto { p: 16.0, shape: 1.2 },
+            alphas: AlphaDist::Uniform { lo: 0.1, hi: 0.9 },
+            seed: 5,
+        };
+        assert_eq!(w.generate().unwrap(), w.generate().unwrap());
+    }
+}

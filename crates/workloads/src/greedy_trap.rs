@@ -1,0 +1,289 @@
+//! The Lemma 10 construction: the instance family on which the "natural"
+//! greedy hybrid is `Ω(max{P, n^{1/3}})`-competitive.
+
+use parsched_sim::{AllocationPlan, Instance, JobId, JobSpec, SimError};
+use parsched_speedup::Curve;
+use serde::{Deserialize, Serialize};
+
+/// The paper's §3 lower-bound family (Lemma 10), with `ε = 1 − α`:
+///
+/// * `m − m^{1−ε}` **long jobs** of size `m` released at time 0;
+/// * from time 0 to `m − 1/m^{1−ε}`, one **unit job** every `1/m^{1−ε}`
+///   time units;
+/// * from time `m + 1`, a **stream** of unit jobs every `1/m^{1−ε}` time
+///   units lasting `X` time units (the paper takes `X = m²`).
+///
+/// The greedy hybrid pours all `m` processors into each arriving unit job
+/// (the marginal gain `(k+1)^α − k^α` per unit work beats `1/m` per unit of
+/// a long job whenever `α < 1`), so the long jobs starve for the entire
+/// stream: total flow `≈ (m − m^{1−ε}) · X`. The paper's explicit
+/// *alternative algorithm* — reproduced here as an executable
+/// [`AllocationPlan`] — achieves `≈ m² + X`, giving ratio `Ω(m) = Ω(P)`
+/// (note `P = m` on this family) and `Ω(n^{1/3})` since `n = Θ(m^{3−ε})`.
+///
+/// `m^{1−ε} = m^α` is rounded down to an integer `K`; the construction is
+/// exact whenever `m^α` is integral and within rounding otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GreedyTrap {
+    /// Number of processors (also the long-job size, so `P = m`).
+    pub m: usize,
+    /// Parallelizability exponent `α ∈ (0, 1)`.
+    pub alpha: f64,
+    /// Stream duration `X` (the paper uses `X = m²`; smaller values keep
+    /// sweeps fast and only scale the ratio's saturation, not its shape).
+    pub stream_duration: f64,
+}
+
+impl GreedyTrap {
+    /// The paper's construction with `X = m²`.
+    ///
+    /// ```
+    /// use parsched_workloads::GreedyTrap;
+    /// let trap = GreedyTrap::new(16, 0.5);
+    /// assert_eq!(trap.k(), 4);              // m^α = 4 unit jobs per time unit
+    /// assert_eq!(trap.num_long(), 12);      // m − K long jobs of size m
+    /// let instance = trap.instance().unwrap();
+    /// assert_eq!(instance.p_max(), 16.0);   // P = m on this family
+    /// ```
+    pub fn new(m: usize, alpha: f64) -> Self {
+        assert!(m >= 2, "need at least 2 processors");
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "Lemma 10 needs intermediate parallelizability, got α={alpha}"
+        );
+        Self {
+            m,
+            alpha,
+            stream_duration: (m * m) as f64,
+        }
+    }
+
+    /// Overrides the stream duration `X`.
+    pub fn with_stream_duration(mut self, x: f64) -> Self {
+        assert!(x > 0.0 && x.is_finite());
+        self.stream_duration = x;
+        self
+    }
+
+    /// `K = ⌊m^α⌋` — the unit-job arrival rate and the machine count the
+    /// alternative schedule reserves for unit jobs (the paper's `m^{1−ε}`).
+    pub fn k(&self) -> usize {
+        ((self.m as f64).powf(self.alpha).floor() as usize).clamp(1, self.m - 1)
+    }
+
+    /// Number of long jobs, `m − K`.
+    pub fn num_long(&self) -> usize {
+        self.m - self.k()
+    }
+
+    /// Number of unit jobs released before time `m` (`m · K`).
+    pub fn num_phase1_units(&self) -> usize {
+        self.m * self.k()
+    }
+
+    /// Number of unit jobs in the final stream (`X · K`).
+    pub fn num_stream_units(&self) -> usize {
+        (self.stream_duration * self.k() as f64).round() as usize
+    }
+
+    /// Ids of the long jobs (released first, at time 0).
+    pub fn long_ids(&self) -> impl Iterator<Item = JobId> {
+        (0..self.num_long() as u64).map(JobId)
+    }
+
+    fn curve(&self) -> Curve {
+        Curve::power(self.alpha)
+    }
+
+    /// Builds the concrete instance.
+    pub fn instance(&self) -> Result<Instance, SimError> {
+        let m = self.m as f64;
+        let k = self.k();
+        let delta = 1.0 / k as f64;
+        let curve = self.curve();
+        let mut jobs = Vec::with_capacity(self.num_long() + self.num_phase1_units() + self.num_stream_units());
+        let mut next_id = 0u64;
+        let mut push = |jobs: &mut Vec<JobSpec>, release: f64, size: f64| {
+            jobs.push(JobSpec::new(JobId(next_id), release, size, curve.clone()));
+            next_id += 1;
+        };
+        for _ in 0..self.num_long() {
+            push(&mut jobs, 0.0, m);
+        }
+        for j in 0..self.num_phase1_units() {
+            push(&mut jobs, j as f64 * delta, 1.0);
+        }
+        for j in 0..self.num_stream_units() {
+            push(&mut jobs, m + 1.0 + j as f64 * delta, 1.0);
+        }
+        Instance::new(jobs)
+    }
+
+    /// The paper's *alternative algorithm* as an executable plan:
+    ///
+    /// * `m − K` machines run the long jobs non-preemptively on `[0, m)`;
+    /// * each pre-stream unit job gets its own machine for one time unit on
+    ///   arrival (exactly `K` are in flight at any moment);
+    /// * each stream job is processed in `1/K` time using `K^{1/α} ≤ m`
+    ///   processors (rate exactly `K`), finishing just as the next arrives.
+    pub fn alternative_plan(&self) -> Result<AllocationPlan, SimError> {
+        let m = self.m as f64;
+        let k = self.k();
+        let delta = 1.0 / k as f64;
+        let mut tracks: Vec<(f64, f64, JobId, f64)> = Vec::new();
+        let mut id = 0u64;
+        for _ in 0..self.num_long() {
+            tracks.push((0.0, m, JobId(id), 1.0));
+            id += 1;
+        }
+        for j in 0..self.num_phase1_units() {
+            let t = j as f64 * delta;
+            tracks.push((t, t + 1.0, JobId(id), 1.0));
+            id += 1;
+        }
+        // Processors needed for rate K on the power curve: K^{1/α}.
+        let stream_share = (k as f64).powf(1.0 / self.alpha).min(m);
+        for j in 0..self.num_stream_units() {
+            let t = m + 1.0 + j as f64 * delta;
+            tracks.push((t, t + delta, JobId(id), stream_share));
+            id += 1;
+        }
+        AllocationPlan::from_tracks(&tracks, m)
+    }
+
+    /// Closed-form total flow of the alternative schedule:
+    /// `m·K (units) + (m − K)·m (longs) + X (stream)`.
+    pub fn alternative_flow_closed_form(&self) -> f64 {
+        let m = self.m as f64;
+        let k = self.k() as f64;
+        m * k + (m - k) * m + self.num_stream_units() as f64 / k
+    }
+
+    /// The paper's dominant term for greedy's flow:
+    /// `(m − m^{1−ε}) · X` — the long jobs starving through the stream.
+    pub fn predicted_greedy_flow_lower(&self) -> f64 {
+        self.num_long() as f64 * self.stream_duration
+    }
+
+    /// The ratio shape Lemma 10 predicts: `Ω(P) = Ω(m)` once the stream
+    /// dominates.
+    pub fn predicted_ratio_lower(&self) -> f64 {
+        self.predicted_greedy_flow_lower() / self.alternative_flow_closed_form()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_sim::{simulate, PlannedPolicy};
+
+    fn small_trap() -> GreedyTrap {
+        GreedyTrap::new(4, 0.5).with_stream_duration(8.0)
+    }
+
+    #[test]
+    fn counts_match_construction() {
+        let t = small_trap();
+        assert_eq!(t.k(), 2); // 4^0.5
+        assert_eq!(t.num_long(), 2);
+        assert_eq!(t.num_phase1_units(), 8);
+        assert_eq!(t.num_stream_units(), 16);
+        let inst = t.instance().unwrap();
+        assert_eq!(inst.len(), 2 + 8 + 16);
+        // P = m: sizes span [1, m].
+        assert_eq!(inst.p_max(), 4.0);
+        assert_eq!(inst.p_min(), 1.0);
+    }
+
+    #[test]
+    fn unit_jobs_are_spaced_by_inverse_k() {
+        let t = small_trap();
+        let inst = t.instance().unwrap();
+        let units: Vec<f64> = inst
+            .jobs()
+            .iter()
+            .filter(|j| j.size == 1.0 && j.release < 4.0)
+            .map(|j| j.release)
+            .collect();
+        assert_eq!(units.len(), 8);
+        for w in units.windows(2) {
+            assert!((w[1] - w[0] - 0.5).abs() < 1e-9);
+        }
+        // Stream starts at m + 1 = 5.
+        let first_stream = inst
+            .jobs()
+            .iter()
+            .filter(|j| j.release > 4.0)
+            .map(|j| j.release)
+            .fold(f64::INFINITY, f64::min);
+        assert!((first_stream - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alternative_plan_is_feasible_and_matches_closed_form() {
+        let t = small_trap();
+        let inst = t.instance().unwrap();
+        let plan = t.alternative_plan().unwrap();
+        let outcome = simulate(&inst, &mut PlannedPolicy::named(plan, "alt"), 4.0).unwrap();
+        assert_eq!(outcome.metrics.num_jobs, inst.len());
+        let expected = t.alternative_flow_closed_form();
+        assert!(
+            (outcome.metrics.total_flow - expected).abs() / expected < 1e-6,
+            "measured {} vs closed form {}",
+            outcome.metrics.total_flow,
+            expected
+        );
+    }
+
+    #[test]
+    fn alternative_plan_scales_to_larger_m() {
+        let t = GreedyTrap::new(16, 0.5).with_stream_duration(16.0);
+        let inst = t.instance().unwrap();
+        let plan = t.alternative_plan().unwrap();
+        let outcome = simulate(&inst, &mut PlannedPolicy::named(plan, "alt"), 16.0).unwrap();
+        let expected = t.alternative_flow_closed_form();
+        assert!((outcome.metrics.total_flow - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn predicted_ratio_grows_with_m() {
+        let r4 = GreedyTrap::new(4, 0.5).predicted_ratio_lower();
+        let r16 = GreedyTrap::new(16, 0.5).predicted_ratio_lower();
+        let r64 = GreedyTrap::new(64, 0.5).predicted_ratio_lower();
+        assert!(r16 > 1.5 * r4, "{r4} {r16}");
+        assert!(r64 > 1.5 * r16, "{r16} {r64}");
+    }
+
+    #[test]
+    #[should_panic(expected = "intermediate parallelizability")]
+    fn rejects_alpha_one() {
+        let _ = GreedyTrap::new(8, 1.0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// Construction invariants across the (m, α) grid: counts are
+        /// consistent, the instance validates, the alternative plan is
+        /// feasible, and the closed form matches execution.
+        #[test]
+        fn construction_invariants(m in 2usize..20, alpha in 0.1f64..0.95) {
+            let t = GreedyTrap::new(m, alpha).with_stream_duration(4.0);
+            proptest::prop_assert_eq!(t.num_long() + t.k(), m);
+            proptest::prop_assert!(t.k() >= 1 && t.k() < m);
+            let inst = t.instance().expect("valid instance");
+            proptest::prop_assert_eq!(
+                inst.len(),
+                t.num_long() + t.num_phase1_units() + t.num_stream_units()
+            );
+            let plan = t.alternative_plan().expect("feasible plan");
+            let run = simulate(&inst, &mut PlannedPolicy::new(plan), m as f64)
+                .expect("plan executes");
+            let closed = t.alternative_flow_closed_form();
+            proptest::prop_assert!(
+                (run.metrics.total_flow - closed).abs() / closed < 1e-6,
+                "m={}, α={}: {} vs {}", m, alpha, run.metrics.total_flow, closed
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Workload generators and the SPAA'14 adversarial instance families.
+//!
+//! Four kinds of workloads drive the reproduction's experiments:
+//!
+//! * [`random`] — Poisson-arrival workloads with pluggable size and
+//!   parallelizability distributions (the "realistic traffic" used by
+//!   experiment T1 and the lemma checkers).
+//! * [`batch`] — everything released at time 0, the setting in which EQUI
+//!   is 2-competitive (Edmonds; sanity experiment T4).
+//! * [`GreedyTrap`] — the Lemma 10 construction on which the natural
+//!   greedy hybrid is `Ω(max{P, n^{1/3}})`-competitive, together with the
+//!   paper's explicit "alternative algorithm" schedule that certifies an
+//!   upper bound on OPT (experiment F3).
+//! * [`PhaseFamily`] / [`PhaseAdversary`] — the Theorem 2 **adaptive**
+//!   lower-bound construction forcing *every* online algorithm to
+//!   `Ω(log P)`, together with the paper's "standard schedule" OPT
+//!   certificates for both adversary cases (experiments F1 and F4).
+//! * [`mix`] — overload/underload oscillators that exercise
+//!   Intermediate-SRPT's regime switch (experiment F5).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+mod greedy_trap;
+pub mod mix;
+mod phases;
+pub mod random;
+
+pub use greedy_trap::GreedyTrap;
+pub use phases::{AdversaryOutcome, PhaseAdversary, PhaseFamily, StoppingCase};

@@ -1,0 +1,149 @@
+//! Overload/underload oscillators.
+//!
+//! Intermediate-SRPT is defined by its regime switch: Sequential-SRPT when
+//! `|A(t)| ≥ m`, EQUI when `|A(t)| < m`. These generators produce workloads
+//! that deliberately cross that boundary repeatedly (experiment F5), and a
+//! heterogeneous-α "datacenter" mix used by the examples.
+
+use parsched_sim::{Instance, JobId, JobSpec, SimError};
+use parsched_speedup::Curve;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Periodic bursts: every `period` time units, release `burst` jobs of the
+/// given size, then silence. With `burst > m` the system goes overloaded at
+/// each burst and drains into underload before the next.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SawtoothWorkload {
+    /// Jobs per burst.
+    pub burst: usize,
+    /// Number of bursts.
+    pub bursts: usize,
+    /// Time between burst starts.
+    pub period: f64,
+    /// Job size.
+    pub size: f64,
+    /// Parallelizability exponent for all jobs.
+    pub alpha: f64,
+}
+
+impl SawtoothWorkload {
+    /// A sawtooth that drives `m` processors across the overload boundary:
+    /// bursts of `2m` unit-size jobs spaced far enough apart to drain.
+    pub fn crossing(m: usize, bursts: usize, alpha: f64) -> Self {
+        Self {
+            burst: 2 * m,
+            bursts,
+            // 2m unit jobs drain in ≥ 2 time units on m machines; period 4
+            // guarantees a quiet tail each cycle.
+            period: 4.0,
+            size: 1.0,
+            alpha,
+        }
+    }
+
+    /// Generates the instance.
+    pub fn generate(&self) -> Result<Instance, SimError> {
+        let curve = Curve::power(self.alpha);
+        let mut jobs = Vec::with_capacity(self.burst * self.bursts);
+        let mut id = 0u64;
+        for b in 0..self.bursts {
+            let t = b as f64 * self.period;
+            for _ in 0..self.burst {
+                jobs.push(JobSpec::new(JobId(id), t, self.size, curve.clone()));
+                id += 1;
+            }
+        }
+        Instance::new(jobs)
+    }
+}
+
+/// A heterogeneous-`α` mix modelled after the paper's motivation: a
+/// many-core machine shared by mostly-sequential services, moderately
+/// parallel analytics, and embarrassingly parallel batch jobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatacenterMix {
+    /// Number of jobs.
+    pub n: usize,
+    /// Arrival rate (jobs per unit time).
+    pub rate: f64,
+    /// Largest job size (`P`).
+    pub p: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DatacenterMix {
+    /// Generates the instance: 50% α=0.2 "services" with small sizes,
+    /// 30% α=0.6 "analytics" with mid sizes, 20% α=0.95 "batch" with sizes
+    /// up to `P`.
+    pub fn generate(&self) -> Result<Instance, SimError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut jobs = Vec::with_capacity(self.n);
+        let mut t = 0.0;
+        for i in 0..self.n {
+            let u: f64 = rng.gen::<f64>().max(1e-300);
+            t += -u.ln() / self.rate;
+            let class: f64 = rng.gen();
+            let (alpha, lo, hi) = if class < 0.5 {
+                (0.2, 1.0, (self.p / 8.0).max(1.0))
+            } else if class < 0.8 {
+                (0.6, 1.0, (self.p / 2.0).max(1.0))
+            } else {
+                (0.95, 1.0, self.p)
+            };
+            let size = lo + rng.gen::<f64>() * (hi - lo).max(0.0);
+            jobs.push(JobSpec::new(JobId(i as u64), t, size, Curve::power(alpha)));
+        }
+        Instance::new(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched::IntermediateSrpt;
+    use parsched_sim::{simulate_with_observer, AliveTrace};
+
+    #[test]
+    fn sawtooth_counts_and_times() {
+        let w = SawtoothWorkload::crossing(4, 3, 0.5);
+        let inst = w.generate().unwrap();
+        assert_eq!(inst.len(), 24);
+        assert_eq!(inst.jobs()[0].release, 0.0);
+        assert_eq!(inst.last_release(), 8.0);
+    }
+
+    #[test]
+    fn sawtooth_actually_crosses_the_regime_boundary() {
+        let m = 4;
+        let w = SawtoothWorkload::crossing(m, 3, 0.5);
+        let inst = w.generate().unwrap();
+        let mut trace = AliveTrace::new();
+        simulate_with_observer(&inst, &mut IntermediateSrpt::new(), m as f64, &mut trace).unwrap();
+        let frac = trace.overloaded_fraction(m);
+        assert!(frac > 0.0 && frac < 1.0, "never crossed: {frac}");
+        assert!(trace.peak() >= 2 * m);
+    }
+
+    #[test]
+    fn datacenter_mix_has_three_alpha_classes() {
+        let w = DatacenterMix {
+            n: 300,
+            rate: 5.0,
+            p: 64.0,
+            seed: 11,
+        };
+        let inst = w.generate().unwrap();
+        let mut alphas: Vec<f64> = inst
+            .jobs()
+            .iter()
+            .filter_map(|j| j.curve.alpha())
+            .collect();
+        alphas.sort_by(f64::total_cmp);
+        alphas.dedup();
+        assert_eq!(alphas, vec![0.2, 0.6, 0.95]);
+        assert!(inst.p_max() <= 64.0);
+    }
+}

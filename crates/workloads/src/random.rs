@@ -1,0 +1,297 @@
+//! Random workloads: Poisson arrivals with pluggable size and
+//! parallelizability distributions.
+//!
+//! All generators are deterministic functions of an explicit `u64` seed
+//! (via [`rand::rngs::StdRng`]), so every experiment is replayable from its
+//! recorded parameters.
+
+use parsched_sim::{Instance, JobId, JobSpec, SimError};
+use parsched_speedup::Curve;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Job-size distribution over `[1, P]` (the paper's normalization).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeDist {
+    /// Every job has the same size.
+    Fixed(f64),
+    /// `exp(U[0, ln P])` — log-uniform over `[1, P]`; every size class is
+    /// equally likely, the natural "hard" distribution for class-based
+    /// algorithms.
+    LogUniform {
+        /// Largest size `P ≥ 1`.
+        p: f64,
+    },
+    /// Bounded Pareto on `[1, P]` with the given tail index (heavy-tailed
+    /// workloads, the classic motivation for SRPT-style policies).
+    Pareto {
+        /// Largest size `P ≥ 1`.
+        p: f64,
+        /// Tail index `a > 0` (smaller = heavier tail).
+        shape: f64,
+    },
+    /// `small` with probability `1 − prob_large`, else `large`.
+    Bimodal {
+        /// The common small size.
+        small: f64,
+        /// The rare large size.
+        large: f64,
+        /// Probability of drawing `large`.
+        prob_large: f64,
+    },
+}
+
+impl SizeDist {
+    /// Draws one size.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            SizeDist::Fixed(p) => p,
+            SizeDist::LogUniform { p } => {
+                let u: f64 = rng.gen();
+                (u * p.ln()).exp()
+            }
+            SizeDist::Pareto { p, shape } => {
+                // Inverse-CDF of a bounded Pareto on [1, p].
+                let u: f64 = rng.gen();
+                let hp = 1.0 - p.powf(-shape);
+                (1.0 - u * hp).powf(-1.0 / shape).min(p)
+            }
+            SizeDist::Bimodal {
+                small,
+                large,
+                prob_large,
+            } => {
+                if rng.gen::<f64>() < prob_large {
+                    large
+                } else {
+                    small
+                }
+            }
+        }
+    }
+
+    /// The distribution mean (analytic; used to convert a target load into
+    /// an arrival rate).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SizeDist::Fixed(p) => p,
+            SizeDist::LogUniform { p } => {
+                if p <= 1.0 {
+                    1.0
+                } else {
+                    (p - 1.0) / p.ln()
+                }
+            }
+            SizeDist::Pareto { p, shape } => {
+                // E[X] for bounded Pareto on [1, p], shape a ≠ 1.
+                let a = shape;
+                if (a - 1.0).abs() < 1e-12 {
+                    p.ln() / (1.0 - 1.0 / p)
+                } else {
+                    (a / (a - 1.0)) * (1.0 - p.powf(1.0 - a)) / (1.0 - p.powf(-a))
+                }
+            }
+            SizeDist::Bimodal {
+                small,
+                large,
+                prob_large,
+            } => small * (1.0 - prob_large) + large * prob_large,
+        }
+    }
+}
+
+/// Parallelizability distribution over the exponent `α`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AlphaDist {
+    /// All jobs share one α.
+    Fixed(f64),
+    /// α uniform on `[lo, hi] ⊆ [0, 1]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// A weighted mix of exponents (weights need not be normalized).
+    Choice(Vec<(f64, f64)>),
+}
+
+impl AlphaDist {
+    /// Draws one α.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        match self {
+            AlphaDist::Fixed(a) => *a,
+            AlphaDist::Uniform { lo, hi } => rng.gen_range(*lo..=*hi),
+            AlphaDist::Choice(items) => {
+                let total: f64 = items.iter().map(|&(_, w)| w).sum();
+                let mut x = rng.gen::<f64>() * total;
+                for &(a, w) in items {
+                    if x < w {
+                        return a;
+                    }
+                    x -= w;
+                }
+                items.last().map(|&(a, _)| a).unwrap_or(0.5)
+            }
+        }
+    }
+
+    /// Largest α this distribution can produce (the paper's
+    /// `α = max_j α_j`, which controls the Theorem 1 constant).
+    pub fn max_alpha(&self) -> f64 {
+        match self {
+            AlphaDist::Fixed(a) => *a,
+            AlphaDist::Uniform { hi, .. } => *hi,
+            AlphaDist::Choice(items) => items.iter().map(|&(a, _)| a).fold(0.0, f64::max),
+        }
+    }
+}
+
+/// A Poisson-arrival workload description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoissonWorkload {
+    /// Number of jobs.
+    pub n: usize,
+    /// Arrival rate λ (jobs per unit time).
+    pub rate: f64,
+    /// Size distribution.
+    pub sizes: SizeDist,
+    /// Parallelizability distribution.
+    pub alphas: AlphaDist,
+    /// RNG seed (recorded with every experiment row).
+    pub seed: u64,
+}
+
+impl PoissonWorkload {
+    /// Arrival rate that produces offered load `ρ` on `m` processors:
+    /// `λ = ρ · m / E[size]`.
+    ///
+    /// "Load" here is work-volume load: when overloaded the system drains
+    /// at most `m` volume per unit time (since `Γ(x) ≤ x`), so `ρ = 1` is
+    /// the saturation point.
+    pub fn rate_for_load(load: f64, m: f64, sizes: &SizeDist) -> f64 {
+        load * m / sizes.mean()
+    }
+
+    /// Generates the instance.
+    pub fn generate(&self) -> Result<Instance, SimError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut t = 0.0;
+        let mut jobs = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            // Exponential inter-arrival via inverse CDF.
+            let u: f64 = rng.gen::<f64>().max(1e-300);
+            t += -u.ln() / self.rate;
+            let size = self.sizes.sample(&mut rng).max(1e-9);
+            let alpha = self.alphas.sample(&mut rng).clamp(0.0, 1.0);
+            jobs.push(JobSpec::new(JobId(i as u64), t, size, Curve::power(alpha)));
+        }
+        Instance::new(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn size_dists_stay_in_range() {
+        let mut r = rng();
+        let dists = [
+            SizeDist::Fixed(3.0),
+            SizeDist::LogUniform { p: 64.0 },
+            SizeDist::Pareto { p: 64.0, shape: 1.1 },
+            SizeDist::Bimodal { small: 1.0, large: 64.0, prob_large: 0.1 },
+        ];
+        for d in &dists {
+            for _ in 0..2000 {
+                let s = d.sample(&mut r);
+                assert!((1.0..=64.0).contains(&s) || matches!(d, SizeDist::Fixed(_)), "{d:?}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_means_match_analytic() {
+        let mut r = rng();
+        let dists = [
+            SizeDist::LogUniform { p: 32.0 },
+            SizeDist::Pareto { p: 32.0, shape: 1.5 },
+            SizeDist::Bimodal { small: 1.0, large: 10.0, prob_large: 0.3 },
+        ];
+        for d in &dists {
+            let n = 200_000;
+            let sum: f64 = (0..n).map(|_| d.sample(&mut r)).sum();
+            let emp = sum / n as f64;
+            let ana = d.mean();
+            assert!(
+                (emp - ana).abs() / ana < 0.02,
+                "{d:?}: empirical {emp} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_dists_sample_in_range() {
+        let mut r = rng();
+        let d = AlphaDist::Uniform { lo: 0.2, hi: 0.8 };
+        for _ in 0..1000 {
+            let a = d.sample(&mut r);
+            assert!((0.2..=0.8).contains(&a));
+        }
+        assert_eq!(d.max_alpha(), 0.8);
+        let c = AlphaDist::Choice(vec![(0.1, 1.0), (0.9, 3.0)]);
+        let mut hit_high = 0;
+        for _ in 0..1000 {
+            if c.sample(&mut r) == 0.9 {
+                hit_high += 1;
+            }
+        }
+        // 75% expected.
+        assert!((600..900).contains(&hit_high), "{hit_high}");
+        assert_eq!(c.max_alpha(), 0.9);
+    }
+
+    #[test]
+    fn poisson_workload_is_deterministic_per_seed() {
+        let w = PoissonWorkload {
+            n: 100,
+            rate: 2.0,
+            sizes: SizeDist::LogUniform { p: 16.0 },
+            alphas: AlphaDist::Fixed(0.5),
+            seed: 7,
+        };
+        let a = w.generate().unwrap();
+        let b = w.generate().unwrap();
+        assert_eq!(a, b);
+        let c = PoissonWorkload { seed: 8, ..w }.generate().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrival_rate_is_respected() {
+        let w = PoissonWorkload {
+            n: 50_000,
+            rate: 4.0,
+            sizes: SizeDist::Fixed(1.0),
+            alphas: AlphaDist::Fixed(0.5),
+            seed: 3,
+        };
+        let inst = w.generate().unwrap();
+        let horizon = inst.last_release();
+        let emp_rate = inst.len() as f64 / horizon;
+        assert!((emp_rate - 4.0).abs() < 0.1, "{emp_rate}");
+    }
+
+    #[test]
+    fn rate_for_load_formula() {
+        let sizes = SizeDist::Fixed(2.0);
+        // ρ = 0.5 on m = 8 with mean size 2 → λ = 2.
+        assert!((PoissonWorkload::rate_for_load(0.5, 8.0, &sizes) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: schedule a handful of malleable jobs with Intermediate-SRPT
+//! and compare against the OPT bracket.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use parsched::{theory, IntermediateSrpt};
+use parsched_opt::OptEstimate;
+use parsched_sim::{simulate, Instance, JobId, JobSpec};
+use parsched_speedup::Curve;
+
+fn main() {
+    // Eight processors; six jobs of intermediate parallelizability
+    // (speed-up curve Γ(x) = x for x ≤ 1, x^0.5 for x ≥ 1).
+    let m = 8.0;
+    let alpha = 0.5;
+    let jobs = vec![
+        JobSpec::new(JobId(0), 0.0, 16.0, Curve::power(alpha)),
+        JobSpec::new(JobId(1), 0.0, 2.0, Curve::power(alpha)),
+        JobSpec::new(JobId(2), 1.0, 4.0, Curve::power(alpha)),
+        JobSpec::new(JobId(3), 2.0, 1.0, Curve::power(alpha)),
+        JobSpec::new(JobId(4), 2.5, 8.0, Curve::power(alpha)),
+        JobSpec::new(JobId(5), 4.0, 2.0, Curve::power(alpha)),
+    ];
+    let instance = Instance::new(jobs).expect("valid instance");
+
+    // Run the paper's algorithm on the exact continuous-time engine.
+    let outcome = simulate(&instance, &mut IntermediateSrpt::new(), m).expect("simulation");
+    println!("Intermediate-SRPT on m = {m} processors, α = {alpha}:");
+    for c in &outcome.completed {
+        println!(
+            "  job {:>3}  size {:>5.1}  released {:>4.1}  completed {:>6.2}  flow {:>6.2}",
+            c.id.to_string(),
+            c.size,
+            c.release,
+            c.completion,
+            c.flow()
+        );
+    }
+    println!(
+        "total flow = {:.2}, mean = {:.2}, makespan = {:.2}",
+        outcome.metrics.total_flow, outcome.metrics.mean_flow, outcome.metrics.makespan
+    );
+
+    // How close to optimal was that? Bracket OPT rigorously.
+    let est = OptEstimate::bracket(&instance, m).expect("bracket");
+    let (at_least, at_most) = est.ratio_interval(outcome.metrics.total_flow);
+    println!(
+        "OPT ∈ [{:.2}, {:.2}] (upper-bound witness: {})",
+        est.lower, est.upper, est.upper_witness
+    );
+    println!("⇒ competitive ratio on this instance ∈ [{at_least:.3}, {at_most:.3}]");
+    println!(
+        "Theorem 1 guarantee shape: O(4^(1/(1-α)) · log P) = O({:.0})",
+        theory::theorem1_bound(alpha, instance.size_ratio())
+    );
+}

@@ -1,0 +1,70 @@
+//! Weighted flow time: prioritizing tenants (extension beyond the paper).
+//!
+//! The paper studies the unweighted objective; the natural practitioner's
+//! extension attaches an importance weight to each job and minimizes
+//! `Σ w_j·F_j`. This example puts a latency-critical tenant (weight 10)
+//! next to batch tenants (weight 1) and compares Intermediate-SRPT
+//! against its weighted variant.
+//!
+//! ```sh
+//! cargo run --release --example weighted_tenants
+//! ```
+
+use parsched::{IntermediateSrpt, WeightedIntermediateSrpt};
+use parsched_analysis::table::{fnum, Table};
+use parsched_sim::{simulate, Instance, JobId, JobSpec, Policy};
+use parsched_speedup::Curve;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let m = 8.0;
+    let mut rng = StdRng::seed_from_u64(17);
+    // 200 jobs, 10% belong to the critical tenant (weight 10).
+    let mut t = 0.0;
+    let jobs: Vec<JobSpec> = (0..200)
+        .map(|i| {
+            t += -rng.gen::<f64>().max(1e-12).ln() / 2.5;
+            let size = 1.0 + rng.gen::<f64>() * 15.0;
+            let critical = rng.gen::<f64>() < 0.10;
+            JobSpec::new(JobId(i), t, size, Curve::power(0.5))
+                .with_weight(if critical { 10.0 } else { 1.0 })
+        })
+        .collect();
+    let instance = Instance::new(jobs).expect("valid instance");
+
+    let mut table = Table::new(
+        "weighted tenants: critical 10%, weight 10 (m = 8, α = 0.5)",
+        &["policy", "Σ w·F", "critical mean flow", "batch mean flow", "Σ F"],
+    );
+    let policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(IntermediateSrpt::new()),
+        Box::new(WeightedIntermediateSrpt::new()),
+    ];
+    for mut policy in policies {
+        let name = policy.name();
+        let out = simulate(&instance, &mut policy, m).expect("run");
+        let mean_of = |w: f64| {
+            let flows: Vec<f64> = out
+                .completed
+                .iter()
+                .filter(|c| c.weight == w)
+                .map(|c| c.flow())
+                .collect();
+            flows.iter().sum::<f64>() / flows.len().max(1) as f64
+        };
+        table.push_row(vec![
+            name,
+            fnum(out.metrics.total_weighted_flow),
+            fnum(mean_of(10.0)),
+            fnum(mean_of(1.0)),
+            fnum(out.metrics.total_flow),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "The weighted variant trades a little total flow for a large cut in the\n\
+         critical tenant's waiting time — the density rule at work. (No competitive\n\
+         guarantee is claimed for weights ≠ 1; see the module docs.)"
+    );
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the SPAA'14 "Intermediate Parallelizability"
+//! reproduction.
+//!
+//! Re-exports the whole workspace under one roof for the examples and the
+//! cross-crate integration tests:
+//!
+//! * [`speedup`] — speed-up curve algebra.
+//! * [`sim`] — the continuous-time malleable-task simulator.
+//! * [`policies`] — Intermediate-SRPT and every baseline.
+//! * [`workloads`] — random workloads and the paper's adversarial families.
+//! * [`opt`] — rigorous OPT brackets.
+//! * [`analysis`] — potential function, lemma checkers, experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use parsched as policies;
+pub use parsched_analysis as analysis;
+pub use parsched_opt as opt;
+pub use parsched_sim as sim;
+pub use parsched_speedup as speedup;
+pub use parsched_workloads as workloads;

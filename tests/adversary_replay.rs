@@ -1,0 +1,107 @@
+//! The adaptive adversary commits to a concrete instance; replaying that
+//! instance statically must reproduce the online run exactly, and the OPT
+//! certificates must be feasible for whatever materialized.
+
+use parsched_repro::policies::{IntermediateSrpt, PolicyKind};
+use parsched_repro::sim::{simulate, PlannedPolicy};
+use parsched_repro::workloads::{PhaseFamily, StoppingCase};
+
+fn family() -> PhaseFamily {
+    PhaseFamily::new(4, 0.5, 64.0).with_stream_len(64)
+}
+
+#[test]
+fn adaptive_run_replays_exactly_on_static_source() {
+    let fam = family();
+    let (outcome, _) = fam.run_against(&mut IntermediateSrpt::new()).unwrap();
+    // Replay the recorded instance with a plain static source.
+    let replay = simulate(&outcome.instance, &mut IntermediateSrpt::new(), fam.m as f64).unwrap();
+    assert_eq!(outcome.completed.len(), replay.completed.len());
+    assert!((outcome.metrics.total_flow - replay.metrics.total_flow).abs() < 1e-6);
+}
+
+#[test]
+fn different_policies_get_different_instances() {
+    // Adaptivity in action: the instance materialized against
+    // Parallel-SRPT differs from the one against Intermediate-SRPT
+    // (different stopping cases at these parameters).
+    let fam = family();
+    let (a, ra) = fam.run_against(&mut IntermediateSrpt::new()).unwrap();
+    let (b, rb) = fam
+        .run_against(&mut PolicyKind::ParallelSrpt.build())
+        .unwrap();
+    assert_ne!(ra.case, rb.case, "expected different stopping cases");
+    assert_ne!(a.instance, b.instance);
+}
+
+#[test]
+fn opt_certificate_is_feasible_for_every_policy_case() {
+    let fam = family();
+    for kind in PolicyKind::all_standard() {
+        let (outcome, record) = fam.run_against(&mut kind.build()).unwrap();
+        let plan = fam.opt_plan(&record).unwrap();
+        let opt = simulate(
+            &outcome.instance,
+            &mut PlannedPolicy::named(plan, "standard"),
+            fam.m as f64,
+        )
+        .unwrap_or_else(|e| panic!("certificate infeasible for {}: {e}", kind.name()));
+        assert_eq!(
+            opt.metrics.num_jobs,
+            outcome.instance.len(),
+            "certificate left jobs unfinished for {}",
+            kind.name()
+        );
+        // Bracket consistency: the certificate (an OPT upper bound) must
+        // itself respect the provable OPT lower bound, and the online
+        // policy must too. (The online policy MAY beat the certificate —
+        // it only upper-bounds OPT — so no ordering between those two.)
+        let lb = parsched_repro::opt::bounds::lower_bound(&outcome.instance, fam.m as f64);
+        assert!(opt.metrics.total_flow >= lb * (1.0 - 1e-9), "{}", kind.name());
+        assert!(outcome.metrics.total_flow >= lb * (1.0 - 1e-9), "{}", kind.name());
+    }
+}
+
+#[test]
+fn case1_fires_for_processor_hoarders() {
+    // Parallel-SRPT dumps all processors on single unit jobs, so short-job
+    // debt builds and the adversary should cut to part 2 mid-phase.
+    let fam = family();
+    let (_, record) = fam
+        .run_against(&mut PolicyKind::ParallelSrpt.build())
+        .unwrap();
+    assert!(
+        matches!(record.case, StoppingCase::MidPhase { .. }),
+        "expected case 1, got {:?}",
+        record.case
+    );
+    // The triggering debt is on record and exceeds the threshold.
+    let worst = record.midpoint_debt.iter().copied().fold(0.0f64, f64::max);
+    assert!(worst >= fam.threshold());
+}
+
+#[test]
+fn case2_holds_for_short_friendly_policies() {
+    // Intermediate-SRPT always clears shorts first → never trips the
+    // midpoint threshold → all phases play out.
+    let fam = family();
+    let (_, record) = fam.run_against(&mut IntermediateSrpt::new()).unwrap();
+    assert_eq!(record.case, StoppingCase::AllPhases);
+    assert_eq!(record.phases.len(), fam.num_phases());
+    assert!(record
+        .midpoint_debt
+        .iter()
+        .all(|&d| d < fam.threshold()));
+}
+
+#[test]
+fn stream_length_is_honored() {
+    let fam = PhaseFamily::new(4, 0.5, 32.0).with_stream_len(17);
+    let (_, record) = fam.run_against(&mut IntermediateSrpt::new()).unwrap();
+    assert_eq!(record.stream.len(), 17);
+    // Waves are at consecutive integers from T.
+    for (k, (t, ids)) in record.stream.iter().enumerate() {
+        assert!((t - (record.t_part2 + k as f64)).abs() < 1e-9);
+        assert_eq!(ids.len(), 4);
+    }
+}

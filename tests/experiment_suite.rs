@@ -1,0 +1,39 @@
+//! End-to-end smoke of the whole experiment registry in quick mode: every
+//! experiment must run and its paper-predicted shape must hold.
+
+use parsched_repro::analysis::experiments::{all_ids, run, ExpOptions};
+
+#[test]
+fn every_experiment_passes_in_quick_mode() {
+    let opts = ExpOptions::quick();
+    for id in all_ids() {
+        let res = run(id, &opts).unwrap_or_else(|| panic!("unknown experiment {id}"));
+        assert!(!res.tables.is_empty(), "{id} produced no tables");
+        assert!(
+            res.tables.iter().all(|t| !t.is_empty()),
+            "{id} produced an empty table"
+        );
+        assert!(res.pass, "{id} shape mismatch:\n{}", res.render());
+    }
+}
+
+#[test]
+fn experiment_tables_render_in_all_formats() {
+    let res = run("f5", &ExpOptions::quick()).expect("f5");
+    for t in &res.tables {
+        assert!(!t.render().is_empty());
+        assert!(t.to_markdown().lines().count() >= 3);
+        assert!(t.to_csv().lines().count() >= 2);
+    }
+}
+
+#[test]
+fn experiments_are_deterministic_given_a_seed() {
+    let opts = ExpOptions::quick();
+    let a = run("t1", &opts).expect("t1");
+    let b = run("t1", &opts).expect("t1");
+    let fmt = |r: &parsched_repro::analysis::experiments::ExpResult| {
+        r.tables.iter().map(|t| t.to_csv()).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(fmt(&a), fmt(&b));
+}

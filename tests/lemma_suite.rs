@@ -1,0 +1,167 @@
+//! The paper's lemma machinery checked across a grid of workloads,
+//! algorithm/reference pairs, and parallelizability levels.
+
+use parsched_repro::analysis::potential::lockstep_report;
+use parsched_repro::policies::{IntermediateSrpt, PolicyKind};
+use parsched_repro::sim::Instance;
+use parsched_repro::workloads::mix::SawtoothWorkload;
+use parsched_repro::workloads::random::{AlphaDist, PoissonWorkload, SizeDist};
+
+const M: f64 = 4.0;
+
+fn poisson(seed: u64, load: f64, alpha: f64) -> Instance {
+    let sizes = SizeDist::LogUniform { p: 16.0 };
+    PoissonWorkload {
+        n: 120,
+        rate: PoissonWorkload::rate_for_load(load, M, &sizes),
+        sizes,
+        alphas: AlphaDist::Fixed(alpha),
+        seed,
+    }
+    .generate()
+    .expect("workload")
+}
+
+#[test]
+fn lemmas_hold_across_seeds_and_references() {
+    for seed in 0..4 {
+        let inst = poisson(seed, 1.2, 0.5);
+        for kind in [
+            PolicyKind::Equi,
+            PolicyKind::SequentialSrpt,
+            PolicyKind::ParallelSrpt,
+            PolicyKind::Laps(0.5),
+        ] {
+            let rep = lockstep_report(
+                &inst,
+                M,
+                &mut IntermediateSrpt::new(),
+                &mut kind.build(),
+                0.5,
+            )
+            .expect("lockstep");
+            let l = &rep.lemmas;
+            assert!(
+                l.lemma1_ok() && l.lemma4_ok() && l.lemma5_ok(),
+                "seed {seed}, ref {}: {l:?}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn lemmas_hold_across_alpha_spectrum() {
+    for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let inst = poisson(7, 1.3, alpha);
+        let rep = lockstep_report(
+            &inst,
+            M,
+            &mut IntermediateSrpt::new(),
+            &mut PolicyKind::Equi.build(),
+            alpha,
+        )
+        .expect("lockstep");
+        assert!(
+            rep.lemmas.lemma1_ok() && rep.lemmas.lemma4_ok() && rep.lemmas.lemma5_ok(),
+            "α={alpha}: {:?}",
+            rep.lemmas
+        );
+        assert!(
+            rep.potential.satisfies_paper_conditions(500.0, 1e-3),
+            "α={alpha}: {:?}",
+            rep.potential
+        );
+    }
+}
+
+#[test]
+fn potential_conditions_hold_on_regime_crossing_workloads() {
+    for alpha in [0.25, 0.75] {
+        let inst = SawtoothWorkload::crossing(M as usize, 5, alpha)
+            .generate()
+            .expect("sawtooth");
+        for kind in [PolicyKind::Equi, PolicyKind::SequentialSrpt] {
+            let rep = lockstep_report(
+                &inst,
+                M,
+                &mut IntermediateSrpt::new(),
+                &mut kind.build(),
+                alpha,
+            )
+            .expect("lockstep");
+            let p = &rep.potential;
+            assert!(p.phi_start.abs() < 1e-9, "{p:?}");
+            assert!(p.phi_end.abs() < 1e-6, "{p:?}");
+            assert!(p.max_jump <= 1e-3, "{p:?}");
+            assert!(p.overload_zero_opt_drift <= 1e-3, "{p:?}");
+            assert!(p.underload_zero_opt_drift <= 1e-3, "{p:?}");
+        }
+    }
+}
+
+#[test]
+fn lemmas_hold_against_random_feasible_references() {
+    // The lemmas quantify over ALL feasible schedules; fuzz the reference
+    // side with seeded random allocators.
+    use parsched_repro::policies::RandomAllocation;
+    let inst = poisson(21, 1.4, 0.5);
+    for seed in 0..6 {
+        let rep = lockstep_report(
+            &inst,
+            M,
+            &mut IntermediateSrpt::new(),
+            &mut RandomAllocation::new(seed, 0.5),
+            0.5,
+        )
+        .expect("lockstep");
+        assert!(
+            rep.lemmas.lemma1_ok() && rep.lemmas.lemma4_ok() && rep.lemmas.lemma5_ok(),
+            "seed {seed}: {:?}",
+            rep.lemmas
+        );
+        assert!(
+            rep.potential.max_jump <= 1e-3,
+            "seed {seed}: {:?}",
+            rep.potential
+        );
+    }
+}
+
+#[test]
+fn overloaded_samples_actually_occur() {
+    // The checkers only bite at overloaded times; make sure the suite's
+    // workloads genuinely exercise them.
+    let inst = poisson(3, 1.5, 0.5);
+    let rep = lockstep_report(
+        &inst,
+        M,
+        &mut IntermediateSrpt::new(),
+        &mut PolicyKind::Equi.build(),
+        0.5,
+    )
+    .expect("lockstep");
+    assert!(
+        rep.lemmas.overloaded_samples > 20,
+        "only {} overloaded samples",
+        rep.lemmas.overloaded_samples
+    );
+}
+
+#[test]
+fn lemma_checks_are_not_vacuous() {
+    // Lemma 1's RHS minus LHS should get *close* to binding somewhere:
+    // under heavy overload with an aggressive reference, the worst slack
+    // is finite and not absurdly negative (the inequality has teeth).
+    let inst = poisson(13, 1.8, 0.5);
+    let rep = lockstep_report(
+        &inst,
+        M,
+        &mut IntermediateSrpt::new(),
+        &mut PolicyKind::ParallelSrpt.build(),
+        0.5,
+    )
+    .expect("lockstep");
+    assert!(rep.lemmas.lemma1_worst.is_finite());
+    assert!(rep.lemmas.lemma1_worst > -1e3);
+}

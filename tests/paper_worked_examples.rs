@@ -1,0 +1,150 @@
+//! Numeric reproductions of calculations done inline in the paper's
+//! proofs.
+
+use parsched_repro::policies::{theory, GreedyHybrid, IntermediateSrpt};
+use parsched_repro::sim::{simulate, PlannedPolicy};
+use parsched_repro::speedup::Curve;
+use parsched_repro::workloads::{GreedyTrap, PhaseFamily};
+
+/// §3: "This greedy algorithm will devote all m machines to the 1 job of
+/// size 1 … It balances the choice of m^{1−ε} − (m−1)^{1−ε} versus 1/m.
+/// Given that ε > 0, it will always choose to assign the machine to the
+/// size 1 job."
+#[test]
+fn greedy_marginal_comparison_from_lemma10() {
+    // The comparison m^α − (m−1)^α ≥ 1/m (i.e. α·m^α ≳ 1) holds exactly
+    // when m ≥ (1/α)^{1/α} — an implicit side condition of the paper's
+    // asymptotic statement. Below that threshold greedy does NOT
+    // monopolize (it approaches Sequential-SRPT as α → 0, where it is
+    // fine); we check both directions.
+    for m in [4u32, 16, 64, 256] {
+        for eps in [0.1, 0.5, 0.9] {
+            let alpha = 1.0 - eps;
+            let curve = Curve::power(alpha);
+            // Marginal of the m-th processor on the unit job:
+            let unit_marginal = curve.marginal(m - 1) / 1.0;
+            // vs the first processor on a size-m long job:
+            let long_marginal = curve.marginal(0) / f64::from(m);
+            let threshold = (1.0 / alpha).powf(1.0 / alpha);
+            if f64::from(m) >= threshold {
+                assert!(
+                    unit_marginal > long_marginal,
+                    "m={m}, ε={eps}: {unit_marginal} vs {long_marginal}"
+                );
+            } else {
+                assert!(
+                    unit_marginal < long_marginal,
+                    "m={m}, ε={eps}: expected greedy NOT to monopolize below m ≥ (1/α)^{{1/α}}"
+                );
+            }
+        }
+    }
+}
+
+/// §3's flow accounting for the alternative algorithm: executing the plan
+/// matches the closed form `m² + X` exactly (in the paper's normalization
+/// X counts stream *time*, and each stream job costs 1/m^{1−ε}).
+#[test]
+fn lemma10_alternative_flow_accounting() {
+    for (m, alpha) in [(4usize, 0.5), (9, 0.5), (16, 0.5), (16, 0.75)] {
+        let trap = GreedyTrap::new(m, alpha).with_stream_duration((m * m) as f64);
+        let inst = trap.instance().unwrap();
+        let plan = trap.alternative_plan().unwrap();
+        let run = simulate(&inst, &mut PlannedPolicy::new(plan), m as f64).unwrap();
+        let closed = trap.alternative_flow_closed_form();
+        assert!(
+            (run.metrics.total_flow - closed).abs() / closed < 1e-6,
+            "m={m}, α={alpha}: {} vs {}",
+            run.metrics.total_flow,
+            closed
+        );
+        // The paper's m² + X shape (with K = m^{1−ε} exact, closed form is
+        // m·K + (m−K)·m + X = m² + X).
+        let k = trap.k() as f64;
+        let expected = m as f64 * k + (m as f64 - k) * m as f64 + trap.stream_duration;
+        assert!((closed - expected).abs() < 1e-6);
+    }
+}
+
+/// Lemma 10's conclusion end-to-end: greedy's measured flow is dominated
+/// by the starved long jobs and its ratio exceeds Intermediate-SRPT's by
+/// a factor growing with m.
+#[test]
+fn lemma10_separation_end_to_end() {
+    let mut prev_gap = 0.0;
+    for m in [4usize, 9, 16] {
+        let trap = GreedyTrap::new(m, 0.5);
+        let inst = trap.instance().unwrap();
+        let greedy = simulate(&inst, &mut GreedyHybrid::new(), m as f64)
+            .unwrap()
+            .metrics
+            .total_flow;
+        let isrpt = simulate(&inst, &mut IntermediateSrpt::new(), m as f64)
+            .unwrap()
+            .metrics
+            .total_flow;
+        let gap = greedy / isrpt;
+        assert!(gap > prev_gap, "gap should grow with m: {gap} at m={m}");
+        prev_gap = gap;
+    }
+    assert!(prev_gap > 4.0, "expected a large separation, got {prev_gap}");
+}
+
+/// §4's derived constants: `r = ½(1 − 2^{-ε})`, phase lengths shrink
+/// geometrically, and the standard schedule per phase costs
+/// `2·m·p_i + (m/2)·(p_i/2)²`-ish. We check the executable schedule's
+/// per-phase flow against that formula for a single-phase family.
+#[test]
+fn theorem2_standard_schedule_cost_shape() {
+    let fam = PhaseFamily::new(4, 0.5, 64.0).with_stream_len(1);
+    let (outcome, record) = fam.run_against(&mut IntermediateSrpt::new()).unwrap();
+    let plan = fam.opt_plan(&record).unwrap();
+    let opt = simulate(&outcome.instance, &mut PlannedPolicy::new(plan), 4.0).unwrap();
+    // Paper's standard-schedule cost for phase 0 (length p = 64, m = 4):
+    // long jobs: (m/2)·p = 128; shorts: W = p/2 = 32 waves, each with
+    // m/2 jobs at flow 1 (served on arrival) and m/2 at flow p/2 + 1 = 33
+    // (served in the phase's second half) → 32·(2·1 + 2·33) = 2176;
+    // plus the single stream wave: m jobs at flow 1 each.
+    let m = 4.0;
+    let p = 64.0;
+    let waves = 32.0;
+    let expected_phase = (m / 2.0) * p + waves * ((m / 2.0) * 1.0 + (m / 2.0) * (p / 2.0 + 1.0));
+    // Plus the single stream wave: m jobs at flow 1.
+    let expected = expected_phase + m;
+    assert!(
+        (opt.metrics.total_flow - expected).abs() / expected < 1e-9,
+        "measured {} vs paper formula {}",
+        opt.metrics.total_flow,
+        expected
+    );
+}
+
+/// Theorem 1's bound is the product of the two factors the paper states.
+#[test]
+fn theorem1_bound_factorization() {
+    let alpha = 0.5;
+    let p = 1024.0;
+    let bound = theory::theorem1_bound(alpha, p);
+    assert!((bound - theory::four_power(alpha) * 10.0).abs() < 1e-9);
+    // And it degenerates exactly at α = 1, matching the paper's point that
+    // the guarantee jumps from 1 to Θ(log P) the instant α < 1.
+    assert_eq!(theory::theorem1_bound(1.0, p), f64::INFINITY);
+    assert!(theory::theorem1_bound(0.99, p).is_finite());
+}
+
+/// The class arithmetic in §2.2: `⌈log P⌉` initial classes, class −1 for
+/// sub-unit remainders, and Lemma 4's RHS doubling per class.
+#[test]
+fn class_arithmetic_matches_paper() {
+    use parsched_repro::sim::{class_index, num_classes};
+    assert_eq!(num_classes(1024.0), 11); // k ∈ {0,…,10}
+    assert_eq!(class_index(1024.0), 10);
+    assert_eq!(class_index(1023.9), 9);
+    assert_eq!(class_index(0.37), -1);
+    for k in 0..10 {
+        assert_eq!(
+            theory::lemma4_rhs(8.0, k + 1) / theory::lemma4_rhs(8.0, k),
+            2.0
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-policy invariants on shared instances.
+
+use parsched_repro::opt::bounds;
+use parsched_repro::policies::{Equi, IntermediateSrpt, PolicyKind, SequentialSrpt};
+use parsched_repro::sim::{simulate, Instance};
+use parsched_repro::speedup::Curve;
+use parsched_repro::workloads::random::{AlphaDist, PoissonWorkload, SizeDist};
+
+fn workload(seed: u64, load: f64, alpha: f64, n: usize, m: f64, p: f64) -> Instance {
+    let sizes = SizeDist::LogUniform { p };
+    PoissonWorkload {
+        n,
+        rate: PoissonWorkload::rate_for_load(load, m, &sizes),
+        sizes,
+        alphas: AlphaDist::Fixed(alpha),
+        seed,
+    }
+    .generate()
+    .expect("workload")
+}
+
+#[test]
+fn every_policy_completes_every_job() {
+    let m = 4.0;
+    let inst = workload(1, 1.1, 0.5, 200, m, 32.0);
+    for kind in PolicyKind::all_standard() {
+        let out = simulate(&inst, &mut kind.build(), m).expect("run");
+        assert_eq!(out.metrics.num_jobs, inst.len(), "{}", kind.name());
+        assert!(out.metrics.total_flow.is_finite());
+        assert!(out.metrics.makespan >= inst.last_release());
+    }
+}
+
+#[test]
+fn every_policy_respects_the_opt_lower_bound() {
+    let m = 8.0;
+    for seed in 0..5 {
+        let inst = workload(seed, 0.9, 0.6, 150, m, 16.0);
+        let lb = bounds::lower_bound(&inst, m);
+        for kind in PolicyKind::all_standard() {
+            let flow = simulate(&inst, &mut kind.build(), m)
+                .expect("run")
+                .metrics
+                .total_flow;
+            assert!(
+                flow >= lb * (1.0 - 1e-9),
+                "{} beat the OPT lower bound: {flow} < {lb} (seed {seed})",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn isrpt_equals_sequential_srpt_while_always_overloaded() {
+    // n ≥ m throughout (single release wave, sizes equal so the alive count
+    // hits m only at the very end where EQUI can only help).
+    let m = 4.0;
+    let inst = Instance::from_sizes(
+        &[(0.0, 8.0), (0.0, 7.0), (0.0, 6.0), (0.0, 5.0), (0.0, 4.0), (0.0, 3.0)],
+        Curve::power(0.5),
+    )
+    .unwrap();
+    let a = simulate(&inst, &mut IntermediateSrpt::new(), m).unwrap();
+    let b = simulate(&inst, &mut SequentialSrpt::new(), m).unwrap();
+    // Identical prefix; ISRPT may only improve the underloaded tail.
+    assert!(a.metrics.total_flow <= b.metrics.total_flow + 1e-9);
+    // The first completions (while overloaded) are identical.
+    assert_eq!(a.completed[0].id, b.completed[0].id);
+    assert!((a.completed[0].completion - b.completed[0].completion).abs() < 1e-9);
+}
+
+#[test]
+fn isrpt_equals_equi_while_always_underloaded() {
+    let m = 16.0;
+    let inst = Instance::from_sizes(
+        &[(0.0, 8.0), (0.5, 4.0), (1.0, 2.0)],
+        Curve::power(0.7),
+    )
+    .unwrap();
+    let a = simulate(&inst, &mut IntermediateSrpt::new(), m).unwrap();
+    let b = simulate(&inst, &mut Equi::new(), m).unwrap();
+    assert!(
+        (a.metrics.total_flow - b.metrics.total_flow).abs() < 1e-9,
+        "{} vs {}",
+        a.metrics.total_flow,
+        b.metrics.total_flow
+    );
+    for (ca, cb) in a.completed.iter().zip(&b.completed) {
+        assert_eq!(ca.id, cb.id);
+        assert!((ca.completion - cb.completion).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn alive_integral_equals_flow_for_every_policy() {
+    let m = 4.0;
+    let inst = workload(9, 1.0, 0.4, 120, m, 16.0);
+    for kind in PolicyKind::all_standard() {
+        let out = simulate(&inst, &mut kind.build(), m).expect("run");
+        let rel = (out.metrics.alive_integral - out.metrics.total_flow).abs()
+            / out.metrics.total_flow;
+        assert!(rel < 1e-6, "{}: ∫|A| diverged by {rel}", kind.name());
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let m = 4.0;
+    let inst = workload(33, 1.2, 0.5, 150, m, 32.0);
+    for kind in PolicyKind::all_standard() {
+        let a = simulate(&inst, &mut kind.build(), m).expect("run");
+        let b = simulate(&inst, &mut kind.build(), m).expect("run");
+        assert_eq!(a.completed, b.completed, "{}", kind.name());
+    }
+}
+
+#[test]
+fn policies_are_reusable_across_runs() {
+    // The same policy value reused must reproduce a fresh policy's result
+    // (Policy::reset contract).
+    let m = 4.0;
+    let inst1 = workload(5, 1.0, 0.5, 80, m, 16.0);
+    let inst2 = workload(6, 1.0, 0.5, 80, m, 16.0);
+    for kind in PolicyKind::all_standard() {
+        let mut p = kind.build();
+        let _ = simulate(&inst1, &mut p, m).expect("first run");
+        let reused = simulate(&inst2, &mut p, m).expect("second run");
+        let fresh = simulate(&inst2, &mut kind.build(), m).expect("fresh run");
+        assert_eq!(reused.completed, fresh.completed, "{}", kind.name());
+    }
+}
+
+#[test]
+fn fully_parallel_ordering_psrpt_is_best() {
+    // On fully parallelizable jobs, Parallel-SRPT is optimal — every other
+    // policy is at best equal.
+    let m = 4.0;
+    let inst = workload(11, 0.9, 1.0, 100, m, 16.0);
+    let best = simulate(&inst, &mut PolicyKind::ParallelSrpt.build(), m)
+        .unwrap()
+        .metrics
+        .total_flow;
+    for kind in PolicyKind::all_standard() {
+        let flow = simulate(&inst, &mut kind.build(), m).unwrap().metrics.total_flow;
+        assert!(
+            flow >= best * (1.0 - 1e-6),
+            "{} beat PSRPT on fully parallel jobs: {flow} < {best}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn sequential_jobs_make_extra_processors_useless() {
+    // With α = 0 and n ≤ m, every work-conserving policy that gives each
+    // job ≥ 1 processor finishes identically.
+    let inst = Instance::from_sizes(&[(0.0, 3.0), (0.0, 5.0)], Curve::Sequential).unwrap();
+    let flows: Vec<f64> = [
+        PolicyKind::IntermediateSrpt,
+        PolicyKind::SequentialSrpt,
+        PolicyKind::Equi,
+    ]
+    .iter()
+    .map(|k| simulate(&inst, &mut k.build(), 8.0).unwrap().metrics.total_flow)
+    .collect();
+    for f in &flows {
+        assert!((f - 8.0).abs() < 1e-9, "{flows:?}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Integration tests for the weighted-flow extension and instance I/O.
+
+use parsched_repro::policies::{IntermediateSrpt, WeightedIntermediateSrpt};
+use parsched_repro::sim::csv::{instance_from_csv, instance_to_csv};
+use parsched_repro::sim::{simulate, Instance, JobId, JobSpec};
+use parsched_repro::speedup::Curve;
+
+fn weighted_instance(seed_shift: u64) -> Instance {
+    let jobs: Vec<JobSpec> = (0..60)
+        .map(|i| {
+            let release = (i as f64 * 0.61) % 20.0;
+            let size = 1.0 + ((i + seed_shift) as f64 * 1.37) % 12.0;
+            let weight = if i % 5 == 0 { 8.0 } else { 1.0 };
+            JobSpec::new(JobId(i), release, size, Curve::power(0.5)).with_weight(weight)
+        })
+        .collect();
+    Instance::new(jobs).expect("valid instance")
+}
+
+#[test]
+fn weighted_policy_improves_weighted_flow() {
+    let inst = weighted_instance(0);
+    let m = 4.0;
+    let plain = simulate(&inst, &mut IntermediateSrpt::new(), m).unwrap().metrics;
+    let weighted = simulate(&inst, &mut WeightedIntermediateSrpt::new(), m)
+        .unwrap()
+        .metrics;
+    assert!(
+        weighted.total_weighted_flow <= plain.total_weighted_flow * 1.001,
+        "weighted policy should not lose on its own objective: {} vs {}",
+        weighted.total_weighted_flow,
+        plain.total_weighted_flow
+    );
+    // And the two objectives genuinely disagree on this instance.
+    assert!(weighted.total_flow >= plain.total_flow * 0.999);
+}
+
+#[test]
+fn weighted_flow_reduces_to_flow_at_unit_weights() {
+    let inst = Instance::from_sizes(
+        &[(0.0, 3.0), (1.0, 1.0), (2.0, 5.0), (2.5, 2.0)],
+        Curve::power(0.5),
+    )
+    .unwrap();
+    let out = simulate(&inst, &mut IntermediateSrpt::new(), 2.0).unwrap();
+    assert!((out.metrics.total_weighted_flow - out.metrics.total_flow).abs() < 1e-9);
+}
+
+#[test]
+fn csv_round_trip_through_simulation() {
+    // Serialize, parse back, simulate both: identical results.
+    let inst = weighted_instance(3);
+    let csv = instance_to_csv(&inst);
+    let back = instance_from_csv(&csv).expect("parse back");
+    assert_eq!(inst, back);
+    let a = simulate(&inst, &mut WeightedIntermediateSrpt::new(), 4.0).unwrap();
+    let b = simulate(&back, &mut WeightedIntermediateSrpt::new(), 4.0).unwrap();
+    assert_eq!(a.completed, b.completed);
+}
+
+#[test]
+fn serde_default_weight_applies_to_legacy_rows() {
+    // Unweighted CSV (no weight column) must load with w = 1 everywhere.
+    let csv = "id,release,size,curve\n0,0,2,pow:0.5\n1,1,3,seq\n";
+    let inst = instance_from_csv(csv).unwrap();
+    assert!(inst.jobs().iter().all(|j| j.weight == 1.0));
+}
