@@ -44,13 +44,8 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
             seed,
         };
         let inst = w.generate().expect("workload");
-        let est = OptEstimate::bracket_with(
-            &inst,
-            M,
-            &PolicyKind::all_standard(),
-            &[],
-        )
-        .expect("bracket");
+        let est =
+            OptEstimate::bracket_with(&inst, M, &PolicyKind::all_standard(), &[]).expect("bracket");
         let isrpt = simulate(&inst, &mut IntermediateSrpt::new(), M)
             .expect("isrpt")
             .metrics
@@ -64,7 +59,13 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
 
     let mut table = Table::new(
         "F2: ratio brackets vs α (m=8, P=64, load 0.9, log-uniform sizes)",
-        &["α", "4^{1/(1-α)}", "ISRPT ratio ≤", "PSRPT ratio ≤", "PSRPT/ISRPT flow"],
+        &[
+            "α",
+            "4^{1/(1-α)}",
+            "ISRPT ratio ≤",
+            "PSRPT ratio ≤",
+            "PSRPT/ISRPT flow",
+        ],
     );
     let mut psrpt_over_isrpt = Vec::new();
     for &(alpha, isrpt, psrpt, ref est) in &rows {
@@ -72,7 +73,11 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
         psrpt_over_isrpt.push((alpha, psrpt / isrpt));
         table.push_row(vec![
             fnum(alpha),
-            if four.is_finite() { fnum(four) } else { "∞".into() },
+            if four.is_finite() {
+                fnum(four)
+            } else {
+                "∞".into()
+            },
             fnum(isrpt / est.lower),
             fnum(psrpt / est.lower),
             fnum(psrpt / isrpt),

@@ -29,8 +29,8 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
         let trap = GreedyTrap::new(m, ALPHA);
         let inst = trap.instance().expect("trap instance");
         let plan = trap.alternative_plan().expect("alternative schedule");
-        let est = bracket_cheap(&inst, m as f64, &[("alternative".to_string(), plan)])
-            .expect("bracket");
+        let est =
+            bracket_cheap(&inst, m as f64, &[("alternative".to_string(), plan)]).expect("bracket");
         let greedy = simulate(&inst, &mut GreedyHybrid::new(), m as f64)
             .expect("greedy run")
             .metrics
@@ -39,12 +39,26 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
             .expect("isrpt run")
             .metrics
             .total_flow;
-        (m, inst.len(), greedy, isrpt, est, trap.predicted_ratio_lower())
+        (
+            m,
+            inst.len(),
+            greedy,
+            isrpt,
+            est,
+            trap.predicted_ratio_lower(),
+        )
     });
 
     let mut table = Table::new(
         "F3: greedy trap (Lemma 10), α=0.5, X=m², P=m",
-        &["m (=P)", "n", "greedy ratio ≥", "ISRPT ratio ≥", "predicted Ω", "OPT witness"],
+        &[
+            "m (=P)",
+            "n",
+            "greedy ratio ≥",
+            "ISRPT ratio ≥",
+            "predicted Ω",
+            "OPT witness",
+        ],
     );
     let mut greedy_ratios = Vec::new();
     let mut isrpt_ratios = Vec::new();

@@ -24,9 +24,7 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
 
     let rows = parallel_map(policies, |kind| {
         let fam = PhaseFamily::new(M, ALPHA, p).with_stream_len(stream);
-        let (outcome, record) = fam
-            .run_against(&mut kind.build())
-            .expect("adversary run");
+        let (outcome, record) = fam.run_against(&mut kind.build()).expect("adversary run");
         let plan = fam.opt_plan(&record).expect("standard schedule");
         let est = bracket_cheap(
             &outcome.instance,
@@ -34,11 +32,7 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
             &[("standard-schedule".to_string(), plan)],
         )
         .expect("bracket");
-        let worst_debt = record
-            .midpoint_debt
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let worst_debt = record.midpoint_debt.iter().copied().fold(0.0f64, f64::max);
         (
             kind.name(),
             format!("{:?}", record.case),
@@ -49,8 +43,17 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
     });
 
     let mut table = Table::new(
-        format!("F4: adaptive adversary vs every policy (m={M}, α={ALPHA}, P={p}, stream={stream})"),
-        &["policy", "case", "max midpoint debt", "flow", "ratio ≥", "OPT witness"],
+        format!(
+            "F4: adaptive adversary vs every policy (m={M}, α={ALPHA}, P={p}, stream={stream})"
+        ),
+        &[
+            "policy",
+            "case",
+            "max midpoint debt",
+            "flow",
+            "ratio ≥",
+            "OPT witness",
+        ],
     );
     let mut ratios = Vec::new();
     for (name, case, debt, flow, est) in &rows {

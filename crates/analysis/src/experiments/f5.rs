@@ -28,14 +28,22 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
 
     // Alive-count time series, sampled at events (step function).
     let mut series = Table::new(
-        format!("F5a: |A(t)| under Intermediate-SRPT (m={M}, sawtooth bursts of {} jobs)", 2 * M),
+        format!(
+            "F5a: |A(t)| under Intermediate-SRPT (m={M}, sawtooth bursts of {} jobs)",
+            2 * M
+        ),
         &["t", "|A(t)|", "regime"],
     );
     for pt in trace.points() {
         series.push_row(vec![
             fnum(pt.t),
             pt.alive.to_string(),
-            if pt.alive >= M { "overloaded" } else { "underloaded" }.to_string(),
+            if pt.alive >= M {
+                "overloaded"
+            } else {
+                "underloaded"
+            }
+            .to_string(),
         ]);
     }
 
@@ -114,7 +122,10 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
         notes: vec![
             format!("fraction of event samples overloaded: {crossed:.2}"),
             format!("ISRPT ≤ Sequential-SRPT on pure overload: {overload_agree}"),
-            format!("ISRPT ≡ EQUI on pure underload: {underload_agree} (Δ = {:.2e})", (c - d).abs()),
+            format!(
+                "ISRPT ≡ EQUI on pure underload: {underload_agree} (Δ = {:.2e})",
+                (c - d).abs()
+            ),
             format!("Sequential-SRPT flow {seq_flow:.1}, EQUI flow {equi_flow:.1} on the sawtooth"),
         ],
         pass: crossed > 0.0 && crossed < 1.0 && overload_agree && underload_agree,

@@ -76,7 +76,9 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
         title: "Machine-count independence of the competitive ratio (Theorem 1)",
         tables: vec![table],
         notes: vec![
-            format!("ISRPT ratio spread across m ∈ {{2..32}}: ×{spread:.2} (flat ⇒ bound is m-free)"),
+            format!(
+                "ISRPT ratio spread across m ∈ {{2..32}}: ×{spread:.2} (flat ⇒ bound is m-free)"
+            ),
             "PSRPT hoards m processors for m^α work, so its ratio must grow with m".to_string(),
         ],
         pass: flat && psrpt_degrades,

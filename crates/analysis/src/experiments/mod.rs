@@ -96,7 +96,11 @@ impl ExpResult {
         }
         out.push_str(&format!(
             "  verdict: {}\n",
-            if self.pass { "SHAPE OK" } else { "SHAPE MISMATCH" }
+            if self.pass {
+                "SHAPE OK"
+            } else {
+                "SHAPE MISMATCH"
+            }
         ));
         out
     }
@@ -104,7 +108,9 @@ impl ExpResult {
 
 /// All experiment ids, in presentation order.
 pub fn all_ids() -> &'static [&'static str] {
-    &["f1", "f2", "f3", "f4", "f5", "f6", "t1", "t2", "t3", "t4", "t5", "x2", "x3"]
+    &[
+        "f1", "f2", "f3", "f4", "f5", "f6", "t1", "t2", "t3", "t4", "t5", "x2", "x3",
+    ]
 }
 
 /// Runs one experiment by id.
@@ -166,7 +172,18 @@ mod tests {
         for id in all_ids() {
             assert!(matches!(
                 *id,
-                "f1" | "f2" | "f3" | "f4" | "f5" | "f6" | "t1" | "t2" | "t3" | "t4" | "t5" | "x2" | "x3"
+                "f1" | "f2"
+                    | "f3"
+                    | "f4"
+                    | "f5"
+                    | "f6"
+                    | "t1"
+                    | "t2"
+                    | "t3"
+                    | "t4"
+                    | "t5"
+                    | "x2"
+                    | "x3"
             ));
         }
     }

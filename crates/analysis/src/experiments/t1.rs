@@ -106,7 +106,9 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
         notes: vec![
             "cells are geometric means over seeds of total flow / provable OPT lower bound"
                 .to_string(),
-            format!("Intermediate-SRPT within 25% of the best policy in {isrpt_wins}/{combos} cells"),
+            format!(
+                "Intermediate-SRPT within 25% of the best policy in {isrpt_wins}/{combos} cells"
+            ),
         ],
         pass,
     }

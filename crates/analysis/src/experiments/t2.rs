@@ -64,7 +64,14 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
 
     let mut table = Table::new(
         format!("T2: worst lemma slacks, Intermediate-SRPT vs reference (m={M}, ≤0 ⇒ holds)"),
-        &["workload", "reference", "samples", "Lemma 1", "Lemma 4", "Lemma 5"],
+        &[
+            "workload",
+            "reference",
+            "samples",
+            "Lemma 1",
+            "Lemma 4",
+            "Lemma 5",
+        ],
     );
     let mut all_hold = true;
     for (wname, rname, rep) in &rows {
@@ -79,7 +86,10 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
             fnum(l.lemma5_worst),
         ]);
     }
-    let checked_samples: usize = rows.iter().map(|(_, _, r)| r.lemmas.overloaded_samples).sum();
+    let checked_samples: usize = rows
+        .iter()
+        .map(|(_, _, r)| r.lemmas.overloaded_samples)
+        .sum();
 
     // Second table: how close Lemma 4's per-class ceiling m·2^{k+1} comes
     // to binding (peak ΔV_{≤k} / ceiling, worst class per reference).
@@ -90,15 +100,17 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
     let mut max_utilization = f64::NEG_INFINITY;
     for (wname, rname, rep) in &rows {
         let util = rep.lemmas.lemma4_utilization(M);
-        let (worst_k, worst_u) = util
-            .iter()
-            .fold((0, f64::NEG_INFINITY), |acc, &(k, u)| {
-                if u > acc.1 {
-                    (k, u)
-                } else {
-                    acc
-                }
-            });
+        let (worst_k, worst_u) =
+            util.iter().fold(
+                (0, f64::NEG_INFINITY),
+                |acc, &(k, u)| {
+                    if u > acc.1 {
+                        (k, u)
+                    } else {
+                        acc
+                    }
+                },
+            );
         max_utilization = max_utilization.max(worst_u);
         util_table.push_row(vec![
             wname.clone(),

@@ -90,9 +90,7 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
             format!("{:.2e}", p.max_jump),
             fnum(p.overload_c),
             fnum(p.underload_c),
-            fnum(p
-                .overload_zero_opt_drift
-                .max(p.underload_zero_opt_drift)),
+            fnum(p.overload_zero_opt_drift.max(p.underload_zero_opt_drift)),
         ]);
     }
 
@@ -103,7 +101,8 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
         notes: vec![
             "overload c: empirical constant needed in dΦ/dt ≤ c·4^{1/(1-α)}log₂P·|OPT|".to_string(),
             "underload c: empirical constant needed in |A|+dΦ/dt ≤ c·2^{1/(1-α)}·|OPT|".to_string(),
-            "zero-OPT drift must be ≤ 0: with no reference jobs alive, Φ can only drain".to_string(),
+            "zero-OPT drift must be ≤ 0: with no reference jobs alive, Φ can only drain"
+                .to_string(),
         ],
         pass: all_ok,
     }

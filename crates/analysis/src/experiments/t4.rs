@@ -52,8 +52,8 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
         } else {
             w.generate().expect("batch")
         };
-        let est = OptEstimate::bracket_with(&inst, M, &PolicyKind::all_standard(), &[])
-            .expect("bracket");
+        let est =
+            OptEstimate::bracket_with(&inst, M, &PolicyKind::all_standard(), &[]).expect("bracket");
         let equi = simulate(&inst, &mut Equi::new(), M)
             .expect("equi")
             .metrics
@@ -63,7 +63,14 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
 
     let mut table = Table::new(
         format!("T4: EQUI on batch release (m={M}, α ~ U[0.1,0.9])"),
-        &["n", "seed", "curves", "EQUI flow", "EQUI/UB (must ≤ 2)", "EQUI/LB"],
+        &[
+            "n",
+            "seed",
+            "curves",
+            "EQUI flow",
+            "EQUI/UB (must ≤ 2)",
+            "EQUI/LB",
+        ],
     );
     let mut worst = 0.0f64;
     for (n, seed, mixed, equi, est) in &rows {

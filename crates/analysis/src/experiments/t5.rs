@@ -74,8 +74,16 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
     });
 
     let mut table = Table::new(
-        format!("T5: fairness — stretch per policy (m={M}, Pareto(1.2) sizes on [1,{P}], α={ALPHA})"),
-        &["load", "policy", "total flow (gm)", "mean stretch (gm)", "max stretch (gm)"],
+        format!(
+            "T5: fairness — stretch per policy (m={M}, Pareto(1.2) sizes on [1,{P}], α={ALPHA})"
+        ),
+        &[
+            "load",
+            "policy",
+            "total flow (gm)",
+            "mean stretch (gm)",
+            "max stretch (gm)",
+        ],
     );
     let policies = PolicyKind::all_standard();
     let mut isrpt_max = vec![];

@@ -58,8 +58,7 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
     }
     .generate()
     .expect("poisson");
-    let fam = PhaseFamily::new(M, ALPHA, 32.0)
-        .with_stream_len(if opts.quick { 128 } else { 1024 });
+    let fam = PhaseFamily::new(M, ALPHA, 32.0).with_stream_len(if opts.quick { 128 } else { 1024 });
     let (adv_outcome, record) = fam.run_against(&mut Equi::new()).expect("adversary");
     let plan = fam.opt_plan(&record).expect("certificate");
     let adv_est = bracket_cheap(
@@ -103,12 +102,7 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
     let equi_1 = equi_at(1.0);
     let equi_fast = equi_at(*speeds.last().expect("speeds"));
     for (s, name, per) in &rows {
-        table.push_row(vec![
-            fnum(*s),
-            name.clone(),
-            fnum(per[0].1),
-            fnum(per[1].1),
-        ]);
+        table.push_row(vec![fnum(*s), name.clone(), fnum(per[0].1), fnum(per[1].1)]);
     }
 
     // Shape: augmentation helps a lot — EQUI's worst normalized flow at
@@ -121,7 +115,10 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
         tables: vec![table],
         notes: vec![
             "values are flow at speed s divided by the speed-1 OPT upper bound".to_string(),
-            format!("EQUI worst cell: {equi_1:.2} at s=1 → {equi_fast:.2} at s={}", speeds.last().expect("speeds")),
+            format!(
+                "EQUI worst cell: {equi_1:.2} at s=1 → {equi_fast:.2} at s={}",
+                speeds.last().expect("speeds")
+            ),
         ],
         pass,
     }

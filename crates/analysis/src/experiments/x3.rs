@@ -51,10 +51,14 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
         let flows: Vec<f64> = workloads
             .iter()
             .map(|(_, inst)| {
-                simulate(&inst.clone(), &mut PolicyKind::Threshold(theta).build(), M as f64)
-                    .expect("run")
-                    .metrics
-                    .total_flow
+                simulate(
+                    &inst.clone(),
+                    &mut PolicyKind::Threshold(theta).build(),
+                    M as f64,
+                )
+                .expect("run")
+                .metrics
+                .total_flow
             })
             .collect();
         (theta, flows)
@@ -89,8 +93,7 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
     // beats it by more than a few percent on any workload, and the
     // extremes are clearly worse somewhere.
     let extremes_hurt = rows.iter().any(|(theta, flows)| {
-        (*theta <= 0.5 || *theta >= 2.0)
-            && flows.iter().zip(base).any(|(f, b)| f / b > 1.15)
+        (*theta <= 0.5 || *theta >= 2.0) && flows.iter().zip(base).any(|(f, b)| f / b > 1.15)
     });
     let theta_one_near_best = worst_at_one > 0.9;
 

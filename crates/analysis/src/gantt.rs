@@ -104,7 +104,10 @@ mod tests {
         assert_eq!(lines.len(), 3); // two jobs + axis
         assert!(lines[0].contains("j0"));
         // Job 0 busy in the first half only.
-        let row0: String = lines[0].chars().filter(|c| *c == '█' || *c == '·').collect();
+        let row0: String = lines[0]
+            .chars()
+            .filter(|c| *c == '█' || *c == '·')
+            .collect();
         assert!(row0.starts_with("█████"));
         assert!(row0.ends_with("·····"));
     }
@@ -132,14 +135,11 @@ mod tests {
         use parsched::IntermediateSrpt;
         use parsched_sim::{simulate_with_observer, AllocationTrace, Instance};
         use parsched_speedup::Curve;
-        let inst = Instance::from_sizes(
-            &[(0.0, 2.0), (0.0, 2.0), (0.0, 2.0)],
-            Curve::power(0.5),
-        )
-        .unwrap();
+        let inst =
+            Instance::from_sizes(&[(0.0, 2.0), (0.0, 2.0), (0.0, 2.0)], Curve::power(0.5)).unwrap();
         let mut trace = AllocationTrace::new();
-        let out = simulate_with_observer(&inst, &mut IntermediateSrpt::new(), 2.0, &mut trace)
-            .unwrap();
+        let out =
+            simulate_with_observer(&inst, &mut IntermediateSrpt::new(), 2.0, &mut trace).unwrap();
         let g = render_gantt(trace.segments(), out.metrics.makespan, 24, 1.0);
         assert_eq!(g.lines().count(), 4);
         assert!(g.contains('█'));

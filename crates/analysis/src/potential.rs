@@ -184,21 +184,17 @@ pub fn lockstep_report(
             report.intervals += 1;
             if alg_alive >= m_int {
                 if ref_alive > 0 {
-                    report.overload_c = report
-                        .overload_c
-                        .max(slope / (four_log * ref_alive as f64));
+                    report.overload_c =
+                        report.overload_c.max(slope / (four_log * ref_alive as f64));
                 } else {
-                    report.overload_zero_opt_drift =
-                        report.overload_zero_opt_drift.max(slope);
+                    report.overload_zero_opt_drift = report.overload_zero_opt_drift.max(slope);
                 }
             } else if alg_alive > 0 {
                 let lhs = alg_alive as f64 + slope;
                 if ref_alive > 0 {
-                    report.underload_c =
-                        report.underload_c.max(lhs / (two_pow * ref_alive as f64));
+                    report.underload_c = report.underload_c.max(lhs / (two_pow * ref_alive as f64));
                 } else {
-                    report.underload_zero_opt_drift =
-                        report.underload_zero_opt_drift.max(lhs);
+                    report.underload_zero_opt_drift = report.underload_zero_opt_drift.max(lhs);
                 }
             }
         }
@@ -311,8 +307,14 @@ mod tests {
     #[test]
     fn lockstep_conditions_hold_for_isrpt_vs_equi() {
         let inst = mixed_instance(0.5);
-        let rep = lockstep_report(&inst, 2.0, &mut IntermediateSrpt::new(), &mut Equi::new(), 0.5)
-            .unwrap();
+        let rep = lockstep_report(
+            &inst,
+            2.0,
+            &mut IntermediateSrpt::new(),
+            &mut Equi::new(),
+            0.5,
+        )
+        .unwrap();
         assert!(
             rep.potential.satisfies_paper_conditions(100.0, 1e-3),
             "{rep:?}"
@@ -341,9 +343,14 @@ mod tests {
     #[test]
     fn boundary_condition_zero_at_both_ends() {
         let inst = mixed_instance(0.7);
-        let rep =
-            lockstep_report(&inst, 2.0, &mut IntermediateSrpt::new(), &mut Equi::new(), 0.7)
-                .unwrap();
+        let rep = lockstep_report(
+            &inst,
+            2.0,
+            &mut IntermediateSrpt::new(),
+            &mut Equi::new(),
+            0.7,
+        )
+        .unwrap();
         assert!(rep.potential.phi_start.abs() < 1e-9);
         assert!(rep.potential.phi_end.abs() < 1e-6);
     }
@@ -352,9 +359,14 @@ mod tests {
     fn flows_reported_match_direct_simulation() {
         use parsched_sim::simulate;
         let inst = mixed_instance(0.5);
-        let rep =
-            lockstep_report(&inst, 2.0, &mut IntermediateSrpt::new(), &mut Equi::new(), 0.5)
-                .unwrap();
+        let rep = lockstep_report(
+            &inst,
+            2.0,
+            &mut IntermediateSrpt::new(),
+            &mut Equi::new(),
+            0.5,
+        )
+        .unwrap();
         let direct = simulate(&inst, &mut IntermediateSrpt::new(), 2.0).unwrap();
         assert!((rep.alg_flow - direct.metrics.total_flow).abs() < 1e-6);
         let direct_ref = simulate(&inst, &mut Equi::new(), 2.0).unwrap();
@@ -369,8 +381,14 @@ mod tests {
         let inst = Instance::new(specs).unwrap();
         // Algorithm: EQUI (full speed on the single job). Reference:
         // Sequential-SRPT (1 processor only) — strictly slower.
-        let rep = lockstep_report(&inst, 4.0, &mut Equi::new(), &mut SequentialSrpt::new(), 1.0)
-            .unwrap();
+        let rep = lockstep_report(
+            &inst,
+            4.0,
+            &mut Equi::new(),
+            &mut SequentialSrpt::new(),
+            1.0,
+        )
+        .unwrap();
         assert!(rep.potential.max_jump <= 1e-9);
         assert!(rep.potential.phi_end.abs() < 1e-9);
     }

@@ -1,18 +1,22 @@
 //! Deterministic parallel parameter sweeps.
 //!
 //! Every experiment is a grid of independent simulation runs; this module
-//! fans them out over a crossbeam channel to scoped worker threads and
-//! returns results **in input order**, so sweeps are reproducible
-//! regardless of scheduling. (rayon is not in the approved offline crate
-//! set; a channel + `std::thread::scope` work pool is all these
-//! embarrassingly parallel sweeps need.)
+//! fans them out over std channels to scoped worker threads and returns
+//! results **in input order**, so sweeps are reproducible regardless of
+//! scheduling. (rayon is not in the approved offline crate set; two
+//! channels + `std::thread::scope` are all these embarrassingly parallel
+//! sweeps need.)
 
-use parking_lot::Mutex;
+use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// Maps `f` over `items` in parallel, preserving input order.
 ///
 /// Uses up to `std::thread::available_parallelism()` workers (capped by
-/// the item count). Panics in `f` propagate after the scope joins.
+/// the item count). Workers pull `(index, item)` jobs from a shared queue
+/// and send `(index, result)` back over a channel; the results vector is
+/// assembled once on the caller's thread, so no lock is held around `f`.
+/// Panics in `f` propagate after the scope joins.
 ///
 /// ```
 /// let squares = parsched_analysis::parallel_map(vec![1, 2, 3], |x| x * x);
@@ -35,24 +39,39 @@ where
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    // Job queue: std mpsc receivers are single-consumer, so workers share
+    // the receiving end behind a mutex held only for the dequeue itself.
+    let (job_tx, job_rx) = mpsc::channel::<(usize, T)>();
     for pair in items.into_iter().enumerate() {
-        tx.send(pair).expect("queue is open");
+        job_tx.send(pair).expect("queue is open");
     }
-    drop(tx);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    drop(job_tx);
+    let job_rx = Mutex::new(job_rx);
+    let next_job = || job_rx.lock().expect("job queue lock").recv().ok();
+
+    let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
+        let f = &f;
+        let next_job = &next_job;
         for _ in 0..workers {
-            scope.spawn(|| {
-                while let Ok((i, item)) = rx.recv() {
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                while let Some((i, item)) = next_job() {
                     let r = f(item);
-                    results.lock()[i] = Some(r);
+                    result_tx.send((i, r)).expect("collector is open");
                 }
             });
         }
+        drop(result_tx);
+        // Collect on the calling thread while workers run; ends when the
+        // last worker drops its sender clone.
+        for (i, r) in result_rx.iter() {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(r);
+        }
     });
-    results
-        .into_inner()
+    slots
         .into_iter()
         .map(|r| r.expect("every index was processed"))
         .collect()
@@ -115,7 +134,9 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(20));
         });
         let elapsed = start.elapsed();
-        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         if workers >= 4 {
             assert!(
                 elapsed < std::time::Duration::from_millis(150),

@@ -5,15 +5,71 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use parsched::IntermediateSrpt;
-use parsched_bench::poisson_fixture;
+use parsched_bench::{overload_fixture, poisson_fixture, timed_run};
 use parsched_sim::{simulate, PlannedPolicy};
 use parsched_workloads::GreedyTrap;
 
 fn engine_scaling_n(c: &mut Criterion) {
+    // The incremental path across instance sizes, plus the legacy
+    // full-reassign oracle at n = 10_000 on the same fixtures in the same
+    // run, so the speed-up ratio is directly readable from one report.
+    //
+    // Two fixtures, two regimes (see docs/PERF.md):
+    // * load 0.9 keeps the alive set at ~9 jobs independent of n, so the
+    //   legacy O(|A|)-per-event path is not asymptotically handicapped and
+    //   the gap is the constant-factor win (~2.5–3×);
+    // * the overload fixture (load 1.5) grows |A(t)| linearly in n — the
+    //   O(n) vs O(log n) separation, where the gap is >100×.
     let mut g = c.benchmark_group("engine/jobs");
     g.sample_size(20);
-    for &n in &[100usize, 1_000, 10_000] {
+    for &n in &[100usize, 1_000, 10_000, 100_000] {
         let inst = poisson_fixture(n, 0.9, 8.0);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                let out = simulate(black_box(inst), &mut IntermediateSrpt::new(), 8.0).unwrap();
+                black_box(out.metrics.total_flow)
+            })
+        });
+    }
+    let n = 10_000usize;
+    g.throughput(Throughput::Elements(n as u64));
+    let inst = poisson_fixture(n, 0.9, 8.0);
+    g.bench_with_input(BenchmarkId::new("legacy", n), &inst, |b, inst| {
+        b.iter(|| {
+            black_box(
+                timed_run(black_box(inst), &mut IntermediateSrpt::new(), 8.0, true).total_flow,
+            )
+        })
+    });
+    let over = overload_fixture(n, 8.0);
+    g.bench_with_input(BenchmarkId::new("overload", n), &over, |b, inst| {
+        b.iter(|| {
+            black_box(
+                timed_run(black_box(inst), &mut IntermediateSrpt::new(), 8.0, false).total_flow,
+            )
+        })
+    });
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("overload-legacy", n), &over, |b, inst| {
+        b.iter(|| {
+            black_box(
+                timed_run(black_box(inst), &mut IntermediateSrpt::new(), 8.0, true).total_flow,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn engine_overload_scaling(c: &mut Criterion) {
+    // Offered load 1.5: the alive set grows ~linearly in n, so every
+    // event works against a large SRPT set — the regime the incremental
+    // engine is built for (n = 100_000 here is minutes on the legacy
+    // path, seconds here).
+    let mut g = c.benchmark_group("engine/overload");
+    g.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let inst = overload_fixture(n, 8.0);
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
             b.iter(|| {
@@ -70,6 +126,7 @@ fn plan_from_tracks(c: &mut Criterion) {
 criterion_group!(
     benches,
     engine_scaling_n,
+    engine_overload_scaling,
     engine_scaling_m,
     planned_schedule_replay,
     plan_from_tracks

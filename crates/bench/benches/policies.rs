@@ -54,9 +54,12 @@ fn greedy_resolution_ablation(c: &mut Criterion) {
     for &res in &[0.5f64, 0.1, 0.02] {
         g.bench_with_input(BenchmarkId::from_parameter(res), &res, |b, &res| {
             b.iter(|| {
-                let out =
-                    simulate(black_box(&inst), &mut GreedyHybrid::with_resolution(res), 8.0)
-                        .unwrap();
+                let out = simulate(
+                    black_box(&inst),
+                    &mut GreedyHybrid::with_resolution(res),
+                    8.0,
+                )
+                .unwrap();
                 black_box(out.metrics.total_flow)
             })
         });

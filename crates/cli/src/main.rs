@@ -24,6 +24,7 @@ USAGE:
   parsched compare [OPTIONS]            ad-hoc policy comparison
   parsched gen [OPTIONS]                generate a workload as CSV on stdout
   parsched run [OPTIONS]                simulate a CSV instance with one policy
+  parsched bench-snapshot [OPTIONS]     engine throughput snapshot → JSON
 
 GEN OPTIONS:
   --kind poisson|batch|sawtooth|trap|mix   workload family (default poisson)
@@ -36,6 +37,10 @@ RUN OPTIONS:
   --speed <f>         resource augmentation factor (default 1)
   --gantt <cols>      also print an ASCII Gantt chart
   --bracket           also bracket OPT and report the ratio interval
+
+BENCH-SNAPSHOT OPTIONS:
+  --out <file>    where to write the JSON (default BENCH_engine.json)
+  --quick         drop the n = 100_000 rows (CI smoke)
 
 FLAGS:
   --quick         small grids (seconds); default is the full grids
@@ -84,7 +89,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             other if other.starts_with("--") => {
                 let key = other.trim_start_matches("--").to_string();
                 i += 1;
-                let v = args.get(i).ok_or_else(|| format!("--{key} needs a value"))?;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
                 flags.named.push((key, v.clone()));
             }
             other => return Err(format!("unexpected argument '{other}'")),
@@ -127,7 +134,10 @@ fn print_result(res: &parsched_analysis::experiments::ExpResult, flags: &Flags) 
 
 fn cmd_exp(id: &str, flags: &Flags) -> Result<bool, String> {
     let res = run(id, &flags.opts()).ok_or_else(|| {
-        format!("unknown experiment '{id}' (expected one of {})", all_ids().join(", "))
+        format!(
+            "unknown experiment '{id}' (expected one of {})",
+            all_ids().join(", ")
+        )
     })?;
     print_result(&res, flags);
     Ok(res.pass)
@@ -144,7 +154,14 @@ fn cmd_all(flags: &Flags) -> bool {
             None => unreachable!("registry ids always resolve"),
         }
     }
-    println!("suite verdict: {}", if all_pass { "ALL SHAPES OK" } else { "SOME SHAPES MISMATCHED" });
+    println!(
+        "suite verdict: {}",
+        if all_pass {
+            "ALL SHAPES OK"
+        } else {
+            "SOME SHAPES MISMATCHED"
+        }
+    );
     all_pass
 }
 
@@ -171,7 +188,10 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
     let inst = w.generate().map_err(|e| e.to_string())?;
     let est = OptEstimate::bracket(&inst, m).map_err(|e| e.to_string())?;
     let mut table = Table::new(
-        format!("compare: m={m}, P={p}, α={alpha}, n={n}, load={load}, seed={}", flags.seed),
+        format!(
+            "compare: m={m}, P={p}, α={alpha}, n={n}, load={load}, seed={}",
+            flags.seed
+        ),
         &["policy", "total flow", "mean flow", "max flow", "ratio ∈"],
     );
     for kind in PolicyKind::all_standard() {
@@ -189,7 +209,10 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
         ]);
     }
     println!("{}", table.render());
-    println!("  OPT bracket: [{:.1}, {:.1}] (UB witness: {})", est.lower, est.upper, est.upper_witness);
+    println!(
+        "  OPT bracket: [{:.1}, {:.1}] (UB witness: {})",
+        est.lower, est.upper, est.upper_witness
+    );
     if flags.csv {
         println!("{}", table.to_csv());
     }
@@ -232,8 +255,9 @@ fn cmd_gen(flags: &Flags) -> Result<(), String> {
             seed: flags.seed,
         }
         .generate(),
-        "sawtooth" => SawtoothWorkload::crossing(m as usize, (n / (2 * m as usize)).max(1), alpha)
-            .generate(),
+        "sawtooth" => {
+            SawtoothWorkload::crossing(m as usize, (n / (2 * m as usize)).max(1), alpha).generate()
+        }
         "trap" => GreedyTrap::new(m as usize, alpha).instance(),
         "mix" => DatacenterMix {
             n,
@@ -330,6 +354,191 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
+    use parsched::PolicyKind;
+    use parsched_bench::{overload_fixture, poisson_fixture, timed_run};
+    use parsched_sim::AllocationStability;
+
+    struct Row {
+        policy: String,
+        fixture: &'static str,
+        mode: &'static str,
+        n: usize,
+        m: f64,
+        events: u64,
+        seconds: f64,
+        events_per_sec: f64,
+    }
+
+    let out_path = flags
+        .named
+        .iter()
+        .find(|(k, _)| k == "out")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let sizes: &[usize] = if flags.quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let m = 8.0;
+    let kinds = [
+        PolicyKind::IntermediateSrpt,
+        PolicyKind::SequentialSrpt,
+        PolicyKind::ParallelSrpt,
+        PolicyKind::Equi,
+        PolicyKind::Threshold(2.0),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in sizes {
+        let inst = poisson_fixture(n, 0.9, m);
+        for kind in &kinds {
+            let mut policy = kind.build();
+            let mode = match policy.stability() {
+                AllocationStability::SrptPrefix => "incremental",
+                AllocationStability::General => "exhaustive",
+            };
+            let s = timed_run(&inst, policy.as_mut(), m, false);
+            eprintln!(
+                "  {:<22} n={n:<7} {mode:<11} {:>12.0} events/s",
+                kind.name(),
+                s.events_per_sec
+            );
+            rows.push(Row {
+                policy: kind.name(),
+                fixture: "poisson-0.9",
+                mode,
+                n,
+                m,
+                events: s.events,
+                seconds: s.seconds,
+                events_per_sec: s.events_per_sec,
+            });
+        }
+        // Legacy oracle (full reassignment every event) for the headline
+        // speed-up ratio. Quadratic per run, so cap it at n = 10_000.
+        if n <= 10_000 {
+            let mut policy = PolicyKind::IntermediateSrpt.build();
+            let s = timed_run(&inst, policy.as_mut(), m, true);
+            eprintln!(
+                "  {:<22} n={n:<7} {:<11} {:>12.0} events/s",
+                "Intermediate-SRPT", "legacy", s.events_per_sec
+            );
+            rows.push(Row {
+                policy: "Intermediate-SRPT".to_string(),
+                fixture: "poisson-0.9",
+                mode: "legacy",
+                n,
+                m,
+                events: s.events,
+                seconds: s.seconds,
+                events_per_sec: s.events_per_sec,
+            });
+        }
+        // Overload-heavy fixture: the alive set grows ~linearly with n, so
+        // this is where the O(n) vs O(log n) per-event separation shows.
+        let over = overload_fixture(n, m);
+        let mut policy = PolicyKind::IntermediateSrpt.build();
+        let s = timed_run(&over, policy.as_mut(), m, false);
+        eprintln!(
+            "  {:<22} n={n:<7} {:<11} {:>12.0} events/s (overload)",
+            "Intermediate-SRPT", "incremental", s.events_per_sec
+        );
+        rows.push(Row {
+            policy: "Intermediate-SRPT".to_string(),
+            fixture: "poisson-1.5",
+            mode: "incremental",
+            n,
+            m,
+            events: s.events,
+            seconds: s.seconds,
+            events_per_sec: s.events_per_sec,
+        });
+        if n <= 10_000 {
+            let mut policy = PolicyKind::IntermediateSrpt.build();
+            let s = timed_run(&over, policy.as_mut(), m, true);
+            eprintln!(
+                "  {:<22} n={n:<7} {:<11} {:>12.0} events/s (overload)",
+                "Intermediate-SRPT", "legacy", s.events_per_sec
+            );
+            rows.push(Row {
+                policy: "Intermediate-SRPT".to_string(),
+                fixture: "poisson-1.5",
+                mode: "legacy",
+                n,
+                m,
+                events: s.events,
+                seconds: s.seconds,
+                events_per_sec: s.events_per_sec,
+            });
+        }
+    }
+
+    let ratio = |fixture: &str| {
+        let pick = |mode: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.policy == "Intermediate-SRPT"
+                        && r.fixture == fixture
+                        && r.mode == mode
+                        && r.n == 10_000
+                })
+                .map(|r| r.events_per_sec)
+        };
+        match (pick("incremental"), pick("legacy")) {
+            (Some(inc), Some(leg)) if leg > 0.0 => inc / leg,
+            _ => f64::NAN,
+        }
+    };
+    let speedup = ratio("poisson-0.9");
+    let overload_speedup = ratio("poisson-1.5");
+
+    // Hand-rolled JSON: the offline serde shim only type-checks derives,
+    // it does not serialize.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"parsched-bench-snapshot/v1\",\n");
+    json.push_str(
+        "  \"fixture\": \"PoissonWorkload, alpha=0.5, sizes log-uniform [1,32], seed 0xbe9c; \
+         poisson-0.9 = load 0.9, poisson-1.5 = overload load 1.5\",\n",
+    );
+    json.push_str(&format!(
+        "  \"isrpt_speedup_vs_legacy_n10000\": {:.2},\n",
+        speedup
+    ));
+    json.push_str(&format!(
+        "  \"isrpt_overload_speedup_vs_legacy_n10000\": {:.2},\n",
+        overload_speedup
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"fixture\": \"{}\", \"mode\": \"{}\", \"n\": {}, \
+             \"m\": {}, \"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
+            r.policy,
+            r.fixture,
+            r.mode,
+            r.n,
+            r.m,
+            r.events,
+            r.seconds,
+            r.events_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "wrote {out_path} ({} rows); Intermediate-SRPT incremental/legacy speed-up at \
+         n=10_000: {:.1}x (load 0.9), {:.1}x (overload)",
+        rows.len(),
+        speedup,
+        overload_speedup
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -395,6 +604,13 @@ fn main() -> ExitCode {
             }
         },
         "run" => match parse_flags(rest).and_then(|flags| cmd_run(&flags)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "bench-snapshot" => match parse_flags(rest).and_then(|flags| cmd_bench_snapshot(&flags)) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -11,7 +11,9 @@ fn list_shows_every_experiment() {
     let out = bin().arg("list").output().expect("run");
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).expect("utf8");
-    for id in ["f1", "f2", "f3", "f4", "f5", "f6", "t1", "t2", "t3", "t4", "t5", "x2", "x3"] {
+    for id in [
+        "f1", "f2", "f3", "f4", "f5", "f6", "t1", "t2", "t3", "t4", "t5", "x2", "x3",
+    ] {
         assert!(text.contains(id), "missing {id} in:\n{text}");
     }
 }
@@ -29,20 +31,28 @@ fn help_prints_usage() {
 fn no_args_fails_with_usage() {
     let out = bin().output().expect("run");
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8(out.stderr).expect("utf8").contains("USAGE"));
+    assert!(String::from_utf8(out.stderr)
+        .expect("utf8")
+        .contains("USAGE"));
 }
 
 #[test]
 fn unknown_experiment_is_an_error() {
     let out = bin().args(["exp", "zz"]).output().expect("run");
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8(out.stderr).expect("utf8").contains("unknown experiment"));
+    assert!(String::from_utf8(out.stderr)
+        .expect("utf8")
+        .contains("unknown experiment"));
 }
 
 #[test]
 fn quick_experiment_runs_and_reports_shape() {
     let out = bin().args(["exp", "f5", "--quick"]).output().expect("run");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).expect("utf8");
     assert!(text.contains("SHAPE OK"));
     assert!(text.contains("F5b"));
@@ -64,7 +74,9 @@ fn markdown_and_csv_flags_add_formats() {
 #[test]
 fn gen_then_run_pipeline() {
     let out = bin()
-        .args(["gen", "--kind", "poisson", "--n", "20", "--m", "4", "--p", "8"])
+        .args([
+            "gen", "--kind", "poisson", "--n", "20", "--m", "4", "--p", "8",
+        ])
         .output()
         .expect("gen");
     assert!(out.status.success());
@@ -74,7 +86,18 @@ fn gen_then_run_pipeline() {
 
     // Pipe it back through `run` via stdin.
     let mut child = bin()
-        .args(["run", "--instance", "-", "--policy", "isrpt", "--m", "4", "--gantt", "40", "--bracket"])
+        .args([
+            "run",
+            "--instance",
+            "-",
+            "--policy",
+            "isrpt",
+            "--m",
+            "4",
+            "--gantt",
+            "40",
+            "--bracket",
+        ])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .spawn()
@@ -87,7 +110,11 @@ fn gen_then_run_pipeline() {
         .write_all(csv.as_bytes())
         .expect("write");
     let out = child.wait_with_output().expect("wait");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).expect("utf8");
     assert!(text.contains("Intermediate-SRPT on m=4"));
     assert!(text.contains("n=20"));
@@ -106,7 +133,10 @@ fn gen_covers_every_family() {
         let csv = String::from_utf8(out.stdout).expect("utf8");
         assert!(csv.lines().count() > 2, "{kind} produced {csv}");
     }
-    let out = bin().args(["gen", "--kind", "bogus"]).output().expect("gen");
+    let out = bin()
+        .args(["gen", "--kind", "bogus"])
+        .output()
+        .expect("gen");
     assert_eq!(out.status.code(), Some(2));
 }
 

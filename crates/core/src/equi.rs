@@ -1,6 +1,6 @@
 //! EQUI / processor sharing.
 
-use parsched_sim::{AliveJob, EquiSplit, Policy, Time};
+use parsched_sim::{AliveJob, AllocationStability, EquiSplit, Policy, PrefixAllocation, Time};
 
 /// **EQUI** (equipartition / processor sharing): all alive jobs share the
 /// `m` processors evenly.
@@ -38,6 +38,14 @@ impl Policy for Equi {
         shares: &mut [f64],
     ) -> Option<f64> {
         self.0.assign(now, m, jobs, shares)
+    }
+
+    fn stability(&self) -> AllocationStability {
+        self.0.stability()
+    }
+
+    fn prefix_allocation(&self, n_alive: usize, m: f64) -> Option<PrefixAllocation> {
+        self.0.prefix_allocation(n_alive, m)
     }
 }
 

@@ -195,7 +195,10 @@ mod tests {
             .collect();
         specs.push(JobSpec::new(JobId(99), 0.0, 1.0, Curve::power(0.9)));
         let shares = assign_once(m as f64, &specs);
-        assert_eq!(shares[4], m as f64, "unit job should monopolize: {shares:?}");
+        assert_eq!(
+            shares[4], m as f64,
+            "unit job should monopolize: {shares:?}"
+        );
     }
 
     #[test]
@@ -220,7 +223,10 @@ mod tests {
         let outcome = simulate(&inst, &mut GreedyHybrid::new(), 4.0).unwrap();
         assert_eq!(outcome.metrics.num_jobs, 4);
         // Sanity: all flows positive and finite.
-        assert!(outcome.completed.iter().all(|c| c.flow() > 0.0 && c.flow().is_finite()));
+        assert!(outcome
+            .completed
+            .iter()
+            .all(|c| c.flow() > 0.0 && c.flow().is_finite()));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The paper's algorithm: Intermediate-SRPT.
 
-use parsched_sim::{AliveJob, Policy, Time};
+use parsched_sim::{AliveJob, AllocationStability, Policy, PrefixAllocation, Time};
 
 use crate::util::{machine_count, srpt_order};
 
@@ -68,6 +68,28 @@ impl Policy for IntermediateSrpt {
         }
         None
     }
+
+    fn stability(&self) -> AllocationStability {
+        AllocationStability::SrptPrefix
+    }
+
+    fn prefix_allocation(&self, n_alive: usize, m: f64) -> Option<PrefixAllocation> {
+        if n_alive == 0 {
+            return None;
+        }
+        let machines = machine_count(m);
+        Some(if n_alive >= machines {
+            PrefixAllocation {
+                count: machines.min(n_alive),
+                share: 1.0,
+            }
+        } else {
+            PrefixAllocation {
+                count: n_alive,
+                share: m / n_alive as f64,
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -100,7 +122,12 @@ mod tests {
 
     #[test]
     fn overloaded_schedules_m_shortest_one_each() {
-        let specs = jobs(&[(0, 0.0, 5.0, 0.5), (1, 0.0, 1.0, 0.5), (2, 0.0, 3.0, 0.5), (3, 0.0, 2.0, 0.5)]);
+        let specs = jobs(&[
+            (0, 0.0, 5.0, 0.5),
+            (1, 0.0, 1.0, 0.5),
+            (2, 0.0, 3.0, 0.5),
+            (3, 0.0, 2.0, 0.5),
+        ]);
         let shares = assign_once(2.0, &specs, &[5.0, 1.0, 3.0, 2.0]);
         assert_eq!(shares, vec![0.0, 1.0, 0.0, 1.0]);
     }
@@ -158,8 +185,12 @@ mod tests {
     fn overload_drains_shortest_first() {
         // m = 1, jobs of size 1, 2, 4 (α irrelevant at share 1):
         // completes at 1, 3, 7 → total flow 11.
-        let inst = Instance::new(jobs(&[(0, 0.0, 4.0, 0.5), (1, 0.0, 1.0, 0.5), (2, 0.0, 2.0, 0.5)]))
-            .unwrap();
+        let inst = Instance::new(jobs(&[
+            (0, 0.0, 4.0, 0.5),
+            (1, 0.0, 1.0, 0.5),
+            (2, 0.0, 2.0, 0.5),
+        ]))
+        .unwrap();
         let outcome = simulate(&inst, &mut IntermediateSrpt::new(), 1.0).unwrap();
         assert_eq!(outcome.flow_of(JobId(1)), Some(1.0));
         assert_eq!(outcome.flow_of(JobId(2)), Some(3.0));
@@ -172,8 +203,12 @@ mod tests {
         // m = 2. Three unit sequential jobs at t=0 (overload: 2 scheduled),
         // third starts at t=1, finishes t=2 in underload with share 2 but
         // sequential rate 1.
-        let inst = Instance::new(jobs(&[(0, 0.0, 1.0, 0.0), (1, 0.0, 1.0, 0.0), (2, 0.0, 1.0, 0.0)]))
-            .unwrap();
+        let inst = Instance::new(jobs(&[
+            (0, 0.0, 1.0, 0.0),
+            (1, 0.0, 1.0, 0.0),
+            (2, 0.0, 1.0, 0.0),
+        ]))
+        .unwrap();
         let outcome = simulate(&inst, &mut IntermediateSrpt::new(), 2.0).unwrap();
         assert!((outcome.metrics.total_flow - 4.0).abs() < 1e-9);
         assert!((outcome.metrics.makespan - 2.0).abs() < 1e-9);

@@ -121,7 +121,10 @@ mod tests {
         ];
         let views: Vec<AliveJob<'_>> = specs
             .iter()
-            .map(|s| AliveJob { spec: s, remaining: 1.0 })
+            .map(|s| AliveJob {
+                spec: s,
+                remaining: 1.0,
+            })
             .collect();
         let mut shares = vec![0.0; 3];
         Laps::new(0.5).assign(1.0, 4.0, &views, &mut shares);

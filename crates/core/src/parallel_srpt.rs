@@ -1,6 +1,6 @@
 //! Parallel-SRPT: the optimal policy for fully parallelizable jobs.
 
-use parsched_sim::{AliveJob, Policy, Time};
+use parsched_sim::{AliveJob, AllocationStability, Policy, PrefixAllocation, Time};
 
 use crate::util::srpt_order;
 
@@ -43,6 +43,14 @@ impl Policy for ParallelSrpt {
         shares[order[0]] = m;
         None
     }
+
+    fn stability(&self) -> AllocationStability {
+        AllocationStability::SrptPrefix
+    }
+
+    fn prefix_allocation(&self, n_alive: usize, m: f64) -> Option<PrefixAllocation> {
+        (n_alive > 0).then_some(PrefixAllocation { count: 1, share: m })
+    }
 }
 
 #[cfg(test)]
@@ -55,8 +63,7 @@ mod tests {
     fn is_optimal_for_parallel_jobs() {
         // SRPT on a speed-4 machine: sizes 4, 8 at t=0.
         // Job of size 4 first: done at t=1; then size 8: done at t=3.
-        let inst =
-            Instance::from_sizes(&[(0.0, 8.0), (0.0, 4.0)], Curve::FullyParallel).unwrap();
+        let inst = Instance::from_sizes(&[(0.0, 8.0), (0.0, 4.0)], Curve::FullyParallel).unwrap();
         let outcome = simulate(&inst, &mut ParallelSrpt::new(), 4.0).unwrap();
         assert_eq!(outcome.flow_of(JobId(1)), Some(1.0));
         assert_eq!(outcome.flow_of(JobId(0)), Some(3.0));

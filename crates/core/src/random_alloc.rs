@@ -68,7 +68,11 @@ impl Policy for RandomAllocation {
         let mut total = 0.0;
         for w in weights.iter_mut() {
             let u = self.next_f64();
-            *w = if u < 0.25 { 0.0 } else { -((1.0 - u).max(1e-12)).ln() };
+            *w = if u < 0.25 {
+                0.0
+            } else {
+                -((1.0 - u).max(1e-12)).ln()
+            };
             total += *w;
         }
         if total <= 0.0 {

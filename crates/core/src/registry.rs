@@ -120,9 +120,15 @@ mod tests {
 
     #[test]
     fn parses_cli_names() {
-        assert_eq!("isrpt".parse::<PolicyKind>().unwrap(), PolicyKind::IntermediateSrpt);
+        assert_eq!(
+            "isrpt".parse::<PolicyKind>().unwrap(),
+            PolicyKind::IntermediateSrpt
+        );
         assert_eq!("GREEDY".parse::<PolicyKind>().unwrap(), PolicyKind::Greedy);
-        assert_eq!("laps:0.25".parse::<PolicyKind>().unwrap(), PolicyKind::Laps(0.25));
+        assert_eq!(
+            "laps:0.25".parse::<PolicyKind>().unwrap(),
+            PolicyKind::Laps(0.25)
+        );
         assert!("laps:2.0".parse::<PolicyKind>().is_err());
         assert_eq!(
             "threshold:2.0".parse::<PolicyKind>().unwrap(),
@@ -134,7 +140,10 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: Vec<String> = PolicyKind::all_standard().iter().map(|k| k.name()).collect();
+        let names: Vec<String> = PolicyKind::all_standard()
+            .iter()
+            .map(|k| k.name())
+            .collect();
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();

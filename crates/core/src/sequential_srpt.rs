@@ -1,6 +1,6 @@
 //! Sequential-SRPT: the optimally competitive policy for sequential jobs.
 
-use parsched_sim::{AliveJob, Policy, Time};
+use parsched_sim::{AliveJob, AllocationStability, Policy, PrefixAllocation, Time};
 
 use crate::util::{machine_count, srpt_order};
 
@@ -47,6 +47,20 @@ impl Policy for SequentialSrpt {
         }
         None
     }
+
+    fn stability(&self) -> AllocationStability {
+        AllocationStability::SrptPrefix
+    }
+
+    fn prefix_allocation(&self, n_alive: usize, m: f64) -> Option<PrefixAllocation> {
+        if n_alive == 0 {
+            return None;
+        }
+        Some(PrefixAllocation {
+            count: machine_count(m).min(n_alive),
+            share: 1.0,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -69,8 +83,8 @@ mod tests {
         // m = 2, sequential sizes 1, 2, 3 at t = 0.
         // t∈[0,1): jobs 1&2 run. Job(1) done at 1; then job(3) starts.
         // Job(2) done at 2; job(3) done at 1 + 3 = 4.
-        let inst = Instance::from_sizes(&[(0.0, 3.0), (0.0, 1.0), (0.0, 2.0)], Curve::Sequential)
-            .unwrap();
+        let inst =
+            Instance::from_sizes(&[(0.0, 3.0), (0.0, 1.0), (0.0, 2.0)], Curve::Sequential).unwrap();
         let outcome = simulate(&inst, &mut SequentialSrpt::new(), 2.0).unwrap();
         assert_eq!(outcome.flow_of(JobId(1)), Some(1.0));
         assert_eq!(outcome.flow_of(JobId(2)), Some(2.0));

@@ -140,7 +140,10 @@ mod tests {
         ];
         let views: Vec<AliveJob<'_>> = specs
             .iter()
-            .map(|s| AliveJob { spec: s, remaining: s.size })
+            .map(|s| AliveJob {
+                spec: s,
+                remaining: s.size,
+            })
             .collect();
         let mut shares = vec![0.0; 2];
         Setf::new().assign(0.0, 4.0, &views, &mut shares);
@@ -157,7 +160,10 @@ mod tests {
         ];
         let views: Vec<AliveJob<'_>> = specs
             .iter()
-            .map(|s| AliveJob { spec: s, remaining: s.size })
+            .map(|s| AliveJob {
+                spec: s,
+                remaining: s.size,
+            })
             .collect();
         let mut shares = vec![0.0; 2];
         Setf::new().assign(0.0, 6.0, &views, &mut shares);
@@ -174,7 +180,10 @@ mod tests {
             .collect();
         let views: Vec<AliveJob<'_>> = specs
             .iter()
-            .map(|s| AliveJob { spec: s, remaining: s.size })
+            .map(|s| AliveJob {
+                spec: s,
+                remaining: s.size,
+            })
             .collect();
         let mut shares = vec![0.0; 3];
         Setf::new().assign(0.0, 8.0, &views, &mut shares);
@@ -188,8 +197,14 @@ mod tests {
             JobSpec::new(JobId(1), 0.0, 5.0, Curve::FullyParallel),
         ];
         let views = vec![
-            AliveJob { spec: &specs[0], remaining: 3.0 },  // elapsed 2
-            AliveJob { spec: &specs[1], remaining: 4.5 },  // elapsed 0.5
+            AliveJob {
+                spec: &specs[0],
+                remaining: 3.0,
+            }, // elapsed 2
+            AliveJob {
+                spec: &specs[1],
+                remaining: 4.5,
+            }, // elapsed 0.5
         ];
         let mut shares = vec![0.0; 2];
         let quantum = Setf::new().assign(0.0, 4.0, &views, &mut shares);
@@ -224,9 +239,23 @@ mod tests {
         ])
         .unwrap();
         let out = simulate(&inst, &mut Setf::new(), 2.0).unwrap();
-        assert!(out.metrics.events < 20, "Zeno: {} events", out.metrics.events);
-        let c0 = out.completed.iter().find(|c| c.id == JobId(0)).unwrap().completion;
-        let c1 = out.completed.iter().find(|c| c.id == JobId(1)).unwrap().completion;
+        assert!(
+            out.metrics.events < 20,
+            "Zeno: {} events",
+            out.metrics.events
+        );
+        let c0 = out
+            .completed
+            .iter()
+            .find(|c| c.id == JobId(0))
+            .unwrap()
+            .completion;
+        let c1 = out
+            .completed
+            .iter()
+            .find(|c| c.id == JobId(1))
+            .unwrap()
+            .completion;
         assert!((c0 - c1).abs() < 1e-3, "{c0} vs {c1}");
         assert!((out.metrics.makespan - 3.0).abs() < 1e-3);
     }

@@ -1,7 +1,7 @@
 //! Threshold-SRPT: the ablation family around Intermediate-SRPT's regime
 //! switch.
 
-use parsched_sim::{AliveJob, Policy, Time};
+use parsched_sim::{AliveJob, AllocationStability, Policy, PrefixAllocation, Time};
 
 use crate::util::{machine_count, srpt_order};
 
@@ -71,6 +71,29 @@ impl Policy for ThresholdSrpt {
         }
         None
     }
+
+    fn stability(&self) -> AllocationStability {
+        AllocationStability::SrptPrefix
+    }
+
+    fn prefix_allocation(&self, n_alive: usize, m: f64) -> Option<PrefixAllocation> {
+        if n_alive == 0 {
+            return None;
+        }
+        let machines = machine_count(m);
+        let cutoff = ((self.theta * machines as f64).ceil() as usize).max(1);
+        Some(if n_alive >= cutoff {
+            PrefixAllocation {
+                count: machines.min(n_alive),
+                share: 1.0,
+            }
+        } else {
+            PrefixAllocation {
+                count: n_alive,
+                share: m / n_alive as f64,
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -89,7 +112,14 @@ mod tests {
     #[test]
     fn theta_one_is_intermediate_srpt() {
         let inst = Instance::from_sizes(
-            &[(0.0, 4.0), (0.0, 1.0), (0.5, 2.0), (1.0, 8.0), (1.5, 1.0), (2.0, 3.0)],
+            &[
+                (0.0, 4.0),
+                (0.0, 1.0),
+                (0.5, 2.0),
+                (1.0, 8.0),
+                (1.5, 1.0),
+                (2.0, 3.0),
+            ],
             Curve::power(0.5),
         )
         .unwrap();
@@ -133,11 +163,8 @@ mod tests {
     fn overload_never_overcommits_when_n_below_m() {
         // θ = 0.5, m = 4, n = 3 ⇒ cutoff 2 ≤ n ⇒ sequential branch with
         // only 3 jobs: exactly 3 processors used (1 idle), none negative.
-        let inst = Instance::from_sizes(
-            &[(0.0, 2.0), (0.0, 2.0), (0.0, 2.0)],
-            Curve::Sequential,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_sizes(&[(0.0, 2.0), (0.0, 2.0), (0.0, 2.0)], Curve::Sequential).unwrap();
         let out = simulate(&inst, &mut ThresholdSrpt::new(0.5), 4.0).unwrap();
         assert_eq!(out.metrics.num_jobs, 3);
         assert!((out.metrics.makespan - 2.0).abs() < 1e-9);

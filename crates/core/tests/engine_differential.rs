@@ -1,0 +1,211 @@
+//! Differential tests: the incremental `O(log n)`-per-event engine path
+//! must compute the *same schedule* as the legacy full-reassign path.
+//!
+//! The legacy path (`EngineConfig::with_full_reassign(true)`) calls the
+//! policy's `prefix_allocation` at every event and rebuilds every share
+//! from scratch — slow but obviously correct, which makes it the oracle.
+//! The incremental path maintains the SRPT order and the allocation
+//! profile across events and must agree on every per-job completion time
+//! and every aggregate metric. Event *counts* may legitimately differ
+//! (the incremental path coalesces some zero-length intervals), so they
+//! are deliberately not compared; completion times may differ by float
+//! ulps because the two paths evaluate algebraically-equal expressions in
+//! different orders.
+
+use parsched::PolicyKind;
+use parsched_sim::{
+    simulate, Engine, EngineConfig, Instance, JobId, JobSpec, NullObserver, RunOutcome,
+    StaticSource,
+};
+use parsched_speedup::Curve;
+use proptest::prelude::*;
+
+/// Relative tolerance for comparing the two paths' float results.
+///
+/// Both paths are analytically exact; the differences are accumulated
+/// rounding from differently-ordered arithmetic, far below 1e-6.
+const RTOL: f64 = 1e-6;
+
+fn close(a: f64, b: f64, scale: f64) -> bool {
+    (a - b).abs() <= RTOL * scale.abs().max(1.0)
+}
+
+fn run(inst: &Instance, kind: PolicyKind, m: f64, full_reassign: bool) -> RunOutcome {
+    let mut policy = kind.build();
+    let mut source = StaticSource::new(inst);
+    let mut obs = NullObserver;
+    Engine::new(
+        EngineConfig::new(m).with_full_reassign(full_reassign),
+        policy.as_mut(),
+        &mut source,
+        &mut obs,
+    )
+    .run()
+    .unwrap_or_else(|e| panic!("{} (full_reassign={full_reassign}): {e}", kind.name()))
+}
+
+/// Every registry policy the differential harness sweeps. Policies with
+/// `General` stability run the exhaustive path in both configurations, so
+/// for them this is a self-consistency check; the SRPT-prefix family
+/// (Intermediate/Sequential/Parallel/Threshold-SRPT, EQUI) is where the
+/// two paths genuinely diverge in implementation.
+fn registry() -> Vec<PolicyKind> {
+    let mut kinds = PolicyKind::all_standard();
+    kinds.push(PolicyKind::Threshold(2.0));
+    kinds
+}
+
+/// Asserts the two outcomes describe the same schedule.
+fn assert_equivalent(kind: PolicyKind, inc: &RunOutcome, leg: &RunOutcome) {
+    let name = kind.name();
+    assert_eq!(
+        inc.completed.len(),
+        leg.completed.len(),
+        "{name}: completion counts differ"
+    );
+    // Compare per-job by id: the two paths may order simultaneous
+    // completions differently within one event.
+    let mut a: Vec<_> = inc.completed.iter().collect();
+    let mut b: Vec<_> = leg.completed.iter().collect();
+    a.sort_by_key(|c| c.id);
+    b.sort_by_key(|c| c.id);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.id, y.id, "{name}: completed job sets differ");
+        assert!(
+            close(x.completion, y.completion, y.completion),
+            "{name}: job {} completes at {} (incremental) vs {} (legacy)",
+            x.id,
+            x.completion,
+            y.completion
+        );
+    }
+    let (mi, ml) = (&inc.metrics, &leg.metrics);
+    for (what, u, v) in [
+        ("total_flow", mi.total_flow, ml.total_flow),
+        ("fractional_flow", mi.fractional_flow, ml.fractional_flow),
+        ("alive_integral", mi.alive_integral, ml.alive_integral),
+        ("makespan", mi.makespan, ml.makespan),
+        ("max_flow", mi.max_flow, ml.max_flow),
+    ] {
+        assert!(
+            close(u, v, v),
+            "{name}: {what} = {u} (incremental) vs {v} (legacy)"
+        );
+    }
+}
+
+/// One generated job: `(release, size, curve selector, alpha)`.
+fn job_from(id: u64, raw: (f64, f64, u8, f64)) -> JobSpec {
+    let (release, size, which, alpha) = raw;
+    let curve = match which % 4 {
+        0 => Curve::Sequential,
+        1 => Curve::FullyParallel,
+        2 => Curve::power(alpha),
+        _ => Curve::try_amdahl(alpha.min(0.9)).unwrap(),
+    };
+    JobSpec::new(JobId(id), release, size, curve)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: incremental ≡ legacy for every registry
+    /// policy on random mixed-curve instances.
+    #[test]
+    fn incremental_matches_legacy_on_random_instances(
+        raw in proptest::collection::vec(
+            (0.0f64..12.0, 0.1f64..8.0, 0u8..4, 0.05f64..1.0),
+            1..24,
+        ),
+        m_sel in 0u8..3,
+    ) {
+        let m = [1.0, 2.0, 8.0][m_sel as usize];
+        let jobs: Vec<JobSpec> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| job_from(i as u64, r))
+            .collect();
+        let inst = Instance::new(jobs).unwrap();
+        for kind in registry() {
+            let inc = run(&inst, kind, m, false);
+            let leg = run(&inst, kind, m, true);
+            assert_equivalent(kind, &inc, &leg);
+        }
+    }
+
+    /// Arrival bursts landing *exactly* on completion instants, with size
+    /// ties: the hardest case for the incremental sorted-insert (the new
+    /// job keys collide with the completing front of the SRPT set).
+    #[test]
+    fn burst_at_completion_instant_matches(
+        p in 0.5f64..4.0,
+        burst in 2usize..6,
+        m_sel in 0u8..2,
+    ) {
+        let m = [2.0, 4.0][m_sel as usize];
+        // Seed jobs: `m` sequential jobs of size p, all released at 0 →
+        // each runs at rate 1 and they complete simultaneously at t = p.
+        let mut jobs: Vec<JobSpec> = (0..m as u64)
+            .map(|i| JobSpec::new(JobId(i), 0.0, p, Curve::Sequential))
+            .collect();
+        // Burst at exactly t = p, with pairwise-equal sizes to force
+        // tie-broken inserts at the boundary.
+        for k in 0..burst as u64 {
+            jobs.push(JobSpec::new(
+                JobId(m as u64 + k),
+                p,
+                1.0 + (k / 2) as f64,
+                if k % 2 == 0 { Curve::Sequential } else { Curve::power(0.5) },
+            ));
+        }
+        let inst = Instance::new(jobs).unwrap();
+        for kind in registry() {
+            let inc = run(&inst, kind, m, false);
+            let leg = run(&inst, kind, m, true);
+            assert_equivalent(kind, &inc, &leg);
+        }
+    }
+}
+
+/// Deterministic regression for the sorted-insert boundary: a burst whose
+/// members tie with each other *and* with a job completing at the same
+/// instant. Simultaneous completions may drain in either order inside one
+/// event, so equivalence is per-job by id, never by vector position.
+#[test]
+fn regression_burst_and_simultaneous_completion_ordering() {
+    let m = 2.0;
+    let jobs = vec![
+        // Both complete at t = 2 simultaneously (rate 1 each).
+        JobSpec::new(JobId(0), 0.0, 2.0, Curve::Sequential),
+        JobSpec::new(JobId(1), 0.0, 2.0, Curve::Sequential),
+        // Burst at exactly t = 2: equal remaining (tie on the sort key,
+        // broken by id), one job matching the completing jobs' key space.
+        JobSpec::new(JobId(2), 2.0, 1.0, Curve::Sequential),
+        JobSpec::new(JobId(3), 2.0, 1.0, Curve::Sequential),
+        JobSpec::new(JobId(4), 2.0, 2.0, Curve::power(0.5)),
+        // A straggler arriving mid-drain of the burst.
+        JobSpec::new(JobId(5), 2.5, 0.25, Curve::FullyParallel),
+    ];
+    let inst = Instance::new(jobs).unwrap();
+    for kind in registry() {
+        let inc = run(&inst, kind, m, false);
+        let leg = run(&inst, kind, m, true);
+        assert_equivalent(kind, &inc, &leg);
+        assert_eq!(inc.completed.len(), 6, "{}: all jobs finish", kind.name());
+    }
+}
+
+/// `simulate` (the convenience entry point) takes the incremental path for
+/// SRPT-prefix policies; pin that it agrees with an explicit legacy run.
+#[test]
+fn simulate_entry_point_agrees_with_legacy() {
+    let inst = Instance::from_sizes(
+        &[(0.0, 4.0), (0.5, 1.0), (1.0, 2.0), (1.0, 2.0), (3.0, 0.5)],
+        Curve::power(0.5),
+    )
+    .unwrap();
+    let mut policy = PolicyKind::IntermediateSrpt.build();
+    let inc = simulate(&inst, policy.as_mut(), 4.0).unwrap();
+    let leg = run(&inst, PolicyKind::IntermediateSrpt, 4.0, true);
+    assert_equivalent(PolicyKind::IntermediateSrpt, &inc, &leg);
+}

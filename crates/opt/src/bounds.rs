@@ -78,14 +78,24 @@ mod tests {
         use parsched::PolicyKind;
         use parsched_sim::simulate;
         let inst = Instance::from_sizes(
-            &[(0.0, 4.0), (0.2, 1.0), (0.9, 6.0), (1.0, 2.0), (3.0, 1.5), (3.0, 3.0)],
+            &[
+                (0.0, 4.0),
+                (0.2, 1.0),
+                (0.9, 6.0),
+                (1.0, 2.0),
+                (3.0, 1.5),
+                (3.0, 3.0),
+            ],
             Curve::power(0.6),
         )
         .unwrap();
         let m = 3.0;
         let lb = lower_bound(&inst, m);
         for kind in PolicyKind::all_standard() {
-            let flow = simulate(&inst, &mut kind.build(), m).unwrap().metrics.total_flow;
+            let flow = simulate(&inst, &mut kind.build(), m)
+                .unwrap()
+                .metrics
+                .total_flow;
             assert!(
                 lb <= flow + 1e-6,
                 "{}: LB {lb} exceeds feasible flow {flow}",

@@ -82,8 +82,7 @@ mod tests {
             1.0,
         )
         .unwrap();
-        let res =
-            best_feasible(&inst, 1.0, &[], &[("hand".to_string(), plan)]).unwrap();
+        let res = best_feasible(&inst, 1.0, &[], &[("hand".to_string(), plan)]).unwrap();
         assert_eq!(res.witness, "hand");
         assert!((res.flow - 2.0).abs() < 1e-9);
     }

@@ -111,7 +111,9 @@ mod tests {
     fn batch_runs_shortest_first() {
         // Speed 1, sizes 1, 2, 3 at t=0 → completions 1, 3, 6 → flow 10.
         let srpt = SrptSingleMachine::new(1.0);
-        assert!((srpt.total_flow(&inst(&[(0.0, 3.0), (0.0, 1.0), (0.0, 2.0)])) - 10.0).abs() < 1e-9);
+        assert!(
+            (srpt.total_flow(&inst(&[(0.0, 3.0), (0.0, 1.0), (0.0, 2.0)])) - 10.0).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -150,7 +152,14 @@ mod tests {
         // parallelizable jobs must equal analytic SRPT at speed m.
         use parsched::ParallelSrpt;
         use parsched_sim::simulate;
-        let jobs = [(0.0, 5.0), (0.3, 1.0), (1.1, 2.5), (2.0, 0.7), (2.0, 4.0), (6.0, 1.0)];
+        let jobs = [
+            (0.0, 5.0),
+            (0.3, 1.0),
+            (1.1, 2.5),
+            (2.0, 0.7),
+            (2.0, 4.0),
+            (6.0, 1.0),
+        ];
         let instance = inst(&jobs);
         let m = 3.0;
         let engine_flow = simulate(&instance, &mut ParallelSrpt::new(), m)

@@ -3,8 +3,19 @@
 //! Between events (arrival, completion, quantum expiry) the allocation is
 //! constant, so each job's remaining work decreases linearly and the next
 //! completion time is computed in closed form. The engine therefore
-//! processes `O(arrivals + completions + quanta)` events, each costing
-//! `O(n)` for the alive set — no time discretization, no drift.
+//! processes `O(arrivals + completions + quanta)` events — no time
+//! discretization, no drift.
+//!
+//! Per-event cost depends on the policy. The *exhaustive* path rebuilds the
+//! full `(jobs, shares)` view and calls [`Policy::assign`] at every event:
+//! `O(n)` per event, correct for arbitrary policies. Policies that declare
+//! [`AllocationStability::SrptPrefix`] — the SRPT family and EQUI — instead
+//! run on the *incremental* path: the engine maintains the alive set in
+//! SRPT order itself ([`crate::srpt_set`]), applies the policy's
+//! `(count, share)` prefix profile directly, and advances uniform-drain
+//! intervals with an `O(1)` offset bump, for `O(log n)` per event overall.
+//! [`EngineConfig::with_full_reassign`] forces the exhaustive path, which
+//! keeps it available as a differential oracle (see `docs/PERF.md`).
 
 use parsched_speedup::{Curve, EPS};
 
@@ -12,8 +23,9 @@ use crate::error::SimError;
 use crate::job::{Instance, JobId, JobSpec, Time, Work};
 use crate::metrics::{CompletedJob, RunMetrics, RunOutcome};
 use crate::observer::{NullObserver, Observer};
-use crate::policy::{AliveJob, Policy};
+use crate::policy::{AliveJob, AllocationStability, Policy, PrefixAllocation};
 use crate::source::{ArrivalSource, StaticSource, SystemView};
+use crate::srpt_set::{Placement, SrptSet};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +41,11 @@ pub struct EngineConfig {
     pub max_events: u64,
     /// Hard cap on simulated time.
     pub max_time: Time,
+    /// Forces the exhaustive `O(n)`-per-event path (full view + `assign`
+    /// call at every event) even for policies whose stability would allow
+    /// the incremental path. This keeps the legacy engine available as a
+    /// differential oracle for the incremental one.
+    pub full_reassign: bool,
 }
 
 impl EngineConfig {
@@ -39,7 +56,14 @@ impl EngineConfig {
             speed: 1.0,
             max_events: 20_000_000,
             max_time: f64::INFINITY,
+            full_reassign: false,
         }
+    }
+
+    /// Forces (or un-forces) the exhaustive per-event reassignment path.
+    pub fn with_full_reassign(mut self, full_reassign: bool) -> Self {
+        self.full_reassign = full_reassign;
+        self
     }
 
     /// Sets the speed-augmentation factor.
@@ -80,8 +104,88 @@ pub struct AliveSnapshot {
 #[derive(Debug)]
 struct JobRecord {
     spec: JobSpec,
+    /// Authoritative remaining work while the job is *not* in the running
+    /// prefix (always authoritative on the exhaustive path).
     remaining: Work,
+    /// Offset-space SRPT key while `in_running` (incremental path only);
+    /// materialized remaining work is `run_key − drain_offset`.
+    run_key: f64,
+    /// Whether the job currently sits in the incremental running prefix.
+    in_running: bool,
     done: bool,
+}
+
+/// Id → arena-index map tuned for the common case of small dense ids:
+/// a direct-indexed vector (`O(1)`, no hashing) with a sorted-vec fallback
+/// for sparse or huge ids. Replaces the seed engine's `HashMap<JobId,
+/// usize>`, whose per-event hashing showed up in arrival-heavy profiles.
+#[derive(Debug, Default)]
+struct IdMap {
+    /// `dense[id] = index + 1`; 0 marks a vacant slot.
+    dense: Vec<u32>,
+    /// Sorted `(id, index + 1)` pairs for ids too large to index directly.
+    sparse: Vec<(JobId, u32)>,
+    inserted: usize,
+}
+
+impl IdMap {
+    fn get(&self, id: JobId) -> Option<usize> {
+        if let Ok(i) = usize::try_from(id.0) {
+            if let Some(&slot) = self.dense.get(i) {
+                if slot != 0 {
+                    return Some(slot as usize - 1);
+                }
+            }
+        }
+        self.sparse
+            .binary_search_by_key(&id, |e| e.0)
+            .ok()
+            .map(|p| self.sparse[p].1 as usize - 1)
+    }
+
+    /// Inserts a mapping; the id must not be present (callers check first).
+    fn insert(&mut self, id: JobId, idx: usize) {
+        let slot = u32::try_from(idx + 1).expect("more than u32::MAX jobs");
+        // Direct-index ids up to a small multiple of the live count so the
+        // dense table stays linear in the number of jobs even for id
+        // schemes with gaps; everything else goes to the sorted fallback.
+        let cap = 1024 + 2 * self.inserted;
+        self.inserted += 1;
+        match usize::try_from(id.0) {
+            Ok(i) if i < cap => {
+                if i >= self.dense.len() {
+                    self.dense.resize(i + 1, 0);
+                }
+                self.dense[i] = slot;
+            }
+            _ => {
+                if let Err(pos) = self.sparse.binary_search_by_key(&id, |e| e.0) {
+                    self.sparse.insert(pos, (id, slot));
+                }
+            }
+        }
+    }
+}
+
+/// Which per-event execution strategy this run uses (fixed at creation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecMode {
+    /// Full view + `Policy::assign` at every event.
+    Exhaustive,
+    /// SRPT-ordered alive set + prefix profile; no `assign` calls.
+    Incremental,
+}
+
+/// How the current constant-allocation interval drains (incremental path).
+#[derive(Debug, Clone, Copy)]
+enum IntervalKind {
+    /// No alive jobs.
+    Idle,
+    /// Every running job drains at the same `rate`; the drain offset
+    /// advances in `O(1)`.
+    Uniform { rate: f64 },
+    /// Heterogeneous per-job rates; drained by an `O(k log k)` scan.
+    Scan,
 }
 
 /// The simulation engine. See the crate docs for the architecture and
@@ -92,13 +196,30 @@ pub struct Engine<'a> {
     source: &'a mut dyn ArrivalSource,
     observer: &'a mut dyn Observer,
     jobs: Vec<JobRecord>,
-    ids: std::collections::HashMap<JobId, usize>,
-    /// Indices into `jobs` of unfinished, released jobs.
+    ids: IdMap,
+    mode: ExecMode,
+    /// Exhaustive path: indices into `jobs` of unfinished, released jobs.
     alive: Vec<usize>,
     /// Allocation for `alive[i]` (valid when `alloc_fresh`).
     shares: Vec<f64>,
     /// Drain rate of `alive[i]` (speed-adjusted; valid when `alloc_fresh`).
     rates: Vec<f64>,
+    /// Incremental path: the alive set in SRPT order.
+    srpt: SrptSet,
+    /// Incremental path: the active prefix profile (valid when
+    /// `alloc_fresh`).
+    profile: PrefixAllocation,
+    /// Incremental path: drain shape of the current interval.
+    interval: IntervalKind,
+    /// Incremental path: the interval's precomputed next completion time.
+    /// Absolute, so it stays valid across partial `advance_to` calls (for
+    /// `Uniform` intervals the front's `now + rem/rate` is invariant under
+    /// uniform drain).
+    next_completion: Option<Time>,
+    /// Reusable buffer for placement updates (avoids per-event allocation).
+    scratch_moves: Vec<(usize, Placement)>,
+    /// Reusable arrival-batch buffer (avoids per-arrival allocation).
+    scratch_batch: Vec<JobSpec>,
     now: Time,
     alloc_fresh: bool,
     quantum_deadline: Option<Time>,
@@ -110,12 +231,32 @@ pub struct Engine<'a> {
     frac_flow: f64,
     alive_integral: f64,
     completed: Vec<CompletedJob>,
-    emitted: Vec<JobSpec>,
+}
+
+/// Applies a reported [`Placement`] to the per-job record.
+fn apply_placement(jobs: &mut [JobRecord], idx: usize, p: Placement) {
+    let rec = &mut jobs[idx];
+    match p {
+        Placement::Running { key } => {
+            rec.in_running = true;
+            rec.run_key = key;
+        }
+        Placement::Queued { remaining } => {
+            rec.in_running = false;
+            rec.remaining = remaining;
+        }
+    }
 }
 
 impl<'a> Engine<'a> {
     /// Creates an engine over the given policy, arrival source, and
     /// observer. The policy is `reset()` so engines can reuse policy values.
+    ///
+    /// The execution path is chosen here: the incremental `O(log n)` path
+    /// requires the policy to declare [`AllocationStability::SrptPrefix`],
+    /// the observer to not consume the allocation stream, and
+    /// [`EngineConfig::full_reassign`] to be off; otherwise the exhaustive
+    /// `O(n)` path runs.
     pub fn new(
         cfg: EngineConfig,
         policy: &'a mut dyn Policy,
@@ -123,16 +264,34 @@ impl<'a> Engine<'a> {
         observer: &'a mut dyn Observer,
     ) -> Self {
         policy.reset();
+        let mode = if !cfg.full_reassign
+            && policy.stability() == AllocationStability::SrptPrefix
+            && !observer.needs_allocation_stream()
+        {
+            ExecMode::Incremental
+        } else {
+            ExecMode::Exhaustive
+        };
         Self {
             cfg,
             policy,
             source,
             observer,
             jobs: Vec::new(),
-            ids: std::collections::HashMap::new(),
+            ids: IdMap::default(),
+            mode,
             alive: Vec::new(),
             shares: Vec::new(),
             rates: Vec::new(),
+            srpt: SrptSet::new(),
+            profile: PrefixAllocation {
+                count: 0,
+                share: 0.0,
+            },
+            interval: IntervalKind::Idle,
+            next_completion: None,
+            scratch_moves: Vec::new(),
+            scratch_batch: Vec::new(),
             now: 0.0,
             alloc_fresh: false,
             quantum_deadline: None,
@@ -143,7 +302,6 @@ impl<'a> Engine<'a> {
             frac_flow: 0.0,
             alive_integral: 0.0,
             completed: Vec::new(),
-            emitted: Vec::new(),
         }
     }
 
@@ -152,9 +310,18 @@ impl<'a> Engine<'a> {
         self.now
     }
 
+    /// Whether this engine runs the incremental `O(log n)`-per-event path
+    /// (as opposed to the exhaustive per-event reassignment path).
+    pub fn uses_incremental_path(&self) -> bool {
+        self.mode == ExecMode::Incremental
+    }
+
     /// Number of unfinished released jobs `|A(t)|`.
     pub fn num_alive(&self) -> usize {
-        self.alive.len()
+        match self.mode {
+            ExecMode::Exhaustive => self.alive.len(),
+            ExecMode::Incremental => self.srpt.len(),
+        }
     }
 
     /// Whether the run has finished (no alive jobs, source exhausted).
@@ -165,37 +332,51 @@ impl<'a> Engine<'a> {
     /// Remaining work of a job: `Some(0.0)` once completed, `None` if the
     /// job has not been released (emitted) yet.
     pub fn remaining_of(&self, id: JobId) -> Option<Work> {
-        self.ids.get(&id).map(|&i| {
+        self.ids.get(id).map(|i| {
             let rec = &self.jobs[i];
             if rec.done {
                 0.0
+            } else if rec.in_running {
+                (rec.run_key - self.srpt.drain_offset()).max(0.0)
             } else {
                 rec.remaining
             }
         })
     }
 
-    /// Owned snapshots of all alive jobs (unsorted).
+    /// Owned snapshots of all alive jobs (in no contractual order).
     pub fn alive_snapshot(&self) -> Vec<AliveSnapshot> {
-        self.alive
-            .iter()
-            .map(|&i| {
-                let rec = &self.jobs[i];
-                AliveSnapshot {
-                    id: rec.spec.id,
-                    release: rec.spec.release,
-                    size: rec.spec.size,
-                    remaining: rec.remaining,
-                    curve: rec.spec.curve.clone(),
-                }
-            })
-            .collect()
+        let snap = |i: usize, remaining: Work| {
+            let rec = &self.jobs[i];
+            AliveSnapshot {
+                id: rec.spec.id,
+                release: rec.spec.release,
+                size: rec.spec.size,
+                remaining,
+                curve: rec.spec.curve.clone(),
+            }
+        };
+        match self.mode {
+            ExecMode::Exhaustive => self
+                .alive
+                .iter()
+                .map(|&i| snap(i, self.jobs[i].remaining))
+                .collect(),
+            ExecMode::Incremental => self
+                .srpt
+                .iter_alive()
+                .map(|(i, remaining)| snap(i, remaining))
+                .collect(),
+        }
     }
 
     /// Total unfinished work `Σ_{j ∈ A(t)} p_j(t)` (the paper's volume
-    /// `V(t)`).
+    /// `V(t)`). `O(1)` on the incremental path.
     pub fn total_remaining(&self) -> Work {
-        self.alive.iter().map(|&i| self.jobs[i].remaining).sum()
+        match self.mode {
+            ExecMode::Exhaustive => self.alive.iter().map(|&i| self.jobs[i].remaining).sum(),
+            ExecMode::Incremental => self.srpt.total_remaining(),
+        }
     }
 
     fn snap_tolerance(size: Work) -> f64 {
@@ -204,75 +385,250 @@ impl<'a> Engine<'a> {
 
     /// Releases all arrivals due at the current time. Returns whether any
     /// arrived.
+    ///
+    /// Specs are validated, announced to the observer, then *moved* into
+    /// the job arena — the seed engine cloned each spec twice here, which
+    /// dominated arrival cost for jobs with piecewise curves.
     fn admit_due_arrivals(&mut self) -> Result<bool, SimError> {
         let mut any = false;
-        loop {
-            match self.source.next_time() {
-                Some(t) if t <= self.now + EPS * self.now.max(1.0) => {
-                    let batch = {
-                        let views: Vec<AliveJob<'_>> = self
+        while let Some(t) = self.source.next_time() {
+            if t > self.now + EPS * self.now.max(1.0) {
+                break;
+            }
+            let mut batch = std::mem::take(&mut self.scratch_batch);
+            batch.clear();
+            {
+                // Adaptive sources get the full alive view; replay sources
+                // declare they don't read it, which keeps arrivals O(batch)
+                // on the incremental path (and allocation-free via the
+                // reused batch buffer).
+                let views: Vec<AliveJob<'_>> = if self.source.needs_system_view() {
+                    match self.mode {
+                        ExecMode::Exhaustive => self
                             .alive
                             .iter()
                             .map(|&i| AliveJob {
                                 spec: &self.jobs[i].spec,
                                 remaining: self.jobs[i].remaining,
                             })
-                            .collect();
-                        let view = SystemView {
-                            now: self.now,
-                            m: self.cfg.m,
-                            alive: &views,
-                        };
-                        self.source.emit(&view)
-                    };
-                    if batch.is_empty() {
-                        // An empty batch is a decision-only wakeup (used by
-                        // adaptive adversaries at phase midpoints); the
-                        // source must still make progress or we'd loop
-                        // forever.
-                        let stuck = self
-                            .source
-                            .next_time()
-                            .is_some_and(|nt| nt <= t + EPS * t.abs().max(1.0));
-                        if stuck {
-                            return Err(SimError::BadInstance {
-                                what: format!("source emitted nothing at its next_time {t} and did not advance"),
-                            });
-                        }
-                        continue;
+                            .collect(),
+                        ExecMode::Incremental => self
+                            .srpt
+                            .iter_alive()
+                            .map(|(i, remaining)| AliveJob {
+                                spec: &self.jobs[i].spec,
+                                remaining,
+                            })
+                            .collect(),
                     }
-                    for spec in &batch {
-                        if spec.release < self.now - EPS * self.now.max(1.0) {
-                            return Err(SimError::ArrivalInPast {
-                                now: self.now,
-                                release: spec.release,
-                            });
-                        }
-                        if self.ids.contains_key(&spec.id) {
-                            return Err(SimError::BadInstance {
-                                what: format!("duplicate job id {}", spec.id),
-                            });
-                        }
-                        let idx = self.jobs.len();
-                        self.ids.insert(spec.id, idx);
+                } else {
+                    Vec::new()
+                };
+                let view = SystemView {
+                    now: self.now,
+                    m: self.cfg.m,
+                    alive: &views,
+                };
+                self.source.emit_into(&view, &mut batch);
+            }
+            if batch.is_empty() {
+                self.scratch_batch = batch;
+                // An empty batch is a decision-only wakeup (used by
+                // adaptive adversaries at phase midpoints); the
+                // source must still make progress or we'd loop
+                // forever.
+                let stuck = self
+                    .source
+                    .next_time()
+                    .is_some_and(|nt| nt <= t + EPS * t.abs().max(1.0));
+                if stuck {
+                    return Err(SimError::BadInstance {
+                        what: format!(
+                            "source emitted nothing at its next_time {t} and did not advance"
+                        ),
+                    });
+                }
+                continue;
+            }
+            // Validate up front, mirroring `Instance::new`'s invariants —
+            // admission is the single validation point, which lets the
+            // outcome instance be rebuilt without a second O(n) pass.
+            for (i, spec) in batch.iter().enumerate() {
+                if !spec.release.is_finite() || spec.release < 0.0 {
+                    return Err(SimError::BadInstance {
+                        what: format!("job {} has invalid release {}", spec.id, spec.release),
+                    });
+                }
+                if spec.release < self.now - EPS * self.now.max(1.0) {
+                    return Err(SimError::ArrivalInPast {
+                        now: self.now,
+                        release: spec.release,
+                    });
+                }
+                if !spec.size.is_finite() || spec.size <= 0.0 {
+                    return Err(SimError::BadInstance {
+                        what: format!("job {} has invalid size {}", spec.id, spec.size),
+                    });
+                }
+                if !spec.weight.is_finite() || spec.weight <= 0.0 {
+                    return Err(SimError::BadInstance {
+                        what: format!("job {} has invalid weight {}", spec.id, spec.weight),
+                    });
+                }
+                if spec.curve.validate().is_err() {
+                    return Err(SimError::BadInstance {
+                        what: format!("job {} has invalid curve {:?}", spec.id, spec.curve),
+                    });
+                }
+                if self.ids.get(spec.id).is_some() || batch[..i].iter().any(|s| s.id == spec.id) {
+                    return Err(SimError::BadInstance {
+                        what: format!("duplicate job id {}", spec.id),
+                    });
+                }
+            }
+            self.observer.on_arrivals(self.now, &batch);
+            for spec in batch.drain(..) {
+                let idx = self.jobs.len();
+                self.ids.insert(spec.id, idx);
+                let remaining = spec.size;
+                match self.mode {
+                    ExecMode::Exhaustive => {
                         self.jobs.push(JobRecord {
-                            spec: spec.clone(),
-                            remaining: spec.size,
+                            spec,
+                            remaining,
+                            run_key: 0.0,
+                            in_running: false,
                             done: false,
                         });
                         self.alive.push(idx);
-                        self.emitted.push(spec.clone());
                     }
-                    self.observer.on_arrivals(self.now, &batch);
-                    any = true;
+                    ExecMode::Incremental => {
+                        let placement = self.srpt.insert(idx, &spec, remaining);
+                        let (run_key, in_running) = match placement {
+                            Placement::Running { key } => (key, true),
+                            Placement::Queued { .. } => (0.0, false),
+                        };
+                        self.jobs.push(JobRecord {
+                            spec,
+                            remaining,
+                            run_key,
+                            in_running,
+                            done: false,
+                        });
+                    }
                 }
-                _ => break,
             }
+            self.scratch_batch = batch;
+            self.policy.on_arrival(self.now, self.num_alive());
+            any = true;
         }
         if any {
             self.alloc_fresh = false;
         }
         Ok(any)
+    }
+
+    /// Revalidates the allocation for the interval starting now, whichever
+    /// path is active.
+    fn ensure_fresh(&mut self) -> Result<(), SimError> {
+        match self.mode {
+            ExecMode::Exhaustive => self.refresh_allocation(),
+            ExecMode::Incremental => self.refresh_profile(),
+        }
+    }
+
+    /// Incremental-path allocation refresh: queries the policy's prefix
+    /// profile, rebalances the running/queued partition, and classifies the
+    /// upcoming interval's drain shape. `O(log n)` plus `O(moved)` for the
+    /// partition moves (amortized `O(1)` moves per event for the θ = 1
+    /// family; threshold crossings can move a batch, which the rebalance
+    /// handles in bulk).
+    fn refresh_profile(&mut self) -> Result<(), SimError> {
+        self.quantum_deadline = None;
+        self.next_completion = None;
+        let n = self.srpt.len();
+        if n == 0 {
+            self.interval = IntervalKind::Idle;
+            self.alloc_fresh = true;
+            return Ok(());
+        }
+        let Some(profile) = self.policy.prefix_allocation(n, self.cfg.m) else {
+            return Err(SimError::BadInstance {
+                what: format!(
+                    "policy {} declares SrptPrefix stability but returned no prefix profile for n = {n}",
+                    self.policy.name()
+                ),
+            });
+        };
+        // Mirror the exhaustive path's feasibility checks (same error
+        // taxonomy, O(1) instead of O(n)).
+        if !profile.share.is_finite() || profile.share < -EPS {
+            return Err(SimError::InvalidShare {
+                at: self.now,
+                share: profile.share,
+                policy: self.policy.name(),
+            });
+        }
+        let count = profile.count.clamp(1, n);
+        let share = profile.share.max(0.0);
+        let total = count as f64 * share;
+        if total > self.cfg.m * (1.0 + 1e-9) + EPS {
+            return Err(SimError::InfeasibleAllocation {
+                at: self.now,
+                requested: total,
+                available: self.cfg.m,
+                policy: self.policy.name(),
+            });
+        }
+        self.profile = PrefixAllocation { count, share };
+        let jobs = &mut self.jobs;
+        self.srpt
+            .maybe_rebase(|idx, p| apply_placement(jobs, idx, p));
+        self.srpt
+            .rebalance(count, |idx, p| apply_placement(jobs, idx, p));
+        // Classify the interval. Uniform (O(1) drain) whenever every
+        // running job provably drains at one common rate: a single runner,
+        // identical curves, or share 1 with Γ(1) = 1 across the prefix.
+        let share_is_unit = (share - 1.0).abs() <= 1e-12;
+        let unit_rate = share_is_unit && self.srpt.unit_rate_at_one();
+        let uniform = self.srpt.running_len() <= 1 || self.srpt.uniform_curves() || unit_rate;
+        if uniform {
+            let rate = match self.srpt.front_running() {
+                // Γ(1) = 1 across the prefix ⇒ rate is the bare speed; skip
+                // the (powf-backed) curve evaluation in the overload steady
+                // state.
+                Some((slot, rem)) => {
+                    let rate = if unit_rate {
+                        self.cfg.speed
+                    } else {
+                        self.cfg.speed * self.jobs[slot.idx].spec.curve.rate(share)
+                    };
+                    if rate > 0.0 {
+                        // Invariant under uniform drain, so it doubles as
+                        // the completion candidate for this interval.
+                        self.next_completion = Some(self.now + rem / rate);
+                    }
+                    rate
+                }
+                None => 0.0,
+            };
+            self.interval = IntervalKind::Uniform { rate };
+        } else {
+            let mut next: Option<Time> = None;
+            for (slot, rem) in self.srpt.iter_running() {
+                let rate = self.cfg.speed * self.jobs[slot.idx].spec.curve.rate(share);
+                if rate > 0.0 {
+                    let t = self.now + rem / rate;
+                    if next.is_none_or(|n| t < n) {
+                        next = Some(t);
+                    }
+                }
+            }
+            self.interval = IntervalKind::Scan;
+            self.next_completion = next;
+        }
+        self.alloc_fresh = true;
+        Ok(())
     }
 
     /// Re-runs the policy and recomputes rates and the quantum deadline.
@@ -342,7 +698,7 @@ impl<'a> Engine<'a> {
         // first step) must be admitted before deciding the allocation.
         self.admit_due_arrivals()?;
         if !self.alloc_fresh {
-            self.refresh_allocation()?;
+            self.ensure_fresh()?;
         }
         let mut next: Option<Time> = None;
         let mut consider = |t: Time| {
@@ -350,9 +706,20 @@ impl<'a> Engine<'a> {
                 next = Some(t);
             }
         };
-        for (i, &idx) in self.alive.iter().enumerate() {
-            if self.rates[i] > 0.0 {
-                consider(self.now + self.jobs[idx].remaining / self.rates[i]);
+        match self.mode {
+            ExecMode::Exhaustive => {
+                for (i, &idx) in self.alive.iter().enumerate() {
+                    if self.rates[i] > 0.0 {
+                        consider(self.now + self.jobs[idx].remaining / self.rates[i]);
+                    }
+                }
+            }
+            // Incremental: the imminent completion was precomputed by the
+            // refresh (front of the running prefix) — O(1), no scan.
+            ExecMode::Incremental => {
+                if let Some(t) = self.next_completion {
+                    consider(t.max(self.now));
+                }
             }
         }
         if let Some(t) = self.source.next_time() {
@@ -364,13 +731,13 @@ impl<'a> Engine<'a> {
         match next {
             Some(t) => Ok(Some(t)),
             None => {
-                if self.alive.is_empty() {
+                if self.num_alive() == 0 {
                     self.finished = true;
                     Ok(None)
                 } else {
                     Err(SimError::Stalled {
                         at: self.now,
-                        alive: self.alive.len(),
+                        alive: self.num_alive(),
                     })
                 }
             }
@@ -381,20 +748,18 @@ impl<'a> Engine<'a> {
     /// time), integrating metrics and processing completions and arrivals
     /// that fall exactly at `t`.
     pub fn advance_to(&mut self, t: Time) -> Result<(), SimError> {
-        debug_assert!(t >= self.now - EPS * self.now.max(1.0), "time went backwards");
+        debug_assert!(
+            t >= self.now - EPS * self.now.max(1.0),
+            "time went backwards"
+        );
         if !self.alloc_fresh {
-            self.refresh_allocation()?;
+            self.ensure_fresh()?;
         }
         let dt = (t - self.now).max(0.0);
         if dt > 0.0 {
-            self.alive_integral += self.alive.len() as f64 * dt;
-            for (i, &idx) in self.alive.iter().enumerate() {
-                let rec = &mut self.jobs[idx];
-                let drained = self.rates[i] * dt;
-                // Fractional flow: ∫ p_j(τ)/p_j dτ over [now, t], exact for
-                // the linear drain.
-                self.frac_flow += (rec.remaining - drained / 2.0).max(0.0) * dt / rec.spec.size;
-                rec.remaining = (rec.remaining - drained).max(0.0);
+            match self.mode {
+                ExecMode::Exhaustive => self.integrate_exhaustive(dt),
+                ExecMode::Incremental => self.integrate_incremental(dt),
             }
             self.observer.on_advance(self.now, t);
             self.now = t;
@@ -402,6 +767,89 @@ impl<'a> Engine<'a> {
             self.now = self.now.max(t);
         }
         // Completions at the new time.
+        let completed_any = match self.mode {
+            ExecMode::Exhaustive => self.collect_completions_exhaustive(),
+            ExecMode::Incremental => self.collect_completions_incremental(),
+        };
+        if completed_any {
+            self.alloc_fresh = false;
+            self.policy.on_completion(self.now, self.num_alive());
+        }
+        // Quantum expiry forces a re-decision.
+        if let Some(q) = self.quantum_deadline {
+            if self.now + EPS * self.now.max(1.0) >= q {
+                self.alloc_fresh = false;
+            }
+        }
+        // Arrivals due exactly now.
+        self.admit_due_arrivals()?;
+        Ok(())
+    }
+
+    /// Exhaustive-path interval integration: per-job linear drain.
+    fn integrate_exhaustive(&mut self, dt: f64) {
+        self.alive_integral += self.alive.len() as f64 * dt;
+        for (i, &idx) in self.alive.iter().enumerate() {
+            let rec = &mut self.jobs[idx];
+            let drained = self.rates[i] * dt;
+            // Fractional flow: ∫ p_j(τ)/p_j dτ over [now, t], exact for
+            // the linear drain.
+            self.frac_flow += (rec.remaining - drained / 2.0).max(0.0) * dt / rec.spec.size;
+            rec.remaining = (rec.remaining - drained).max(0.0);
+        }
+    }
+
+    /// Incremental-path interval integration. Uniform intervals are O(1):
+    /// the drain offset bumps once and fractional flow comes from the
+    /// set's maintained sums in closed form — with `D₀` the offset at the
+    /// interval start and rate `r`,
+    /// `∫ Σ p_j(τ)/p_j dτ = (Σkey_j/p_j − D₀·Σ1/p_j)·dt − (r·dt²/2)·Σ1/p_j`
+    /// over the running prefix, plus `dt·Σ rem_j/p_j` over the (static)
+    /// queue. Scan intervals fall back to per-job integration over the
+    /// prefix only.
+    fn integrate_incremental(&mut self, dt: f64) {
+        self.alive_integral += self.srpt.len() as f64 * dt;
+        match self.interval {
+            IntervalKind::Idle => {}
+            IntervalKind::Uniform { rate } => {
+                let s1 = self.srpt.running_inv_size_sum();
+                let run = (self.srpt.running_key_frac_sum() - self.srpt.drain_offset() * s1) * dt
+                    - rate * dt * dt / 2.0 * s1;
+                self.frac_flow += run.max(0.0) + self.srpt.queued_frac_sum() * dt;
+                self.srpt.advance_uniform(rate * dt);
+            }
+            IntervalKind::Scan => {
+                let share = self.profile.share;
+                let speed = self.cfg.speed;
+                let mut run = 0.0;
+                for (slot, rem) in self.srpt.iter_running() {
+                    let rate = speed * self.jobs[slot.idx].spec.curve.rate(share);
+                    run += (rem - rate * dt / 2.0).max(0.0) / slot.size;
+                }
+                self.frac_flow += (run + self.srpt.queued_frac_sum()) * dt;
+                let mut moves = std::mem::take(&mut self.scratch_moves);
+                moves.clear();
+                {
+                    let jobs = &self.jobs;
+                    self.srpt.drain_scan(
+                        dt,
+                        |idx| speed * jobs[idx].spec.curve.rate(share),
+                        |idx, p| moves.push((idx, p)),
+                    );
+                }
+                for &(idx, p) in &moves {
+                    apply_placement(&mut self.jobs, idx, p);
+                }
+                self.scratch_moves = moves;
+                // The scan may have reordered the prefix; re-classify
+                // before the next interval.
+                self.alloc_fresh = false;
+            }
+        }
+    }
+
+    /// Exhaustive-path completion sweep over the whole alive set.
+    fn collect_completions_exhaustive(&mut self) -> bool {
         let mut completed_any = false;
         let mut i = 0;
         while i < self.alive.len() {
@@ -419,27 +867,46 @@ impl<'a> Engine<'a> {
                 };
                 self.total_flow += cj.flow();
                 self.max_flow = self.max_flow.max(cj.flow());
-                let spec = rec.spec.clone();
                 self.completed.push(cj);
-                self.observer.on_completion(self.now, &spec);
+                self.observer.on_completion(self.now, &self.jobs[idx].spec);
                 self.alive.swap_remove(i);
                 completed_any = true;
             } else {
                 i += 1;
             }
         }
-        if completed_any {
-            self.alloc_fresh = false;
-        }
-        // Quantum expiry forces a re-decision.
-        if let Some(q) = self.quantum_deadline {
-            if self.now + EPS * self.now.max(1.0) >= q {
-                self.alloc_fresh = false;
+        completed_any
+    }
+
+    /// Incremental-path completions: only the *front* of the running prefix
+    /// can finish (SRPT order), so this pops while the front is within
+    /// tolerance — O(log n) per completion, no sweep.
+    fn collect_completions_incremental(&mut self) -> bool {
+        let mut completed_any = false;
+        while let Some((slot, rem)) = self.srpt.front_running() {
+            if rem > Self::snap_tolerance(slot.size) {
+                break;
             }
+            self.srpt.pop_front_running();
+            let rec = &mut self.jobs[slot.idx];
+            rec.remaining = 0.0;
+            rec.in_running = false;
+            rec.done = true;
+            let cj = CompletedJob {
+                id: rec.spec.id,
+                release: rec.spec.release,
+                size: rec.spec.size,
+                completion: self.now,
+                weight: rec.spec.weight,
+            };
+            self.total_flow += cj.flow();
+            self.max_flow = self.max_flow.max(cj.flow());
+            self.completed.push(cj);
+            self.observer
+                .on_completion(self.now, &self.jobs[slot.idx].spec);
+            completed_any = true;
         }
-        // Arrivals due exactly now.
-        self.admit_due_arrivals()?;
-        Ok(())
+        completed_any
     }
 
     /// Processes one event. Returns `false` when the run is complete.
@@ -480,7 +947,11 @@ impl<'a> Engine<'a> {
             .fold(0.0, f64::max);
         let metrics = RunMetrics {
             total_flow: self.total_flow,
-            mean_flow: if n == 0 { 0.0 } else { self.total_flow / n as f64 },
+            mean_flow: if n == 0 {
+                0.0
+            } else {
+                self.total_flow / n as f64
+            },
             max_flow: self.max_flow,
             fractional_flow: self.frac_flow,
             makespan: self
@@ -498,7 +969,11 @@ impl<'a> Engine<'a> {
         Ok(RunOutcome {
             metrics,
             completed: self.completed,
-            instance: Instance::new(self.emitted)?,
+            // The arena holds every spec ever emitted (done or not), in
+            // admission order, already validated at admission; rebuilding
+            // the instance from it avoids both the seed engine's duplicate
+            // `emitted` clone stream and a second O(n) validation pass.
+            instance: Instance::from_admitted(self.jobs.into_iter().map(|r| r.spec).collect()),
         })
     }
 }
@@ -538,15 +1013,20 @@ mod tests {
     #[test]
     fn single_sequential_job_cannot_be_sped_up() {
         // One sequential job of size 5 on 8 processors: flow = 5.
-        let outcome = simulate(&inst(&[(0.0, 5.0)], Curve::Sequential), &mut EquiSplit, 8.0).unwrap();
+        let outcome =
+            simulate(&inst(&[(0.0, 5.0)], Curve::Sequential), &mut EquiSplit, 8.0).unwrap();
         assert!((outcome.metrics.total_flow - 5.0).abs() < 1e-9);
         assert_eq!(outcome.metrics.num_jobs, 1);
     }
 
     #[test]
     fn single_parallel_job_uses_all_processors() {
-        let outcome =
-            simulate(&inst(&[(0.0, 8.0)], Curve::FullyParallel), &mut EquiSplit, 4.0).unwrap();
+        let outcome = simulate(
+            &inst(&[(0.0, 8.0)], Curve::FullyParallel),
+            &mut EquiSplit,
+            4.0,
+        )
+        .unwrap();
         assert!((outcome.metrics.total_flow - 2.0).abs() < 1e-9);
     }
 
@@ -554,9 +1034,12 @@ mod tests {
     fn two_power_jobs_under_equi() {
         // 2 jobs, size 4, α = 0.5, m = 4 → each at rate √2, both finish at
         // 4/√2 = 2√2; total flow = 4√2.
-        let outcome =
-            simulate(&inst(&[(0.0, 4.0), (0.0, 4.0)], Curve::power(0.5)), &mut EquiSplit, 4.0)
-                .unwrap();
+        let outcome = simulate(
+            &inst(&[(0.0, 4.0), (0.0, 4.0)], Curve::power(0.5)),
+            &mut EquiSplit,
+            4.0,
+        )
+        .unwrap();
         assert!((outcome.metrics.total_flow - 4.0 * 2f64.sqrt()).abs() < 1e-9);
         assert!((outcome.metrics.makespan - 2.0 * 2f64.sqrt()).abs() < 1e-9);
     }
@@ -612,7 +1095,13 @@ mod tests {
         fn name(&self) -> String {
             "starver".into()
         }
-        fn assign(&mut self, _: Time, _: f64, _: &[AliveJob<'_>], shares: &mut [f64]) -> Option<f64> {
+        fn assign(
+            &mut self,
+            _: Time,
+            _: f64,
+            _: &[AliveJob<'_>],
+            shares: &mut [f64],
+        ) -> Option<f64> {
             shares.fill(0.0);
             None
         }
@@ -630,7 +1119,13 @@ mod tests {
         fn name(&self) -> String {
             "hog".into()
         }
-        fn assign(&mut self, _: Time, m: f64, _: &[AliveJob<'_>], shares: &mut [f64]) -> Option<f64> {
+        fn assign(
+            &mut self,
+            _: Time,
+            m: f64,
+            _: &[AliveJob<'_>],
+            shares: &mut [f64],
+        ) -> Option<f64> {
             shares.fill(m); // every job demands all processors
             None
         }
@@ -837,6 +1332,165 @@ mod tests {
         let outcome = simulate(&instance, &mut EquiSplit, 4.0).unwrap();
         assert_eq!(outcome.metrics.num_jobs, 0);
         assert_eq!(outcome.metrics.total_flow, 0.0);
+    }
+
+    #[test]
+    fn path_selection_honours_policy_observer_and_config() {
+        let instance = inst(&[(0.0, 1.0)], Curve::Sequential);
+        let mut p = EquiSplit;
+        // SrptPrefix policy + NullObserver → incremental.
+        let mut source = StaticSource::new(&instance);
+        let mut obs = NullObserver;
+        let e = Engine::new(EngineConfig::new(1.0), &mut p, &mut source, &mut obs);
+        assert!(e.uses_incremental_path());
+        // full_reassign forces the exhaustive oracle.
+        let mut source = StaticSource::new(&instance);
+        let mut obs = NullObserver;
+        let e = Engine::new(
+            EngineConfig::new(1.0).with_full_reassign(true),
+            &mut p,
+            &mut source,
+            &mut obs,
+        );
+        assert!(!e.uses_incremental_path());
+        // An observer consuming the allocation stream forces it too.
+        let mut source = StaticSource::new(&instance);
+        let mut trace = crate::observer::AllocationTrace::new();
+        let e = Engine::new(EngineConfig::new(1.0), &mut p, &mut source, &mut trace);
+        assert!(!e.uses_incremental_path());
+        // A General-stability policy never takes the incremental path.
+        let mut source = StaticSource::new(&instance);
+        let mut obs = NullObserver;
+        let mut hog = GreedyHog;
+        let e = Engine::new(EngineConfig::new(1.0), &mut hog, &mut source, &mut obs);
+        assert!(!e.uses_incremental_path());
+    }
+
+    fn run_both_paths(instance: &Instance, m: f64) -> (RunOutcome, RunOutcome) {
+        let run = |full_reassign: bool| {
+            let mut p = EquiSplit;
+            let mut source = StaticSource::new(instance);
+            let mut obs = NullObserver;
+            let engine = Engine::new(
+                EngineConfig::new(m).with_full_reassign(full_reassign),
+                &mut p,
+                &mut source,
+                &mut obs,
+            );
+            assert_eq!(engine.uses_incremental_path(), !full_reassign);
+            engine.run().unwrap()
+        };
+        (run(false), run(true))
+    }
+
+    #[test]
+    fn incremental_matches_exhaustive_oracle_on_equi() {
+        let instance = inst(
+            &[
+                (0.0, 5.0),
+                (0.0, 2.0),
+                (1.0, 4.0),
+                (1.5, 0.5),
+                (3.0, 6.0),
+                (3.0, 1.0),
+            ],
+            Curve::power(0.5),
+        );
+        let (inc, orc) = run_both_paths(&instance, 3.0);
+        assert_eq!(inc.metrics.num_jobs, orc.metrics.num_jobs);
+        for c in &orc.completed {
+            let f = inc.flow_of(c.id).unwrap();
+            assert!(
+                (f - c.flow()).abs() < 1e-6 * c.flow().max(1.0),
+                "job {} flow {} vs oracle {}",
+                c.id,
+                f,
+                c.flow()
+            );
+        }
+        for (a, b) in [
+            (inc.metrics.total_flow, orc.metrics.total_flow),
+            (inc.metrics.fractional_flow, orc.metrics.fractional_flow),
+            (inc.metrics.alive_integral, orc.metrics.alive_integral),
+            (inc.metrics.makespan, orc.metrics.makespan),
+        ] {
+            assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oracle_with_mixed_curves() {
+        // Heterogeneous curves force the scan interval classification.
+        let instance = Instance::new(vec![
+            JobSpec::new(JobId(0), 0.0, 4.0, Curve::Sequential),
+            JobSpec::new(JobId(1), 0.0, 4.0, Curve::FullyParallel),
+            JobSpec::new(JobId(2), 0.5, 3.0, Curve::power(0.5)),
+            JobSpec::new(JobId(3), 2.0, 2.0, Curve::power(0.8)),
+        ])
+        .unwrap();
+        let (inc, orc) = run_both_paths(&instance, 2.0);
+        for c in &orc.completed {
+            let f = inc.flow_of(c.id).unwrap();
+            assert!(
+                (f - c.flow()).abs() < 1e-6 * c.flow().max(1.0),
+                "job {} flow {} vs oracle {}",
+                c.id,
+                f,
+                c.flow()
+            );
+        }
+        assert!(
+            (inc.metrics.fractional_flow - orc.metrics.fractional_flow).abs()
+                < 1e-6 * orc.metrics.fractional_flow.max(1.0)
+        );
+    }
+
+    #[test]
+    fn incremental_remaining_of_partial_advance() {
+        // Same scenario as remaining_of_tracks_lifecycle but asserting the
+        // incremental path is the one being exercised.
+        let instance = inst(&[(0.0, 2.0), (5.0, 1.0)], Curve::Sequential);
+        let mut p = EquiSplit;
+        let mut source = StaticSource::new(&instance);
+        let mut obs = NullObserver;
+        let mut engine = Engine::new(EngineConfig::new(1.0), &mut p, &mut source, &mut obs);
+        assert!(engine.uses_incremental_path());
+        engine.next_event_time().unwrap();
+        engine.advance_to(1.0).unwrap();
+        assert_eq!(engine.remaining_of(JobId(0)), Some(1.0));
+        assert!((engine.total_remaining() - 1.0).abs() < 1e-12);
+        engine.advance_to(2.0).unwrap();
+        assert_eq!(engine.remaining_of(JobId(0)), Some(0.0));
+        assert_eq!(engine.num_alive(), 0);
+    }
+
+    #[test]
+    fn id_map_handles_dense_and_sparse_ids() {
+        let mut map = IdMap::default();
+        map.insert(JobId(0), 10);
+        map.insert(JobId(3), 11);
+        map.insert(JobId(u64::MAX - 1), 12);
+        map.insert(JobId(1 << 40), 13);
+        assert_eq!(map.get(JobId(0)), Some(10));
+        assert_eq!(map.get(JobId(3)), Some(11));
+        assert_eq!(map.get(JobId(u64::MAX - 1)), Some(12));
+        assert_eq!(map.get(JobId(1 << 40)), Some(13));
+        assert_eq!(map.get(JobId(2)), None);
+        assert_eq!(map.get(JobId(99)), None);
+    }
+
+    #[test]
+    fn sparse_ids_work_end_to_end() {
+        // Huge ids exercise the sorted-vec fallback inside a real run.
+        let instance = Instance::new(vec![
+            JobSpec::new(JobId(u64::MAX - 7), 0.0, 2.0, Curve::Sequential),
+            JobSpec::new(JobId(5), 0.0, 1.0, Curve::Sequential),
+        ])
+        .unwrap();
+        let outcome = simulate(&instance, &mut EquiSplit, 2.0).unwrap();
+        assert_eq!(outcome.metrics.num_jobs, 2);
+        assert_eq!(outcome.flow_of(JobId(u64::MAX - 7)), Some(2.0));
+        assert_eq!(outcome.flow_of(JobId(5)), Some(1.0));
     }
 
     #[test]

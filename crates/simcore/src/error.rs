@@ -72,7 +72,10 @@ impl fmt::Display for SimError {
                 "policy {policy} requested {requested} of {available} processors at t={at}"
             ),
             SimError::InvalidShare { at, share, policy } => {
-                write!(f, "policy {policy} returned invalid share {share} at t={at}")
+                write!(
+                    f,
+                    "policy {policy} returned invalid share {share} at t={at}"
+                )
             }
             SimError::Stalled { at, alive } => {
                 write!(f, "simulation stalled at t={at} with {alive} starved jobs")
@@ -102,6 +105,8 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains('5') && s.contains('4') && s.contains("test"));
-        assert!(SimError::EventLimit { limit: 10 }.to_string().contains("10"));
+        assert!(SimError::EventLimit { limit: 10 }
+            .to_string()
+            .contains("10"));
     }
 }

@@ -40,6 +40,9 @@ pub struct JobSpec {
     pub weight: f64,
 }
 
+// Referenced only from the `#[serde(default)]` attribute above; the offline
+// serde shim expands that attribute to nothing, so rustc can't see the use.
+#[allow(dead_code)]
 fn default_weight() -> f64 {
     1.0
 }
@@ -113,6 +116,28 @@ impl Instance {
         Ok(Self { jobs })
     }
 
+    /// Builds an instance from specs the engine already admitted.
+    ///
+    /// Admission enforces exactly the invariants [`Instance::new`] checks
+    /// (finite release/size/weight, valid curve, unique ids), so this skips
+    /// the per-job validation and the duplicate-id hash pass; the arena is
+    /// in admission order, which for replayed instances is already
+    /// `(release, id)` — the sort below is a no-op check in that case.
+    pub(crate) fn from_admitted(mut jobs: Vec<JobSpec>) -> Self {
+        let sorted = jobs
+            .windows(2)
+            .all(|w| (w[0].release, w[0].id) <= (w[1].release, w[1].id));
+        if !sorted {
+            jobs.sort_by(|a, b| {
+                a.release
+                    .partial_cmp(&b.release)
+                    .expect("releases are finite")
+                    .then(a.id.cmp(&b.id))
+            });
+        }
+        Self { jobs }
+    }
+
     /// Convenience constructor: jobs `(release, size)` all sharing one curve,
     /// with ids assigned in order.
     pub fn from_sizes(jobs: &[(Time, Work)], curve: Curve) -> Result<Self, SimError> {
@@ -141,7 +166,10 @@ impl Instance {
 
     /// Smallest job size (`∞` if empty).
     pub fn p_min(&self) -> Work {
-        self.jobs.iter().map(|j| j.size).fold(f64::INFINITY, f64::min)
+        self.jobs
+            .iter()
+            .map(|j| j.size)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Largest job size (`0` if empty).
@@ -213,8 +241,12 @@ mod tests {
 
     #[test]
     fn instance_sorts_by_release_then_id() {
-        let inst = Instance::new(vec![spec(2, 5.0, 1.0), spec(1, 0.0, 2.0), spec(0, 5.0, 3.0)])
-            .unwrap();
+        let inst = Instance::new(vec![
+            spec(2, 5.0, 1.0),
+            spec(1, 0.0, 2.0),
+            spec(0, 5.0, 3.0),
+        ])
+        .unwrap();
         let ids: Vec<u64> = inst.jobs().iter().map(|j| j.id.0).collect();
         assert_eq!(ids, vec![1, 0, 2]);
     }
@@ -234,8 +266,12 @@ mod tests {
 
     #[test]
     fn summary_statistics() {
-        let inst =
-            Instance::new(vec![spec(0, 0.0, 1.0), spec(1, 2.0, 8.0), spec(2, 1.0, 4.0)]).unwrap();
+        let inst = Instance::new(vec![
+            spec(0, 0.0, 1.0),
+            spec(1, 2.0, 8.0),
+            spec(2, 1.0, 4.0),
+        ])
+        .unwrap();
         assert_eq!(inst.len(), 3);
         assert_eq!(inst.p_min(), 1.0);
         assert_eq!(inst.p_max(), 8.0);

@@ -56,6 +56,7 @@ mod plan;
 mod policy;
 pub mod quantized;
 mod source;
+mod srpt_set;
 
 pub use engine::{simulate, simulate_with_observer, AliveSnapshot, Engine, EngineConfig};
 pub use error::SimError;
@@ -65,5 +66,5 @@ pub use observer::{
     AliveTrace, AllocationSegment, AllocationTrace, NullObserver, Observer, TracePoint,
 };
 pub use plan::{AllocationPlan, PlanSegment, PlannedPolicy};
-pub use policy::{AliveJob, EquiSplit, Policy};
+pub use policy::{AliveJob, AllocationStability, EquiSplit, Policy, PrefixAllocation};
 pub use source::{ArrivalSource, StaticSource, SystemView};

@@ -30,13 +30,30 @@ pub trait Observer {
     fn on_advance(&mut self, t0: Time, t1: Time) {
         let _ = (t0, t1);
     }
+
+    /// Whether this observer consumes [`Observer::on_allocation`].
+    ///
+    /// Building the per-interval `(jobs, shares)` view is the one `O(n)`
+    /// cost the engine's incremental `O(log n)` path cannot avoid, so
+    /// observers that ignore `on_allocation` should return `false` to keep
+    /// that path enabled. All other callbacks (`on_arrivals`,
+    /// `on_completion`, `on_advance`) fire on every path regardless of this
+    /// hint. The default is `true` — the conservative answer that forces
+    /// the exhaustive path.
+    fn needs_allocation_stream(&self) -> bool {
+        true
+    }
 }
 
 /// An observer that records nothing.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullObserver;
 
-impl Observer for NullObserver {}
+impl Observer for NullObserver {
+    fn needs_allocation_stream(&self) -> bool {
+        false
+    }
+}
 
 /// One sample of the alive-job count step function.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,6 +137,10 @@ impl Observer for AliveTrace {
         self.alive_now -= 1;
         self.push(t);
     }
+
+    fn needs_allocation_stream(&self) -> bool {
+        false
+    }
 }
 
 /// One constant-allocation segment of one job's schedule.
@@ -168,7 +189,11 @@ impl AllocationTrace {
 
     /// The segments of one job, in time order.
     pub fn of_job(&self, id: crate::job::JobId) -> Vec<AllocationSegment> {
-        self.segments.iter().filter(|s| s.id == id).copied().collect()
+        self.segments
+            .iter()
+            .filter(|s| s.id == id)
+            .copied()
+            .collect()
     }
 }
 

@@ -44,7 +44,10 @@ impl AllocationPlan {
         for (i, seg) in segments.iter().enumerate() {
             if !seg.start.is_finite() || !seg.end.is_finite() || seg.end <= seg.start {
                 return Err(SimError::BadInstance {
-                    what: format!("plan segment {i} has invalid interval [{}, {})", seg.start, seg.end),
+                    what: format!(
+                        "plan segment {i} has invalid interval [{}, {})",
+                        seg.start, seg.end
+                    ),
                 });
             }
             if seg.start < prev_end - EPS {

@@ -35,6 +35,43 @@ impl AliveJob<'_> {
     }
 }
 
+/// How a policy's preferred allocation evolves between discrete events —
+/// the contract that decides which engine execution path is sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationStability {
+    /// No structural guarantee: the engine must call
+    /// [`Policy::assign`] on the full alive set at every event (the
+    /// `O(n)`-per-event legacy path).
+    General,
+    /// The allocation is a *prefix profile of the SRPT order*: at every
+    /// decision point, the first `k` jobs in `(remaining, release, id)`
+    /// order each receive the same share `s` and every other job receives
+    /// zero, where `(k, s)` depends only on `(|A(t)|, m)` (via
+    /// [`Policy::prefix_allocation`]). The whole SRPT policy family —
+    /// Intermediate-SRPT, Sequential-SRPT, Parallel-SRPT, Threshold-SRPT,
+    /// and EQUI — has this shape, and it is what makes the incremental
+    /// `O(log n)`-per-event engine path sound: between events the scheduled
+    /// prefix drains at a common rate, so the SRPT order is invariant.
+    ///
+    /// Policies declaring this MUST return `Some` from
+    /// [`Policy::prefix_allocation`] for every `n ≥ 1`, MUST have `assign`
+    /// agree with that profile, and MUST NOT rely on quantum re-decisions
+    /// (the incremental path never calls `assign`, so a returned quantum
+    /// would be ignored).
+    SrptPrefix,
+}
+
+/// A prefix-of-SRPT-order allocation: the first `count` jobs in
+/// `(remaining, release, id)` order each receive `share` processors; all
+/// other alive jobs receive zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefixAllocation {
+    /// Number of scheduled jobs `k ≥ 1` (callers clamp to `n`).
+    pub count: usize,
+    /// Processors per scheduled job (`count · share ≤ m`).
+    pub share: f64,
+}
+
 /// An online scheduler: maps the current system state to a processor
 /// allocation.
 ///
@@ -52,17 +89,62 @@ impl AliveJob<'_> {
 ///   exactly.
 /// * `reset` restores the policy to its initial state so one policy value
 ///   can be reused across runs.
+///
+/// # Incremental protocol
+///
+/// Policies whose allocation is a prefix profile of the SRPT order can opt
+/// into the engine's `O(log n)`-per-event path by returning
+/// [`AllocationStability::SrptPrefix`] from [`Policy::stability`] and
+/// implementing [`Policy::prefix_allocation`]. On that path the engine
+/// never calls `assign`; it maintains the SRPT order itself and applies the
+/// profile directly. [`Policy::on_arrival`] / [`Policy::on_completion`] are
+/// lightweight event notifications (fired on every path) for policies that
+/// keep internal statistics.
 pub trait Policy {
     /// Stable display name (used in tables, errors, and traces).
     fn name(&self) -> String;
 
     /// Chooses the allocation at time `now` for the given alive jobs on `m`
     /// processors. Returns an optional re-decision quantum.
-    fn assign(&mut self, now: Time, m: f64, jobs: &[AliveJob<'_>], shares: &mut [f64])
-        -> Option<f64>;
+    fn assign(
+        &mut self,
+        now: Time,
+        m: f64,
+        jobs: &[AliveJob<'_>],
+        shares: &mut [f64],
+    ) -> Option<f64>;
 
     /// Restores initial state (default: stateless, nothing to do).
     fn reset(&mut self) {}
+
+    /// How this policy's allocation evolves between events (default:
+    /// [`AllocationStability::General`], the conservative answer).
+    fn stability(&self) -> AllocationStability {
+        AllocationStability::General
+    }
+
+    /// The prefix profile `(k, s)` for `n` alive jobs on `m` processors.
+    ///
+    /// Must be `Some` (with `1 ≤ k ≤ n`, `s > 0`, `k·s ≤ m`) whenever
+    /// [`Policy::stability`] returns [`AllocationStability::SrptPrefix`]
+    /// and `n ≥ 1`; the default returns `None`.
+    fn prefix_allocation(&self, n_alive: usize, m: f64) -> Option<PrefixAllocation> {
+        let _ = (n_alive, m);
+        None
+    }
+
+    /// Notification that jobs arrived at `now`, leaving `n_alive` alive
+    /// jobs (fired once per arrival batch, on every engine path).
+    fn on_arrival(&mut self, now: Time, n_alive: usize) {
+        let _ = (now, n_alive);
+    }
+
+    /// Notification that one or more jobs completed at `now`, leaving
+    /// `n_alive` alive jobs (fired once per completion batch, on every
+    /// engine path).
+    fn on_completion(&mut self, now: Time, n_alive: usize) {
+        let _ = (now, n_alive);
+    }
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
@@ -82,6 +164,22 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn stability(&self) -> AllocationStability {
+        (**self).stability()
+    }
+
+    fn prefix_allocation(&self, n_alive: usize, m: f64) -> Option<PrefixAllocation> {
+        (**self).prefix_allocation(n_alive, m)
+    }
+
+    fn on_arrival(&mut self, now: Time, n_alive: usize) {
+        (**self).on_arrival(now, n_alive)
+    }
+
+    fn on_completion(&mut self, now: Time, n_alive: usize) {
+        (**self).on_completion(now, n_alive)
     }
 }
 
@@ -120,6 +218,20 @@ impl Policy for EquiSplit {
         shares.fill(each);
         None
     }
+
+    fn stability(&self) -> AllocationStability {
+        AllocationStability::SrptPrefix
+    }
+
+    fn prefix_allocation(&self, n_alive: usize, m: f64) -> Option<PrefixAllocation> {
+        if n_alive == 0 {
+            return None;
+        }
+        Some(PrefixAllocation {
+            count: n_alive,
+            share: m / n_alive as f64,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +244,13 @@ mod tests {
         let specs: Vec<JobSpec> = (0..4)
             .map(|i| JobSpec::new(JobId(i), 0.0, 1.0, Curve::FullyParallel))
             .collect();
-        let jobs: Vec<AliveJob<'_>> = specs.iter().map(|s| AliveJob { spec: s, remaining: 1.0 }).collect();
+        let jobs: Vec<AliveJob<'_>> = specs
+            .iter()
+            .map(|s| AliveJob {
+                spec: s,
+                remaining: 1.0,
+            })
+            .collect();
         let mut shares = vec![0.0; 4];
         let q = EquiSplit::new().assign(0.0, 6.0, &jobs, &mut shares);
         assert_eq!(q, None);
@@ -151,16 +269,34 @@ mod tests {
         assert_eq!(p.name(), "EQUI");
         p.reset();
         let spec = JobSpec::new(JobId(0), 0.0, 1.0, Curve::Sequential);
-        let jobs = [AliveJob { spec: &spec, remaining: 0.5 }];
+        let jobs = [AliveJob {
+            spec: &spec,
+            remaining: 0.5,
+        }];
         let mut shares = [0.0];
         p.assign(0.0, 2.0, &jobs, &mut shares);
         assert_eq!(shares[0], 2.0);
     }
 
     #[test]
+    fn equi_prefix_profile_matches_assign() {
+        let p = EquiSplit::new();
+        assert_eq!(p.stability(), AllocationStability::SrptPrefix);
+        for n in 1..=9usize {
+            let prof = p.prefix_allocation(n, 6.0).unwrap();
+            assert_eq!(prof.count, n);
+            assert!((prof.count as f64 * prof.share - 6.0).abs() < 1e-12);
+        }
+        assert!(p.prefix_allocation(0, 6.0).is_none());
+    }
+
+    #[test]
     fn alive_job_accessors() {
         let spec = JobSpec::new(JobId(7), 1.5, 3.0, Curve::power(0.5));
-        let j = AliveJob { spec: &spec, remaining: 2.0 };
+        let j = AliveJob {
+            spec: &spec,
+            remaining: 2.0,
+        };
         assert_eq!(j.id(), JobId(7));
         assert_eq!(j.release(), 1.5);
         assert_eq!(j.size(), 3.0);

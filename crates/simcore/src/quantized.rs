@@ -142,7 +142,10 @@ mod tests {
         for dt in [0.1, 0.01, 0.001] {
             let q = simulate_quantized(&instance, &mut EquiSplit, 3.0, dt, 10_000_000).unwrap();
             let err = (q.total_flow - exact).abs();
-            assert!(err < prev_err + 1e-12, "error should shrink: dt={dt}, {err}");
+            assert!(
+                err < prev_err + 1e-12,
+                "error should shrink: dt={dt}, {err}"
+            );
             prev_err = err;
         }
         assert!(prev_err < 0.05, "final error too large: {prev_err}");

@@ -52,6 +52,25 @@ pub trait ArrivalSource {
     /// Emits the jobs released at `view.now` (which equals the last value
     /// returned by [`ArrivalSource::next_time`], up to float tolerance).
     fn emit(&mut self, view: &SystemView<'_>) -> Vec<JobSpec>;
+
+    /// Like [`ArrivalSource::emit`], but appends into a caller-provided
+    /// buffer. The engine calls this with a reused scratch vector so that
+    /// steady-state arrivals allocate nothing; the default simply delegates
+    /// to [`ArrivalSource::emit`].
+    fn emit_into(&mut self, view: &SystemView<'_>, out: &mut Vec<JobSpec>) {
+        out.extend(self.emit(view));
+    }
+
+    /// Whether [`ArrivalSource::emit`] reads [`SystemView::alive`].
+    ///
+    /// Adaptive adversaries do; replay sources don't. Sources returning
+    /// `false` promise not to look at `alive` and are handed an empty slice
+    /// (with `now`/`m` still correct), which lets the engine's incremental
+    /// path skip the `O(n)` view materialization at every arrival. The
+    /// default is `true` — the conservative answer.
+    fn needs_system_view(&self) -> bool {
+        true
+    }
 }
 
 /// Replays a fixed [`Instance`].
@@ -79,6 +98,11 @@ impl ArrivalSource for StaticSource {
 
     fn emit(&mut self, view: &SystemView<'_>) -> Vec<JobSpec> {
         let mut out = Vec::new();
+        self.emit_into(view, &mut out);
+        out
+    }
+
+    fn emit_into(&mut self, view: &SystemView<'_>, out: &mut Vec<JobSpec>) {
         let tol = EPS * view.now.abs().max(1.0);
         while self.cursor < self.jobs.len() {
             let j = &self.jobs[self.cursor];
@@ -93,7 +117,10 @@ impl ArrivalSource for StaticSource {
                 break;
             }
         }
-        out
+    }
+
+    fn needs_system_view(&self) -> bool {
+        false
     }
 }
 
@@ -146,8 +173,14 @@ mod tests {
         let spec_a = JobSpec::new(JobId(0), 0.0, 4.0, Curve::Sequential);
         let spec_b = JobSpec::new(JobId(1), 1.0, 2.0, Curve::Sequential);
         let alive = [
-            AliveJob { spec: &spec_a, remaining: 3.0 },
-            AliveJob { spec: &spec_b, remaining: 1.0 },
+            AliveJob {
+                spec: &spec_a,
+                remaining: 3.0,
+            },
+            AliveJob {
+                spec: &spec_b,
+                remaining: 1.0,
+            },
         ];
         let v = SystemView {
             now: 2.0,

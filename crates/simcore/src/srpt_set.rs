@@ -1,0 +1,568 @@
+//! The ordered alive set behind the engine's incremental `O(log n)` path.
+//!
+//! [`SrptSet`] maintains the alive jobs in SRPT order — `(remaining,
+//! release, id)` — split into two ordered maps:
+//!
+//! * **running**: the scheduled prefix (the `k` smallest jobs), keyed in
+//!   *offset* space `key = remaining + D`, where `D` is the cumulative
+//!   drain applied uniformly to the whole prefix;
+//! * **queued**: everything else, keyed by its literal remaining work
+//!   (queued jobs receive zero processors and do not drain).
+//!
+//! Between events a prefix policy drains every scheduled job at a common
+//! rate `r` (the paper's order-invariance observation: with equal shares
+//! the SRPT order cannot change between events). Instead of touching every
+//! running key, a uniform advance just bumps `D += r·dt` — materialized
+//! remaining work is `key − D`. Because all running keys share the same
+//! offset, their relative order is preserved, and since running jobs only
+//! shrink while queued jobs are static, the cross-partition invariant
+//! `max(running) − D ≤ min(queued)` is preserved too. Every operation is
+//! `O(log n)`; a handful of running sums make total/fractional remaining
+//! work `O(1)` per interval.
+//!
+//! Heterogeneous prefixes (different curves at share ≠ 1) drain at
+//! per-job rates; [`SrptSet::drain_scan`] handles those intervals in
+//! `O(k log k)`. Two counters maintained on the fly — jobs whose curve
+//! differs from the first-admitted reference and jobs with `Γ(1) ≠ 1` —
+//! let the engine detect the uniform case in `O(1)`.
+
+use std::collections::BTreeMap;
+
+use parsched_speedup::Curve;
+
+use crate::job::{JobId, JobSpec, Time, Work};
+
+/// Rebase threshold for the drain offset: past this, `ulp(D)` approaches
+/// the engine's `EPS`-scaled completion tolerances, so keys are rebuilt
+/// with the offset folded in (an `O(k log k)` cleanup, amortized free).
+const REBASE_LIMIT: f64 = 1e6;
+
+/// SRPT ordering key. For running entries `key` is in offset space
+/// (`remaining + D`); for queued entries it is the literal remaining work.
+/// Ties break by `(release, id)`, matching `parsched_core::util::srpt_order`.
+#[derive(Debug, Clone, Copy)]
+struct OrdKey {
+    key: f64,
+    release: Time,
+    id: JobId,
+}
+
+impl PartialEq for OrdKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for OrdKey {}
+
+impl PartialOrd for OrdKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .total_cmp(&other.key)
+            .then_with(|| self.release.total_cmp(&other.release))
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// Per-job payload carried alongside the ordering key: everything the set
+/// needs to maintain its sums and counters without consulting the engine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Slot {
+    /// Index into the engine's job arena.
+    pub idx: usize,
+    /// Original size `p_j` (denominator of fractional flow).
+    pub size: Work,
+    /// Curve differs from the set's reference curve.
+    hetero: bool,
+    /// `Γ(1) ≠ 1` for this job's curve.
+    nonunit: bool,
+}
+
+/// Where an alive job currently lives, reported back to the engine so it
+/// can keep per-record state (`remaining` vs. offset key) coherent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Placement {
+    /// In the scheduled prefix with the given offset-space key.
+    Running {
+        /// Offset-space key (`remaining + D`).
+        key: f64,
+    },
+    /// In the queue with the given literal remaining work.
+    Queued {
+        /// Remaining work.
+        remaining: Work,
+    },
+}
+
+/// The alive set in SRPT order with an `O(1)` uniform-drain fast path.
+#[derive(Debug, Default)]
+pub(crate) struct SrptSet {
+    running: BTreeMap<OrdKey, Slot>,
+    queued: BTreeMap<OrdKey, Slot>,
+    /// Cumulative uniform drain applied to the running partition.
+    drain: f64,
+    /// `Σ 1/p_j` over running.
+    s1: f64,
+    /// `Σ key_j/p_j` over running (offset space).
+    sk: f64,
+    /// `Σ key_j` over running (offset space; total remaining = key_sum − k·D).
+    key_sum: f64,
+    /// `Σ rem_j/p_j` over queued.
+    q_frac: f64,
+    /// `Σ rem_j` over queued.
+    q_rem_sum: f64,
+    /// Running jobs whose curve differs from `reference`.
+    hetero_running: usize,
+    /// Running jobs with `Γ(1) ≠ 1`.
+    nonunit_running: usize,
+    /// Curve of the first job ever admitted (uniformity baseline).
+    reference: Option<Curve>,
+}
+
+impl SrptSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total alive jobs.
+    pub fn len(&self) -> usize {
+        self.running.len() + self.queued.len()
+    }
+
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Current cumulative drain offset `D`.
+    pub fn drain_offset(&self) -> f64 {
+        self.drain
+    }
+
+    /// `Σ 1/p_j` over the running prefix.
+    pub fn running_inv_size_sum(&self) -> f64 {
+        self.s1
+    }
+
+    /// `Σ key_j/p_j` over the running prefix (offset space); the running
+    /// partition's fractional remaining work is `sk − D·s1`.
+    pub fn running_key_frac_sum(&self) -> f64 {
+        self.sk
+    }
+
+    /// `Σ rem_j/p_j` over queued jobs.
+    pub fn queued_frac_sum(&self) -> f64 {
+        self.q_frac
+    }
+
+    /// Total remaining work across both partitions, `O(1)`.
+    pub fn total_remaining(&self) -> f64 {
+        let running = self.key_sum - self.running.len() as f64 * self.drain;
+        (running + self.q_rem_sum).max(0.0)
+    }
+
+    /// `true` iff every running job has the same curve as the reference
+    /// (vacuously true when ≤ 1 job runs).
+    pub fn uniform_curves(&self) -> bool {
+        self.hetero_running == 0
+    }
+
+    /// `true` iff every running job has `Γ(1) = 1`.
+    pub fn unit_rate_at_one(&self) -> bool {
+        self.nonunit_running == 0
+    }
+
+    /// The front (smallest-remaining) running job: `(slot, remaining)`.
+    pub fn front_running(&self) -> Option<(Slot, f64)> {
+        self.running
+            .first_key_value()
+            .map(|(k, s)| (*s, (k.key - self.drain).max(0.0)))
+    }
+
+    /// Iterates the running prefix in SRPT order as `(slot, remaining)`.
+    pub fn iter_running(&self) -> impl Iterator<Item = (Slot, f64)> + '_ {
+        self.running
+            .iter()
+            .map(|(k, s)| (*s, (k.key - self.drain).max(0.0)))
+    }
+
+    /// Iterates queued jobs in SRPT order as `(slot, remaining)`.
+    pub fn iter_queued(&self) -> impl Iterator<Item = (Slot, f64)> + '_ {
+        self.queued.iter().map(|(k, s)| (*s, k.key))
+    }
+
+    /// Iterates the whole alive set in SRPT order as `(idx, remaining)`.
+    pub fn iter_alive(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.iter_running()
+            .chain(self.iter_queued())
+            .map(|(s, rem)| (s.idx, rem))
+    }
+
+    fn flags_for(&mut self, curve: &Curve) -> (bool, bool) {
+        let reference = self.reference.get_or_insert_with(|| curve.clone());
+        let hetero = reference != curve;
+        let nonunit = (curve.rate(1.0) - 1.0).abs() > 1e-12;
+        (hetero, nonunit)
+    }
+
+    fn add_running(&mut self, key: OrdKey, slot: Slot) {
+        self.s1 += 1.0 / slot.size;
+        self.sk += key.key / slot.size;
+        self.key_sum += key.key;
+        self.hetero_running += slot.hetero as usize;
+        self.nonunit_running += slot.nonunit as usize;
+        let prev = self.running.insert(key, slot);
+        debug_assert!(prev.is_none(), "duplicate running key");
+    }
+
+    fn settle_running(&mut self) {
+        if self.running.is_empty() {
+            // Kill accumulator drift and reset the offset for free whenever
+            // the prefix empties.
+            self.s1 = 0.0;
+            self.sk = 0.0;
+            self.key_sum = 0.0;
+            self.drain = 0.0;
+            debug_assert_eq!(self.hetero_running, 0);
+            debug_assert_eq!(self.nonunit_running, 0);
+        }
+    }
+
+    fn forget_running(&mut self, key: &OrdKey, slot: &Slot) {
+        self.s1 -= 1.0 / slot.size;
+        self.sk -= key.key / slot.size;
+        self.key_sum -= key.key;
+        self.hetero_running -= slot.hetero as usize;
+        self.nonunit_running -= slot.nonunit as usize;
+    }
+
+    fn add_queued(&mut self, key: OrdKey, slot: Slot) {
+        self.q_frac += key.key / slot.size;
+        self.q_rem_sum += key.key;
+        let prev = self.queued.insert(key, slot);
+        debug_assert!(prev.is_none(), "duplicate queued key");
+    }
+
+    fn forget_queued(&mut self, key: &OrdKey, slot: &Slot) {
+        self.q_frac -= key.key / slot.size;
+        self.q_rem_sum -= key.key;
+        if self.queued.is_empty() {
+            self.q_frac = 0.0;
+            self.q_rem_sum = 0.0;
+        }
+    }
+
+    /// Inserts a newly arrived job and returns where it landed. The caller
+    /// follows up with [`SrptSet::rebalance`] once the batch is in.
+    pub fn insert(&mut self, idx: usize, spec: &JobSpec, remaining: Work) -> Placement {
+        let (hetero, nonunit) = self.flags_for(&spec.curve);
+        let slot = Slot {
+            idx,
+            size: spec.size,
+            hetero,
+            nonunit,
+        };
+        let run_key = OrdKey {
+            key: remaining + self.drain,
+            release: spec.release,
+            id: spec.id,
+        };
+        let belongs_in_prefix = self
+            .running
+            .last_key_value()
+            .is_some_and(|(max, _)| run_key < *max);
+        if belongs_in_prefix {
+            self.add_running(run_key, slot);
+            Placement::Running { key: run_key.key }
+        } else {
+            let key = OrdKey {
+                key: remaining,
+                release: spec.release,
+                id: spec.id,
+            };
+            self.add_queued(key, slot);
+            Placement::Queued { remaining }
+        }
+    }
+
+    /// Restores `running.len() == min(target, len())` by demoting the
+    /// largest running jobs or promoting the smallest queued jobs. Reports
+    /// every move so the engine can update its per-job records.
+    pub fn rebalance(&mut self, target: usize, mut moved: impl FnMut(usize, Placement)) {
+        let want = target.min(self.len());
+        while self.running.len() > want {
+            let (key, slot) = self.running.pop_last().expect("nonempty");
+            let remaining = (key.key - self.drain).max(0.0);
+            self.forget_running(&key, &slot);
+            self.settle_running();
+            let qkey = OrdKey {
+                key: remaining,
+                release: key.release,
+                id: key.id,
+            };
+            self.add_queued(qkey, slot);
+            moved(slot.idx, Placement::Queued { remaining });
+        }
+        while self.running.len() < want {
+            let (key, slot) = self.queued.pop_first().expect("nonempty");
+            self.forget_queued(&key, &slot);
+            let rkey = OrdKey {
+                key: key.key + self.drain,
+                release: key.release,
+                id: key.id,
+            };
+            self.add_running(rkey, slot);
+            moved(slot.idx, Placement::Running { key: rkey.key });
+        }
+    }
+
+    /// Applies a uniform drain of `amount = r·dt` to the running prefix in
+    /// `O(1)`. Only valid when every running job drains at the same rate.
+    pub fn advance_uniform(&mut self, amount: f64) {
+        if !self.running.is_empty() {
+            self.drain += amount;
+        }
+    }
+
+    /// Pops the front running job (the imminent completion). Returns the
+    /// slot and its materialized remaining work.
+    pub fn pop_front_running(&mut self) -> Option<(Slot, f64)> {
+        let (key, slot) = self.running.pop_first()?;
+        let remaining = (key.key - self.drain).max(0.0);
+        self.forget_running(&key, &slot);
+        self.settle_running();
+        Some((slot, remaining))
+    }
+
+    /// Drains each running job at its own rate for `dt` — the
+    /// heterogeneous-prefix slow path. Rebuilds the running map (the order
+    /// may genuinely change), resets the offset to zero, and reports every
+    /// job's new placement. `O(k log k)` in the prefix size.
+    pub fn drain_scan(
+        &mut self,
+        dt: f64,
+        rate_of: impl Fn(usize) -> f64,
+        mut moved: impl FnMut(usize, Placement),
+    ) {
+        let old = std::mem::take(&mut self.running);
+        self.s1 = 0.0;
+        self.sk = 0.0;
+        self.key_sum = 0.0;
+        self.hetero_running = 0;
+        self.nonunit_running = 0;
+        let drain = std::mem::replace(&mut self.drain, 0.0);
+        for (key, slot) in old {
+            let rem = ((key.key - drain).max(0.0) - rate_of(slot.idx) * dt).max(0.0);
+            let new_key = OrdKey {
+                key: rem,
+                release: key.release,
+                id: key.id,
+            };
+            self.add_running(new_key, slot);
+            moved(slot.idx, Placement::Running { key: rem });
+        }
+    }
+
+    /// Folds the drain offset into the running keys when it has grown past
+    /// [`REBASE_LIMIT`], keeping `ulp(key)` well under completion
+    /// tolerances. Reports refreshed keys. No-op most of the time.
+    pub fn maybe_rebase(&mut self, mut moved: impl FnMut(usize, Placement)) {
+        if self.drain <= REBASE_LIMIT {
+            return;
+        }
+        let old = std::mem::take(&mut self.running);
+        self.s1 = 0.0;
+        self.sk = 0.0;
+        self.key_sum = 0.0;
+        self.hetero_running = 0;
+        self.nonunit_running = 0;
+        let drain = std::mem::replace(&mut self.drain, 0.0);
+        for (key, slot) in old {
+            let rem = (key.key - drain).max(0.0);
+            let new_key = OrdKey {
+                key: rem,
+                release: key.release,
+                id: key.id,
+            };
+            self.add_running(new_key, slot);
+            moved(slot.idx, Placement::Running { key: rem });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: u64, release: Time, size: Work) -> JobSpec {
+        JobSpec::new(JobId(id), release, size, Curve::Sequential)
+    }
+
+    fn remaining_in_order(set: &SrptSet) -> Vec<(usize, f64)> {
+        set.iter_alive().collect()
+    }
+
+    #[test]
+    fn insert_and_rebalance_partition_by_srpt_order() {
+        let mut set = SrptSet::new();
+        for (i, size) in [5.0, 1.0, 3.0].iter().enumerate() {
+            set.insert(i, &spec(i as u64, 0.0, *size), *size);
+        }
+        set.rebalance(2, |_, _| {});
+        assert_eq!(set.running_len(), 2);
+        let order: Vec<usize> = set.iter_alive().map(|(idx, _)| idx).collect();
+        assert_eq!(order, vec![1, 2, 0]); // remaining 1, 3, 5
+        let running: Vec<usize> = set.iter_running().map(|(s, _)| s.idx).collect();
+        assert_eq!(running, vec![1, 2]);
+    }
+
+    #[test]
+    fn uniform_advance_drains_only_the_prefix() {
+        let mut set = SrptSet::new();
+        set.insert(0, &spec(0, 0.0, 2.0), 2.0);
+        set.insert(1, &spec(1, 0.0, 4.0), 4.0);
+        set.rebalance(1, |_, _| {});
+        set.advance_uniform(1.5);
+        let rems = remaining_in_order(&set);
+        assert!((rems[0].1 - 0.5).abs() < 1e-12); // running drained
+        assert!((rems[1].1 - 4.0).abs() < 1e-12); // queued untouched
+        assert!((set.total_remaining() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pop_front_returns_smallest_and_resets_offset_when_empty() {
+        let mut set = SrptSet::new();
+        set.insert(0, &spec(0, 0.0, 2.0), 2.0);
+        set.rebalance(1, |_, _| {});
+        set.advance_uniform(2.0);
+        let (slot, rem) = set.pop_front_running().unwrap();
+        assert_eq!(slot.idx, 0);
+        assert!(rem.abs() < 1e-12);
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.drain_offset(), 0.0);
+        assert_eq!(set.running_inv_size_sum(), 0.0);
+    }
+
+    #[test]
+    fn rebalance_promotes_in_srpt_order_after_completion() {
+        let mut set = SrptSet::new();
+        for (i, size) in [1.0, 2.0, 3.0].iter().enumerate() {
+            set.insert(i, &spec(i as u64, 0.0, *size), *size);
+        }
+        set.rebalance(2, |_, _| {});
+        set.advance_uniform(1.0);
+        set.pop_front_running().unwrap(); // job 0 done
+        let mut promoted = vec![];
+        set.rebalance(2, |idx, p| promoted.push((idx, p)));
+        assert_eq!(promoted.len(), 1);
+        assert_eq!(promoted[0].0, 2); // remaining 3.0 job joins the prefix
+                                      // Job 1 drained 1.0 → remaining 1.0; job 2 still 3.0.
+        let rems = remaining_in_order(&set);
+        assert!((rems[0].1 - 1.0).abs() < 1e-12);
+        assert!((rems[1].1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_break_by_release_then_id() {
+        let mut set = SrptSet::new();
+        set.insert(0, &spec(9, 1.0, 2.0), 2.0);
+        set.insert(1, &spec(3, 0.0, 2.0), 2.0);
+        set.insert(2, &spec(5, 0.0, 2.0), 2.0);
+        set.rebalance(3, |_, _| {});
+        let order: Vec<usize> = set.iter_alive().map(|(idx, _)| idx).collect();
+        assert_eq!(order, vec![1, 2, 0]); // (0.0, id 3), (0.0, id 5), (1.0, id 9)
+    }
+
+    #[test]
+    fn uniformity_counters_track_membership() {
+        let mut set = SrptSet::new();
+        set.insert(0, &spec(0, 0.0, 2.0), 2.0); // reference: Sequential
+        let mut par = spec(1, 0.0, 3.0);
+        par.curve = Curve::FullyParallel;
+        set.insert(1, &par, 3.0);
+        set.rebalance(2, |_, _| {});
+        assert!(!set.uniform_curves());
+        assert!(set.unit_rate_at_one()); // both Γ(1) = 1
+        set.rebalance(1, |_, _| {}); // demote the parallel job (larger)
+        assert!(set.uniform_curves());
+    }
+
+    #[test]
+    fn drain_scan_reorders_by_new_remaining() {
+        let mut set = SrptSet::new();
+        // Sequential job drains at rate(2) = 1; parallel at rate(2) = 2.
+        set.insert(0, &spec(0, 0.0, 3.0), 3.0);
+        let mut par = spec(1, 0.0, 3.5);
+        par.curve = Curve::FullyParallel;
+        set.insert(1, &par, 3.5);
+        set.rebalance(2, |_, _| {});
+        let rate = |idx: usize| if idx == 0 { 1.0 } else { 2.0 };
+        set.drain_scan(1.5, rate, |_, _| {});
+        // Remaining: job 0 → 1.5, job 1 → 0.5; order flips.
+        let order = remaining_in_order(&set);
+        assert_eq!(order[0].0, 1);
+        assert!((order[0].1 - 0.5).abs() < 1e-12);
+        assert!((order[1].1 - 1.5).abs() < 1e-12);
+        assert_eq!(set.drain_offset(), 0.0);
+    }
+
+    #[test]
+    fn rebase_folds_offset_without_changing_state() {
+        let mut set = SrptSet::new();
+        set.insert(0, &spec(0, 0.0, 3e6), 3e6);
+        set.insert(1, &spec(1, 0.0, 4e6), 4e6);
+        set.rebalance(2, |_, _| {});
+        set.advance_uniform(2e6);
+        let before: Vec<(usize, f64)> = remaining_in_order(&set);
+        let total = set.total_remaining();
+        let mut updates = 0;
+        set.maybe_rebase(|_, _| updates += 1);
+        assert_eq!(updates, 2);
+        assert_eq!(set.drain_offset(), 0.0);
+        let after: Vec<(usize, f64)> = remaining_in_order(&set);
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b.0, a.0);
+            assert!((b.1 - a.1).abs() < 1e-6 * b.1.max(1.0));
+        }
+        assert!((set.total_remaining() - total).abs() < 1e-6 * total.max(1.0));
+    }
+
+    #[test]
+    fn fractional_sums_match_direct_computation() {
+        let mut set = SrptSet::new();
+        let sizes = [2.0, 5.0, 7.0, 11.0];
+        for (i, size) in sizes.iter().enumerate() {
+            set.insert(i, &spec(i as u64, 0.0, *size), *size);
+        }
+        set.rebalance(2, |_, _| {});
+        set.advance_uniform(1.0);
+        // Running: 2.0→1.0, 5.0→4.0. Queued: 7.0, 11.0.
+        let run_frac = set.running_key_frac_sum() - set.drain_offset() * set.running_inv_size_sum();
+        let expect_run = 1.0 / 2.0 + 4.0 / 5.0;
+        assert!((run_frac - expect_run).abs() < 1e-12);
+        let expect_q = 1.0 + 1.0; // 7/7 + 11/11
+        assert!((set.queued_frac_sum() - expect_q).abs() < 1e-12);
+        assert!((set.total_remaining() - (1.0 + 4.0 + 7.0 + 11.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_during_drain_lands_in_correct_position() {
+        let mut set = SrptSet::new();
+        set.insert(0, &spec(0, 0.0, 4.0), 4.0);
+        set.insert(1, &spec(1, 0.0, 10.0), 10.0);
+        set.rebalance(2, |_, _| {});
+        set.advance_uniform(3.0); // remaining: 1.0, 7.0
+                                  // New arrival with remaining 2.0 belongs between them.
+        let p = set.insert(2, &spec(2, 3.0, 2.0), 2.0);
+        assert!(matches!(p, Placement::Running { .. }));
+        set.rebalance(2, |_, _| {});
+        let order: Vec<usize> = set.iter_alive().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![0, 2, 1]);
+        assert_eq!(set.running_len(), 2);
+    }
+}

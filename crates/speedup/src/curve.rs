@@ -210,8 +210,14 @@ mod tests {
     #[test]
     fn rates_agree_across_equivalent_variants() {
         for x in [0.0, 0.5, 1.0, 2.0, 10.0, 64.0] {
-            assert!(approx_eq(Curve::FullyParallel.rate(x), Curve::power(1.0).rate(x)));
-            assert!(approx_eq(Curve::Sequential.rate(x), Curve::power(0.0).rate(x)));
+            assert!(approx_eq(
+                Curve::FullyParallel.rate(x),
+                Curve::power(1.0).rate(x)
+            ));
+            assert!(approx_eq(
+                Curve::Sequential.rate(x),
+                Curve::power(0.0).rate(x)
+            ));
         }
     }
 
@@ -234,7 +240,9 @@ mod tests {
             Curve::power(0.5),
             Curve::power(0.9),
             Curve::try_amdahl(0.25).unwrap(),
-            Curve::Piecewise(PiecewiseLinear::new(vec![(0.0, 0.0), (2.0, 2.0), (8.0, 5.0)]).unwrap()),
+            Curve::Piecewise(
+                PiecewiseLinear::new(vec![(0.0, 0.0), (2.0, 2.0), (8.0, 5.0)]).unwrap(),
+            ),
         ];
         for c in &cases {
             for r in [0.25, 1.0, 1.5, 2.5] {
@@ -297,7 +305,11 @@ mod tests {
         }
         // A hand-built (deserialized-like) bad variant is caught.
         assert!(Curve::Power { alpha: 7.0 }.validate().is_err());
-        assert!(Curve::Amdahl { serial_fraction: -1.0 }.validate().is_err());
+        assert!(Curve::Amdahl {
+            serial_fraction: -1.0
+        }
+        .validate()
+        .is_err());
     }
 
     proptest::proptest! {

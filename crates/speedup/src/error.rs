@@ -50,7 +50,10 @@ impl fmt::Display for CurveError {
                 write!(f, "Amdahl serial fraction {fraction} outside [0, 1]")
             }
             CurveError::NonIncreasingBreakpoints { index } => {
-                write!(f, "breakpoint {index}: x-coordinates must be strictly increasing")
+                write!(
+                    f,
+                    "breakpoint {index}: x-coordinates must be strictly increasing"
+                )
             }
             CurveError::Decreasing { index } => {
                 write!(f, "breakpoint {index}: curve must be non-decreasing")

@@ -50,7 +50,10 @@ mod tests {
         for alpha in [0.0, 0.1, 0.5, 0.9, 1.0] {
             let below = power_rate(alpha, 1.0 - 1e-12);
             let above = power_rate(alpha, 1.0 + 1e-12);
-            assert!(approx_eq(below, above), "discontinuity at knee for α={alpha}");
+            assert!(
+                approx_eq(below, above),
+                "discontinuity at knee for α={alpha}"
+            );
         }
     }
 

@@ -100,7 +100,10 @@ mod tests {
     fn deterministic_per_seed() {
         let w = BatchWorkload {
             n: 16,
-            sizes: SizeDist::Pareto { p: 16.0, shape: 1.2 },
+            sizes: SizeDist::Pareto {
+                p: 16.0,
+                shape: 1.2,
+            },
             alphas: AlphaDist::Uniform { lo: 0.1, hi: 0.9 },
             seed: 5,
         };

@@ -101,7 +101,8 @@ impl GreedyTrap {
         let k = self.k();
         let delta = 1.0 / k as f64;
         let curve = self.curve();
-        let mut jobs = Vec::with_capacity(self.num_long() + self.num_phase1_units() + self.num_stream_units());
+        let mut jobs =
+            Vec::with_capacity(self.num_long() + self.num_phase1_units() + self.num_stream_units());
         let mut next_id = 0u64;
         let mut push = |jobs: &mut Vec<JobSpec>, release: f64, size: f64| {
             jobs.push(JobSpec::new(JobId(next_id), release, size, curve.clone()));

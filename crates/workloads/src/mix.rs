@@ -136,11 +136,7 @@ mod tests {
             seed: 11,
         };
         let inst = w.generate().unwrap();
-        let mut alphas: Vec<f64> = inst
-            .jobs()
-            .iter()
-            .filter_map(|j| j.curve.alpha())
-            .collect();
+        let mut alphas: Vec<f64> = inst.jobs().iter().filter_map(|j| j.curve.alpha()).collect();
         alphas.sort_by(f64::total_cmp);
         alphas.dedup();
         assert_eq!(alphas, vec![0.2, 0.6, 0.95]);

@@ -64,7 +64,10 @@ impl PhaseFamily {
     /// assert!(plan.horizon() > 0.0);
     /// ```
     pub fn new(m: usize, alpha: f64, p: f64) -> Self {
-        assert!(m >= 2 && m.is_multiple_of(2), "m must be even and ≥ 2, got {m}");
+        assert!(
+            m >= 2 && m.is_multiple_of(2),
+            "m must be even and ≥ 2, got {m}"
+        );
         assert!((0.0..1.0).contains(&alpha), "Theorem 2 needs α < 1");
         assert!(p >= 4.0, "P must be at least 4, got {p}");
         Self {
@@ -329,7 +332,8 @@ impl PhaseAdversary {
         self.case = Some(case);
         self.t_part2 = t;
         for k in 0..self.family.stream_len {
-            self.queue.push_back((t + k as f64, PendingEvent::StreamWave));
+            self.queue
+                .push_back((t + k as f64, PendingEvent::StreamWave));
         }
     }
 

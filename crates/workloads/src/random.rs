@@ -205,13 +205,23 @@ mod tests {
         let dists = [
             SizeDist::Fixed(3.0),
             SizeDist::LogUniform { p: 64.0 },
-            SizeDist::Pareto { p: 64.0, shape: 1.1 },
-            SizeDist::Bimodal { small: 1.0, large: 64.0, prob_large: 0.1 },
+            SizeDist::Pareto {
+                p: 64.0,
+                shape: 1.1,
+            },
+            SizeDist::Bimodal {
+                small: 1.0,
+                large: 64.0,
+                prob_large: 0.1,
+            },
         ];
         for d in &dists {
             for _ in 0..2000 {
                 let s = d.sample(&mut r);
-                assert!((1.0..=64.0).contains(&s) || matches!(d, SizeDist::Fixed(_)), "{d:?}: {s}");
+                assert!(
+                    (1.0..=64.0).contains(&s) || matches!(d, SizeDist::Fixed(_)),
+                    "{d:?}: {s}"
+                );
             }
         }
     }
@@ -221,8 +231,15 @@ mod tests {
         let mut r = rng();
         let dists = [
             SizeDist::LogUniform { p: 32.0 },
-            SizeDist::Pareto { p: 32.0, shape: 1.5 },
-            SizeDist::Bimodal { small: 1.0, large: 10.0, prob_large: 0.3 },
+            SizeDist::Pareto {
+                p: 32.0,
+                shape: 1.5,
+            },
+            SizeDist::Bimodal {
+                small: 1.0,
+                large: 10.0,
+                prob_large: 0.3,
+            },
         ];
         for d in &dists {
             let n = 200_000;

@@ -46,8 +46,14 @@ fn main() {
     .expect("alternative");
 
     println!("\n  total flow:");
-    println!("    greedy hybrid          {:>14.1}", greedy.metrics.total_flow);
-    println!("    Intermediate-SRPT      {:>14.1}", isrpt.metrics.total_flow);
+    println!(
+        "    greedy hybrid          {:>14.1}",
+        greedy.metrics.total_flow
+    );
+    println!(
+        "    Intermediate-SRPT      {:>14.1}",
+        isrpt.metrics.total_flow
+    );
     println!(
         "    paper's alternative    {:>14.1}   (closed form {:.1})",
         alt.metrics.total_flow,
@@ -55,10 +61,7 @@ fn main() {
     );
 
     // Where does greedy's flow go? The starving long jobs.
-    let long_flow: f64 = trap
-        .long_ids()
-        .filter_map(|id| greedy.flow_of(id))
-        .sum();
+    let long_flow: f64 = trap.long_ids().filter_map(|id| greedy.flow_of(id)).sum();
     println!(
         "\n  greedy spends {:.0}% of its flow on the {} starved long jobs",
         100.0 * long_flow / greedy.metrics.total_flow,

@@ -33,7 +33,13 @@ fn main() {
 
     let mut table = Table::new(
         "mean flow time per policy and tenant class",
-        &["policy", "overall", "services (α=0.2)", "analytics (α=0.6)", "batch (α=0.95)"],
+        &[
+            "policy",
+            "overall",
+            "services (α=0.2)",
+            "analytics (α=0.6)",
+            "batch (α=0.95)",
+        ],
     );
     for kind in PolicyKind::all_standard() {
         let outcome = simulate(&instance, &mut kind.build(), m).expect("run");

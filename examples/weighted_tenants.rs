@@ -27,15 +27,24 @@ fn main() {
             t += -rng.gen::<f64>().max(1e-12).ln() / 2.5;
             let size = 1.0 + rng.gen::<f64>() * 15.0;
             let critical = rng.gen::<f64>() < 0.10;
-            JobSpec::new(JobId(i), t, size, Curve::power(0.5))
-                .with_weight(if critical { 10.0 } else { 1.0 })
+            JobSpec::new(JobId(i), t, size, Curve::power(0.5)).with_weight(if critical {
+                10.0
+            } else {
+                1.0
+            })
         })
         .collect();
     let instance = Instance::new(jobs).expect("valid instance");
 
     let mut table = Table::new(
         "weighted tenants: critical 10%, weight 10 (m = 8, α = 0.5)",
-        &["policy", "Σ w·F", "critical mean flow", "batch mean flow", "Σ F"],
+        &[
+            "policy",
+            "Σ w·F",
+            "critical mean flow",
+            "batch mean flow",
+            "Σ F",
+        ],
     );
     let policies: Vec<Box<dyn Policy>> = vec![
         Box::new(IntermediateSrpt::new()),

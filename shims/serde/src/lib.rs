@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container image this repository builds in has no crates-io access,
+//! so the real `serde` cannot be fetched. The workspace only uses serde as
+//! *annotations* (`#[derive(Serialize, Deserialize)]` and `#[serde(...)]`
+//! field attributes) — there is deliberately no serde format crate in the
+//! dependency set (see `parsched_sim::csv` for the hand-rolled I/O). This
+//! shim supplies marker traits with the right names plus no-op derive
+//! macros, so the annotations keep compiling and the real serde can be
+//! swapped back in by pointing `[workspace.dependencies]` at crates-io.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

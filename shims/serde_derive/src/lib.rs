@@ -1,0 +1,25 @@
+//! No-op `serde_derive` stand-in for offline builds.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` (plus field
+//! attributes like `#[serde(default = "...")]`) purely as annotations — no
+//! serialization format crate is in the offline dependency set, so nothing
+//! ever calls the generated code. These derives therefore accept the same
+//! syntax (including the `serde` helper attribute) and expand to nothing,
+//! which keeps every annotated type compiling without pulling in the real
+//! proc-macro stack (syn/quote) that the offline environment lacks.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` helpers; expands to
+/// nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` helpers; expands to
+/// nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -15,7 +15,12 @@ fn adaptive_run_replays_exactly_on_static_source() {
     let fam = family();
     let (outcome, _) = fam.run_against(&mut IntermediateSrpt::new()).unwrap();
     // Replay the recorded instance with a plain static source.
-    let replay = simulate(&outcome.instance, &mut IntermediateSrpt::new(), fam.m as f64).unwrap();
+    let replay = simulate(
+        &outcome.instance,
+        &mut IntermediateSrpt::new(),
+        fam.m as f64,
+    )
+    .unwrap();
     assert_eq!(outcome.completed.len(), replay.completed.len());
     assert!((outcome.metrics.total_flow - replay.metrics.total_flow).abs() < 1e-6);
 }
@@ -57,8 +62,16 @@ fn opt_certificate_is_feasible_for_every_policy_case() {
         // policy must too. (The online policy MAY beat the certificate —
         // it only upper-bounds OPT — so no ordering between those two.)
         let lb = parsched_repro::opt::bounds::lower_bound(&outcome.instance, fam.m as f64);
-        assert!(opt.metrics.total_flow >= lb * (1.0 - 1e-9), "{}", kind.name());
-        assert!(outcome.metrics.total_flow >= lb * (1.0 - 1e-9), "{}", kind.name());
+        assert!(
+            opt.metrics.total_flow >= lb * (1.0 - 1e-9),
+            "{}",
+            kind.name()
+        );
+        assert!(
+            outcome.metrics.total_flow >= lb * (1.0 - 1e-9),
+            "{}",
+            kind.name()
+        );
     }
 }
 
@@ -88,10 +101,7 @@ fn case2_holds_for_short_friendly_policies() {
     let (_, record) = fam.run_against(&mut IntermediateSrpt::new()).unwrap();
     assert_eq!(record.case, StoppingCase::AllPhases);
     assert_eq!(record.phases.len(), fam.num_phases());
-    assert!(record
-        .midpoint_debt
-        .iter()
-        .all(|&d| d < fam.threshold()));
+    assert!(record.midpoint_debt.iter().all(|&d| d < fam.threshold()));
 }
 
 #[test]

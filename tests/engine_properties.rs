@@ -15,9 +15,7 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
         Instance::new(
             jobs.into_iter()
                 .enumerate()
-                .map(|(i, (r, p, a))| {
-                    JobSpec::new(JobId(i as u64), r, p, Curve::power(a))
-                })
+                .map(|(i, (r, p, a))| JobSpec::new(JobId(i as u64), r, p, Curve::power(a)))
                 .collect(),
         )
         .expect("valid instance")

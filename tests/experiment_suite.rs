@@ -33,7 +33,11 @@ fn experiments_are_deterministic_given_a_seed() {
     let a = run("t1", &opts).expect("t1");
     let b = run("t1", &opts).expect("t1");
     let fmt = |r: &parsched_repro::analysis::experiments::ExpResult| {
-        r.tables.iter().map(|t| t.to_csv()).collect::<Vec<_>>().join("\n")
+        r.tables
+            .iter()
+            .map(|t| t.to_csv())
+            .collect::<Vec<_>>()
+            .join("\n")
     };
     assert_eq!(fmt(&a), fmt(&b));
 }

@@ -87,7 +87,10 @@ fn lemma10_separation_end_to_end() {
         assert!(gap > prev_gap, "gap should grow with m: {gap} at m={m}");
         prev_gap = gap;
     }
-    assert!(prev_gap > 4.0, "expected a large separation, got {prev_gap}");
+    assert!(
+        prev_gap > 4.0,
+        "expected a large separation, got {prev_gap}"
+    );
 }
 
 /// §4's derived constants: `r = ½(1 − 2^{-ε})`, phase lengths shrink

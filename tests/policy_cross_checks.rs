@@ -57,7 +57,14 @@ fn isrpt_equals_sequential_srpt_while_always_overloaded() {
     // hits m only at the very end where EQUI can only help).
     let m = 4.0;
     let inst = Instance::from_sizes(
-        &[(0.0, 8.0), (0.0, 7.0), (0.0, 6.0), (0.0, 5.0), (0.0, 4.0), (0.0, 3.0)],
+        &[
+            (0.0, 8.0),
+            (0.0, 7.0),
+            (0.0, 6.0),
+            (0.0, 5.0),
+            (0.0, 4.0),
+            (0.0, 3.0),
+        ],
         Curve::power(0.5),
     )
     .unwrap();
@@ -73,11 +80,8 @@ fn isrpt_equals_sequential_srpt_while_always_overloaded() {
 #[test]
 fn isrpt_equals_equi_while_always_underloaded() {
     let m = 16.0;
-    let inst = Instance::from_sizes(
-        &[(0.0, 8.0), (0.5, 4.0), (1.0, 2.0)],
-        Curve::power(0.7),
-    )
-    .unwrap();
+    let inst =
+        Instance::from_sizes(&[(0.0, 8.0), (0.5, 4.0), (1.0, 2.0)], Curve::power(0.7)).unwrap();
     let a = simulate(&inst, &mut IntermediateSrpt::new(), m).unwrap();
     let b = simulate(&inst, &mut Equi::new(), m).unwrap();
     assert!(
@@ -98,8 +102,8 @@ fn alive_integral_equals_flow_for_every_policy() {
     let inst = workload(9, 1.0, 0.4, 120, m, 16.0);
     for kind in PolicyKind::all_standard() {
         let out = simulate(&inst, &mut kind.build(), m).expect("run");
-        let rel = (out.metrics.alive_integral - out.metrics.total_flow).abs()
-            / out.metrics.total_flow;
+        let rel =
+            (out.metrics.alive_integral - out.metrics.total_flow).abs() / out.metrics.total_flow;
         assert!(rel < 1e-6, "{}: ∫|A| diverged by {rel}", kind.name());
     }
 }
@@ -142,7 +146,10 @@ fn fully_parallel_ordering_psrpt_is_best() {
         .metrics
         .total_flow;
     for kind in PolicyKind::all_standard() {
-        let flow = simulate(&inst, &mut kind.build(), m).unwrap().metrics.total_flow;
+        let flow = simulate(&inst, &mut kind.build(), m)
+            .unwrap()
+            .metrics
+            .total_flow;
         assert!(
             flow >= best * (1.0 - 1e-6),
             "{} beat PSRPT on fully parallel jobs: {flow} < {best}",
@@ -162,7 +169,12 @@ fn sequential_jobs_make_extra_processors_useless() {
         PolicyKind::Equi,
     ]
     .iter()
-    .map(|k| simulate(&inst, &mut k.build(), 8.0).unwrap().metrics.total_flow)
+    .map(|k| {
+        simulate(&inst, &mut k.build(), 8.0)
+            .unwrap()
+            .metrics
+            .total_flow
+    })
     .collect();
     for f in &flows {
         assert!((f - 8.0).abs() < 1e-9, "{flows:?}");

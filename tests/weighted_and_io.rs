@@ -21,7 +21,9 @@ fn weighted_instance(seed_shift: u64) -> Instance {
 fn weighted_policy_improves_weighted_flow() {
     let inst = weighted_instance(0);
     let m = 4.0;
-    let plain = simulate(&inst, &mut IntermediateSrpt::new(), m).unwrap().metrics;
+    let plain = simulate(&inst, &mut IntermediateSrpt::new(), m)
+        .unwrap()
+        .metrics;
     let weighted = simulate(&inst, &mut WeightedIntermediateSrpt::new(), m)
         .unwrap()
         .metrics;
