@@ -9,7 +9,7 @@
 
 use parsched::PolicyKind;
 use parsched_opt::bounds;
-use parsched_sim::simulate;
+use parsched_sim::{simulate_audited, AuditLevel};
 use parsched_workloads::random::{AlphaDist, PoissonWorkload, SizeDist};
 
 use super::{ExpOptions, ExpResult};
@@ -51,15 +51,23 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
         };
         let inst = w.generate().expect("workload");
         let lb = bounds::lower_bound(&inst, M);
-        let flows: Vec<(String, f64)> = PolicyKind::all_standard()
+        // Every run goes through the sampled invariant auditor: an audit
+        // failure is data (the table's last column), not a panic.
+        let flows: Vec<(String, f64, bool)> = PolicyKind::all_standard()
             .iter()
-            .map(|k| {
-                let f = simulate(&inst, &mut k.build(), M)
-                    .expect("policy run")
-                    .metrics
-                    .total_flow;
-                (k.name(), f)
-            })
+            .map(
+                |k| match simulate_audited(&inst, &mut k.build(), M, AuditLevel::Sampled(64)) {
+                    Ok(out) => (k.name(), out.metrics.total_flow, out.audit.is_some()),
+                    Err(parsched_sim::SimError::AuditFailed { .. }) => {
+                        let f = simulate_audited(&inst, &mut k.build(), M, AuditLevel::Off)
+                            .expect("policy run")
+                            .metrics
+                            .total_flow;
+                        (k.name(), f, false)
+                    }
+                    Err(e) => panic!("policy run: {e}"),
+                },
+            )
             .collect();
         (load, alpha, lb, flows)
     });
@@ -68,6 +76,7 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
     // seeds.
     let mut headers = vec!["load".to_string(), "α".to_string()];
     headers.extend(policies.iter().map(|k| k.name()));
+    headers.push("audit".to_string());
     let mut table = Table::with_headers(
         format!("T1: flow / OPT-LB per policy (m={M}, P={P}, Pareto sizes, n={n})"),
         headers,
@@ -75,18 +84,22 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
 
     let mut isrpt_wins = 0usize;
     let mut combos = 0usize;
+    let mut all_audits_pass = true;
     for &load in &loads {
         for &alpha in &alphas {
             let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+            let mut cell_audit = true;
             for (l, a, lb, flows) in &results {
                 if (*l - load).abs() < 1e-12 && (*a - alpha).abs() < 1e-12 {
-                    for (i, (_, f)) in flows.iter().enumerate() {
+                    for (i, (_, f, audit_ok)) in flows.iter().enumerate() {
                         per_policy[i].push(f / lb);
+                        cell_audit &= audit_ok;
                     }
                 }
             }
             let norms: Vec<f64> = per_policy.iter().map(|v| geomean(v)).collect();
             combos += 1;
+            all_audits_pass &= cell_audit;
             let best = norms.iter().copied().fold(f64::INFINITY, f64::min);
             // Intermediate-SRPT is index 0 in all_standard().
             if norms[0] <= best * 1.25 {
@@ -94,17 +107,21 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
             }
             let mut row = vec![fnum(load), fnum(alpha)];
             row.extend(norms.iter().map(|&x| fnum(x)));
+            row.push(if cell_audit { "✓" } else { "✗" }.to_string());
             table.push_row(row);
         }
     }
 
-    let pass = isrpt_wins * 4 >= combos * 3; // near-best in ≥75% of cells
+    // Shape claim AND conservation-law audit must both hold.
+    let pass = isrpt_wins * 4 >= combos * 3 && all_audits_pass;
     ExpResult {
         id: "t1",
         title: "Cross-policy comparison on Poisson workloads",
         tables: vec![table],
         notes: vec![
             "cells are geometric means over seeds of total flow / provable OPT lower bound"
+                .to_string(),
+            "audit column: every policy run in the cell passed the sampled invariant audit"
                 .to_string(),
             format!(
                 "Intermediate-SRPT within 25% of the best policy in {isrpt_wins}/{combos} cells"

@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use parsched::IntermediateSrpt;
-use parsched_bench::{overload_fixture, poisson_fixture, timed_run};
-use parsched_sim::{simulate, PlannedPolicy};
+use parsched_bench::{overload_fixture, poisson_fixture, timed_audited_run, timed_run};
+use parsched_sim::{simulate, AuditLevel, PlannedPolicy};
 use parsched_workloads::GreedyTrap;
 
 fn engine_scaling_n(c: &mut Criterion) {
@@ -81,6 +81,34 @@ fn engine_overload_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+fn engine_audit_overhead(c: &mut Criterion) {
+    // Cost of the runtime invariant auditor on the incremental path:
+    // `off` is the baseline, `sampled` (stride 64) is the always-on
+    // production setting and must stay within 2× of it, `strict` audits
+    // every event (frame construction is O(|A|), so this one is the
+    // price of full conservation-law coverage).
+    let mut g = c.benchmark_group("engine/audit");
+    g.sample_size(20);
+    let n = 10_000usize;
+    let inst = poisson_fixture(n, 0.9, 8.0);
+    g.throughput(Throughput::Elements(n as u64));
+    for (label, level) in [
+        ("off", AuditLevel::Off),
+        ("sampled", AuditLevel::Sampled(64)),
+        ("strict", AuditLevel::Strict),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, n), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(
+                    timed_audited_run(black_box(inst), &mut IntermediateSrpt::new(), 8.0, level)
+                        .total_flow,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
 fn engine_scaling_m(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/machines");
     g.sample_size(20);
@@ -127,6 +155,7 @@ criterion_group!(
     benches,
     engine_scaling_n,
     engine_overload_scaling,
+    engine_audit_overhead,
     engine_scaling_m,
     planned_schedule_replay,
     plan_from_tracks

@@ -24,6 +24,8 @@ USAGE:
   parsched compare [OPTIONS]            ad-hoc policy comparison
   parsched gen [OPTIONS]                generate a workload as CSV on stdout
   parsched run [OPTIONS]                simulate a CSV instance with one policy
+  parsched audit <trace.json> [OPTIONS] replay a recorded trace through the
+                                        invariant-audit suite
   parsched bench-snapshot [OPTIONS]     engine throughput snapshot → JSON
 
 GEN OPTIONS:
@@ -35,8 +37,14 @@ RUN OPTIONS:
   --policy <name>     isrpt|psrpt|ssrpt|greedy|equi|laps[:β]|threshold:<θ>|setf
   --m <int>           processors (default 8)
   --speed <f>         resource augmentation factor (default 1)
+  --audit <level>     run with the invariant auditor enabled:
+                      off|final|sampled[:stride]|strict (default off)
+  --trace <file>      also record the run as a replayable JSON trace
   --gantt <cols>      also print an ASCII Gantt chart
   --bracket           also bracket OPT and report the ratio interval
+
+AUDIT OPTIONS:
+  --level <level>     final|sampled[:stride]|strict (default strict)
 
 BENCH-SNAPSHOT OPTIONS:
   --out <file>    where to write the JSON (default BENCH_engine.json)
@@ -88,11 +96,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--bracket" => flags.named.push(("bracket".to_string(), String::new())),
             other if other.starts_with("--") => {
                 let key = other.trim_start_matches("--").to_string();
-                i += 1;
-                let v = args
-                    .get(i)
-                    .ok_or_else(|| format!("--{key} needs a value"))?;
-                flags.named.push((key, v.clone()));
+                // Both `--audit strict` and `--audit=strict` are accepted.
+                if let Some((k, v)) = key.split_once('=') {
+                    flags.named.push((k.to_string(), v.to_string()));
+                } else {
+                    i += 1;
+                    let v = args
+                        .get(i)
+                        .ok_or_else(|| format!("--{key} needs a value"))?;
+                    flags.named.push((key, v.clone()));
+                }
             }
             other => return Err(format!("unexpected argument '{other}'")),
         }
@@ -279,7 +292,8 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     use parsched_analysis::table::fnum;
     use parsched_opt::OptEstimate;
     use parsched_sim::csv::instance_from_csv;
-    use parsched_sim::{AllocationTrace, Engine, EngineConfig, StaticSource};
+    use parsched_sim::trace::{record_run_with_config, trace_to_json};
+    use parsched_sim::{AllocationTrace, AuditLevel, Engine, EngineConfig, StaticSource};
 
     let path = flags
         .named
@@ -307,11 +321,18 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         .parse()?;
     let m = flags.get_f64("m", 8.0);
     let speed = flags.get_f64("speed", 1.0);
+    let audit: AuditLevel = flags
+        .named
+        .iter()
+        .find(|(k, _)| k == "audit")
+        .map(|(_, v)| v.parse())
+        .transpose()?
+        .unwrap_or(AuditLevel::Off);
     let mut policy = kind.build();
     let mut source = StaticSource::new(&instance);
     let mut trace = AllocationTrace::new();
     let outcome = Engine::new(
-        EngineConfig::new(m).with_speed(speed),
+        EngineConfig::new(m).with_speed(speed).with_audit(audit),
         &mut policy,
         &mut source,
         &mut trace,
@@ -332,6 +353,25 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         fnum(mm.max_stretch),
         mm.events
     );
+    if let Some(report) = &outcome.audit {
+        println!("  {report}");
+    }
+    if let Some((_, path)) = flags.named.iter().find(|(k, _)| k == "trace") {
+        // The recording observer consumes the allocation stream (exhaustive
+        // path), so the trace is produced by a second, deterministic run
+        // with the same configuration.
+        let (rec, _) = record_run_with_config(
+            &instance,
+            kind.build().as_mut(),
+            EngineConfig::new(m).with_speed(speed),
+        )
+        .map_err(|e| e.to_string())?;
+        std::fs::write(path, trace_to_json(&rec)).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "  wrote trace {path} ({} events; replay with `parsched audit {path}`)",
+            rec.events.len()
+        );
+    }
     if let Some((_, cols)) = flags.named.iter().find(|(k, _)| k == "gantt") {
         let width: usize = cols.parse().unwrap_or(72).clamp(8, 400);
         println!(
@@ -354,10 +394,58 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_audit(path: &str, flags: &Flags) -> Result<bool, String> {
+    use parsched_analysis::table::fnum;
+    use parsched_sim::trace::{replay, trace_from_json};
+    use parsched_sim::{AuditLevel, SimError};
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = trace_from_json(&text).map_err(|e| e.to_string())?;
+    let level: AuditLevel = flags
+        .named
+        .iter()
+        .find(|(k, _)| k == "level")
+        .map(|(_, v)| v.parse())
+        .transpose()?
+        .unwrap_or(AuditLevel::Strict);
+    println!(
+        "replaying {path}: policy={}, m={}, speed={}, {} records{}",
+        trace.policy,
+        trace.m,
+        trace.speed,
+        trace.events.len(),
+        if trace.recorded.is_some() {
+            ", recorded metrics attached"
+        } else {
+            ""
+        }
+    );
+    match replay(&trace, level) {
+        Ok(out) => {
+            println!("audit PASS: {}", out.report);
+            let mm = &out.metrics;
+            println!(
+                "  replayed: n={}, total flow={}, mean={}, max={}, makespan={}",
+                mm.num_jobs,
+                fnum(mm.total_flow),
+                fnum(mm.mean_flow),
+                fnum(mm.max_flow),
+                fnum(mm.makespan)
+            );
+            Ok(true)
+        }
+        Err(SimError::AuditFailed { violation }) => {
+            eprintln!("audit FAIL: {violation}");
+            Ok(false)
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
 fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
     use parsched::PolicyKind;
-    use parsched_bench::{overload_fixture, poisson_fixture, timed_run};
-    use parsched_sim::AllocationStability;
+    use parsched_bench::{overload_fixture, poisson_fixture, timed_audited_run, timed_run};
+    use parsched_sim::{AllocationStability, AuditLevel};
 
     struct Row {
         policy: String,
@@ -415,6 +503,33 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
                 seconds: s.seconds,
                 events_per_sec: s.events_per_sec,
             });
+        }
+        // Audit-layer overhead: the same fixture and policy with the
+        // invariant auditor at its sampled (production) and strict
+        // (every-event) levels. The acceptance bar is sampled ≤ 2× the
+        // unaudited throughput.
+        if n == 10_000 {
+            for (mode, level) in [
+                ("audited-sampled", AuditLevel::Sampled(64)),
+                ("audited-strict", AuditLevel::Strict),
+            ] {
+                let mut policy = PolicyKind::IntermediateSrpt.build();
+                let s = timed_audited_run(&inst, policy.as_mut(), m, level);
+                eprintln!(
+                    "  {:<22} n={n:<7} {mode:<11} {:>12.0} events/s",
+                    "Intermediate-SRPT", s.events_per_sec
+                );
+                rows.push(Row {
+                    policy: "Intermediate-SRPT".to_string(),
+                    fixture: "poisson-0.9",
+                    mode,
+                    n,
+                    m,
+                    events: s.events,
+                    seconds: s.seconds,
+                    events_per_sec: s.events_per_sec,
+                });
+            }
         }
         // Legacy oracle (full reassignment every event) for the headline
         // speed-up ratio. Quadratic per run, so cap it at n = 10_000.
@@ -493,6 +608,26 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
     };
     let speedup = ratio("poisson-0.9");
     let overload_speedup = ratio("poisson-1.5");
+    // Audit overhead: unaudited / audited throughput at n = 10_000
+    // (≥ 1; the acceptance bar for the sampled level is ≤ 2).
+    let audit_overhead = |mode: &str| {
+        let pick = |m: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.policy == "Intermediate-SRPT"
+                        && r.fixture == "poisson-0.9"
+                        && r.mode == m
+                        && r.n == 10_000
+                })
+                .map(|r| r.events_per_sec)
+        };
+        match (pick("incremental"), pick(mode)) {
+            (Some(base), Some(audited)) if audited > 0.0 => base / audited,
+            _ => f64::NAN,
+        }
+    };
+    let sampled_overhead = audit_overhead("audited-sampled");
+    let strict_overhead = audit_overhead("audited-strict");
 
     // Hand-rolled JSON: the offline serde shim only type-checks derives,
     // it does not serialize.
@@ -510,6 +645,14 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
     json.push_str(&format!(
         "  \"isrpt_overload_speedup_vs_legacy_n10000\": {:.2},\n",
         overload_speedup
+    ));
+    json.push_str(&format!(
+        "  \"audit_sampled_overhead_n10000\": {:.2},\n",
+        sampled_overhead
+    ));
+    json.push_str(&format!(
+        "  \"audit_strict_overhead_n10000\": {:.2},\n",
+        strict_overhead
     ));
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -531,10 +674,13 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
     std::fs::write(&out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
     println!(
         "wrote {out_path} ({} rows); Intermediate-SRPT incremental/legacy speed-up at \
-         n=10_000: {:.1}x (load 0.9), {:.1}x (overload)",
+         n=10_000: {:.1}x (load 0.9), {:.1}x (overload); audit overhead: {:.2}x sampled, \
+         {:.2}x strict",
         rows.len(),
         speedup,
-        overload_speedup
+        overload_speedup,
+        sampled_overhead,
+        strict_overhead
     );
     Ok(())
 }
@@ -610,6 +756,20 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        "audit" => {
+            let Some((path, fl)) = rest.split_first() else {
+                eprintln!("audit needs a trace file\n\n{}", usage());
+                return ExitCode::from(2);
+            };
+            match parse_flags(fl).and_then(|flags| cmd_audit(path, &flags)) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::from(1),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
         "bench-snapshot" => match parse_flags(rest).and_then(|flags| cmd_bench_snapshot(&flags)) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {

@@ -44,6 +44,13 @@ impl Policy for Equi {
         self.0.stability()
     }
 
+    fn srpt_ordered(&self) -> bool {
+        // Forwards the engine-level EquiSplit's answer: EQUI serves
+        // every alive job evenly, so its allocation is *not* an SRPT
+        // prefix and the audit layer must not hold it to that claim.
+        self.0.srpt_ordered()
+    }
+
     fn prefix_allocation(&self, n_alive: usize, m: f64) -> Option<PrefixAllocation> {
         self.0.prefix_allocation(n_alive, m)
     }

@@ -73,6 +73,10 @@ impl Policy for IntermediateSrpt {
         AllocationStability::SrptPrefix
     }
 
+    fn srpt_ordered(&self) -> bool {
+        true
+    }
+
     fn prefix_allocation(&self, n_alive: usize, m: f64) -> Option<PrefixAllocation> {
         if n_alive == 0 {
             return None;

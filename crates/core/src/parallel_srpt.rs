@@ -48,6 +48,10 @@ impl Policy for ParallelSrpt {
         AllocationStability::SrptPrefix
     }
 
+    fn srpt_ordered(&self) -> bool {
+        true
+    }
+
     fn prefix_allocation(&self, n_alive: usize, m: f64) -> Option<PrefixAllocation> {
         (n_alive > 0).then_some(PrefixAllocation { count: 1, share: m })
     }

@@ -139,6 +139,24 @@ mod tests {
     }
 
     #[test]
+    fn srpt_ordered_metadata_matches_policy_family() {
+        // The SRPT family claims SRPT-ordered allocations (audited by the
+        // invariant layer); EQUI and the elapsed-time/latest-arrival
+        // policies must not.
+        for kind in PolicyKind::all_standard() {
+            let p = kind.build();
+            let expect = matches!(
+                kind,
+                PolicyKind::IntermediateSrpt
+                    | PolicyKind::ParallelSrpt
+                    | PolicyKind::SequentialSrpt
+            );
+            assert_eq!(p.srpt_ordered(), expect, "{}", p.name());
+        }
+        assert!(PolicyKind::Threshold(2.0).build().srpt_ordered());
+    }
+
+    #[test]
     fn names_are_distinct() {
         let names: Vec<String> = PolicyKind::all_standard()
             .iter()

@@ -19,7 +19,10 @@ use parsched_speedup::{Curve, PiecewiseLinear};
 use crate::error::SimError;
 use crate::job::{Instance, JobId, JobSpec};
 
-fn curve_to_field(curve: &Curve) -> String {
+/// Serializes a curve to the compact field syntax above (`par`, `seq`,
+/// `pow:<α>`, `amdahl:<s>`, `pwl:<x y;…>`). Shared by the CSV dialect and
+/// the trace format ([`crate::trace`]).
+pub fn curve_to_field(curve: &Curve) -> String {
     match curve {
         Curve::FullyParallel => "par".to_string(),
         Curve::Sequential => "seq".to_string(),
@@ -36,7 +39,8 @@ fn curve_to_field(curve: &Curve) -> String {
     }
 }
 
-fn curve_from_field(field: &str) -> Result<Curve, SimError> {
+/// Parses the compact curve field syntax emitted by [`curve_to_field`].
+pub fn curve_from_field(field: &str) -> Result<Curve, SimError> {
     let bad = |what: String| SimError::BadInstance { what };
     match field {
         "par" => Ok(Curve::FullyParallel),

@@ -20,6 +20,7 @@
 use parsched_speedup::{Curve, EPS};
 
 use crate::error::SimError;
+use crate::invariant::{AuditFrame, AuditLevel, Auditor, EnginePath, FinalAccounting, FrameJob};
 use crate::job::{Instance, JobId, JobSpec, Time, Work};
 use crate::metrics::{CompletedJob, RunMetrics, RunOutcome};
 use crate::observer::{NullObserver, Observer};
@@ -46,6 +47,12 @@ pub struct EngineConfig {
     /// the incremental path. This keeps the legacy engine available as a
     /// differential oracle for the incremental one.
     pub full_reassign: bool,
+    /// Runtime invariant auditing (see [`crate::invariant`]): per-event
+    /// conservation-law checks at [`AuditLevel::Strict`], on a sampled
+    /// subset at [`AuditLevel::Sampled`], or end-of-run identities only at
+    /// [`AuditLevel::Final`]. Off by default. A violation aborts the run
+    /// with [`SimError::AuditFailed`].
+    pub audit: AuditLevel,
 }
 
 impl EngineConfig {
@@ -57,7 +64,14 @@ impl EngineConfig {
             max_events: 20_000_000,
             max_time: f64::INFINITY,
             full_reassign: false,
+            audit: AuditLevel::Off,
         }
+    }
+
+    /// Enables runtime invariant auditing at the given level.
+    pub fn with_audit(mut self, audit: AuditLevel) -> Self {
+        self.audit = audit;
+        self
     }
 
     /// Forces (or un-forces) the exhaustive per-event reassignment path.
@@ -225,6 +239,13 @@ pub struct Engine<'a> {
     quantum_deadline: Option<Time>,
     events: u64,
     finished: bool,
+    /// Runtime invariant auditor (present iff `cfg.audit` is not `Off`).
+    auditor: Option<Auditor>,
+    /// Policy name cached at construction (frames are built per event).
+    policy_name: String,
+    /// Whether the policy claims SRPT-ordered allocations (see
+    /// [`Policy::srpt_ordered`]); gates the `srpt-prefix` audit check.
+    policy_srpt_ordered: bool,
     // Accumulators.
     total_flow: f64,
     max_flow: f64,
@@ -272,6 +293,9 @@ impl<'a> Engine<'a> {
         } else {
             ExecMode::Exhaustive
         };
+        let auditor = (!cfg.audit.is_off()).then(|| Auditor::new(cfg.audit));
+        let policy_name = policy.name();
+        let policy_srpt_ordered = policy.srpt_ordered();
         Self {
             cfg,
             policy,
@@ -297,6 +321,9 @@ impl<'a> Engine<'a> {
             quantum_deadline: None,
             events: 0,
             finished: false,
+            auditor,
+            policy_name,
+            policy_srpt_ordered,
             total_flow: 0.0,
             max_flow: 0.0,
             frac_flow: 0.0,
@@ -909,11 +936,92 @@ impl<'a> Engine<'a> {
         completed_any
     }
 
+    /// Which [`EnginePath`] this run executes (for audit context).
+    fn path(&self) -> EnginePath {
+        match self.mode {
+            ExecMode::Exhaustive => EnginePath::Exhaustive,
+            ExecMode::Incremental => EnginePath::Incremental,
+        }
+    }
+
+    /// Builds an audit snapshot of the alive set with the allocation
+    /// decided for the interval starting now. Only valid while the
+    /// allocation is fresh (callers capture right after
+    /// [`Engine::next_event_time`]).
+    fn build_audit_frame(&self) -> AuditFrame {
+        let mut jobs = Vec::with_capacity(self.num_alive());
+        match self.mode {
+            ExecMode::Exhaustive => {
+                for (i, &idx) in self.alive.iter().enumerate() {
+                    let rec = &self.jobs[idx];
+                    jobs.push(FrameJob {
+                        id: rec.spec.id,
+                        release: rec.spec.release,
+                        size: rec.spec.size,
+                        remaining: rec.remaining,
+                        share: self.shares[i],
+                        rate: self.rates[i],
+                    });
+                }
+            }
+            ExecMode::Incremental => {
+                let share = self.profile.share;
+                for (slot, remaining) in self.srpt.iter_running() {
+                    let rec = &self.jobs[slot.idx];
+                    jobs.push(FrameJob {
+                        id: rec.spec.id,
+                        release: rec.spec.release,
+                        size: rec.spec.size,
+                        remaining,
+                        share,
+                        rate: self.cfg.speed * rec.spec.curve.rate(share),
+                    });
+                }
+                for (slot, remaining) in self.srpt.iter_queued() {
+                    let rec = &self.jobs[slot.idx];
+                    jobs.push(FrameJob {
+                        id: rec.spec.id,
+                        release: rec.spec.release,
+                        size: rec.spec.size,
+                        remaining,
+                        share: 0.0,
+                        rate: 0.0,
+                    });
+                }
+            }
+        }
+        AuditFrame {
+            event: self.events,
+            t: self.now,
+            m: self.cfg.m,
+            path: self.path(),
+            policy: self.policy_name.clone(),
+            jobs,
+            // The incremental path iterates its maintained SRPT order
+            // (running prefix, then queue); the exhaustive alive vector is
+            // reordered by swap_remove and promises nothing.
+            srpt_ordered_iteration: self.mode == ExecMode::Incremental,
+            srpt_ordered_policy: self.policy_srpt_ordered,
+        }
+    }
+
     /// Processes one event. Returns `false` when the run is complete.
     pub fn step(&mut self) -> Result<bool, SimError> {
         let Some(t) = self.next_event_time()? else {
             return Ok(false);
         };
+        // Audit hook: at this point the allocation is fresh and constant
+        // over `[now, t]`, so the frame captures exactly what the engine is
+        // about to execute.
+        if let Some(mut aud) = self.auditor.take() {
+            let checked = if aud.wants_frame(self.events) {
+                aud.check_frame(self.build_audit_frame())
+            } else {
+                Ok(())
+            };
+            self.auditor = Some(aud);
+            checked?;
+        }
         if t > self.cfg.max_time {
             return Err(SimError::TimeLimit {
                 limit: self.cfg.max_time,
@@ -936,7 +1044,25 @@ impl<'a> Engine<'a> {
     }
 
     /// Finalizes the run into a [`RunOutcome`] (all jobs must be finished).
-    pub fn into_outcome(self) -> Result<RunOutcome, SimError> {
+    pub fn into_outcome(mut self) -> Result<RunOutcome, SimError> {
+        let audit = match self.auditor.take() {
+            Some(mut aud) => {
+                aud.check_final(&FinalAccounting {
+                    total_flow: self.total_flow,
+                    alive_integral: self.alive_integral,
+                    fractional_flow: self.frac_flow,
+                    completed: self.completed.len(),
+                    admitted: self.jobs.len(),
+                    alive_left: self.num_alive(),
+                    at: self.now,
+                    events: self.events,
+                    policy: self.policy_name.clone(),
+                    path: self.path(),
+                })?;
+                Some(aud.report())
+            }
+            None => None,
+        };
         let n = self.completed.len();
         let total_stretch: f64 = self.completed.iter().map(|c| c.stretch()).sum();
         let total_weighted_flow: f64 = self.completed.iter().map(|c| c.weighted_flow()).sum();
@@ -974,6 +1100,7 @@ impl<'a> Engine<'a> {
             // the instance from it avoids both the seed engine's duplicate
             // `emitted` clone stream and a second O(n) validation pass.
             instance: Instance::from_admitted(self.jobs.into_iter().map(|r| r.spec).collect()),
+            audit,
         })
     }
 }
@@ -987,6 +1114,27 @@ pub fn simulate(
 ) -> Result<RunOutcome, SimError> {
     let mut obs = NullObserver;
     simulate_with_observer(instance, policy, m, &mut obs)
+}
+
+/// Like [`simulate`], but with runtime invariant auditing enabled at the
+/// given [`AuditLevel`]. A violation surfaces as
+/// [`SimError::AuditFailed`]; on success the outcome carries the
+/// [`crate::invariant::AuditReport`].
+pub fn simulate_audited(
+    instance: &Instance,
+    policy: &mut dyn Policy,
+    m: f64,
+    audit: AuditLevel,
+) -> Result<RunOutcome, SimError> {
+    let mut source = StaticSource::new(instance);
+    let mut obs = NullObserver;
+    Engine::new(
+        EngineConfig::new(m).with_audit(audit),
+        policy,
+        &mut source,
+        &mut obs,
+    )
+    .run()
 }
 
 /// Like [`simulate`], but with a custom [`Observer`].
@@ -1491,6 +1639,53 @@ mod tests {
         assert_eq!(outcome.metrics.num_jobs, 2);
         assert_eq!(outcome.flow_of(JobId(u64::MAX - 7)), Some(2.0));
         assert_eq!(outcome.flow_of(JobId(5)), Some(1.0));
+    }
+
+    #[test]
+    fn strict_audit_passes_on_both_paths() {
+        let instance = inst(
+            &[(0.0, 5.0), (0.0, 2.0), (1.0, 4.0), (1.5, 0.5), (3.0, 6.0)],
+            Curve::power(0.5),
+        );
+        for full_reassign in [false, true] {
+            let mut p = EquiSplit;
+            let mut source = StaticSource::new(&instance);
+            let mut obs = NullObserver;
+            let engine = Engine::new(
+                EngineConfig::new(3.0)
+                    .with_full_reassign(full_reassign)
+                    .with_audit(AuditLevel::Strict),
+                &mut p,
+                &mut source,
+                &mut obs,
+            );
+            let outcome = engine.run().unwrap();
+            let report = outcome.audit.expect("audited run carries a report");
+            assert_eq!(report.level, AuditLevel::Strict);
+            assert!(report.frames > 0);
+            assert!(report.final_checked);
+        }
+    }
+
+    #[test]
+    fn unaudited_runs_carry_no_report() {
+        let outcome =
+            simulate(&inst(&[(0.0, 1.0)], Curve::Sequential), &mut EquiSplit, 1.0).unwrap();
+        assert!(outcome.audit.is_none());
+    }
+
+    #[test]
+    fn simulate_audited_runs_final_checks() {
+        let outcome = simulate_audited(
+            &inst(&[(0.0, 2.0), (0.0, 1.0)], Curve::Sequential),
+            &mut EquiSplit,
+            2.0,
+            AuditLevel::Final,
+        )
+        .unwrap();
+        let report = outcome.audit.unwrap();
+        assert_eq!(report.frames, 0);
+        assert!(report.final_checked);
     }
 
     #[test]

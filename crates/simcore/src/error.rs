@@ -56,6 +56,12 @@ pub enum SimError {
         /// The stale release time.
         release: Time,
     },
+    /// A runtime invariant audit detected a conservation-law violation.
+    AuditFailed {
+        /// The structured violation (invariant name, event, time, job,
+        /// expected vs. actual, policy, path).
+        violation: Box<crate::invariant::Violation>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -85,6 +91,7 @@ impl fmt::Display for SimError {
             SimError::ArrivalInPast { now, release } => {
                 write!(f, "source emitted release {release} in the past of t={now}")
             }
+            SimError::AuditFailed { violation } => write!(f, "audit failed: {violation}"),
         }
     }
 }

@@ -1,0 +1,413 @@
+//! A minimal JSON reader/writer for the trace format.
+//!
+//! The offline dependency set has a `serde` shim that only type-checks
+//! derives — there is no serde *format* crate — so, like the CSV dialect
+//! in [`crate::csv`], traces round-trip through a small hand-rolled
+//! codec. This module is deliberately tiny: a recursive-descent parser
+//! into a [`Json`] value tree (objects, arrays, numbers kept as raw
+//! lexemes for lossless `f64`/`u64` reads, strings with standard escapes,
+//! booleans, null) and a string-escape helper for the writer side.
+
+#![allow(dead_code)]
+
+/// A parsed JSON value. Numbers keep their raw lexeme so integer ids
+/// larger than 2^53 survive a round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its raw lexeme.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub(crate) fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required object field, with a path-ish error.
+    pub(crate) fn req(&self, key: &str) -> Result<&Json, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing field '{key}'"))
+    }
+
+    pub(crate) fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::Num(raw) => raw.parse().map_err(|e| format!("bad number '{raw}': {e}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::Num(raw) => raw.parse().map_err(|e| format!("bad integer '{raw}': {e}")),
+            other => Err(format!("expected integer, got {other:?}")),
+        }
+    }
+
+    pub(crate) fn as_usize(&self) -> Result<usize, String> {
+        self.as_u64().map(|v| v as usize)
+    }
+
+    pub(crate) fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    pub(crate) fn as_arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        // Validate eagerly so errors point at the lexeme, not a later read.
+        raw.parse::<f64>()
+            .map_err(|e| format!("bad number '{raw}' at byte {start}: {e}"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| "non-utf8 \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid codepoint {code:#x}"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one multi-byte UTF-8 scalar. Validate at most
+                    // 4 bytes — validating the whole remaining input here
+                    // makes parsing quadratic in document size.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let head = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(head) {
+                        Ok(s) => s.chars().next().unwrap(),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&head[..e.valid_up_to()])
+                                .unwrap()
+                                .chars()
+                                .next()
+                                .unwrap()
+                        }
+                        Err(_) => return Err("non-utf8 string".to_string()),
+                    };
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document (writer side).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#"{"a": [1, 2.5, -3e-2], "b": {"c": "x\ny"}, "d": true, "e": null}"#;
+        let v = Json::parse(doc).unwrap();
+        let a = v.req("a").unwrap().as_arr().unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].as_u64().unwrap(), 1);
+        assert!((a[1].as_f64().unwrap() - 2.5).abs() < 1e-15);
+        assert!((a[2].as_f64().unwrap() + 0.03).abs() < 1e-15);
+        assert_eq!(
+            v.req("b").unwrap().req("c").unwrap().as_str().unwrap(),
+            "x\ny"
+        );
+        assert_eq!(v.get("d"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("e"), Some(&Json::Null));
+        assert_eq!(v.get("zzz"), None);
+    }
+
+    #[test]
+    fn huge_integers_survive() {
+        let v = Json::parse("{\"id\": 18446744073709551615}").unwrap();
+        assert_eq!(v.req("id").unwrap().as_u64().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn float_lexemes_round_trip_exactly() {
+        let x = 0.1_f64 + 0.2_f64;
+        let doc = format!("[{x:?}]");
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.as_arr().unwrap()[0].as_f64().unwrap(), x);
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "a\"b\\c\nd\te\u{1}f→g";
+        let doc = format!("\"{}\"", escape(nasty));
+        assert_eq!(Json::parse(&doc).unwrap().as_str().unwrap(), nasty);
+    }
+
+    #[test]
+    fn multibyte_scalars_parse_anywhere_in_the_string() {
+        // Exercises the bounded (≤ 4-byte) scalar decode, including a
+        // 4-byte scalar as the very last bytes of the document.
+        let s = "α→𝛼";
+        let doc = format!("\"{s}\"");
+        assert_eq!(Json::parse(&doc).unwrap().as_str().unwrap(), s);
+        assert!(Json::parse("\"\u{10348}").is_err()); // unterminated, 4-byte tail
+    }
+
+    #[test]
+    fn large_documents_parse_in_linear_time() {
+        // Regression: the string parser used to re-validate the entire
+        // remaining input per character, making multi-MB traces take
+        // minutes. Keep this generous (wall-clock CI noise) — the broken
+        // behaviour was ~1000x over the bound, not 2x.
+        let events: Vec<String> = (0..20_000)
+            .map(|i| format!("{{\"kind\": \"alloc→{i}\", \"t\": {i}.5}}"))
+            .collect();
+        let doc = format!("[{}]", events.join(", "));
+        let t0 = std::time::Instant::now();
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.as_arr().unwrap().len(), 20_000);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "parsing a {} KiB document took {:?}",
+            doc.len() / 1024,
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("[1] x").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("tru").is_err());
+        assert!(Json::parse("[--1]").is_err());
+    }
+
+    #[test]
+    fn whitespace_everywhere_is_fine() {
+        let v = Json::parse(" \n{ \"a\" :\t[ ] , \"b\" : { } }\r\n").unwrap();
+        assert_eq!(v.req("a").unwrap().as_arr().unwrap().len(), 0);
+        assert!(matches!(v.req("b").unwrap(), Json::Obj(f) if f.is_empty()));
+    }
+}

@@ -49,7 +49,9 @@
 pub mod csv;
 mod engine;
 mod error;
+pub mod invariant;
 mod job;
+mod jsonlite;
 mod metrics;
 mod observer;
 mod plan;
@@ -57,9 +59,13 @@ mod policy;
 pub mod quantized;
 mod source;
 mod srpt_set;
+pub mod trace;
 
-pub use engine::{simulate, simulate_with_observer, AliveSnapshot, Engine, EngineConfig};
+pub use engine::{
+    simulate, simulate_audited, simulate_with_observer, AliveSnapshot, Engine, EngineConfig,
+};
 pub use error::SimError;
+pub use invariant::{AuditLevel, AuditReport, Auditor, EnginePath, Invariant, Violation};
 pub use job::{class_index, num_classes, Instance, JobId, JobSpec, Time, Work};
 pub use metrics::{CompletedJob, RunMetrics, RunOutcome};
 pub use observer::{
@@ -68,3 +74,4 @@ pub use observer::{
 pub use plan::{AllocationPlan, PlanSegment, PlannedPolicy};
 pub use policy::{AliveJob, AllocationStability, EquiSplit, Policy, PrefixAllocation};
 pub use source::{ArrivalSource, StaticSource, SystemView};
+pub use trace::{record_run, replay, ReplayOutcome, Trace, TraceEvent, TraceRecorder};

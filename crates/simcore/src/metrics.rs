@@ -87,6 +87,11 @@ pub struct RunOutcome {
     /// adversary it is the concrete instance the adversary committed to, and
     /// can be replayed against any other policy or an OPT bound.
     pub instance: Instance,
+    /// Report of the runtime invariant audit, when one was enabled via
+    /// [`crate::EngineConfig::with_audit`]. `None` means the run was not
+    /// audited; `Some` means every enabled check passed (a violation
+    /// aborts the run with [`crate::SimError::AuditFailed`] instead).
+    pub audit: Option<crate::invariant::AuditReport>,
 }
 
 impl RunOutcome {
@@ -126,6 +131,7 @@ mod tests {
                 weight: 1.0,
             }],
             instance: Instance::new(vec![]).unwrap(),
+            audit: None,
         };
         assert_eq!(outcome.flow_of(JobId(1)), Some(4.0));
         assert_eq!(outcome.flow_of(JobId(2)), None);

@@ -133,6 +133,24 @@ pub trait Policy {
         None
     }
 
+    /// Whether this policy's allocation is always *SRPT-ordered*: the set
+    /// of jobs with positive share is a prefix of the SRPT order
+    /// (`(remaining, release, id)`) and all scheduled jobs receive the
+    /// same share. The runtime invariant audit
+    /// ([`crate::EngineConfig::with_audit`]) checks the `srpt-prefix`
+    /// invariant only for policies that declare this.
+    ///
+    /// This is a *claimed semantic property checked by the audit*, distinct
+    /// from [`Policy::stability`], which is an *execution-path contract*:
+    /// EQUI runs on the incremental path (its equal split is a trivial
+    /// whole-set prefix profile) but does not claim SRPT ordering — its
+    /// allocation is order-agnostic, so the check would be vacuous. The
+    /// SRPT policy family (Intermediate/Sequential/Parallel/Threshold-SRPT)
+    /// overrides this to `true`. Default: `false`, the conservative answer.
+    fn srpt_ordered(&self) -> bool {
+        false
+    }
+
     /// Notification that jobs arrived at `now`, leaving `n_alive` alive
     /// jobs (fired once per arrival batch, on every engine path).
     fn on_arrival(&mut self, now: Time, n_alive: usize) {
@@ -172,6 +190,10 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
 
     fn prefix_allocation(&self, n_alive: usize, m: f64) -> Option<PrefixAllocation> {
         (**self).prefix_allocation(n_alive, m)
+    }
+
+    fn srpt_ordered(&self) -> bool {
+        (**self).srpt_ordered()
     }
 
     fn on_arrival(&mut self, now: Time, n_alive: usize) {
@@ -282,6 +304,8 @@ mod tests {
     fn equi_prefix_profile_matches_assign() {
         let p = EquiSplit::new();
         assert_eq!(p.stability(), AllocationStability::SrptPrefix);
+        // EQUI rides the incremental path but does not claim SRPT ordering.
+        assert!(!p.srpt_ordered());
         for n in 1..=9usize {
             let prof = p.prefix_allocation(n, 6.0).unwrap();
             assert_eq!(prof.count, n);

@@ -550,6 +550,146 @@ mod tests {
         assert!((set.total_remaining() - (1.0 + 4.0 + 7.0 + 11.0)).abs() < 1e-12);
     }
 
+    /// Naive reference order: `(remaining, release, id)` ascending.
+    fn sort_model(model: &mut [(usize, f64, f64, u64)]) {
+        model.sort_by(|a, b| {
+            a.1.total_cmp(&b.1)
+                .then(a.2.total_cmp(&b.2))
+                .then(a.3.cmp(&b.3))
+        });
+    }
+
+    #[test]
+    fn churn_matches_naive_reference_model() {
+        // Differential test: 200 steps of interleaved arrivals, offset-bump
+        // drains, and front completions, against a sorted-Vec model. Any
+        // ordering or sum drift introduced by the offset representation
+        // (insert-during-drain, rebases, tie-breaks) shows up here.
+        const PREFIX: usize = 3;
+        let mut set = SrptSet::new();
+        let mut model: Vec<(usize, f64, f64, u64)> = Vec::new();
+        let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = |m: u64| {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 33) % m
+        };
+        let mut arena = 0usize;
+        for step in 0..200 {
+            match next(3) {
+                0 => {
+                    let size = 1.0 + next(16) as f64;
+                    let release = step as f64;
+                    set.insert(arena, &spec(arena as u64, release, size), size);
+                    model.push((arena, size, release, arena as u64));
+                    arena += 1;
+                }
+                1 => {
+                    // Drain halfway to the front-running completion.
+                    if let Some((_, rem)) = set.front_running() {
+                        let amount = rem * 0.5;
+                        let k = set.running_len();
+                        set.advance_uniform(amount);
+                        sort_model(&mut model);
+                        for e in model.iter_mut().take(k) {
+                            e.1 -= amount;
+                        }
+                    }
+                }
+                _ => {
+                    // Drain exactly to the front completion and pop it.
+                    if let Some((_, rem)) = set.front_running() {
+                        let k = set.running_len();
+                        set.advance_uniform(rem);
+                        let (slot, left) = set.pop_front_running().unwrap();
+                        assert!(left.abs() < 1e-9, "step {step}: leftover {left}");
+                        sort_model(&mut model);
+                        for e in model.iter_mut().take(k) {
+                            e.1 -= rem;
+                        }
+                        assert_eq!(slot.idx, model[0].0, "step {step}: wrong completion");
+                        model.remove(0);
+                    }
+                }
+            }
+            set.rebalance(PREFIX, |_, _| {});
+            sort_model(&mut model);
+            let got: Vec<(usize, f64)> = set.iter_alive().collect();
+            assert_eq!(got.len(), model.len(), "step {step}");
+            for (g, e) in got.iter().zip(&model) {
+                assert_eq!(g.0, e.0, "step {step}: order diverged");
+                assert!(
+                    (g.1 - e.1).abs() < 1e-9 * e.1.abs().max(1.0),
+                    "step {step}: remaining {} vs model {}",
+                    g.1,
+                    e.1
+                );
+            }
+            let expect_total: f64 = model.iter().map(|e| e.1).sum();
+            assert!((set.total_remaining() - expect_total).abs() < 1e-9 * expect_total.max(1.0));
+        }
+    }
+
+    #[test]
+    fn equal_remaining_after_offset_bump_ties_by_release_then_id() {
+        let mut set = SrptSet::new();
+        // Job 0 (release 0) starts at 5 and drains to 2; job 1 (release 7)
+        // then arrives with remaining exactly 2. The drained job keeps
+        // priority through the earlier release despite identical remaining.
+        set.insert(0, &spec(0, 0.0, 5.0), 5.0);
+        set.rebalance(1, |_, _| {});
+        set.advance_uniform(3.0);
+        set.insert(1, &spec(1, 7.0, 2.0), 2.0);
+        set.rebalance(2, |_, _| {});
+        let order: Vec<(usize, f64)> = set.iter_alive().collect();
+        assert_eq!(order[0].0, 0);
+        assert_eq!(order[1].0, 1);
+        assert!((order[0].1 - 2.0).abs() < 1e-12);
+        assert!((order[1].1 - 2.0).abs() < 1e-12);
+        // And the completion order honors the same tie-break.
+        set.advance_uniform(2.0);
+        assert_eq!(set.pop_front_running().unwrap().0.idx, 0);
+        set.rebalance(2, |_, _| {});
+        set.advance_uniform(2.0);
+        assert_eq!(set.pop_front_running().unwrap().0.idx, 1);
+    }
+
+    #[test]
+    fn insert_at_prefix_boundary_queues_then_promotes_in_order() {
+        let mut set = SrptSet::new();
+        set.insert(0, &spec(0, 0.0, 2.0), 2.0);
+        set.insert(1, &spec(1, 0.0, 6.0), 6.0);
+        set.rebalance(2, |_, _| {});
+        // Remaining exactly equal to the largest running job: by the SRPT
+        // tie-break (later release) it does NOT belong in the prefix.
+        let p = set.insert(2, &spec(2, 1.0, 6.0), 6.0);
+        assert_eq!(p, Placement::Queued { remaining: 6.0 });
+        // Smaller than the front: belongs strictly inside the prefix.
+        let p = set.insert(3, &spec(3, 1.0, 1.0), 1.0);
+        assert!(matches!(p, Placement::Running { .. }));
+        set.rebalance(2, |_, _| {});
+        assert_eq!(set.running_len(), 2);
+        let order: Vec<usize> = set.iter_alive().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn front_completion_with_tied_pair_pops_one_at_a_time() {
+        let mut set = SrptSet::new();
+        set.insert(0, &spec(0, 0.0, 3.0), 3.0);
+        set.insert(1, &spec(1, 0.0, 3.0), 3.0);
+        set.rebalance(2, |_, _| {});
+        set.advance_uniform(3.0); // both hit zero simultaneously
+        let (first, r1) = set.pop_front_running().unwrap();
+        let (second, r2) = set.pop_front_running().unwrap();
+        assert_eq!((first.idx, second.idx), (0, 1)); // id tie-break
+        assert!(r1.abs() < 1e-12 && r2.abs() < 1e-12);
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.drain_offset(), 0.0);
+        assert!(set.pop_front_running().is_none());
+    }
+
     #[test]
     fn insert_during_drain_lands_in_correct_position() {
         let mut set = SrptSet::new();

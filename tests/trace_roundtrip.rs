@@ -1,0 +1,135 @@
+//! Trace round-trip guarantees: record → serialize → parse → replay
+//! reproduces the original run's metrics and passes a strict audit — and
+//! a committed golden fixture pins the on-disk format so accidental
+//! schema drift fails loudly.
+
+use std::path::PathBuf;
+
+use parsched_repro::policies::PolicyKind;
+use parsched_repro::sim::trace::{trace_from_json, trace_to_json};
+use parsched_repro::sim::{record_run, replay, AuditLevel, Instance, JobId, JobSpec};
+use parsched_repro::speedup::Curve;
+
+/// The fixed instance behind `tests/fixtures/golden_trace.json`: one job
+/// of each curve family, staggered releases, awkward (non-dyadic) sizes.
+fn golden_instance() -> Instance {
+    Instance::new(vec![
+        JobSpec::new(JobId(0), 0.0, 5.0, Curve::power(0.5)),
+        JobSpec::new(JobId(1), 0.5, 3.0, Curve::Sequential),
+        JobSpec::new(JobId(2), 1.0, 4.0, Curve::FullyParallel),
+        JobSpec::new(JobId(3), 1.5, 2.0, Curve::try_amdahl(0.25).unwrap()),
+        JobSpec::new(JobId(4), 2.0, 1.0 / 3.0, Curve::power(1.0 / 7.0)),
+    ])
+    .unwrap()
+}
+
+/// Replay re-accumulates sums in a different order than the engine, so
+/// float fields may differ in the last ulp; counts must match exactly.
+fn assert_metrics_close(
+    a: &parsched_repro::sim::RunMetrics,
+    b: &parsched_repro::sim::RunMetrics,
+    what: &str,
+) {
+    assert_eq!(a.num_jobs, b.num_jobs, "{what}: num_jobs");
+    assert_eq!(a.events, b.events, "{what}: events");
+    for (name, x, y) in [
+        ("total_flow", a.total_flow, b.total_flow),
+        ("mean_flow", a.mean_flow, b.mean_flow),
+        ("max_flow", a.max_flow, b.max_flow),
+        ("fractional_flow", a.fractional_flow, b.fractional_flow),
+        ("makespan", a.makespan, b.makespan),
+        ("alive_integral", a.alive_integral, b.alive_integral),
+        ("total_stretch", a.total_stretch, b.total_stretch),
+        ("max_stretch", a.max_stretch, b.max_stretch),
+        (
+            "total_weighted_flow",
+            a.total_weighted_flow,
+            b.total_weighted_flow,
+        ),
+    ] {
+        assert!(
+            (x - y).abs() <= 1e-12 * x.abs().max(1.0),
+            "{what}: {name} {x} vs {y}"
+        );
+    }
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("golden_trace.json")
+}
+
+#[test]
+fn record_serialize_replay_reproduces_metrics() {
+    let inst = golden_instance();
+    for kind in PolicyKind::all_standard() {
+        for m in [1.0, 2.0, 5.0] {
+            let (trace, outcome) = record_run(&inst, kind.build().as_mut(), m).unwrap();
+            let json = trace_to_json(&trace);
+            let parsed = trace_from_json(&json).unwrap();
+            assert_eq!(parsed, trace, "{} m={m}: lossy serialization", kind.name());
+            let replayed = replay(&parsed, AuditLevel::Strict)
+                .unwrap_or_else(|e| panic!("{} m={m}: replay failed: {e}", kind.name()));
+            assert_metrics_close(
+                &replayed.metrics,
+                &outcome.metrics,
+                &format!("{} m={m}", kind.name()),
+            );
+            assert!(replayed.report.final_checked);
+            assert_eq!(
+                replayed.completed.len(),
+                outcome.completed.len(),
+                "{} m={m}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn second_serialization_is_byte_identical() {
+    let (trace, _) = record_run(
+        &golden_instance(),
+        PolicyKind::IntermediateSrpt.build().as_mut(),
+        2.0,
+    )
+    .unwrap();
+    let json = trace_to_json(&trace);
+    let again = trace_to_json(&trace_from_json(&json).unwrap());
+    assert_eq!(json, again);
+}
+
+/// The committed fixture both replays clean and matches what today's
+/// recorder produces for the same instance — any change to the engine's
+/// event sequence, float formatting, or the schema shows up as a diff
+/// here. Regenerate deliberately with:
+/// `PARSCHED_REGEN_GOLDEN=1 cargo test --test trace_roundtrip`.
+#[test]
+fn golden_fixture_is_stable_and_audit_clean() {
+    let (fresh, outcome) = record_run(
+        &golden_instance(),
+        PolicyKind::IntermediateSrpt.build().as_mut(),
+        2.0,
+    )
+    .unwrap();
+    let fresh_json = trace_to_json(&fresh);
+    let path = golden_path();
+    if std::env::var_os("PARSCHED_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &fresh_json).unwrap();
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (regenerate with PARSCHED_REGEN_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        committed, fresh_json,
+        "golden trace drifted from the current recorder"
+    );
+    let replayed = replay(&trace_from_json(&committed).unwrap(), AuditLevel::Strict).unwrap();
+    assert_metrics_close(&replayed.metrics, &outcome.metrics, "golden");
+}
