@@ -35,5 +35,5 @@ pub mod table;
 pub use lemmas::{LemmaReport, LemmaSample};
 pub use potential::{lockstep_report, LockstepReport, PotentialReport};
 pub use ratio::RatioMeasurement;
-pub use sweep::parallel_map;
+pub use sweep::{parallel_map, streaming_sweep};
 pub use table::Table;

@@ -10,6 +10,10 @@
 use std::sync::mpsc;
 use std::sync::Mutex;
 
+use parsched_sim::{
+    simulate_streaming_audited, ArrivalSource, AuditLevel, Policy, SimError, StreamingOutcome,
+};
+
 /// Maps `f` over `items` in parallel, preserving input order.
 ///
 /// Uses up to `std::thread::available_parallelism()` workers (capped by
@@ -77,6 +81,44 @@ where
         .collect()
 }
 
+/// Sweeps streaming simulations over a parameter grid in parallel,
+/// preserving input order.
+///
+/// `make` maps each grid point to a boxed `(source, policy, m)` triple —
+/// sources and policies are stateful, so each run gets fresh ones. Every
+/// run uses the engine's memory-bounded streaming path
+/// ([`parsched_sim::simulate_streaming_audited`]), so the sweep's resident
+/// footprint is `workers × O(peak alive)` rather than `workers × O(n)` —
+/// the difference between feasible and not for multi-million-job grids.
+///
+/// ```
+/// use parsched_analysis::streaming_sweep;
+/// use parsched_sim::{AuditLevel, EquiSplit};
+/// use parsched_workloads::{GreedyTrap, TrapStreamSource};
+///
+/// let outcomes = streaming_sweep(vec![4usize, 8], AuditLevel::Final, |&m| {
+///     let trap = GreedyTrap::new(m, 0.5).with_stream_duration(8.0);
+///     (Box::new(TrapStreamSource::new(trap)) as _,
+///      Box::new(EquiSplit::new()) as _,
+///      m as f64)
+/// });
+/// assert!(outcomes.iter().all(|o| o.as_ref().unwrap().audit.as_ref().unwrap().final_checked));
+/// ```
+pub fn streaming_sweep<T, F>(
+    points: Vec<T>,
+    audit: AuditLevel,
+    make: F,
+) -> Vec<Result<StreamingOutcome, SimError>>
+where
+    T: Send,
+    F: Fn(&T) -> (Box<dyn ArrivalSource + Send>, Box<dyn Policy + Send>, f64) + Sync,
+{
+    parallel_map(points, |p| {
+        let (mut source, mut policy, m) = make(&p);
+        simulate_streaming_audited(source.as_mut(), policy.as_mut(), m, audit)
+    })
+}
+
 /// The Cartesian product of two parameter slices, row-major — the common
 /// shape of a two-axis sweep grid.
 pub fn grid2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
@@ -142,6 +184,29 @@ mod tests {
                 elapsed < std::time::Duration::from_millis(150),
                 "took {elapsed:?} on {workers} workers"
             );
+        }
+    }
+
+    #[test]
+    fn streaming_sweep_matches_in_memory_runs_in_order() {
+        use parsched_sim::{simulate, EquiSplit};
+        use parsched_workloads::{GreedyTrap, TrapStreamSource};
+        let ms = vec![4usize, 8, 16];
+        let outcomes = streaming_sweep(ms.clone(), AuditLevel::Final, |&m| {
+            let trap = GreedyTrap::new(m, 0.5).with_stream_duration(4.0);
+            (
+                Box::new(TrapStreamSource::new(trap)) as _,
+                Box::new(EquiSplit::new()) as _,
+                m as f64,
+            )
+        });
+        assert_eq!(outcomes.len(), ms.len());
+        for (&m, st) in ms.iter().zip(&outcomes) {
+            let st = st.as_ref().expect("sweep run succeeds");
+            let trap = GreedyTrap::new(m, 0.5).with_stream_duration(4.0);
+            let mem = simulate(&trap.instance().unwrap(), &mut EquiSplit::new(), m as f64).unwrap();
+            assert_eq!(mem.metrics, st.metrics, "m={m}");
+            assert!(st.audit.as_ref().is_some_and(|a| a.final_checked));
         }
     }
 

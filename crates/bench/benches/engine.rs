@@ -5,7 +5,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use parsched::IntermediateSrpt;
-use parsched_bench::{overload_fixture, poisson_fixture, timed_audited_run, timed_run};
+use parsched_bench::{
+    overload_fixture, poisson_fixture, poisson_stream_fixture, timed_audited_run, timed_run,
+    timed_streaming_run,
+};
 use parsched_sim::{simulate, AuditLevel, PlannedPolicy};
 use parsched_workloads::GreedyTrap;
 
@@ -109,6 +112,42 @@ fn engine_audit_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+fn engine_streaming_path(c: &mut Criterion) {
+    // The memory-bounded streaming path against the in-memory path on the
+    // same Poisson fixture: per-event overhead of the free-list arena and
+    // constant-size metric sink should be in the noise (both paths run
+    // the identical event loop and arithmetic), so this group is a
+    // regression alarm for accidental O(n) state sneaking back in.
+    let mut g = c.benchmark_group("engine/streaming");
+    g.sample_size(20);
+    for &n in &[10_000usize, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("stream", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut src = poisson_stream_fixture(n, 0.9, 8.0);
+                black_box(
+                    timed_streaming_run(
+                        &mut src,
+                        &mut IntermediateSrpt::new(),
+                        8.0,
+                        AuditLevel::Off,
+                    )
+                    .total_flow,
+                )
+            })
+        });
+        let inst = poisson_fixture(n, 0.9, 8.0);
+        g.bench_with_input(BenchmarkId::new("in-memory", n), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(
+                    timed_run(black_box(inst), &mut IntermediateSrpt::new(), 8.0, false).total_flow,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
 fn engine_scaling_m(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/machines");
     g.sample_size(20);
@@ -156,6 +195,7 @@ criterion_group!(
     engine_scaling_n,
     engine_overload_scaling,
     engine_audit_overhead,
+    engine_streaming_path,
     engine_scaling_m,
     planned_schedule_replay,
     plan_from_tracks

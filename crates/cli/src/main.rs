@@ -42,13 +42,20 @@ RUN OPTIONS:
   --trace <file>      also record the run as a replayable JSON trace
   --gantt <cols>      also print an ASCII Gantt chart
   --bracket           also bracket OPT and report the ratio interval
+  --stream            memory-bounded streaming path over a lazy generator
+                      instead of a CSV instance; memory is O(peak alive),
+                      so --n 10000000 is fine. Takes --kind poisson|trap|
+                      phases plus the gen family parameters (--n --m --load
+                      --alpha --p), and reports flow quantiles, the peak
+                      alive set, and peak RSS
 
 AUDIT OPTIONS:
   --level <level>     final|sampled[:stride]|strict (default strict)
 
 BENCH-SNAPSHOT OPTIONS:
   --out <file>    where to write the JSON (default BENCH_engine.json)
-  --quick         drop the n = 100_000 rows (CI smoke)
+  --quick         drop the n = 100_000 rows and the n = 10⁷ streaming
+                  measurement (CI smoke; the streaming fields become null)
 
 FLAGS:
   --quick         small grids (seconds); default is the full grids
@@ -94,6 +101,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
             }
             "--bracket" => flags.named.push(("bracket".to_string(), String::new())),
+            "--stream" => flags.named.push(("stream".to_string(), String::new())),
             other if other.starts_with("--") => {
                 let key = other.trim_start_matches("--").to_string();
                 // Both `--audit strict` and `--audit=strict` are accepted.
@@ -286,6 +294,126 @@ fn cmd_gen(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `parsched run --stream`: the memory-bounded engine path over a lazy
+/// generator-backed source. No instance is ever materialized, so `--n` in
+/// the tens of millions costs only the alive set.
+fn cmd_run_stream(flags: &Flags) -> Result<(), String> {
+    use parsched::PolicyKind;
+    use parsched_analysis::table::fnum;
+    use parsched_bench::peak_rss_bytes;
+    use parsched_sim::{ArrivalSource, AuditLevel, Engine, EngineConfig, NullObserver};
+    use parsched_workloads::random::{AlphaDist, PoissonWorkload, SizeDist};
+    use parsched_workloads::{
+        GreedyTrap, PhaseFamily, PhaseStreamSource, PoissonSource, TrapStreamSource,
+    };
+
+    let kind_name = flags
+        .named
+        .iter()
+        .find(|(k, _)| k == "kind")
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("poisson");
+    let n = flags.get_f64("n", 100_000.0) as usize;
+    let m = flags.get_f64("m", 8.0);
+    let load = flags.get_f64("load", 0.9);
+    let alpha = flags.get_f64("alpha", 0.5);
+    let p = flags.get_f64("p", 64.0);
+    let policy_kind: PolicyKind = flags
+        .named
+        .iter()
+        .find(|(k, _)| k == "policy")
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("isrpt")
+        .parse()?;
+    let speed = flags.get_f64("speed", 1.0);
+    let audit: AuditLevel = flags
+        .named
+        .iter()
+        .find(|(k, _)| k == "audit")
+        .map(|(_, v)| v.parse())
+        .transpose()?
+        .unwrap_or(AuditLevel::Off);
+
+    // Each family sizes itself so the stream totals ≈ n jobs.
+    let mut source: Box<dyn ArrivalSource> = match kind_name {
+        "poisson" => {
+            let sizes = SizeDist::LogUniform { p };
+            Box::new(PoissonSource::new(PoissonWorkload {
+                n,
+                rate: PoissonWorkload::rate_for_load(load, m, &sizes),
+                sizes,
+                alphas: AlphaDist::Fixed(alpha),
+                seed: flags.seed,
+            }))
+        }
+        "trap" => {
+            let trap = GreedyTrap::new(m as usize, alpha.clamp(0.05, 0.95));
+            let fixed = trap.num_long() + trap.num_phase1_units();
+            let x = (n.saturating_sub(fixed).max(1) as f64 / trap.k() as f64).max(1.0);
+            Box::new(TrapStreamSource::new(trap.with_stream_duration(x)))
+        }
+        "phases" => {
+            let m_even = ((m as usize).max(2) + 1) & !1;
+            let fam = PhaseFamily::new(m_even, alpha.min(0.99), p.max(4.0));
+            let phase_jobs: usize = (0..fam.num_phases())
+                .map(|i| m_even / 2 + m_even * fam.short_waves(i))
+                .sum();
+            let len = (n.saturating_sub(phase_jobs) / m_even).max(1);
+            Box::new(PhaseStreamSource::new(fam.with_stream_len(len)))
+        }
+        other => return Err(format!("unknown --kind '{other}' for --stream")),
+    };
+
+    let mut policy = policy_kind.build();
+    let mut obs = NullObserver;
+    let cfg = EngineConfig::new(m)
+        .with_speed(speed)
+        .with_audit(audit)
+        .with_streaming(true)
+        .with_max_events(u64::MAX);
+    let outcome = Engine::new(cfg, policy.as_mut(), source.as_mut(), &mut obs)
+        .run_streaming()
+        .map_err(|e| e.to_string())?;
+    let mm = &outcome.metrics;
+    println!(
+        "{} on m={m}{} [streaming {kind_name}]: n={}, total flow={}, mean={}, max={}, \
+         makespan={}, stretch Σ={} max={}, events={}",
+        policy_kind.name(),
+        if speed != 1.0 {
+            format!(" (speed {speed})")
+        } else {
+            String::new()
+        },
+        mm.num_jobs,
+        fnum(mm.total_flow),
+        fnum(mm.mean_flow),
+        fnum(mm.max_flow),
+        fnum(mm.makespan),
+        fnum(mm.total_stretch),
+        fnum(mm.max_stretch),
+        mm.events
+    );
+    let q = &outcome.quantiles;
+    println!(
+        "  flow quantiles (sketch, ≤4.4% rel err): p50={} p90={} p99={}",
+        fnum(q.quantile(0.5)),
+        fnum(q.quantile(0.9)),
+        fnum(q.quantile(0.99))
+    );
+    print!(
+        "  admitted={} peak alive={} (resident state is O(peak alive))",
+        outcome.admitted, outcome.peak_alive
+    );
+    match peak_rss_bytes() {
+        Some(rss) => println!(", peak RSS={:.1} MiB", rss as f64 / (1024.0 * 1024.0)),
+        None => println!(),
+    }
+    if let Some(report) = &outcome.audit {
+        println!("  {report}");
+    }
+    Ok(())
+}
+
 fn cmd_run(flags: &Flags) -> Result<(), String> {
     use parsched::PolicyKind;
     use parsched_analysis::gantt::render_gantt;
@@ -295,6 +423,9 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     use parsched_sim::trace::{record_run_with_config, trace_to_json};
     use parsched_sim::{AllocationTrace, AuditLevel, Engine, EngineConfig, StaticSource};
 
+    if flags.named.iter().any(|(k, _)| k == "stream") {
+        return cmd_run_stream(flags);
+    }
     let path = flags
         .named
         .iter()
@@ -444,7 +575,10 @@ fn cmd_audit(path: &str, flags: &Flags) -> Result<bool, String> {
 
 fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
     use parsched::PolicyKind;
-    use parsched_bench::{overload_fixture, poisson_fixture, timed_audited_run, timed_run};
+    use parsched_bench::{
+        overload_fixture, poisson_fixture, poisson_stream_fixture, timed_audited_run, timed_run,
+        timed_streaming_run,
+    };
     use parsched_sim::{AllocationStability, AuditLevel};
 
     struct Row {
@@ -470,6 +604,32 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
         &[1_000, 10_000, 100_000]
     };
     let m = 8.0;
+
+    // The streaming large-n measurement runs FIRST: `VmHWM` is a
+    // whole-process high-water mark, so the in-memory fixtures below would
+    // otherwise inflate it and the recorded RSS would say nothing about
+    // the streaming path.
+    let (streaming_wall_n1e7, streaming_rss_n1e7) = if flags.quick {
+        (None, None)
+    } else {
+        let n = 10_000_000usize;
+        eprintln!("  streaming n=10^7 (runs first so peak RSS reflects the streaming path)…");
+        let mut src = poisson_stream_fixture(n, 0.9, m);
+        let mut policy = PolicyKind::IntermediateSrpt.build();
+        let s = timed_streaming_run(&mut src, policy.as_mut(), m, AuditLevel::Off);
+        eprintln!(
+            "  {:<22} n={n:<8} {:<11} {:>12.0} events/s, {:.1}s, peak alive {}, RSS {}",
+            "Intermediate-SRPT",
+            "streaming",
+            s.events_per_sec,
+            s.seconds,
+            s.peak_alive,
+            s.peak_rss_bytes
+                .map(|b| format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0)))
+                .unwrap_or_else(|| "n/a".to_string())
+        );
+        (Some(s.seconds), s.peak_rss_bytes)
+    };
     let kinds = [
         PolicyKind::IntermediateSrpt,
         PolicyKind::SequentialSrpt,
@@ -497,6 +657,28 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
                 policy: kind.name(),
                 fixture: "poisson-0.9",
                 mode,
+                n,
+                m,
+                events: s.events,
+                seconds: s.seconds,
+                events_per_sec: s.events_per_sec,
+            });
+        }
+        // Streaming path on the same fixture: same event loop, free-list
+        // arena and constant-size sink instead of growing vectors — its
+        // throughput should sit within noise of the incremental row above.
+        {
+            let mut src = poisson_stream_fixture(n, 0.9, m);
+            let mut policy = PolicyKind::IntermediateSrpt.build();
+            let s = timed_streaming_run(&mut src, policy.as_mut(), m, AuditLevel::Off);
+            eprintln!(
+                "  {:<22} n={n:<7} {:<11} {:>12.0} events/s",
+                "Intermediate-SRPT", "streaming", s.events_per_sec
+            );
+            rows.push(Row {
+                policy: "Intermediate-SRPT".to_string(),
+                fixture: "poisson-0.9",
+                mode: "streaming",
                 n,
                 m,
                 events: s.events,
@@ -653,6 +835,20 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
     json.push_str(&format!(
         "  \"audit_strict_overhead_n10000\": {:.2},\n",
         strict_overhead
+    ));
+    // Large-n streaming acceptance numbers: wall-clock and peak RSS for
+    // the n = 10⁷ Poisson run on the streaming path (null in --quick).
+    json.push_str(&format!(
+        "  \"streaming_wall_n1e7\": {},\n",
+        streaming_wall_n1e7
+            .map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "null".to_string())
+    ));
+    json.push_str(&format!(
+        "  \"streaming_rss_n1e7\": {},\n",
+        streaming_rss_n1e7
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "null".to_string())
     ));
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {

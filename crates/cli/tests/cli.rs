@@ -179,3 +179,64 @@ fn run_with_speed_augmentation() {
     assert!(text.contains("(speed 2)"));
     let _ = std::fs::remove_file(&tmp);
 }
+
+#[test]
+fn run_stream_reports_quantiles_and_memory() {
+    let out = bin()
+        .args([
+            "run",
+            "--stream",
+            "--kind",
+            "poisson",
+            "--n",
+            "5000",
+            "--m",
+            "8",
+            "--policy",
+            "isrpt",
+            "--audit=sampled:256",
+        ])
+        .output()
+        .expect("run --stream");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("[streaming poisson]"), "{text}");
+    assert!(text.contains("n=5000"), "{text}");
+    assert!(text.contains("flow quantiles"), "{text}");
+    assert!(text.contains("peak alive="), "{text}");
+    assert!(text.contains("audit sampled ✓"), "{text}");
+}
+
+#[test]
+fn run_stream_covers_trap_and_phase_families() {
+    for kind in ["trap", "phases"] {
+        let out = bin()
+            .args([
+                "run", "--stream", "--kind", kind, "--n", "2000", "--m", "4", "--policy", "equi",
+            ])
+            .output()
+            .expect("run --stream");
+        assert!(
+            out.status.success(),
+            "{kind} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).expect("utf8");
+        assert!(text.contains(&format!("[streaming {kind}]")), "{text}");
+        assert!(text.contains("admitted="), "{text}");
+    }
+}
+
+#[test]
+fn run_stream_rejects_unknown_kind() {
+    let out = bin()
+        .args(["run", "--stream", "--kind", "nope", "--n", "10"])
+        .output()
+        .expect("run --stream");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --kind"));
+}

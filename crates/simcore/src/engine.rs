@@ -16,17 +16,29 @@
 //! intervals with an `O(1)` offset bump, for `O(log n)` per event overall.
 //! [`EngineConfig::with_full_reassign`] forces the exhaustive path, which
 //! keeps it available as a differential oracle (see `docs/PERF.md`).
+//!
+//! Orthogonally to the per-event strategy, [`EngineConfig::with_streaming`]
+//! bounds *memory* by the alive set instead of the total job count:
+//! completed `JobRecord` slots are retired to a free list and reused by
+//! later arrivals, and no per-job completion list or outcome instance is
+//! materialized — aggregates accumulate in a constant-size
+//! [`StreamingMetrics`] sink instead (see [`Engine::run_streaming`] /
+//! [`simulate_streaming`]). Both modes route completions through the same
+//! sink in the same order, so the aggregate metrics of a streaming run are
+//! bit-identical to the in-memory run of the same workload.
 
 use parsched_speedup::{Curve, EPS};
 
 use crate::error::SimError;
 use crate::invariant::{AuditFrame, AuditLevel, Auditor, EnginePath, FinalAccounting, FrameJob};
 use crate::job::{Instance, JobId, JobSpec, Time, Work};
+use crate::kahan::NeumaierSum;
 use crate::metrics::{CompletedJob, RunMetrics, RunOutcome};
 use crate::observer::{NullObserver, Observer};
 use crate::policy::{AliveJob, AllocationStability, Policy, PrefixAllocation};
 use crate::source::{ArrivalSource, StaticSource, SystemView};
 use crate::srpt_set::{Placement, SrptSet};
+use crate::streaming::{StreamingMetrics, StreamingOutcome};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +65,16 @@ pub struct EngineConfig {
     /// [`AuditLevel::Final`]. Off by default. A violation aborts the run
     /// with [`SimError::AuditFailed`].
     pub audit: AuditLevel,
+    /// Bounds resident memory by the *alive* set instead of the total job
+    /// count: completed job slots are retired to a free list and reused,
+    /// the id map forgets completed ids, and no completion list or outcome
+    /// instance is accumulated — finalize with [`Engine::run_streaming`]
+    /// (a plain [`Engine::run`] is rejected, since its `RunOutcome` is
+    /// inherently O(total jobs)). Two observable semantic differences:
+    /// [`Engine::remaining_of`] returns `None` (not `Some(0.0)`) once a
+    /// job retires, and a duplicate of an already-*retired* id is no
+    /// longer detected.
+    pub streaming: bool,
 }
 
 impl EngineConfig {
@@ -65,7 +87,15 @@ impl EngineConfig {
             max_time: f64::INFINITY,
             full_reassign: false,
             audit: AuditLevel::Off,
+            streaming: false,
         }
+    }
+
+    /// Enables (or disables) the memory-bounded streaming mode — see
+    /// [`EngineConfig::streaming`].
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
     }
 
     /// Enables runtime invariant auditing at the given level.
@@ -139,7 +169,9 @@ struct IdMap {
     dense: Vec<u32>,
     /// Sorted `(id, index + 1)` pairs for ids too large to index directly.
     sparse: Vec<(JobId, u32)>,
-    inserted: usize,
+    /// Currently mapped ids. In streaming mode completed ids are removed,
+    /// so this tracks the *alive* population, not all insertions ever.
+    live: usize,
 }
 
 impl IdMap {
@@ -161,10 +193,13 @@ impl IdMap {
     fn insert(&mut self, id: JobId, idx: usize) {
         let slot = u32::try_from(idx + 1).expect("more than u32::MAX jobs");
         // Direct-index ids up to a small multiple of the live count so the
-        // dense table stays linear in the number of jobs even for id
+        // dense table stays linear in the mapped population even for id
         // schemes with gaps; everything else goes to the sorted fallback.
-        let cap = 1024 + 2 * self.inserted;
-        self.inserted += 1;
+        // Keying the cap off the *live* count (not insertions ever) is what
+        // keeps the dense table O(peak alive) on streaming runs whose
+        // sequential ids grow without bound.
+        let cap = 1024 + 2 * self.live;
+        self.live += 1;
         match usize::try_from(id.0) {
             Ok(i) if i < cap => {
                 if i >= self.dense.len() {
@@ -177,6 +212,25 @@ impl IdMap {
                     self.sparse.insert(pos, (id, slot));
                 }
             }
+        }
+    }
+
+    /// Drops a mapping if present (streaming-mode retirement). Increasing
+    /// arrival ids land at the *end* of the sorted fallback and retire
+    /// from it in roughly SRPT order, so both sides stay O(alive).
+    fn remove(&mut self, id: JobId) {
+        if let Ok(i) = usize::try_from(id.0) {
+            if let Some(slot) = self.dense.get_mut(i) {
+                if *slot != 0 {
+                    *slot = 0;
+                    self.live -= 1;
+                    return;
+                }
+            }
+        }
+        if let Ok(pos) = self.sparse.binary_search_by_key(&id, |e| e.0) {
+            self.sparse.remove(pos);
+            self.live -= 1;
         }
     }
 }
@@ -246,12 +300,25 @@ pub struct Engine<'a> {
     /// Whether the policy claims SRPT-ordered allocations (see
     /// [`Policy::srpt_ordered`]); gates the `srpt-prefix` audit check.
     policy_srpt_ordered: bool,
-    // Accumulators.
-    total_flow: f64,
-    max_flow: f64,
-    frac_flow: f64,
-    alive_integral: f64,
+    // Accumulators. The interval integrals are compensated sums: they fold
+    // in millions of tiny terms on long runs, and the flow-identity audit
+    // compares them against each other at a relative tolerance that naive
+    // summation drift can exceed (see `crate::kahan`).
+    frac_flow: NeumaierSum,
+    alive_integral: NeumaierSum,
+    /// Constant-size aggregate sink; fed one `record` per completion on
+    /// *both* modes, which is what makes streaming metrics bit-identical
+    /// to the in-memory path.
+    sink: StreamingMetrics,
+    /// Per-job completion list (in-memory mode only; empty when streaming).
     completed: Vec<CompletedJob>,
+    /// Retired arena slots available for reuse (streaming mode only).
+    free: Vec<usize>,
+    /// Total jobs admitted from the source (the arena length is not this
+    /// in streaming mode, where slots are recycled).
+    admitted: usize,
+    /// High-water mark of the alive set.
+    peak_alive: usize,
 }
 
 /// Applies a reported [`Placement`] to the per-job record.
@@ -324,11 +391,13 @@ impl<'a> Engine<'a> {
             auditor,
             policy_name,
             policy_srpt_ordered,
-            total_flow: 0.0,
-            max_flow: 0.0,
-            frac_flow: 0.0,
-            alive_integral: 0.0,
+            frac_flow: NeumaierSum::new(),
+            alive_integral: NeumaierSum::new(),
+            sink: StreamingMetrics::new(),
             completed: Vec::new(),
+            free: Vec::new(),
+            admitted: 0,
+            peak_alive: 0,
         }
     }
 
@@ -357,7 +426,9 @@ impl<'a> Engine<'a> {
     }
 
     /// Remaining work of a job: `Some(0.0)` once completed, `None` if the
-    /// job has not been released (emitted) yet.
+    /// job has not been released (emitted) yet. In streaming mode a
+    /// completed job's slot is retired, so `None` is also returned after
+    /// completion (there is no per-job record to consult).
     pub fn remaining_of(&self, id: JobId) -> Option<Work> {
         self.ids.get(id).map(|i| {
             let rec = &self.jobs[i];
@@ -410,6 +481,18 @@ impl<'a> Engine<'a> {
         EPS * size.max(1.0)
     }
 
+    /// Completion tolerance for a job that was draining at `rate` with the
+    /// clock at `now`: the size-relative snap, widened by the largest work
+    /// sliver whose drain time sits below the clock's float resolution.
+    /// Such a sliver can never advance the clock (`now + rem/rate == now`
+    /// in f64), so without this term the event loop would spin on
+    /// zero-length events once `now` grows past ~`EPS / ulp` ≈ 4·10⁶ —
+    /// multi-million-job streaming runs reach that within the first few
+    /// million completions.
+    fn completion_tolerance(size: Work, rate: f64, now: Time) -> f64 {
+        let clock_ulp = now.abs().max(1.0) * f64::EPSILON;
+        Self::snap_tolerance(size).max(rate * 4.0 * clock_ulp)
+    }
     /// Releases all arrivals due at the current time. Returns whether any
     /// arrived.
     ///
@@ -419,7 +502,7 @@ impl<'a> Engine<'a> {
     fn admit_due_arrivals(&mut self) -> Result<bool, SimError> {
         let mut any = false;
         while let Some(t) = self.source.next_time() {
-            if t > self.now + EPS * self.now.max(1.0) {
+            if t > self.now + crate::source::arrival_tolerance(self.now) {
                 break;
             }
             let mut batch = std::mem::take(&mut self.scratch_batch);
@@ -515,19 +598,25 @@ impl<'a> Engine<'a> {
             }
             self.observer.on_arrivals(self.now, &batch);
             for spec in batch.drain(..) {
-                let idx = self.jobs.len();
+                // Streaming mode recycles retired slots so the arena stays
+                // O(peak alive). The arena index is *not* part of any
+                // ordering key (SRPT orders by `(remaining, release, id)`),
+                // so slot reuse cannot perturb the arithmetic relative to
+                // an ever-growing arena.
+                let idx = self.free.pop().unwrap_or(self.jobs.len());
                 self.ids.insert(spec.id, idx);
+                self.admitted += 1;
                 let remaining = spec.size;
-                match self.mode {
+                let rec = match self.mode {
                     ExecMode::Exhaustive => {
-                        self.jobs.push(JobRecord {
+                        self.alive.push(idx);
+                        JobRecord {
                             spec,
                             remaining,
                             run_key: 0.0,
                             in_running: false,
                             done: false,
-                        });
-                        self.alive.push(idx);
+                        }
                     }
                     ExecMode::Incremental => {
                         let placement = self.srpt.insert(idx, &spec, remaining);
@@ -535,18 +624,24 @@ impl<'a> Engine<'a> {
                             Placement::Running { key } => (key, true),
                             Placement::Queued { .. } => (0.0, false),
                         };
-                        self.jobs.push(JobRecord {
+                        JobRecord {
                             spec,
                             remaining,
                             run_key,
                             in_running,
                             done: false,
-                        });
+                        }
                     }
+                };
+                if idx == self.jobs.len() {
+                    self.jobs.push(rec);
+                } else {
+                    self.jobs[idx] = rec;
                 }
             }
             self.scratch_batch = batch;
             self.policy.on_arrival(self.now, self.num_alive());
+            self.peak_alive = self.peak_alive.max(self.num_alive());
             any = true;
         }
         if any {
@@ -815,13 +910,14 @@ impl<'a> Engine<'a> {
 
     /// Exhaustive-path interval integration: per-job linear drain.
     fn integrate_exhaustive(&mut self, dt: f64) {
-        self.alive_integral += self.alive.len() as f64 * dt;
+        self.alive_integral.add(self.alive.len() as f64 * dt);
         for (i, &idx) in self.alive.iter().enumerate() {
             let rec = &mut self.jobs[idx];
             let drained = self.rates[i] * dt;
             // Fractional flow: ∫ p_j(τ)/p_j dτ over [now, t], exact for
             // the linear drain.
-            self.frac_flow += (rec.remaining - drained / 2.0).max(0.0) * dt / rec.spec.size;
+            self.frac_flow
+                .add((rec.remaining - drained / 2.0).max(0.0) * dt / rec.spec.size);
             rec.remaining = (rec.remaining - drained).max(0.0);
         }
     }
@@ -835,14 +931,15 @@ impl<'a> Engine<'a> {
     /// queue. Scan intervals fall back to per-job integration over the
     /// prefix only.
     fn integrate_incremental(&mut self, dt: f64) {
-        self.alive_integral += self.srpt.len() as f64 * dt;
+        self.alive_integral.add(self.srpt.len() as f64 * dt);
         match self.interval {
             IntervalKind::Idle => {}
             IntervalKind::Uniform { rate } => {
                 let s1 = self.srpt.running_inv_size_sum();
                 let run = (self.srpt.running_key_frac_sum() - self.srpt.drain_offset() * s1) * dt
                     - rate * dt * dt / 2.0 * s1;
-                self.frac_flow += run.max(0.0) + self.srpt.queued_frac_sum() * dt;
+                self.frac_flow
+                    .add(run.max(0.0) + self.srpt.queued_frac_sum() * dt);
                 self.srpt.advance_uniform(rate * dt);
             }
             IntervalKind::Scan => {
@@ -853,7 +950,7 @@ impl<'a> Engine<'a> {
                     let rate = speed * self.jobs[slot.idx].spec.curve.rate(share);
                     run += (rem - rate * dt / 2.0).max(0.0) / slot.size;
                 }
-                self.frac_flow += (run + self.srpt.queued_frac_sum()) * dt;
+                self.frac_flow.add((run + self.srpt.queued_frac_sum()) * dt);
                 let mut moves = std::mem::take(&mut self.scratch_moves);
                 moves.clear();
                 {
@@ -875,28 +972,51 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Records a completion at the current time into the aggregate sink
+    /// (both modes) and the completion list (in-memory mode), then retires
+    /// the arena slot (streaming mode). Callers have already detached the
+    /// job from their alive structure.
+    fn finish_job(&mut self, idx: usize) {
+        let rec = &mut self.jobs[idx];
+        rec.remaining = 0.0;
+        rec.in_running = false;
+        rec.done = true;
+        self.sink
+            .record(rec.spec.release, rec.spec.size, self.now, rec.spec.weight);
+        if !self.cfg.streaming {
+            self.completed.push(CompletedJob {
+                id: rec.spec.id,
+                release: rec.spec.release,
+                size: rec.spec.size,
+                completion: self.now,
+                weight: rec.spec.weight,
+            });
+        }
+        self.observer.on_completion(self.now, &self.jobs[idx].spec);
+        if self.cfg.streaming {
+            // Retire the slot: forget the id and hand the arena index to
+            // the next arrival. The spec stays in place (inert) until
+            // overwritten — nothing reads `done` slots.
+            self.ids.remove(self.jobs[idx].spec.id);
+            self.free.push(idx);
+        }
+    }
+
     /// Exhaustive-path completion sweep over the whole alive set.
     fn collect_completions_exhaustive(&mut self) -> bool {
         let mut completed_any = false;
         let mut i = 0;
         while i < self.alive.len() {
             let idx = self.alive[i];
-            let rec = &mut self.jobs[idx];
-            if rec.remaining <= Self::snap_tolerance(rec.spec.size) {
-                rec.remaining = 0.0;
-                rec.done = true;
-                let cj = CompletedJob {
-                    id: rec.spec.id,
-                    release: rec.spec.release,
-                    size: rec.spec.size,
-                    completion: self.now,
-                    weight: rec.spec.weight,
-                };
-                self.total_flow += cj.flow();
-                self.max_flow = self.max_flow.max(cj.flow());
-                self.completed.push(cj);
-                self.observer.on_completion(self.now, &self.jobs[idx].spec);
+            let rec = &self.jobs[idx];
+            if rec.remaining <= Self::completion_tolerance(rec.spec.size, self.rates[i], self.now) {
                 self.alive.swap_remove(i);
+                // Keep the parallel share/rate vectors aligned with `alive`
+                // for the rest of this sweep (they are rebuilt on the next
+                // refresh either way).
+                self.rates.swap_remove(i);
+                self.shares.swap_remove(i);
+                self.finish_job(idx);
                 completed_any = true;
             } else {
                 i += 1;
@@ -911,26 +1031,19 @@ impl<'a> Engine<'a> {
     fn collect_completions_incremental(&mut self) -> bool {
         let mut completed_any = false;
         while let Some((slot, rem)) = self.srpt.front_running() {
-            if rem > Self::snap_tolerance(slot.size) {
+            let rate = match self.interval {
+                IntervalKind::Uniform { rate } => rate,
+                IntervalKind::Scan => {
+                    self.cfg.speed * self.jobs[slot.idx].spec.curve.rate(self.profile.share)
+                }
+                IntervalKind::Idle => 0.0,
+            };
+            if rem > Self::completion_tolerance(slot.size, rate, self.now) {
                 break;
             }
+            let idx = slot.idx;
             self.srpt.pop_front_running();
-            let rec = &mut self.jobs[slot.idx];
-            rec.remaining = 0.0;
-            rec.in_running = false;
-            rec.done = true;
-            let cj = CompletedJob {
-                id: rec.spec.id,
-                release: rec.spec.release,
-                size: rec.spec.size,
-                completion: self.now,
-                weight: rec.spec.weight,
-            };
-            self.total_flow += cj.flow();
-            self.max_flow = self.max_flow.max(cj.flow());
-            self.completed.push(cj);
-            self.observer
-                .on_completion(self.now, &self.jobs[slot.idx].spec);
+            self.finish_job(idx);
             completed_any = true;
         }
         completed_any
@@ -1037,61 +1150,73 @@ impl<'a> Engine<'a> {
         Ok(true)
     }
 
-    /// Runs to completion and returns the outcome.
+    /// Runs to completion and returns the outcome. Streaming runs must use
+    /// [`Engine::run_streaming`] instead — a `RunOutcome` materializes the
+    /// full completion list and instance, defeating the memory bound.
     pub fn run(mut self) -> Result<RunOutcome, SimError> {
+        if self.cfg.streaming {
+            return Err(SimError::BadInstance {
+                what: "streaming engines produce a StreamingOutcome; \
+                       call run_streaming() instead of run()"
+                    .into(),
+            });
+        }
         while self.step()? {}
         self.into_outcome()
     }
 
-    /// Finalizes the run into a [`RunOutcome`] (all jobs must be finished).
-    pub fn into_outcome(mut self) -> Result<RunOutcome, SimError> {
-        let audit = match self.auditor.take() {
+    /// Runs to completion and returns the constant-size
+    /// [`StreamingOutcome`]. Works in either mode (a non-streaming engine
+    /// simply doesn't recycle memory), so the same finalizer serves the
+    /// differential tests on both sides.
+    pub fn run_streaming(mut self) -> Result<StreamingOutcome, SimError> {
+        while self.step()? {}
+        self.into_streaming_outcome()
+    }
+
+    /// Runs the end-of-run audit identities, if auditing is on.
+    fn check_final_audit(&mut self) -> Result<Option<crate::invariant::AuditReport>, SimError> {
+        match self.auditor.take() {
             Some(mut aud) => {
                 aud.check_final(&FinalAccounting {
-                    total_flow: self.total_flow,
-                    alive_integral: self.alive_integral,
-                    fractional_flow: self.frac_flow,
-                    completed: self.completed.len(),
-                    admitted: self.jobs.len(),
+                    total_flow: self.sink.total_flow(),
+                    alive_integral: self.alive_integral.value(),
+                    fractional_flow: self.frac_flow.value(),
+                    completed: self.sink.count() as usize,
+                    admitted: self.admitted,
                     alive_left: self.num_alive(),
                     at: self.now,
                     events: self.events,
                     policy: self.policy_name.clone(),
                     path: self.path(),
                 })?;
-                Some(aud.report())
+                Ok(Some(aud.report()))
             }
-            None => None,
-        };
-        let n = self.completed.len();
-        let total_stretch: f64 = self.completed.iter().map(|c| c.stretch()).sum();
-        let total_weighted_flow: f64 = self.completed.iter().map(|c| c.weighted_flow()).sum();
-        let max_stretch = self
-            .completed
-            .iter()
-            .map(|c| c.stretch())
-            .fold(0.0, f64::max);
-        let metrics = RunMetrics {
-            total_flow: self.total_flow,
-            mean_flow: if n == 0 {
-                0.0
-            } else {
-                self.total_flow / n as f64
-            },
-            max_flow: self.max_flow,
-            fractional_flow: self.frac_flow,
-            makespan: self
-                .completed
-                .iter()
-                .map(|c| c.completion)
-                .fold(0.0, f64::max),
-            num_jobs: n,
-            events: self.events,
-            alive_integral: self.alive_integral,
-            total_stretch,
-            max_stretch,
-            total_weighted_flow,
-        };
+            None => Ok(None),
+        }
+    }
+
+    /// Aggregate metrics from the sink — the single construction site for
+    /// both finalizers, so the streaming and in-memory paths cannot drift.
+    fn final_metrics(&self) -> RunMetrics {
+        self.sink.run_metrics(
+            self.events,
+            self.frac_flow.value(),
+            self.alive_integral.value(),
+        )
+    }
+
+    /// Finalizes the run into a [`RunOutcome`] (all jobs must be finished).
+    pub fn into_outcome(mut self) -> Result<RunOutcome, SimError> {
+        if self.cfg.streaming {
+            return Err(SimError::BadInstance {
+                what: "streaming engines produce a StreamingOutcome; \
+                       call into_streaming_outcome() instead"
+                    .into(),
+            });
+        }
+        let audit = self.check_final_audit()?;
+        let metrics = self.final_metrics();
         Ok(RunOutcome {
             metrics,
             completed: self.completed,
@@ -1100,6 +1225,19 @@ impl<'a> Engine<'a> {
             // the instance from it avoids both the seed engine's duplicate
             // `emitted` clone stream and a second O(n) validation pass.
             instance: Instance::from_admitted(self.jobs.into_iter().map(|r| r.spec).collect()),
+            audit,
+        })
+    }
+
+    /// Finalizes the run into a constant-size [`StreamingOutcome`].
+    pub fn into_streaming_outcome(mut self) -> Result<StreamingOutcome, SimError> {
+        let audit = self.check_final_audit()?;
+        let metrics = self.final_metrics();
+        Ok(StreamingOutcome {
+            metrics,
+            quantiles: self.sink.sketch().clone(),
+            peak_alive: self.peak_alive,
+            admitted: self.admitted,
             audit,
         })
     }
@@ -1146,6 +1284,45 @@ pub fn simulate_with_observer(
 ) -> Result<RunOutcome, SimError> {
     let mut source = StaticSource::new(instance);
     Engine::new(EngineConfig::new(m), policy, &mut source, observer).run()
+}
+
+/// Simulates `policy` against a (possibly unbounded) [`ArrivalSource`] in
+/// memory-bounded streaming mode: resident state is O(peak alive set), not
+/// O(total jobs), and the result is the constant-size [`StreamingOutcome`]
+/// whose aggregate metrics are bit-identical to [`simulate`] on workloads
+/// small enough to run both. The event budget is raised to effectively
+/// unlimited — the source, not the default cap sized for in-memory runs,
+/// bounds a streaming run's length.
+pub fn simulate_streaming(
+    source: &mut dyn ArrivalSource,
+    policy: &mut dyn Policy,
+    m: f64,
+) -> Result<StreamingOutcome, SimError> {
+    simulate_streaming_audited(source, policy, m, AuditLevel::Off)
+}
+
+/// Like [`simulate_streaming`], with runtime invariant auditing at the
+/// given [`AuditLevel`]. The audit layer works unchanged in streaming mode
+/// (frames are built from the alive window only); prefer
+/// [`AuditLevel::Sampled`] at large `n` — strict per-event frames cost
+/// O(alive) each.
+pub fn simulate_streaming_audited(
+    source: &mut dyn ArrivalSource,
+    policy: &mut dyn Policy,
+    m: f64,
+    audit: AuditLevel,
+) -> Result<StreamingOutcome, SimError> {
+    let mut obs = NullObserver;
+    Engine::new(
+        EngineConfig::new(m)
+            .with_streaming(true)
+            .with_audit(audit)
+            .with_max_events(u64::MAX),
+        policy,
+        source,
+        &mut obs,
+    )
+    .run_streaming()
 }
 
 #[cfg(test)]
@@ -1700,5 +1877,195 @@ mod tests {
         assert_eq!(outcome.metrics.num_jobs, 2);
         assert!((outcome.metrics.makespan - 2.0).abs() < 1e-9);
         assert!((outcome.metrics.total_flow - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_aggregates_are_bit_identical_to_in_memory() {
+        let instance = inst(
+            &[
+                (0.0, 5.0),
+                (0.0, 2.0),
+                (1.0, 4.0),
+                (1.5, 0.5),
+                (3.0, 6.0),
+                (3.0, 1.0),
+            ],
+            Curve::power(0.5),
+        );
+        for full_reassign in [false, true] {
+            let mut p = EquiSplit;
+            let mut source = StaticSource::new(&instance);
+            let mut obs = NullObserver;
+            let mem = Engine::new(
+                EngineConfig::new(3.0).with_full_reassign(full_reassign),
+                &mut p,
+                &mut source,
+                &mut obs,
+            )
+            .run()
+            .unwrap();
+            let mut p = EquiSplit;
+            let mut source = StaticSource::new(&instance);
+            let mut obs = NullObserver;
+            let st = Engine::new(
+                EngineConfig::new(3.0)
+                    .with_full_reassign(full_reassign)
+                    .with_streaming(true),
+                &mut p,
+                &mut source,
+                &mut obs,
+            )
+            .run_streaming()
+            .unwrap();
+            // Exact equality, not a tolerance: both modes fold completions
+            // through the same sink in the same order.
+            assert_eq!(mem.metrics, st.metrics, "full_reassign={full_reassign}");
+            assert_eq!(st.admitted, 6);
+            assert!(st.peak_alive >= 2);
+            assert_eq!(st.quantiles.count(), 6);
+        }
+    }
+
+    #[test]
+    fn streaming_arena_stays_bounded_by_alive_set() {
+        // 16 sequential jobs with disjoint lifetimes: the free list must
+        // recycle one arena slot throughout.
+        let jobs: Vec<(f64, f64)> = (0..16).map(|i| (2.0 * i as f64, 1.0)).collect();
+        let instance = inst(&jobs, Curve::Sequential);
+        let mut p = EquiSplit;
+        let mut source = StaticSource::new(&instance);
+        let mut obs = NullObserver;
+        let mut engine = Engine::new(
+            EngineConfig::new(1.0).with_streaming(true),
+            &mut p,
+            &mut source,
+            &mut obs,
+        );
+        while engine.step().unwrap() {}
+        assert_eq!(engine.peak_alive, 1);
+        assert_eq!(engine.jobs.len(), 1, "slots were not recycled");
+        assert_eq!(engine.admitted, 16);
+        let out = engine.into_streaming_outcome().unwrap();
+        assert_eq!(out.metrics.num_jobs, 16);
+        assert!((out.metrics.total_flow - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_retires_completed_ids() {
+        let instance = inst(&[(0.0, 2.0), (5.0, 1.0)], Curve::Sequential);
+        let mut p = EquiSplit;
+        let mut source = StaticSource::new(&instance);
+        let mut obs = NullObserver;
+        let mut engine = Engine::new(
+            EngineConfig::new(1.0).with_streaming(true),
+            &mut p,
+            &mut source,
+            &mut obs,
+        );
+        engine.next_event_time().unwrap();
+        assert_eq!(engine.remaining_of(JobId(0)), Some(2.0));
+        engine.advance_to(2.0).unwrap();
+        // Completed → retired: the record is gone, not zeroed.
+        assert_eq!(engine.remaining_of(JobId(0)), None);
+        while engine.step().unwrap() {}
+        let out = engine.into_streaming_outcome().unwrap();
+        assert_eq!(out.metrics.num_jobs, 2);
+    }
+
+    #[test]
+    fn streaming_engine_rejects_in_memory_finalizers() {
+        let instance = inst(&[(0.0, 1.0)], Curve::Sequential);
+        let mut p = EquiSplit;
+        let mut source = StaticSource::new(&instance);
+        let mut obs = NullObserver;
+        let err = Engine::new(
+            EngineConfig::new(1.0).with_streaming(true),
+            &mut p,
+            &mut source,
+            &mut obs,
+        )
+        .run()
+        .unwrap_err();
+        assert!(matches!(err, SimError::BadInstance { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn run_streaming_finalizer_works_in_memory_too() {
+        // The streaming finalizer on a non-streaming engine reports the
+        // same aggregates — it reads the same sink.
+        let instance = inst(&[(0.0, 2.0), (1.0, 3.0)], Curve::power(0.5));
+        let mem = simulate(&instance, &mut EquiSplit, 2.0).unwrap();
+        let mut p = EquiSplit;
+        let mut source = StaticSource::new(&instance);
+        let mut obs = NullObserver;
+        let st = Engine::new(EngineConfig::new(2.0), &mut p, &mut source, &mut obs)
+            .run_streaming()
+            .unwrap();
+        assert_eq!(mem.metrics, st.metrics);
+    }
+
+    #[test]
+    fn simulate_streaming_audits_and_bounds_memory() {
+        let instance = inst(&[(0.0, 2.0), (0.5, 1.0), (4.0, 1.0)], Curve::power(0.5));
+        let mut source = StaticSource::new(&instance);
+        let out = simulate_streaming_audited(&mut source, &mut EquiSplit, 2.0, AuditLevel::Strict)
+            .unwrap();
+        assert_eq!(out.metrics.num_jobs, 3);
+        let report = out.audit.expect("audited run carries a report");
+        assert!(report.frames > 0);
+        assert!(report.final_checked);
+    }
+
+    #[test]
+    fn id_map_remove_frees_dense_and_sparse_slots() {
+        let mut map = IdMap::default();
+        map.insert(JobId(1), 0);
+        map.insert(JobId(1 << 40), 1);
+        map.remove(JobId(1));
+        map.remove(JobId(1 << 40));
+        assert_eq!(map.get(JobId(1)), None);
+        assert_eq!(map.get(JobId(1 << 40)), None);
+        assert_eq!(map.live, 0);
+        map.insert(JobId(1), 5);
+        assert_eq!(map.get(JobId(1)), Some(5));
+        assert_eq!(map.live, 1);
+        // Removing an absent id is a no-op.
+        map.remove(JobId(999));
+        assert_eq!(map.live, 1);
+    }
+
+    #[test]
+    fn large_clock_values_cannot_spin_the_event_loop() {
+        // Past t ≈ 4·10⁶, `ulp(now)` exceeds `EPS` and a unit-size job's
+        // final work sliver can round to a drain time below the clock's
+        // resolution: `now + rem/rate == now` in f64. Without the
+        // clock-aware completion tolerance the loop then spins on
+        // zero-length events forever (the bug surfaced on multi-million-job
+        // streaming runs, whose makespans reach 10⁷). The event cap turns a
+        // regression into an error instead of a hang.
+        let t0 = 9_000_000.0;
+        let jobs: Vec<(f64, f64)> = (0..200).map(|i| (t0 + i as f64 * 0.37, 1.0)).collect();
+        let instance = inst(&jobs, Curve::power(0.5));
+        let mut p = EquiSplit;
+        let mut source = StaticSource::new(&instance);
+        let mut obs = NullObserver;
+        let out = Engine::new(
+            EngineConfig::new(2.0).with_max_events(20_000),
+            &mut p,
+            &mut source,
+            &mut obs,
+        )
+        .run()
+        .expect("run must terminate at large clock values");
+        assert_eq!(out.metrics.num_jobs, 200);
+        // The identity the audit layer checks must also hold out here,
+        // where the admission window is at its absolute cap.
+        assert!(
+            (out.metrics.total_flow - out.metrics.alive_integral).abs()
+                < 1e-6 * out.metrics.total_flow.max(1.0),
+            "flow {} vs alive integral {}",
+            out.metrics.total_flow,
+            out.metrics.alive_integral
+        );
     }
 }

@@ -89,6 +89,55 @@ impl Json {
             other => Err(format!("expected array, got {other:?}")),
         }
     }
+
+    /// Serializes the value back to JSON text (compact, no whitespace).
+    ///
+    /// `parse ∘ render` is the identity on `Json` values: numbers emit
+    /// their stored raw lexeme verbatim and strings round-trip through
+    /// [`escape`], so `parse → render → parse` is a fixed point on any
+    /// valid document (the fuzz suite below locks this in).
+    pub(crate) fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(raw) => out.push_str(raw),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -409,5 +458,159 @@ mod tests {
         let v = Json::parse(" \n{ \"a\" :\t[ ] , \"b\" : { } }\r\n").unwrap();
         assert_eq!(v.req("a").unwrap().as_arr().unwrap().len(), 0);
         assert!(matches!(v.req("b").unwrap(), Json::Obj(f) if f.is_empty()));
+    }
+
+    #[test]
+    fn render_round_trips_nested_documents() {
+        let doc = r#"{"a": [1, 2.5, -3e-2], "b": {"c": "x\ny"}, "d": true, "e": null}"#;
+        let v = Json::parse(doc).unwrap();
+        let text = v.render();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        // Compact rendering is already a fixed point of itself.
+        assert_eq!(Json::parse(&text).unwrap().render(), text);
+    }
+}
+
+/// Byte-level fuzzing of the parser plus the parse→render→parse fixed
+/// point, locking in the PR 2 linear-time string parsing fix (a quadratic
+/// or panicking path would surface here first). Structure-aware cases
+/// mutate the committed golden trace, so the fuzz corpus always contains a
+/// realistic document of every node kind the codec emits.
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The committed golden trace (`tests/fixtures/golden_trace.json`).
+    const GOLDEN: &str = include_str!("../../../tests/fixtures/golden_trace.json");
+
+    /// Splitmix-style generator so the recursive builder below needs no
+    /// strategy plumbing — one u64 seed per proptest case.
+    fn next(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^ (z >> 27)
+    }
+
+    /// Builds an arbitrary valid [`Json`] value (bounded depth/width),
+    /// covering every node kind plus nasty strings and extreme numbers.
+    fn build_value(seed: &mut u64, depth: usize) -> Json {
+        let kind = next(seed) % if depth >= 3 { 4 } else { 6 };
+        match kind {
+            0 => Json::Null,
+            1 => Json::Bool(next(seed).is_multiple_of(2)),
+            2 => {
+                // Valid lexemes by construction: format a real number.
+                let raw = match next(seed) % 4 {
+                    0 => format!("{}", next(seed)),
+                    1 => format!("-{}", next(seed) % 1_000_000),
+                    2 => format!("{:?}", f64::from_bits(next(seed) % (1 << 62)).abs()),
+                    _ => format!("{:e}", (next(seed) % 10_000) as f64 * 1e-3),
+                };
+                // Guard against the f64 formatting of non-finite bits.
+                if raw.parse::<f64>().map(f64::is_finite).unwrap_or(false) {
+                    Json::Num(raw)
+                } else {
+                    Json::Num("0".into())
+                }
+            }
+            3 => {
+                let pool = ['a', '"', '\\', '\n', '\t', '\u{1}', '→', '𝛼', '/', ' '];
+                let len = (next(seed) % 12) as usize;
+                Json::Str(
+                    (0..len)
+                        .map(|_| pool[next(seed) as usize % pool.len()])
+                        .collect(),
+                )
+            }
+            4 => {
+                let len = (next(seed) % 4) as usize;
+                Json::Arr((0..len).map(|_| build_value(seed, depth + 1)).collect())
+            }
+            _ => {
+                let len = (next(seed) % 4) as usize;
+                Json::Obj(
+                    (0..len)
+                        .map(|i| {
+                            (
+                                format!("k{i}\n\"{}", next(seed) % 10),
+                                build_value(seed, depth + 1),
+                            )
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        #[test]
+        fn parser_never_panics_on_random_bytes(
+            bytes in proptest::collection::vec(0u8..=255, 0..512)
+        ) {
+            // Errors are fine; panics (or hangs) are the bug.
+            let _ = Json::parse(&String::from_utf8_lossy(&bytes));
+        }
+
+        #[test]
+        fn parser_never_panics_on_mutated_golden_trace(
+            ops in proptest::collection::vec((0usize..4096, 0u8..=255, 0u8..4), 1..16)
+        ) {
+            let mut bytes = GOLDEN.as_bytes().to_vec();
+            for (pos, byte, kind) in ops {
+                if bytes.is_empty() {
+                    break;
+                }
+                let pos = pos % bytes.len();
+                match kind {
+                    0 => bytes[pos] = byte,         // point corruption
+                    1 => bytes.truncate(pos),       // truncation (split escapes/scalars)
+                    2 => bytes.insert(pos, byte),   // insertion (stray structure)
+                    _ => {
+                        bytes.remove(pos);          // deletion (unbalanced brackets)
+                    }
+                }
+            }
+            let _ = Json::parse(&String::from_utf8_lossy(&bytes));
+        }
+
+        #[test]
+        fn parse_render_parse_is_a_fixed_point(seed in 0u64..u64::MAX) {
+            let mut s = seed;
+            let v = build_value(&mut s, 0);
+            let text = v.render();
+            let back = Json::parse(&text).expect("rendered document must parse");
+            prop_assert_eq!(&back, &v);
+            prop_assert_eq!(back.render(), text);
+        }
+
+        #[test]
+        fn mutated_golden_still_fixed_point_when_it_parses(
+            mutation in (0usize..4096, 0u8..=255)
+        ) {
+            let (pos, byte) = mutation;
+            let mut bytes = GOLDEN.as_bytes().to_vec();
+            let pos = pos % bytes.len();
+            bytes[pos] = byte;
+            // Most mutations break the document; the interesting cases are
+            // the ones that survive — their reparse must be stable.
+            if let Ok(v) = Json::parse(&String::from_utf8_lossy(&bytes)) {
+                let text = v.render();
+                prop_assert_eq!(Json::parse(&text).expect("render must reparse"), v);
+            }
+        }
+    }
+
+    #[test]
+    fn golden_trace_parse_render_parse_is_identity() {
+        let v = Json::parse(GOLDEN).unwrap();
+        let text = v.render();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        assert_eq!(Json::parse(&text).unwrap().render(), text);
     }
 }

@@ -1,0 +1,122 @@
+//! Compensated floating-point summation (Neumaier's variant of Kahan).
+//!
+//! The engine's flow-identity accumulators (`Σ flow`, `∫|A| dt`, fractional
+//! flow) and [`crate::SystemView::remaining_work_where`] add up to millions
+//! of small terms over a run. Naive left-to-right `f64` summation loses the
+//! small terms entirely once the running sum dwarfs them (at 10⁶ unit jobs
+//! against a 10¹⁶-scale sum, every addend falls below half an ulp and the
+//! sum never moves), which is enough to trip the `flow-identity` audit's
+//! relative tolerance on long streaming runs. Neumaier summation carries a
+//! correction term that recovers the rounding error of every addition, with
+//! worst-case error independent of `n` — two flops extra per add, no
+//! allocation, and the result depends only on the *order* of `add` calls,
+//! which keeps the streaming/in-memory differential guarantee bit-exact.
+
+use std::iter::Sum;
+use std::ops::AddAssign;
+
+/// A running compensated sum.
+///
+/// `value()` returns `sum + compensation`; the compensation accumulates the
+/// low-order bits each individual addition rounded away. Unlike classic
+/// Kahan, Neumaier's branch also handles addends *larger* than the running
+/// sum (the first huge job after many tiny ones).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeumaierSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl NeumaierSum {
+    /// An empty sum (0.0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        // Recover exactly what the addition above rounded away; which side
+        // lost bits depends on which operand is larger in magnitude.
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+
+    /// Compensated sum of an iterator of terms.
+    pub fn total<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
+        let mut s = Self::new();
+        for x in iter {
+            s.add(x);
+        }
+        s.value()
+    }
+}
+
+impl AddAssign<f64> for NeumaierSum {
+    fn add_assign(&mut self, x: f64) {
+        self.add(x);
+    }
+}
+
+impl Sum<f64> for NeumaierSum {
+    fn sum<I: Iterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_terms_naive_summation_drops() {
+        // 10⁶ unit terms against a 10¹⁶ head: each 1.0 is below half an ulp
+        // of the running sum, so the naive sum never moves off 1e16.
+        let mut naive = 1e16;
+        let mut comp = NeumaierSum::new();
+        comp.add(1e16);
+        for _ in 0..1_000_000 {
+            naive += 1.0;
+            comp.add(1.0);
+        }
+        assert_eq!(naive, 1e16, "test premise: naive summation drifts");
+        assert_eq!(comp.value(), 1e16 + 1e6);
+    }
+
+    #[test]
+    fn handles_addend_larger_than_sum() {
+        // The classic Kahan killer: [1, 1e100, 1, -1e100] sums to 2.
+        assert_eq!(NeumaierSum::total([1.0, 1e100, 1.0, -1e100]), 2.0);
+    }
+
+    #[test]
+    fn matches_naive_sum_on_benign_input() {
+        let terms: Vec<f64> = (1..=100).map(|i| i as f64 * 0.5).collect();
+        let naive: f64 = terms.iter().sum();
+        assert_eq!(NeumaierSum::total(terms.iter().copied()), naive);
+    }
+
+    #[test]
+    fn operator_and_iterator_forms_agree() {
+        let mut a = NeumaierSum::new();
+        a += 0.1;
+        a += 0.2;
+        let b: NeumaierSum = [0.1f64, 0.2].into_iter().sum();
+        assert_eq!(a.value(), b.value());
+    }
+}

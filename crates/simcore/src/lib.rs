@@ -52,6 +52,7 @@ mod error;
 pub mod invariant;
 mod job;
 mod jsonlite;
+mod kahan;
 mod metrics;
 mod observer;
 mod plan;
@@ -59,19 +60,23 @@ mod policy;
 pub mod quantized;
 mod source;
 mod srpt_set;
+mod streaming;
 pub mod trace;
 
 pub use engine::{
-    simulate, simulate_audited, simulate_with_observer, AliveSnapshot, Engine, EngineConfig,
+    simulate, simulate_audited, simulate_streaming, simulate_streaming_audited,
+    simulate_with_observer, AliveSnapshot, Engine, EngineConfig,
 };
 pub use error::SimError;
 pub use invariant::{AuditLevel, AuditReport, Auditor, EnginePath, Invariant, Violation};
 pub use job::{class_index, num_classes, Instance, JobId, JobSpec, Time, Work};
+pub use kahan::NeumaierSum;
 pub use metrics::{CompletedJob, RunMetrics, RunOutcome};
 pub use observer::{
     AliveTrace, AllocationSegment, AllocationTrace, NullObserver, Observer, TracePoint,
 };
 pub use plan::{AllocationPlan, PlanSegment, PlannedPolicy};
 pub use policy::{AliveJob, AllocationStability, EquiSplit, Policy, PrefixAllocation};
-pub use source::{ArrivalSource, StaticSource, SystemView};
+pub use source::{arrival_tolerance, ArrivalSource, StaticSource, SystemView};
+pub use streaming::{QuantileSketch, StreamingMetrics, StreamingOutcome};
 pub use trace::{record_run, replay, ReplayOutcome, Trace, TraceEvent, TraceRecorder};

@@ -3,6 +3,7 @@
 use parsched_speedup::EPS;
 
 use crate::job::{Instance, JobSpec, Time};
+use crate::kahan::NeumaierSum;
 use crate::policy::AliveJob;
 
 /// A read-only snapshot of the running system handed to an adaptive
@@ -23,12 +24,13 @@ pub struct SystemView<'a> {
 
 impl SystemView<'_> {
     /// Total remaining work over alive jobs satisfying `pred`.
+    ///
+    /// Compensated (Neumaier) summation: adaptive adversaries call this
+    /// over alive sets of 10⁵–10⁶ jobs whose remaining-work magnitudes
+    /// span many orders, where naive left-to-right summation silently
+    /// drops the small terms (see [`NeumaierSum`]).
     pub fn remaining_work_where(&self, pred: impl Fn(&AliveJob<'_>) -> bool) -> f64 {
-        self.alive
-            .iter()
-            .filter(|j| pred(j))
-            .map(|j| j.remaining)
-            .sum()
+        NeumaierSum::total(self.alive.iter().filter(|j| pred(j)).map(|j| j.remaining))
     }
 
     /// Number of alive jobs.
@@ -73,6 +75,26 @@ pub trait ArrivalSource {
     }
 }
 
+/// Cap on the clock-relative admission window (absolute sim-time units).
+const ARRIVAL_TOL_CAP: f64 = 1e-6;
+
+/// The admission window at clock value `now`: arrivals within this of
+/// `now` are released at the current event.
+///
+/// Relative to the clock so that release times computed along a different
+/// float path than the engine's (quantum-heavy policies, `t += gap`
+/// cursors) still batch with the event they were scheduled for — but
+/// capped absolutely, because an uncapped `EPS · now` window reaches
+/// ~0.02 sim-seconds by `t ≈ 2·10⁷` (routine for multi-million-job
+/// streaming runs) and admits jobs *visibly* early, inflating
+/// `∫|A(t)|dt` until the flow identity `Σ F_j = ∫|A(t)|dt` fails its
+/// audit. The engine and every pre-filtering
+/// [`ArrivalSource::emit_into`] implementation must use this same
+/// window, or a source could emit a job the engine refuses to admit.
+pub fn arrival_tolerance(now: Time) -> f64 {
+    (EPS * now.abs().max(1.0)).min(ARRIVAL_TOL_CAP)
+}
+
 /// Replays a fixed [`Instance`].
 #[derive(Debug, Clone)]
 pub struct StaticSource {
@@ -103,13 +125,13 @@ impl ArrivalSource for StaticSource {
     }
 
     fn emit_into(&mut self, view: &SystemView<'_>, out: &mut Vec<JobSpec>) {
-        let tol = EPS * view.now.abs().max(1.0);
+        let tol = arrival_tolerance(view.now);
         while self.cursor < self.jobs.len() {
             let j = &self.jobs[self.cursor];
             // Release all jobs due now (equal release times batch together).
-            // The tolerance is magnitude-scaled to match the engine's, so a
-            // clock that drifted by a few ulps (quantum-heavy policies)
-            // still collects the arrival it was woken for.
+            // The tolerance is the shared admission window, so a clock that
+            // drifted by a few ulps (quantum-heavy policies) still collects
+            // the arrival it was woken for.
             if j.release <= view.now + tol {
                 out.push(j.clone());
                 self.cursor += 1;
@@ -190,5 +212,41 @@ mod tests {
         assert_eq!(v.num_alive(), 2);
         assert_eq!(v.remaining_work_where(|_| true), 4.0);
         assert_eq!(v.remaining_work_where(|j| j.size() <= 2.0), 1.0);
+    }
+
+    #[test]
+    fn remaining_work_sum_does_not_drift_over_a_million_tiny_jobs() {
+        // One huge job followed by 10⁶ unit jobs: every unit term is below
+        // half an ulp of the 10¹⁶-scale running sum, so a naive
+        // left-to-right sum returns exactly 1e16 — off by 10⁶ absolute.
+        let big = JobSpec::new(JobId(0), 0.0, 1e16, Curve::Sequential);
+        let tiny = JobSpec::new(JobId(1), 0.0, 1.0, Curve::Sequential);
+        let mut alive = vec![AliveJob {
+            spec: &big,
+            remaining: 1e16,
+        }];
+        alive.extend((0..1_000_000).map(|_| AliveJob {
+            spec: &tiny,
+            remaining: 1.0,
+        }));
+        let naive: f64 = alive.iter().map(|j| j.remaining).sum();
+        assert_eq!(naive, 1e16, "test premise: naive summation drifts");
+        let v = SystemView {
+            now: 0.0,
+            m: 1.0,
+            alive: &alive,
+        };
+        assert_eq!(v.remaining_work_where(|_| true), 1e16 + 1e6);
+    }
+
+    #[test]
+    fn arrival_tolerance_is_relative_then_capped() {
+        // Small clocks: the usual EPS-relative window.
+        assert_eq!(arrival_tolerance(0.0), EPS);
+        assert_eq!(arrival_tolerance(100.0), EPS * 100.0);
+        // Large clocks: capped absolutely, so an n = 10^7 streaming run
+        // (makespan ~2*10^7) cannot admit jobs ~0.02 sim-seconds early.
+        assert_eq!(arrival_tolerance(2.0e7), 1e-6);
+        assert!(arrival_tolerance(1.0e12) == 1e-6);
     }
 }

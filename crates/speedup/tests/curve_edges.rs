@@ -1,0 +1,163 @@
+//! Edge-case property suite for [`Curve`] evaluation and inversion.
+//!
+//! The in-crate unit tests cover the interior of the parameter space; this
+//! suite pins down the boundaries the engine actually hits in long runs:
+//! α → 0 (sequential limit), α → 1 (fully-parallel limit), allocations at
+//! exactly `x = 1` (the power law's Γ kink, where `Γ(x) = x` hands over to
+//! `Γ(x) = x^α`), and denormal/huge allocations. Assertions are
+//! monotonicity, `Γ(1) = 1` continuity across the kink, and the
+//! `inverse_rate ∘ rate` round-trip within an ulp-scaled tolerance.
+
+use parsched_speedup::Curve;
+use proptest::prelude::*;
+
+/// Distance between two floats in units of the larger one's ulp — the
+/// scale-free way to say "these agree to the last few bits".
+fn ulp_distance(a: f64, b: f64) -> f64 {
+    let ulp = a.abs().max(b.abs()).max(f64::MIN_POSITIVE) * f64::EPSILON;
+    (a - b).abs() / ulp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn gamma_of_one_is_exactly_one(alpha in 0.0f64..=1.0) {
+        // Both branches of the kink evaluate to exactly 1.0 at x = 1
+        // (1^α = 1 in IEEE754 for every finite α), so policies that divide
+        // by Γ(share) at share 1 see no kink artifact.
+        prop_assert_eq!(Curve::Power { alpha }.rate(1.0), 1.0);
+    }
+
+    #[test]
+    fn gamma_is_continuous_across_the_kink(alpha in 0.0f64..=1.0) {
+        // One-ulp neighbours of x = 1 must evaluate within a few ulps of
+        // 1.0 — a discontinuity here would make completion times jump at
+        // the hand-over between the linear and power branches.
+        let c = Curve::Power { alpha };
+        let below = f64::from_bits(1.0f64.to_bits() - 1);
+        let above = f64::from_bits(1.0f64.to_bits() + 1);
+        prop_assert!(ulp_distance(c.rate(below), 1.0) <= 4.0);
+        prop_assert!(ulp_distance(c.rate(above), 1.0) <= 4.0);
+        // And monotone through it.
+        prop_assert!(c.rate(below) <= c.rate(1.0));
+        prop_assert!(c.rate(1.0) <= c.rate(above));
+    }
+
+    #[test]
+    fn rate_is_monotone_at_extreme_alphas(x in 0.0f64..1e6, y in 0.0f64..1e6) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        for c in [
+            Curve::Power { alpha: 0.0 },
+            Curve::Power { alpha: f64::MIN_POSITIVE }, // denormal-adjacent α
+            Curve::Power { alpha: 1.0 - f64::EPSILON },
+            Curve::Power { alpha: 1.0 },
+            Curve::Sequential,
+            Curve::FullyParallel,
+        ] {
+            prop_assert!(
+                c.rate(lo) <= c.rate(hi) + 1e-12,
+                "{c:?} not monotone on [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn denormal_allocations_stay_on_the_identity(x in 0u64..1000) {
+        // Below x = 1 the model curves are the identity, all the way down
+        // into the denormal range — no underflow to a zero rate, which
+        // would turn a live job into a stalled one.
+        let tiny = f64::from_bits(x + 1); // smallest denormals
+        for alpha in [0.0, 0.25, 1.0] {
+            let c = Curve::Power { alpha };
+            prop_assert_eq!(c.rate(tiny), tiny);
+            prop_assert_eq!(c.inverse_rate(tiny), Some(tiny));
+        }
+    }
+
+    #[test]
+    fn huge_allocations_never_overflow_below_alpha_one(
+        alpha in 0.0f64..=1.0, exp in 100i32..300
+    ) {
+        // Γ(x) ≤ x keeps the rate finite for any finite allocation.
+        let x = 10f64.powi(exp);
+        let r = Curve::Power { alpha }.rate(x);
+        prop_assert!(r.is_finite());
+        prop_assert!(r <= x * (1.0 + 1e-12));
+        prop_assert!(r >= 1.0); // monotone above the kink
+    }
+
+    #[test]
+    fn inverse_rate_round_trips_within_ulp_scale(
+        alpha in 0.05f64..=1.0, x in 1.0f64..1e12
+    ) {
+        // invert ∘ eval: x  →  x^α  →  (x^α)^(1/α). Each powf rounds to a
+        // few ulps, and the 1/α exponent amplifies a relative error on r
+        // by 1/α — so the tolerance is an ulp-count scaled by 1/α (plus a
+        // constant for the two roundings), not a fixed epsilon.
+        let c = Curve::Power { alpha };
+        let r = c.rate(x);
+        let back = c.inverse_rate(r).expect("power α > 0 never saturates");
+        prop_assert!(
+            ulp_distance(back, x) <= 4.0 + 8.0 / alpha,
+            "α={alpha}: x={x} → r={r} → x'={back} ({} ulps)",
+            ulp_distance(back, x)
+        );
+        // eval ∘ invert in the other direction, same bound.
+        let r2 = c.rate(back);
+        prop_assert!(ulp_distance(r2, r) <= 4.0 + 8.0 / alpha);
+    }
+
+    #[test]
+    fn alpha_zero_saturates_and_alpha_one_is_linear(r in 1.0f64..1e9) {
+        // α → 0 degenerates to Sequential: rate capped at 1, inversion
+        // above 1 impossible.
+        let seq = Curve::Power { alpha: 0.0 };
+        prop_assert_eq!(seq.rate(r.max(1.0)), 1.0);
+        if r > 1.0 {
+            prop_assert_eq!(seq.inverse_rate(r), None);
+            prop_assert_eq!(Curve::Sequential.inverse_rate(r), None);
+        }
+        // α → 1 degenerates to FullyParallel: exact identity both ways.
+        let par = Curve::Power { alpha: 1.0 };
+        prop_assert_eq!(par.rate(r), r);
+        prop_assert_eq!(par.inverse_rate(r), Some(r));
+    }
+
+    #[test]
+    fn near_degenerate_alphas_agree_with_their_limits(x in 1.0f64..1e6) {
+        // α within an ulp of the endpoints must behave like the endpoint
+        // to high relative accuracy (x^ε = e^{ε ln x} ≈ 1 + ε ln x).
+        let nearly_seq = Curve::Power { alpha: 1e-14 };
+        prop_assert!((nearly_seq.rate(x) - 1.0).abs() <= 1e-12 * x.ln().max(1.0));
+        let nearly_par = Curve::Power { alpha: 1.0 - 1e-14 };
+        prop_assert!(ulp_distance(nearly_par.rate(x), x) <= x.ln().max(1.0) * 100.0);
+    }
+}
+
+#[test]
+fn kink_neighbourhood_is_exact_at_the_endpoints() {
+    // Deterministic spot checks at the exact boundary values the proptest
+    // ranges can't pin: α ∈ {0, 1} at x ∈ {1⁻, 1, 1⁺}.
+    let below = f64::from_bits(1.0f64.to_bits() - 1);
+    let above = f64::from_bits(1.0f64.to_bits() + 1);
+    for alpha in [0.0, 1.0] {
+        let c = Curve::Power { alpha };
+        assert_eq!(c.rate(1.0), 1.0);
+        assert_eq!(c.rate(below), below); // identity branch
+    }
+    assert_eq!(Curve::Power { alpha: 1.0 }.rate(above), above);
+    assert_eq!(Curve::Power { alpha: 0.0 }.rate(above), 1.0);
+}
+
+#[test]
+fn inverse_rate_at_the_saturation_boundary() {
+    // Amdahl saturates at 1/s; exactly at the boundary inversion must
+    // refuse rather than return an infinite allocation.
+    let c = Curve::try_amdahl(0.5).unwrap();
+    assert_eq!(c.inverse_rate(2.0), None);
+    let just_below = 2.0 - 1e-9;
+    let x = c.inverse_rate(just_below).unwrap();
+    assert!(x.is_finite() && x > 0.0);
+    assert!((c.rate(x) - just_below).abs() <= 1e-6);
+}

@@ -17,6 +17,10 @@
 //!   certificates for both adversary cases (experiments F1 and F4).
 //! * [`mix`] — overload/underload oscillators that exercise
 //!   Intermediate-SRPT's regime switch (experiment F5).
+//! * [`streaming`] — lazy [`parsched_sim::ArrivalSource`] versions of the
+//!   generators above ([`PoissonSource`], [`TrapStreamSource`],
+//!   [`PhaseStreamSource`]) for the engine's memory-bounded streaming path:
+//!   same job sequences, cursor-sized state.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +30,8 @@ mod greedy_trap;
 pub mod mix;
 mod phases;
 pub mod random;
+pub mod streaming;
 
 pub use greedy_trap::GreedyTrap;
 pub use phases::{AdversaryOutcome, PhaseAdversary, PhaseFamily, StoppingCase};
+pub use streaming::{PhaseStreamSource, PoissonSource, TrapStreamSource};
