@@ -85,7 +85,8 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
     }
 
     // At α = 1: Parallel-SRPT equals the fluid lower bound exactly.
-    let alpha1 = rows.iter().find(|r| r.0 == 1.0);
+    // α = 1 is a literal grid point of ALPHAS, not a computed value.
+    let alpha1 = rows.iter().find(|r| parsched_speedup::exact_eq(r.0, 1.0));
     let psrpt_optimal_at_one = alpha1.is_some_and(|&(_, _, psrpt, _)| {
         let sizes = SizeDist::LogUniform { p: P };
         let w = PoissonWorkload {

@@ -86,10 +86,10 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
             fnum(l.lemma5_worst),
         ]);
     }
-    let checked_samples: usize = rows
+    let checked_samples = rows
         .iter()
         .map(|(_, _, r)| r.lemmas.overloaded_samples)
-        .sum();
+        .sum::<usize>();
 
     // Second table: how close Lemma 4's per-class ceiling m·2^{k+1} comes
     // to binding (peak ΔV_{≤k} / ceiling, worst class per reference).

@@ -1,11 +1,13 @@
 //! Summary statistics for experiment rows.
 
+use parsched_sim::NeumaierSum;
+
 /// Arithmetic mean (`0` for an empty slice).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         0.0
     } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
+        NeumaierSum::total(xs.iter().copied()) / xs.len() as f64
     }
 }
 
@@ -17,7 +19,7 @@ pub fn geomean(xs: &[f64]) -> f64 {
         return 0.0;
     }
     debug_assert!(xs.iter().all(|&x| x > 0.0));
-    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    (NeumaierSum::total(xs.iter().map(|x| x.ln())) / xs.len() as f64).exp()
 }
 
 /// Sample standard deviation (`0` for fewer than two entries).
@@ -26,7 +28,7 @@ pub fn stddev(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let mu = mean(xs);
-    let var = xs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    let var = NeumaierSum::total(xs.iter().map(|x| (x - mu).powi(2))) / (xs.len() - 1) as f64;
     var.sqrt()
 }
 

@@ -8,7 +8,10 @@
 //! parsched exp f1 [--quick] [--csv] [--md] [--seed N]
 //! parsched all  [--quick]           # run the full suite
 //! parsched compare --m 8 --p 64 --alpha 0.5 --n 300 --load 0.9
+//! parsched lint [--format json] [paths...]
 //! ```
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
@@ -27,6 +30,9 @@ USAGE:
   parsched audit <trace.json> [OPTIONS] replay a recorded trace through the
                                         invariant-audit suite
   parsched bench-snapshot [OPTIONS]     engine throughput snapshot → JSON
+  parsched lint [OPTIONS] [paths...]    static analysis: determinism, float
+                                        hygiene, and registry contracts
+                                        (rules L001–L005, see docs/LINTS.md)
 
 GEN OPTIONS:
   --kind poisson|batch|sawtooth|trap|mix   workload family (default poisson)
@@ -56,6 +62,13 @@ BENCH-SNAPSHOT OPTIONS:
   --out <file>    where to write the JSON (default BENCH_engine.json)
   --quick         drop the n = 100_000 rows and the n = 10⁷ streaming
                   measurement (CI smoke; the streaming fields become null)
+
+LINT OPTIONS:
+  --root <dir>        workspace root to analyze (default .)
+  --format <fmt>      human (default) or json
+  [paths...]          restrict to files under these workspace-relative
+                      prefixes (e.g. crates/simcore)
+  exit 0 = clean, 1 = violations or waiver problems, 2 = usage/IO error
 
 FLAGS:
   --quick         small grids (seconds); default is the full grids
@@ -379,7 +392,8 @@ fn cmd_run_stream(flags: &Flags) -> Result<(), String> {
         "{} on m={m}{} [streaming {kind_name}]: n={}, total flow={}, mean={}, max={}, \
          makespan={}, stretch Σ={} max={}, events={}",
         policy_kind.name(),
-        if speed != 1.0 {
+        // Display-only: was --speed left at its (exact, parsed) default?
+        if !parsched_speedup::exact_eq(speed, 1.0) {
             format!(" (speed {speed})")
         } else {
             String::new()
@@ -474,7 +488,7 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     println!(
         "{} on m={m}{}: n={}, total flow={}, mean={}, max={}, makespan={}, stretch Σ={} max={}, events={}",
         kind.name(),
-        if speed != 1.0 { format!(" (speed {speed})") } else { String::new() },
+        if !parsched_speedup::exact_eq(speed, 1.0) { format!(" (speed {speed})") } else { String::new() },
         mm.num_jobs,
         fnum(mm.total_flow),
         fnum(mm.mean_flow),
@@ -881,6 +895,65 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `parsched lint [--root dir] [--format human|json] [paths...]`.
+///
+/// Returns `Ok(true)` when the tree is clean, `Ok(false)` on violations or
+/// waiver problems (exit 1), `Err` on usage/IO errors (exit 2). Paths are
+/// workspace-relative prefixes that restrict which files are analyzed.
+fn cmd_lint(args: &[String]) -> Result<bool, String> {
+    let mut root = std::path::PathBuf::from(".");
+    let mut json = false;
+    let mut filters: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let (key, inline_val) = match arg.split_once('=') {
+            Some((k, v)) => (k, Some(v.to_string())),
+            None => (arg, None),
+        };
+        match key {
+            "--root" | "--format" => {
+                let val = match inline_val {
+                    Some(v) => v,
+                    None => {
+                        i += 1;
+                        args.get(i)
+                            .cloned()
+                            .ok_or_else(|| format!("{key} needs a value"))?
+                    }
+                };
+                if key == "--root" {
+                    root = std::path::PathBuf::from(val);
+                } else {
+                    json = match val.as_str() {
+                        "json" => true,
+                        "human" => false,
+                        other => return Err(format!("unknown lint format '{other}'")),
+                    };
+                }
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown lint option '{other}'"));
+            }
+            path => {
+                // Normalize `./crates/simcore/` → `crates/simcore` so
+                // prefixes match the workspace-relative file paths.
+                let p = path.trim_start_matches("./").trim_end_matches('/');
+                filters.push(p.to_string());
+            }
+        }
+        i += 1;
+    }
+    let outcome = parsched_lint::lint_root(&root, &filters)
+        .map_err(|e| format!("lint: cannot read {}: {e}", root.display()))?;
+    if json {
+        print!("{}", parsched_lint::report::render_json(&outcome));
+    } else {
+        print!("{}", parsched_lint::report::render_human(&outcome));
+    }
+    Ok(outcome.is_clean())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -975,6 +1048,14 @@ fn main() -> ExitCode {
         },
         "compare" => match parse_flags(rest).and_then(|flags| cmd_compare(&flags)) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "lint" => match cmd_lint(rest) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::from(1),
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::from(2)

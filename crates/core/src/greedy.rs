@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use parsched_sim::{AliveJob, Policy, Time};
+use parsched_sim::{AliveJob, AllocationStability, Policy, Time};
 
 use crate::util::machine_count;
 
@@ -131,6 +131,17 @@ impl Policy for GreedyHybrid {
         } else {
             None
         }
+    }
+
+    fn stability(&self) -> AllocationStability {
+        // The marginal-gain argmax drifts with remaining work and carries
+        // no prefix structure: the engine must take the exhaustive path.
+        AllocationStability::General
+    }
+
+    fn srpt_ordered(&self) -> bool {
+        // Integer machine grants follow marginal gain, not the SRPT order.
+        false
     }
 }
 

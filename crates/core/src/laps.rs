@@ -1,6 +1,6 @@
 //! LAPS: Latest Arrival Processor Sharing.
 
-use parsched_sim::{AliveJob, Policy, Time};
+use parsched_sim::{AliveJob, AllocationStability, Policy, Time};
 
 /// **LAPS(β)** — Latest Arrival Processor Sharing (Edmonds–Pruhs,
 /// TALG 2012): the `⌈β · |A(t)|⌉` *latest-arriving* alive jobs share the
@@ -73,6 +73,18 @@ impl Policy for Laps {
             shares[i] = each;
         }
         None
+    }
+
+    fn stability(&self) -> AllocationStability {
+        // The served set is the ⌈βn⌉ *latest arrivals*, which changes with
+        // every arrival/completion in a way the incremental SRPT-prefix
+        // bookkeeping cannot express.
+        AllocationStability::General
+    }
+
+    fn srpt_ordered(&self) -> bool {
+        // Latest-arrival-first is the opposite of an SRPT prefix.
+        false
     }
 }
 

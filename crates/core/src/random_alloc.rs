@@ -5,7 +5,7 @@
 //! references so the lemma checkers aren't only exercised against
 //! well-behaved schedulers.
 
-use parsched_sim::{AliveJob, Policy, Time};
+use parsched_sim::{AliveJob, AllocationStability, Policy, Time};
 
 /// Allocates processors uniformly at random (Dirichlet-ish via normalized
 /// exponential weights) among a random subset of alive jobs, re-rolling on
@@ -88,6 +88,17 @@ impl Policy for RandomAllocation {
 
     fn reset(&mut self) {
         self.state = self.seed;
+    }
+
+    fn stability(&self) -> AllocationStability {
+        // Shares are re-rolled at every decision point; nothing prefix-
+        // shaped for the incremental path to maintain.
+        AllocationStability::General
+    }
+
+    fn srpt_ordered(&self) -> bool {
+        // Random weights ignore remaining work by construction.
+        false
     }
 }
 

@@ -3,7 +3,14 @@
 use parsched_sim::Policy;
 use serde::{Deserialize, Serialize};
 
-use crate::{Equi, GreedyHybrid, IntermediateSrpt, Laps, ParallelSrpt, SequentialSrpt};
+use crate::{
+    Equi, GreedyHybrid, IntermediateSrpt, Laps, ParallelSrpt, RandomAllocation, SequentialSrpt,
+    WeightedIntermediateSrpt,
+};
+
+/// Re-roll quantum for [`PolicyKind::Random`] references (the fuzzing
+/// policy re-decides at least this often; see [`RandomAllocation::new`]).
+const RANDOM_QUANTUM: f64 = 0.5;
 
 /// A nameable, serializable policy descriptor that can build the
 /// corresponding [`Policy`] value.
@@ -29,10 +36,19 @@ pub enum PolicyKind {
     Threshold(f64),
     /// [`crate::Setf`] — shortest elapsed time first.
     Setf,
+    /// [`WeightedIntermediateSrpt`] — the weighted-flow extension.
+    Weighted,
+    /// [`RandomAllocation`] with the given seed — the seeded feasible
+    /// fuzzing reference.
+    Random(u64),
 }
 
 impl PolicyKind {
     /// All standard policies compared in the cross-policy experiments.
+    ///
+    /// Deliberately *narrower* than [`PolicyKind::all_registered`]: the
+    /// experiment tables reproduce the paper's comparisons, which the
+    /// weighted extension and the fuzzing reference are not part of.
     pub fn all_standard() -> Vec<PolicyKind> {
         vec![
             PolicyKind::IntermediateSrpt,
@@ -43,6 +59,17 @@ impl PolicyKind {
             PolicyKind::Laps(0.5),
             PolicyKind::Setf,
         ]
+    }
+
+    /// One representative of *every* registered policy, for suites that
+    /// must cover the whole catalog (differential oracles, invariant
+    /// audits, metadata checks) rather than reproduce the paper's tables.
+    pub fn all_registered() -> Vec<PolicyKind> {
+        let mut kinds = Self::all_standard();
+        kinds.push(PolicyKind::Threshold(2.0));
+        kinds.push(PolicyKind::Weighted);
+        kinds.push(PolicyKind::Random(7));
+        kinds
     }
 
     /// Builds a boxed policy instance.
@@ -56,6 +83,8 @@ impl PolicyKind {
             PolicyKind::Laps(beta) => Box::new(Laps::new(beta)),
             PolicyKind::Threshold(theta) => Box::new(crate::ThresholdSrpt::new(theta)),
             PolicyKind::Setf => Box::new(crate::Setf::new()),
+            PolicyKind::Weighted => Box::new(WeightedIntermediateSrpt::new()),
+            PolicyKind::Random(seed) => Box::new(RandomAllocation::new(seed, RANDOM_QUANTUM)),
         }
     }
 
@@ -81,6 +110,7 @@ impl std::str::FromStr for PolicyKind {
             "equi" => Ok(PolicyKind::Equi),
             "laps" => Ok(PolicyKind::Laps(0.5)),
             "setf" => Ok(PolicyKind::Setf),
+            "weighted" | "wisrpt" => Ok(PolicyKind::Weighted),
             _ => {
                 if let Some(beta) = lower.strip_prefix("laps:") {
                     let beta: f64 = beta.parse().map_err(|e| format!("bad LAPS β: {e}"))?;
@@ -89,6 +119,9 @@ impl std::str::FromStr for PolicyKind {
                     } else {
                         Err(format!("LAPS β must lie in (0, 1], got {beta}"))
                     }
+                } else if let Some(seed) = lower.strip_prefix("random:") {
+                    let seed: u64 = seed.parse().map_err(|e| format!("bad random seed: {e}"))?;
+                    Ok(PolicyKind::Random(seed))
                 } else if let Some(theta) = lower.strip_prefix("threshold:") {
                     let theta: f64 = theta.parse().map_err(|e| format!("bad threshold θ: {e}"))?;
                     if theta > 0.0 && theta.is_finite() {
@@ -98,7 +131,7 @@ impl std::str::FromStr for PolicyKind {
                     }
                 } else {
                     Err(format!(
-                        "unknown policy '{s}' (expected isrpt|psrpt|ssrpt|greedy|equi|laps[:beta]|threshold:<θ>)"
+                        "unknown policy '{s}' (expected isrpt|psrpt|ssrpt|greedy|equi|laps[:beta]|threshold:<θ>|setf|weighted|random:<seed>)"
                     ))
                 }
             }
@@ -119,6 +152,19 @@ mod tests {
     }
 
     #[test]
+    fn all_registered_extends_all_standard() {
+        let registered = PolicyKind::all_registered();
+        for kind in PolicyKind::all_standard() {
+            assert!(registered.contains(&kind), "{kind:?} missing");
+        }
+        assert!(registered.contains(&PolicyKind::Weighted));
+        assert!(registered.contains(&PolicyKind::Random(7)));
+        for kind in registered {
+            assert!(!kind.build().name().is_empty());
+        }
+    }
+
+    #[test]
     fn parses_cli_names() {
         assert_eq!(
             "isrpt".parse::<PolicyKind>().unwrap(),
@@ -135,6 +181,15 @@ mod tests {
             PolicyKind::Threshold(2.0)
         );
         assert!("threshold:-1".parse::<PolicyKind>().is_err());
+        assert_eq!(
+            "weighted".parse::<PolicyKind>().unwrap(),
+            PolicyKind::Weighted
+        );
+        assert_eq!(
+            "random:42".parse::<PolicyKind>().unwrap(),
+            PolicyKind::Random(42)
+        );
+        assert!("random:x".parse::<PolicyKind>().is_err());
         assert!("nope".parse::<PolicyKind>().is_err());
     }
 

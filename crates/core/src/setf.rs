@@ -1,6 +1,6 @@
 //! SETF: Shortest Elapsed Time First.
 
-use parsched_sim::{AliveJob, Policy, Time};
+use parsched_sim::{AliveJob, AllocationStability, Policy, Time};
 
 /// Relative tolerance for "tied" elapsed work (floats from prior merges).
 const TIE_TOL: f64 = 1e-7;
@@ -123,6 +123,17 @@ impl Policy for Setf {
         } else {
             None
         }
+    }
+
+    fn stability(&self) -> AllocationStability {
+        // The least-elapsed group shifts continuously as jobs accrue
+        // service; rate equalization has no SRPT-prefix structure.
+        AllocationStability::General
+    }
+
+    fn srpt_ordered(&self) -> bool {
+        // Elapsed time orders the served set, not remaining work.
+        false
     }
 }
 

@@ -45,7 +45,7 @@ pub fn lemma4_rhs(m: f64, k: i32) -> f64 {
 
 /// Lemma 5's right-hand side: `m(k_max + 2) + 2|OPT_{≤k_max}(t)|`.
 pub fn lemma5_rhs(m: f64, p: f64, opt_alive: usize) -> f64 {
-    m * (k_max(p) as f64 + 2.0) + 2.0 * opt_alive as f64
+    m * (f64::from(k_max(p)) + 2.0) + 2.0 * opt_alive as f64
 }
 
 /// Theorem 2's length-reduction factor `r = ½(1 − 2^{-ε})` where

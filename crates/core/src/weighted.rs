@@ -1,6 +1,6 @@
 //! Weighted flow time: an extension beyond the paper.
 
-use parsched_sim::{AliveJob, Policy, Time};
+use parsched_sim::{AliveJob, AllocationStability, Policy, Time};
 
 use crate::util::machine_count;
 
@@ -75,6 +75,19 @@ impl Policy for WeightedIntermediateSrpt {
             }
         }
         None
+    }
+
+    fn stability(&self) -> AllocationStability {
+        // Density order and weighted shares both depend on weights the
+        // incremental SRPT-prefix path cannot see; run exhaustively (the
+        // unit-weight equivalence test relies on this being General).
+        AllocationStability::General
+    }
+
+    fn srpt_ordered(&self) -> bool {
+        // Highest-density-first coincides with SRPT only at unit weights;
+        // the claim must hold for every input, so it is not made.
+        false
     }
 }
 

@@ -1,0 +1,168 @@
+//! The lint driver: loads a workspace, runs the catalog, applies waivers.
+
+use std::path::Path;
+
+use crate::rules::catalog;
+use crate::source::{collect_rs_files, SourceFile};
+use crate::Diagnostic;
+
+/// The files under analysis.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Lexed files, in deterministic (sorted-path) order.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Builds a workspace from in-memory `(relative path, text)` pairs —
+    /// the unit-test entry point.
+    pub fn from_memory<I, P, T>(files: I) -> Self
+    where
+        I: IntoIterator<Item = (P, T)>,
+        P: Into<String>,
+        T: Into<String>,
+    {
+        let mut fs: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(p, t)| SourceFile::new(p, t))
+            .collect();
+        fs.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Self { files: fs }
+    }
+
+    /// Loads every production `.rs` file under `root` (see
+    /// [`collect_rs_files`] for what is skipped), keeping only files whose
+    /// relative path starts with one of `filters` (empty = keep all).
+    pub fn load(root: &Path, filters: &[String]) -> std::io::Result<Self> {
+        let rels = collect_rs_files(root, root)?;
+        let mut files = Vec::new();
+        for rel in rels {
+            let rel_str = rel
+                .to_string_lossy()
+                .replace(std::path::MAIN_SEPARATOR, "/");
+            if !filters.is_empty() && !filters.iter().any(|f| rel_str.starts_with(f.as_str())) {
+                continue;
+            }
+            let text = std::fs::read_to_string(root.join(&rel))?;
+            files.push(SourceFile::new(rel_str, text));
+        }
+        Ok(Self { files })
+    }
+}
+
+/// A waiver that matched nothing, or is malformed — reported so stale
+/// waivers can't silently rot.
+#[derive(Debug, Clone)]
+pub struct WaiverProblem {
+    /// File the waiver sits in.
+    pub path: String,
+    /// Line of the waiver comment.
+    pub line: u32,
+    /// What is wrong.
+    pub detail: String,
+}
+
+/// Everything one lint run produces.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Unwaived violations — any entry here means a nonzero exit.
+    pub violations: Vec<Diagnostic>,
+    /// Diagnostics suppressed by a waiver, with the waiver's reason.
+    pub waived: Vec<(Diagnostic, String)>,
+    /// Malformed or unused waivers (also nonzero exit: stale waivers are
+    /// how contracts erode).
+    pub waiver_problems: Vec<WaiverProblem>,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+impl LintOutcome {
+    /// Whether the run is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.waiver_problems.is_empty()
+    }
+}
+
+/// Runs the full rule catalog over `ws`.
+pub fn run(ws: &Workspace) -> LintOutcome {
+    let known_rules: Vec<&'static str> = catalog().iter().map(|r| r.id()).collect();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for rule in catalog() {
+        diags.extend(rule.check(ws));
+    }
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+
+    let mut outcome = LintOutcome {
+        files: ws.files.len(),
+        ..Default::default()
+    };
+    // Track per-file, per-waiver usage so unused waivers surface.
+    let mut used: Vec<Vec<bool>> = ws
+        .files
+        .iter()
+        .map(|f| vec![false; f.waivers.len()])
+        .collect();
+
+    for d in diags {
+        let fidx = ws.files.iter().position(|f| f.rel == d.path);
+        let mut waived_by: Option<String> = None;
+        if let Some(fi) = fidx {
+            for (wi, w) in ws.files[fi].waivers.iter().enumerate() {
+                if w.target_line == d.line && w.rules.iter().any(|r| r == d.rule) {
+                    if w.reason.is_empty() {
+                        // A reasonless waiver does not waive; it is
+                        // reported below as a waiver problem.
+                        continue;
+                    }
+                    used[fi][wi] = true;
+                    waived_by = Some(w.reason.clone());
+                    break;
+                }
+            }
+        }
+        match waived_by {
+            Some(reason) => outcome.waived.push((d, reason)),
+            None => outcome.violations.push(d),
+        }
+    }
+
+    for (fi, file) in ws.files.iter().enumerate() {
+        for (wi, w) in file.waivers.iter().enumerate() {
+            if w.reason.is_empty() {
+                outcome.waiver_problems.push(WaiverProblem {
+                    path: file.rel.clone(),
+                    line: w.line,
+                    detail: format!(
+                        "waiver for {} has no reason; write `// lint:allow({}) <why>`",
+                        w.rules.join(", "),
+                        w.rules.join(", ")
+                    ),
+                });
+            } else if let Some(bad) = w.rules.iter().find(|r| !known_rules.contains(&r.as_str())) {
+                outcome.waiver_problems.push(WaiverProblem {
+                    path: file.rel.clone(),
+                    line: w.line,
+                    detail: format!("waiver names unknown rule `{bad}`"),
+                });
+            } else if !used[fi][wi] {
+                outcome.waiver_problems.push(WaiverProblem {
+                    path: file.rel.clone(),
+                    line: w.line,
+                    detail: format!(
+                        "stale waiver: no {} diagnostic on line {} — remove it",
+                        w.rules.join("/"),
+                        w.target_line
+                    ),
+                });
+            }
+        }
+    }
+    outcome
+}
+
+/// Convenience: load + run in one call.
+pub fn lint_root(root: &Path, filters: &[String]) -> std::io::Result<LintOutcome> {
+    Ok(run(&Workspace::load(root, filters)?))
+}

@@ -1,0 +1,442 @@
+//! A span-tracking Rust lexer.
+//!
+//! Tokenizes Rust source into a flat stream of spanned tokens — just
+//! enough structure for pattern-shaped lint rules: identifiers, literals
+//! (with float/int distinction, since the float-hygiene rules key on it),
+//! comments (kept, since waivers live in them), and operators matched
+//! longest-first (so `+=`, `==`, `::` arrive as single tokens). It does
+//! not parse: rules scan the token stream with small cursors, the same
+//! offline discipline `jsonlite` uses for JSON.
+//!
+//! The lexer is lossless over the constructs that matter to the rules and
+//! deliberately forgiving elsewhere: an unterminated string or comment
+//! yields a token running to end-of-file rather than an error, so a lint
+//! pass never aborts half-way through a workspace.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers `r#type`).
+    Ident,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Floating-point literal (`1.0`, `2e-9`, `0.5f32`).
+    Float,
+    /// String, raw-string, byte-string, or C-string literal.
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Operator or delimiter, longest-match (`+=`, `==`, `::`, `{`, …).
+    Op,
+    /// `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment (nesting handled), including doc variants.
+    BlockComment,
+}
+
+/// One lexeme with its position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Lexeme kind.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is any comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Multi-byte operators, longest first so greedy matching is correct.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.bytes.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advances by `n` bytes, maintaining the line/column counters.
+    fn bump(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos >= self.bytes.len() {
+                break;
+            }
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn is_ident_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+    }
+
+    fn is_ident_continue(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed).
+    fn skip_string(&mut self) {
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump(2),
+                b'"' => {
+                    self.bump(1);
+                    return;
+                }
+                _ => self.bump(1),
+            }
+        }
+    }
+
+    /// Consumes `r##"…"##` given the number of `#`s (after `r`/`br`).
+    fn skip_raw_string(&mut self, hashes: usize) {
+        // Opening hashes + quote.
+        self.bump(hashes + 1);
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump(1 + hashes);
+                    return;
+                }
+            }
+            self.bump(1);
+        }
+    }
+
+    fn lex_number(&mut self) -> TokenKind {
+        let start = self.pos;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.bump(2);
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump(1);
+            }
+            return TokenKind::Int;
+        }
+        let mut float = false;
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.bump(1);
+        }
+        // A fractional part only if `.` is followed by a digit — `1..n` is
+        // a range and `1.max(2)` a method call, not floats.
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            float = true;
+            self.bump(1);
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump(1);
+            }
+        }
+        // `1.` (trailing dot, not followed by ident/digit/dot) is a float.
+        if !float
+            && self.peek(0) == b'.'
+            && !Self::is_ident_start(self.peek(1))
+            && self.peek(1) != b'.'
+        {
+            float = true;
+            self.bump(1);
+        }
+        if matches!(self.peek(0), b'e' | b'E')
+            && (self.peek(1).is_ascii_digit()
+                || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+        {
+            float = true;
+            self.bump(2);
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump(1);
+            }
+        }
+        // Type suffix (`u64`, `f32`, …) decides ambiguous cases.
+        let suffix_start = self.pos;
+        while Self::is_ident_continue(self.peek(0)) {
+            self.bump(1);
+        }
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix.starts_with('f') {
+            float = true;
+        }
+        let _ = start;
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        while self.pos < self.bytes.len() && self.peek(0).is_ascii_whitespace() {
+            self.bump(1);
+        }
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let b = self.peek(0);
+        let kind = match b {
+            b'/' if self.peek(1) == b'/' => {
+                while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+                    self.bump(1);
+                }
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == b'*' => {
+                self.bump(2);
+                let mut depth = 1usize;
+                while self.pos < self.bytes.len() && depth > 0 {
+                    if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                        depth += 1;
+                        self.bump(2);
+                    } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                        depth -= 1;
+                        self.bump(2);
+                    } else {
+                        self.bump(1);
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                self.bump(1);
+                self.skip_string();
+                TokenKind::Str
+            }
+            b'r' | b'b' | b'c' => {
+                // Raw strings (r"…", r#"…"#), byte/C strings (b"…", br#"…"#,
+                // c"…"), byte chars (b'x'), raw identifiers (r#type) — or a
+                // plain identifier starting with one of these letters.
+                let (is_raw, plen) = match (b, self.peek(1)) {
+                    (b'r', _) => (true, 1),
+                    (b'b', b'r') => (true, 2),
+                    _ => (false, 1),
+                };
+                let mut hashes = 0;
+                if is_raw {
+                    while self.peek(plen + hashes) == b'#' {
+                        hashes += 1;
+                    }
+                }
+                if b == b'b' && !is_raw && self.peek(plen) == b'\'' {
+                    // b'x' byte literal.
+                    self.bump(plen + 1);
+                    while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                        if self.peek(0) == b'\\' {
+                            self.bump(1);
+                        }
+                        self.bump(1);
+                    }
+                    self.bump(1);
+                    TokenKind::Char
+                } else if !is_raw && self.peek(plen) == b'"' {
+                    // b"…" / c"…": escapes allowed, plain string scan.
+                    self.bump(plen + 1);
+                    self.skip_string();
+                    TokenKind::Str
+                } else if is_raw && self.peek(plen + hashes) == b'"' {
+                    self.bump(plen);
+                    self.skip_raw_string(hashes);
+                    TokenKind::Str
+                } else if b == b'r' && hashes > 0 {
+                    // Raw identifier r#type.
+                    self.bump(plen + hashes);
+                    while Self::is_ident_continue(self.peek(0)) {
+                        self.bump(1);
+                    }
+                    TokenKind::Ident
+                } else {
+                    while Self::is_ident_continue(self.peek(0)) {
+                        self.bump(1);
+                    }
+                    TokenKind::Ident
+                }
+            }
+            b'\'' => {
+                // Lifetime ('a) vs char literal ('a', '\n', '🦀').
+                if Self::is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+                    self.bump(1);
+                    while Self::is_ident_continue(self.peek(0)) {
+                        self.bump(1);
+                    }
+                    TokenKind::Lifetime
+                } else {
+                    self.bump(1);
+                    while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                        if self.peek(0) == b'\\' {
+                            self.bump(1);
+                        }
+                        self.bump(1);
+                    }
+                    self.bump(1);
+                    TokenKind::Char
+                }
+            }
+            _ if b.is_ascii_digit() => self.lex_number(),
+            _ if Self::is_ident_start(b) => {
+                while Self::is_ident_continue(self.peek(0)) {
+                    self.bump(1);
+                }
+                TokenKind::Ident
+            }
+            _ => {
+                let rest = &self.src[self.pos..];
+                let op = OPS.iter().find(|op| rest.starts_with(**op));
+                match op {
+                    Some(op) => self.bump(op.len()),
+                    None => self.bump(1),
+                }
+                TokenKind::Op
+            }
+        };
+        Some(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        })
+    }
+}
+
+/// Tokenizes `src`, keeping comments (waivers live in them).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    while let Some(t) = lx.next_token() {
+        // Defensive: an empty token would loop forever upstream.
+        debug_assert!(t.end > t.start, "empty token at byte {}", t.start);
+        if t.end == t.start {
+            break;
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_operators_longest_first() {
+        let ts = kinds("a += b == c != d :: e");
+        let ops: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Op)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(ops, ["+=", "==", "!=", "::"]);
+    }
+
+    #[test]
+    fn distinguishes_float_and_int_literals() {
+        let ts = kinds("1 1.0 2e-9 0xff 1_000u64 0.5f32 3.");
+        let got: Vec<TokenKind> = ts.iter().map(|(k, _)| *k).collect();
+        use TokenKind::*;
+        assert_eq!(got, vec![Int, Float, Float, Int, Int, Float, Float]);
+    }
+
+    #[test]
+    fn range_and_method_on_int_are_not_floats() {
+        let ts = kinds("0..n 1.max(2)");
+        assert_eq!(ts[0], (TokenKind::Int, "0".to_string()));
+        assert_eq!(ts[1], (TokenKind::Op, "..".to_string()));
+        let one = &ts[3];
+        assert_eq!(*one, (TokenKind::Int, "1".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ts = kinds("&'a str 'x' '\\n'");
+        assert!(ts
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Lifetime && s == "'a"));
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn strings_raw_strings_and_comments() {
+        let src = r##"let s = r#"a "quoted" b"#; // trailing
+/* block /* nested */ still */ let t = "x\"y";"##;
+        let ts = kinds(src);
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert_eq!(
+            ts.iter()
+                .filter(|(k, _)| *k == TokenKind::LineComment)
+                .count(),
+            1
+        );
+        assert!(ts
+            .iter()
+            .any(|(k, s)| *k == TokenKind::BlockComment && s.contains("nested")));
+    }
+
+    #[test]
+    fn tracks_lines_and_columns() {
+        let src = "a\n  b += 1.5\n";
+        let ts = lex(src);
+        let b = ts.iter().find(|t| t.text(src) == "b").unwrap();
+        assert_eq!((b.line, b.col), (2, 3));
+        let f = ts.iter().find(|t| t.kind == TokenKind::Float).unwrap();
+        assert_eq!(f.line, 2);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for src in ["\"abc", "/* never closed", "r#\"raw", "'"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # parsched-lint — domain-specific static analysis for this workspace
+//!
+//! The repo's correctness rests on contracts the compiler cannot see:
+//! trace replay and the four-way differential oracle assume the
+//! simulation crates are **deterministic**; the flow-identity audit
+//! assumes every metric accumulation is **Neumaier-compensated**
+//! (`kahan::NeumaierSum`); the SRPT-order invariants are only audited for
+//! policies that **declare their metadata in the registry**. A single raw
+//! `a += b` fold or default-hasher iteration compiles clean and corrupts
+//! results at n = 10⁷, where no reviewer will spot it.
+//!
+//! This crate machine-enforces those contracts offline, with no external
+//! dependencies: a span-tracking Rust lexer ([`lex`]), a token-pattern
+//! rule framework ([`rules`]) with deny-by-default diagnostics, inline
+//! waivers (`// lint:allow(L001) reason` — reasons are mandatory, stale
+//! waivers are themselves errors), and human/JSON reporting ([`report`]).
+//! The CLI front-end is `parsched lint`; the full catalog is documented
+//! in `docs/LINTS.md`.
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | L001 | flow/metric accumulation goes through `kahan::NeumaierSum` |
+//! | L002 | no wall clocks, entropy RNGs, or hash-order iteration in sim paths |
+//! | L003 | no `==`/`!=` against float values outside the tolerance helpers |
+//! | L004 | every `Policy` impl is registry-buildable and declares its metadata |
+//! | L005 | crate roots forbid unsafe; the event loop never `unwrap()`s |
+//!
+//! This is a *lexical* analyzer by design (the same offline discipline as
+//! `simcore::jsonlite`): it sees token shapes, not types. The rules are
+//! therefore scoped to the paths where the shape *is* the contract, and
+//! anything intentional is waived inline where a reviewer will see the
+//! reason.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lex;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use engine::{lint_root, run, LintOutcome, Workspace};
+pub use source::SourceFile;
+
+/// One finding: a rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule id (`L001` …).
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}

@@ -1,0 +1,115 @@
+//! Rendering a [`LintOutcome`] for humans and for machines.
+
+use crate::engine::LintOutcome;
+use crate::rules::catalog;
+
+/// Human `file:line:col: RULE message` lines plus a summary footer.
+pub fn render_human(out: &LintOutcome) -> String {
+    let mut s = String::new();
+    for d in &out.violations {
+        s.push_str(&format!(
+            "{}:{}:{}: {} {}\n",
+            d.path, d.line, d.col, d.rule, d.message
+        ));
+    }
+    for p in &out.waiver_problems {
+        s.push_str(&format!("{}:{}:1: waiver {}\n", p.path, p.line, p.detail));
+    }
+    s.push_str(&format!(
+        "{} file{} analyzed: {} violation{}, {} waived, {} waiver problem{}\n",
+        out.files,
+        plural(out.files),
+        out.violations.len(),
+        plural(out.violations.len()),
+        out.waived.len(),
+        out.waiver_problems.len(),
+        plural(out.waiver_problems.len()),
+    ));
+    s
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Escapes a string for embedding in JSON output.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine output, schema `parsched-lint/v1` (hand-rolled JSON in the
+/// house style — the offline serde shim does not serialize).
+pub fn render_json(out: &LintOutcome) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"parsched-lint/v1\",\n");
+    s.push_str(&format!("  \"files\": {},\n", out.files));
+    s.push_str("  \"rules\": [\n");
+    let rules = catalog();
+    for (i, r) in rules.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"summary\": \"{}\"}}{}\n",
+            r.id(),
+            esc(r.summary()),
+            if i + 1 < rules.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"violations\": [\n");
+    for (i, d) in out.violations.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\"}}{}\n",
+            d.rule,
+            esc(&d.path),
+            d.line,
+            d.col,
+            esc(&d.message),
+            if i + 1 < out.violations.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("  ],\n  \"waived\": [\n");
+    for (i, (d, reason)) in out.waived.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}{}\n",
+            d.rule,
+            esc(&d.path),
+            d.line,
+            esc(reason),
+            if i + 1 < out.waived.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"waiver_problems\": [\n");
+    for (i, p) in out.waiver_problems.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"path\": \"{}\", \"line\": {}, \"detail\": \"{}\"}}{}\n",
+            esc(&p.path),
+            p.line,
+            esc(&p.detail),
+            if i + 1 < out.waiver_problems.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

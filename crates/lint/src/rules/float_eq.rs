@@ -1,0 +1,99 @@
+//! L003 — direct `==`/`!=` against floating-point values.
+//!
+//! Event times and remaining work accumulate rounding error, so a control
+//! flow decision made with exact float equality is a latent bug that only
+//! fires at scale. Comparisons that tolerate error go through
+//! `parsched_speedup::float::{approx_eq, approx_le}`; the rare *intended*
+//! exact comparisons (sentinel values that were constructed, never
+//! computed) go through `parsched_speedup::float::exact_eq`, which names
+//! the intent and carries the justification at the definition site.
+//!
+//! Lexically the rule flags `==`/`!=` with a float literal (or an
+//! `f64::`/`f32::` associated constant) on either side. Identifier-vs-
+//! identifier float comparisons are outside a token scanner's reach —
+//! those are covered by `clippy::float_cmp` in test code review and by
+//! the engine's invariant audits at runtime.
+
+use crate::engine::Workspace;
+use crate::lex::TokenKind;
+use crate::rules::{diag_at, Rule};
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// The L003 rule value.
+pub struct FloatEq;
+
+impl Rule for FloatEq {
+    fn id(&self) -> &'static str {
+        "L003"
+    }
+
+    fn summary(&self) -> &'static str {
+        "direct `==`/`!=` on f64 outside the approved tolerance helpers; use \
+         float::approx_eq / approx_le, or float::exact_eq for intended sentinel equality"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            // All production source is in scope; the helpers themselves
+            // compare idents, not literals, so they need no exemption.
+            let in_src = file.rel.starts_with("src/")
+                || (file.rel.starts_with("crates/") && file.rel.contains("/src/"));
+            if !in_src {
+                continue;
+            }
+            for i in 0..file.tokens.len() {
+                let t = &file.tokens[i];
+                if t.kind != TokenKind::Op
+                    || (file.tok(i) != "==" && file.tok(i) != "!=")
+                    || file.in_test_code(i)
+                {
+                    continue;
+                }
+                if let Some(operand) = float_operand(file, i) {
+                    out.push(diag_at(
+                        file,
+                        i,
+                        self.id(),
+                        format!(
+                            "exact float comparison `{} {operand}`; use float::approx_eq \
+                             (tolerant) or float::exact_eq (named intended-exact compare)",
+                            file.tok(i),
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// If either side of the comparison at token `i` is a float literal or an
+/// `f64::`/`f32::` associated constant, returns its text.
+fn float_operand(file: &SourceFile, i: usize) -> Option<String> {
+    if let Some(p) = file.prev_code(i) {
+        if file.tokens[p].kind == TokenKind::Float {
+            return Some(file.tok(p).to_string());
+        }
+    }
+    let j = file.next_code(i)?;
+    // `== -1.0`: skip a unary minus.
+    let j = if file.tok(j) == "-" {
+        file.next_code(j)?
+    } else {
+        j
+    };
+    if file.tokens[j].kind == TokenKind::Float {
+        return Some(file.tok(j).to_string());
+    }
+    // `== f64::INFINITY` and friends.
+    if matches!(file.tok(j), "f64" | "f32") {
+        let c = file.next_code(j)?;
+        if file.tok(c) == "::" {
+            let k = file.next_code(c)?;
+            return Some(format!("{}::{}", file.tok(j), file.tok(k)));
+        }
+    }
+    None
+}

@@ -1,0 +1,167 @@
+//! L001 — raw f64 accumulation in metrics/flow paths.
+//!
+//! Flow-time metrics add up millions of small terms; naive left-to-right
+//! `f64` summation silently drops terms once the running sum dwarfs them
+//! (see `crates/simcore/src/kahan.rs` for the worked failure at n = 10⁶).
+//! Every named metric accumulator and every iterator fold to `f64` in the
+//! simulation/analysis crates must therefore go through
+//! `kahan::NeumaierSum`; integer folds must say so with a turbofish.
+
+use crate::engine::Workspace;
+use crate::lex::TokenKind;
+use crate::rules::{diag_at, in_scope, Rule};
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// Paths whose accumulations are flow/metric arithmetic.
+const SCOPE: &[&str] = &["crates/simcore/src/", "crates/analysis/src/"];
+
+/// The compensated-summation helpers themselves (and their tests) are the
+/// one place raw accumulation is the point.
+const EXEMPT: &[&str] = &["crates/simcore/src/kahan.rs"];
+
+/// `+=` targets whose names mark them as flow/metric accumulators.
+const ACCUMULATOR_NAMES: &[&str] = &["flow", "stretch", "integral", "weighted", "volume", "area"];
+
+/// Turbofish element types for which `.sum::<T>()` is exact.
+const EXACT_SUM_TYPES: &[&str] = &[
+    "usize",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "isize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "NeumaierSum",
+    "Duration",
+];
+
+/// The L001 rule value.
+pub struct FloatSum;
+
+impl Rule for FloatSum {
+    fn id(&self) -> &'static str {
+        "L001"
+    }
+
+    fn summary(&self) -> &'static str {
+        "raw f64 accumulation (`+=` on a metric accumulator, un-annotated `.sum()`) in a \
+         flow/metric path; use kahan::NeumaierSum, or `.sum::<usize>()` for integer folds"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !in_scope(&file.rel, SCOPE) || EXEMPT.contains(&file.rel.as_str()) {
+                continue;
+            }
+            for i in 0..file.tokens.len() {
+                if file.tokens[i].is_comment() || file.in_test_code(i) {
+                    continue;
+                }
+                if file.tokens[i].kind == TokenKind::Op && file.tok(i) == "+=" {
+                    if let Some(name) = accumulator_target(file, i) {
+                        out.push(diag_at(
+                            file,
+                            i,
+                            self.id(),
+                            format!(
+                                "raw f64 accumulation `{name} += …` in a flow/metric path; \
+                                 make `{name}` a kahan::NeumaierSum and call `.add(…)`"
+                            ),
+                        ));
+                    }
+                }
+                if file.tokens[i].kind == TokenKind::Ident
+                    && file.tok(i) == "sum"
+                    && file.prev_code(i).is_some_and(|p| file.tok(p) == ".")
+                {
+                    if let Some(msg) = check_sum_call(file, i) {
+                        out.push(diag_at(file, i, self.id(), msg));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Walks back over the assignment target of a `+=` at token `i` and
+/// returns its dotted name if any component is a known accumulator.
+fn accumulator_target(file: &SourceFile, i: usize) -> Option<String> {
+    let mut names: Vec<&str> = Vec::new();
+    let mut j = i;
+    while let Some(p) = file.prev_code(j) {
+        let t = &file.tokens[p];
+        let text = file.tok(p);
+        let part_of_target = matches!(t.kind, TokenKind::Ident | TokenKind::Int)
+            || text == "."
+            || text == "["
+            || text == "]";
+        if !part_of_target {
+            break;
+        }
+        if t.kind == TokenKind::Ident {
+            names.push(text);
+        }
+        j = p;
+    }
+    let hit = names.iter().any(|n| {
+        let lower = n.to_ascii_lowercase();
+        ACCUMULATOR_NAMES.iter().any(|a| lower.contains(a))
+    });
+    if hit {
+        names.reverse();
+        Some(names.join("."))
+    } else {
+        None
+    }
+}
+
+/// Inspects a `.sum` call at token `i` (`sum` ident). Returns a message if
+/// it is an un-annotated or floating-point fold.
+fn check_sum_call(file: &SourceFile, i: usize) -> Option<String> {
+    let j = file.next_code(i)?;
+    match file.tok(j) {
+        "(" => Some(
+            "un-annotated iterator `.sum()` in a flow/metric path; use \
+             kahan::NeumaierSum::total(…) for f64 terms or annotate an exact fold \
+             (e.g. `.sum::<usize>()`)"
+                .to_string(),
+        ),
+        "::" => {
+            // `.sum::<T>()` — extract the idents of T.
+            let mut k = file.next_code(j)?;
+            if file.tok(k) != "<" {
+                return None;
+            }
+            let mut ty: Vec<String> = Vec::new();
+            loop {
+                k = file.next_code(k)?;
+                let text = file.tok(k);
+                if text == ">" || text == ">>" {
+                    break;
+                }
+                if file.tokens[k].kind == TokenKind::Ident {
+                    ty.push(text.to_string());
+                }
+            }
+            let exact = ty.iter().any(|t| EXACT_SUM_TYPES.contains(&t.as_str()));
+            if exact {
+                None
+            } else {
+                Some(format!(
+                    "iterator `.sum::<{}>()` folds floats naively in a flow/metric path; \
+                     use kahan::NeumaierSum::total(…)",
+                    ty.join("::")
+                ))
+            }
+        }
+        _ => None,
+    }
+}

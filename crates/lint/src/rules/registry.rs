@@ -1,0 +1,135 @@
+//! L004 — policy-registry completeness.
+//!
+//! The differential oracles, the invariant audits, and the CLI all reach
+//! policies through `crates/core/src/registry.rs` (`PolicyKind`). A
+//! `Policy` impl that never lands in the registry is invisible to every
+//! one of those safety nets — its SRPT-order metadata is never audited and
+//! the four-way differential suite never exercises it. Likewise, an impl
+//! that *inherits* the default `stability()`/`srpt_ordered()` instead of
+//! declaring them leaves the execution-path contract implicit; a later
+//! heSRPT-style variant could silently run un-audited.
+
+use crate::engine::Workspace;
+use crate::lex::TokenKind;
+use crate::rules::{diag_at, Rule};
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// Where the policy implementations live.
+const SCOPE: &str = "crates/core/src/";
+/// The registry every impl must appear in.
+const REGISTRY: &str = "crates/core/src/registry.rs";
+
+/// The L004 rule value.
+pub struct RegistryComplete;
+
+impl Rule for RegistryComplete {
+    fn id(&self) -> &'static str {
+        "L004"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every `impl Policy for` in crates/core must be buildable from the PolicyKind \
+         registry and must declare stability() and srpt_ordered() explicitly"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let registry_idents: Option<Vec<String>> =
+            ws.files.iter().find(|f| f.rel == REGISTRY).map(|reg| {
+                (0..reg.tokens.len())
+                    .filter(|&i| reg.tokens[i].kind == TokenKind::Ident)
+                    .map(|i| reg.tok(i).to_string())
+                    .collect()
+            });
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !file.rel.starts_with(SCOPE) {
+                continue;
+            }
+            for (name, at, block) in policy_impls(file) {
+                if let Some(reg) = &registry_idents {
+                    if !reg.iter().any(|r| r == &name) {
+                        out.push(diag_at(
+                            file,
+                            at,
+                            self.id(),
+                            format!(
+                                "`impl Policy for {name}` is not registered in {REGISTRY}: \
+                                 add a PolicyKind variant that builds it so the differential \
+                                 and audit suites cover it"
+                            ),
+                        ));
+                    }
+                }
+                for method in ["stability", "srpt_ordered"] {
+                    if !block_declares(file, block, method) {
+                        out.push(diag_at(
+                            file,
+                            at,
+                            self.id(),
+                            format!(
+                                "`impl Policy for {name}` inherits the default `{method}()`; \
+                                 declare it explicitly — the engine path and the invariant \
+                                 audit both key on this metadata"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Finds `impl Policy for <Name>` outside test code, returning the name,
+/// the anchoring token index, and the impl block's token range.
+fn policy_impls(file: &SourceFile) -> Vec<(String, usize, (usize, usize))> {
+    let mut out = Vec::new();
+    for i in 0..file.tokens.len() {
+        if file.tokens[i].kind != TokenKind::Ident || file.tok(i) != "impl" || file.in_test_code(i)
+        {
+            continue;
+        }
+        let Some(a) = file.next_code(i) else { continue };
+        if file.tok(a) != "Policy" {
+            continue;
+        }
+        let Some(b) = file.next_code(a) else { continue };
+        if file.tok(b) != "for" {
+            continue;
+        }
+        let Some(c) = file.next_code(b) else { continue };
+        if file.tokens[c].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = file.tok(c).to_string();
+        // Find the `{ … }` block (skipping any generics/where clause).
+        let mut k = c;
+        while k < file.tokens.len() && file.tok(k) != "{" {
+            k += 1;
+        }
+        let open = k;
+        let mut depth = 0usize;
+        while k < file.tokens.len() {
+            match file.tok(k) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push((name, i, (open, k)));
+    }
+    out
+}
+
+/// Whether the impl block declares `fn <method>` at its top level.
+fn block_declares(file: &SourceFile, (open, close): (usize, usize), method: &str) -> bool {
+    (open..close.min(file.tokens.len()))
+        .any(|i| file.tok(i) == "fn" && file.next_code(i).is_some_and(|n| file.tok(n) == method))
+}

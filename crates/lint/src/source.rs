@@ -1,0 +1,364 @@
+//! Lexed source files, waiver extraction, and the workspace file walker.
+
+use std::path::{Path, PathBuf};
+
+use crate::lex::{lex, Token};
+
+/// An inline waiver: `// lint:allow(L001) reason` or
+/// `// lint:allow(L001, L003) reason`.
+///
+/// A waiver on a line of code waives matching diagnostics on **that
+/// line**; a waiver on a line of its own waives them on the **next line
+/// that contains code**. The reason is mandatory — a waiver without one is
+/// itself reported.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule ids this waiver covers (uppercased, e.g. `L001`).
+    pub rules: Vec<String>,
+    /// The justification following the rule list.
+    pub reason: String,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Line whose diagnostics it waives.
+    pub target_line: u32,
+}
+
+/// One lexed file of the workspace under analysis.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (stable across OSes,
+    /// and what rule scopes match against).
+    pub rel: String,
+    /// Full text.
+    pub text: String,
+    /// Token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// Parsed waivers.
+    pub waivers: Vec<Waiver>,
+    /// Half-open token-index ranges lying inside `#[cfg(test)] mod … { }`
+    /// blocks. Most rules skip these: test code deliberately does exact
+    /// float math and uses wall clocks.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes `text` under the given workspace-relative path.
+    pub fn new(rel: impl Into<String>, text: impl Into<String>) -> Self {
+        let rel = rel.into();
+        let text = text.into();
+        let tokens = lex(&text);
+        let waivers = extract_waivers(&text, &tokens);
+        let test_ranges = find_test_ranges(&text, &tokens);
+        Self {
+            rel,
+            text,
+            tokens,
+            waivers,
+            test_ranges,
+        }
+    }
+
+    /// The text of token `i`.
+    pub fn tok(&self, i: usize) -> &str {
+        self.tokens[i].text(&self.text)
+    }
+
+    /// Whether token index `i` lies inside a `#[cfg(test)]` module.
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| a <= i && i < b)
+    }
+
+    /// Index of the previous non-comment token before `i`, if any.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| !self.tokens[j].is_comment())
+    }
+
+    /// Index of the next non-comment token after `i`, if any.
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        (i + 1..self.tokens.len()).find(|&j| !self.tokens[j].is_comment())
+    }
+}
+
+/// Pulls `lint:allow(...)` waivers out of the comment tokens.
+fn extract_waivers(text: &str, tokens: &[Token]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_comment() {
+            continue;
+        }
+        let body = t.text(text);
+        // Doc comments *describe* the waiver syntax (this crate's own
+        // docs do); only plain `//` / `/* */` comments carry directives.
+        if body.starts_with("///")
+            || body.starts_with("//!")
+            || body.starts_with("/**")
+            || body.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = body.find("lint:allow(") else {
+            continue;
+        };
+        let after = &body[at + "lint:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_ascii_uppercase())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = after[close + 1..]
+            .trim()
+            .trim_end_matches("*/")
+            .trim()
+            .to_string();
+        // Trailing comment (code precedes it on the same line) waives its
+        // own line; a standalone comment line waives the next code line.
+        let has_code_before = tokens[..i]
+            .iter()
+            .rev()
+            .take_while(|p| p.line == t.line)
+            .any(|p| !p.is_comment());
+        let target_line = if has_code_before {
+            t.line
+        } else {
+            tokens[i + 1..]
+                .iter()
+                .find(|n| !n.is_comment())
+                .map(|n| n.line)
+                .unwrap_or(t.line + 1)
+        };
+        out.push(Waiver {
+            rules,
+            reason,
+            line: t.line,
+            target_line,
+        });
+    }
+    out
+}
+
+/// Finds `#[cfg(test)] mod … { }` token ranges (the body, inclusive of the
+/// braces) so rules can skip test code.
+fn find_test_ranges(text: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 4 < tokens.len() {
+        // Match `# [ cfg ( test` allowing no interleaved comments (attrs
+        // are written tightly in practice).
+        let is_cfg_test = tokens[i].text(text) == "#"
+            && tokens[i + 1].text(text) == "["
+            && tokens[i + 2].text(text) == "cfg"
+            && tokens[i + 3].text(text) == "("
+            && tokens[i + 4].text(text) == "test";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip to the closing `]` of the attribute, then over any further
+        // attributes, doc comments, and visibility, looking for `mod`.
+        let mut j = i + 5;
+        let mut depth = 1; // inside `[`
+        while j < tokens.len() && depth > 0 {
+            match tokens[j].text(text) {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        // Allow `#[cfg(test)] #[other] pub mod name {` shapes.
+        let mut k = j;
+        loop {
+            if k >= tokens.len() {
+                break;
+            }
+            if tokens[k].is_comment() {
+                k += 1;
+                continue;
+            }
+            match tokens[k].text(text) {
+                "#" => {
+                    // Skip a whole attribute.
+                    k += 1;
+                    if k < tokens.len() && tokens[k].text(text) == "[" {
+                        let mut d = 1;
+                        k += 1;
+                        while k < tokens.len() && d > 0 {
+                            match tokens[k].text(text) {
+                                "[" => d += 1,
+                                "]" => d -= 1,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+                "pub" => k += 1,
+                "(" => {
+                    // pub(crate) etc.
+                    let mut d = 1;
+                    k += 1;
+                    while k < tokens.len() && d > 0 {
+                        match tokens[k].text(text) {
+                            "(" => d += 1,
+                            ")" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                "mod" => break,
+                _ => break,
+            }
+        }
+        if k < tokens.len() && tokens[k].text(text) == "mod" {
+            // Find the opening brace, then its match.
+            let mut b = k + 1;
+            while b < tokens.len() && tokens[b].text(text) != "{" {
+                b += 1;
+            }
+            if b < tokens.len() {
+                let mut d = 1;
+                let mut e = b + 1;
+                while e < tokens.len() && d > 0 {
+                    match tokens[e].text(text) {
+                        "{" => d += 1,
+                        "}" => d -= 1,
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                out.push((i, e));
+                i = e;
+                continue;
+            }
+        }
+        i = j;
+    }
+    out
+}
+
+/// Directory names never descended into: build output, vendored shims,
+/// test/bench/example code, and lint fixtures (which violate on purpose).
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "shims",
+    "tests",
+    "benches",
+    "examples",
+    "fixtures",
+    "docs",
+    "proptest-regressions",
+    ".git",
+    ".github",
+];
+
+/// Recursively collects `.rs` files under `dir`, returning paths relative
+/// to `root`, sorted for deterministic diagnostic order.
+pub fn collect_rs_files(root: &Path, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        if d.is_file() {
+            if d.extension().is_some_and(|e| e == "rs") {
+                out.push(d);
+            }
+            continue;
+        }
+        for entry in std::fs::read_dir(&d)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    let mut rels: Vec<PathBuf> = out
+        .into_iter()
+        .map(|p| p.strip_prefix(root).map(|r| r.to_path_buf()).unwrap_or(p))
+        .collect();
+    rels.sort();
+    Ok(rels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::TokenKind;
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let f = SourceFile::new(
+            "x.rs",
+            "fn f() {\n    let a = 1.0 == b; // lint:allow(L003) sentinel compare\n}\n",
+        );
+        assert_eq!(f.waivers.len(), 1);
+        let w = &f.waivers[0];
+        assert_eq!(w.rules, vec!["L003".to_string()]);
+        assert_eq!(w.target_line, 2);
+        assert_eq!(w.reason, "sentinel compare");
+    }
+
+    #[test]
+    fn standalone_waiver_targets_next_code_line() {
+        let f = SourceFile::new(
+            "x.rs",
+            "fn f() {\n    // lint:allow(L001, L003) both rules, one reason\n    t += 1.0;\n}\n",
+        );
+        let w = &f.waivers[0];
+        assert_eq!(w.rules, vec!["L001".to_string(), "L003".to_string()]);
+        assert_eq!((w.line, w.target_line), (2, 3));
+        assert_eq!(w.reason, "both rules, one reason");
+    }
+
+    #[test]
+    fn block_comment_waiver_strips_terminator() {
+        let f = SourceFile::new("x.rs", "/* lint:allow(L002) keyed lookup */ use std::x;\n");
+        assert_eq!(f.waivers[0].reason, "keyed lookup");
+        assert_eq!(f.waivers[0].target_line, 1);
+    }
+
+    #[test]
+    fn cfg_test_module_ranges_cover_their_tokens() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let x = 1.0; }\n}\nfn live2() {}\n";
+        let f = SourceFile::new("x.rs", src);
+        let float_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.kind == TokenKind::Float)
+            .unwrap();
+        assert!(f.in_test_code(float_idx));
+        let live2 = f
+            .tokens
+            .iter()
+            .position(|t| t.text(&f.text) == "live2")
+            .unwrap();
+        assert!(!f.in_test_code(live2));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attribute_and_visibility() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\npub(crate) mod tests { fn t() {} }\nfn after() {}\n";
+        let f = SourceFile::new("x.rs", src);
+        let t = f
+            .tokens
+            .iter()
+            .position(|tok| tok.text(&f.text) == "t")
+            .unwrap();
+        assert!(f.in_test_code(t));
+        let after = f
+            .tokens
+            .iter()
+            .position(|tok| tok.text(&f.text) == "after")
+            .unwrap();
+        assert!(!f.in_test_code(after));
+    }
+}

@@ -1,0 +1,84 @@
+//! Per-rule fixture pairs: each violating tree under `tests/fixtures/<rule>/`
+//! trips exactly its rule, and the `clean/` tree is silent. CI runs the same
+//! trees through the `parsched lint --root …` CLI and asserts the exit codes.
+
+use std::path::PathBuf;
+
+use parsched_lint::{lint_root, LintOutcome};
+
+fn fixture(name: &str) -> LintOutcome {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    lint_root(&root, &[]).expect("fixture tree readable")
+}
+
+/// Distinct rule ids among a fixture's violations.
+fn rules_hit(out: &LintOutcome) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = out.violations.iter().map(|d| d.rule).collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn l001_fixture_trips_only_l001() {
+    let out = fixture("l001");
+    assert_eq!(rules_hit(&out), vec!["L001"], "{:?}", out.violations);
+    // Both forms: the named-accumulator `+=` and the un-annotated `.sum()`.
+    assert_eq!(out.violations.len(), 2);
+}
+
+#[test]
+fn l002_fixture_trips_only_l002() {
+    let out = fixture("l002");
+    assert_eq!(rules_hit(&out), vec!["L002"], "{:?}", out.violations);
+    let msgs: Vec<&str> = out.violations.iter().map(|d| d.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("HashMap")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("Instant")), "{msgs:?}");
+}
+
+#[test]
+fn l003_fixture_trips_only_l003() {
+    let out = fixture("l003");
+    assert_eq!(rules_hit(&out), vec!["L003"], "{:?}", out.violations);
+    // `speed == 1.0` and `x != f64::INFINITY`.
+    assert_eq!(out.violations.len(), 2);
+}
+
+#[test]
+fn l004_fixture_trips_only_l004() {
+    let out = fixture("l004");
+    assert_eq!(rules_hit(&out), vec!["L004"], "{:?}", out.violations);
+    // Unregistered + missing stability() + missing srpt_ordered().
+    assert_eq!(out.violations.len(), 3);
+}
+
+#[test]
+fn l005_fixture_trips_only_l005() {
+    let out = fixture("l005");
+    assert_eq!(rules_hit(&out), vec!["L005"], "{:?}", out.violations);
+    let msgs: Vec<&str> = out.violations.iter().map(|d| d.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("forbid(unsafe_code)")),
+        "{msgs:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains("unwrap")), "{msgs:?}");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let out = fixture("clean");
+    assert!(out.is_clean(), "{:?}", out.violations);
+    assert!(out.files > 0, "clean fixture loaded no files");
+}
+
+#[test]
+fn diagnostics_carry_real_positions() {
+    let out = fixture("l001");
+    for d in &out.violations {
+        assert!(d.path.starts_with("crates/simcore/src/"), "{d}");
+        assert!(d.line > 1, "{d}"); // below the doc comment
+        assert!(d.col >= 1, "{d}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Clean fixture: satisfies every rule (the passing half of each pair).
+
+#![forbid(unsafe_code)]
+
+/// Counts jobs exactly — an annotated integer fold is allowed by L001.
+pub fn count(sizes: &[u64]) -> u64 {
+    sizes.iter().copied().sum::<u64>()
+}

@@ -1,0 +1,11 @@
+//! L001 fixture: raw f64 accumulation in a metrics path.
+
+/// Total flow, accumulated two forbidden ways.
+pub fn total(flows: &[f64]) -> f64 {
+    let mut total_flow = 0.0;
+    for f in flows {
+        total_flow += f;
+    }
+    let naive: f64 = flows.iter().sum();
+    total_flow + naive
+}

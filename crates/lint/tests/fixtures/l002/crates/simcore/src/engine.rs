@@ -1,0 +1,10 @@
+//! L002 fixture: nondeterminism in a simulation path.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Decides from a hash map and a wall clock — both banned.
+pub fn decide(order: &HashMap<u64, f64>) -> f64 {
+    let _started = Instant::now();
+    order.values().copied().fold(0.0, f64::max)
+}

@@ -1,0 +1,11 @@
+//! L003 fixture: exact float equality against literals and constants.
+
+/// Compares a computed speed to a literal exactly.
+pub fn is_default_speed(speed: f64) -> bool {
+    speed == 1.0
+}
+
+/// Compares against an associated constant exactly.
+pub fn is_unbounded(x: f64) -> bool {
+    x != f64::INFINITY
+}

@@ -1,0 +1,8 @@
+//! L004 fixture registry: knows nothing about `UnregisteredPolicy`.
+
+/// The fixture's registry enum — deliberately missing a variant for the
+/// policy implemented in `unregistered.rs`.
+pub enum PolicyKind {
+    /// The only policy this registry can build.
+    Known,
+}

@@ -1,0 +1,25 @@
+//! L004 fixture: a `Policy` impl the registry cannot build, which also
+//! inherits both metadata defaults.
+
+/// A minimal stand-in for the real trait.
+pub trait Policy {
+    /// Display name.
+    fn name(&self) -> String;
+    /// Execution-path contract (defaulted — impls must override).
+    fn stability(&self) -> u8 {
+        0
+    }
+    /// Audit metadata (defaulted — impls must override).
+    fn srpt_ordered(&self) -> bool {
+        false
+    }
+}
+
+/// The rogue policy.
+pub struct UnregisteredPolicy;
+
+impl Policy for UnregisteredPolicy {
+    fn name(&self) -> String {
+        "rogue".to_string()
+    }
+}

@@ -1,0 +1,3 @@
+//! L005 fixture crate root: missing `#![forbid(unsafe_code)]`.
+
+pub mod engine;

@@ -1,0 +1,20 @@
+//! The committed workspace must be lint-clean — the same gate CI enforces
+//! with `parsched lint`. A failure here means a change introduced a
+//! determinism/float-hygiene/registry violation (or left a waiver stale);
+//! fix it or waive it inline with a reason.
+
+use std::path::PathBuf;
+
+use parsched_lint::{lint_root, report::render_human};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = lint_root(&root, &[]).expect("workspace readable");
+    assert!(out.files >= 50, "suspiciously few files: {}", out.files);
+    assert!(
+        out.is_clean(),
+        "workspace lint failures:\n{}",
+        render_human(&out)
+    );
+}

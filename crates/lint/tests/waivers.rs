@@ -1,0 +1,86 @@
+//! The waiver protocol, end to end: suppression, mandatory reasons, and
+//! stale-waiver detection, driven through in-memory workspaces.
+
+use parsched_lint::{run, Workspace};
+
+fn outcome(files: &[(&str, &str)]) -> parsched_lint::LintOutcome {
+    run(&Workspace::from_memory(files.iter().map(|&(p, t)| (p, t))))
+}
+
+#[test]
+fn trailing_waiver_suppresses_its_own_line() {
+    let out = outcome(&[(
+        "crates/core/src/x.rs",
+        "pub fn f(s: f64) -> bool {\n    s == 1.0 // lint:allow(L003) parsed sentinel, never computed\n}\n",
+    )]);
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+    assert_eq!(out.waived.len(), 1);
+    assert_eq!(out.waived[0].0.rule, "L003");
+    assert_eq!(out.waived[0].1, "parsed sentinel, never computed");
+    assert!(out.waiver_problems.is_empty(), "{:?}", out.waiver_problems);
+}
+
+#[test]
+fn standalone_waiver_targets_the_next_code_line() {
+    let out = outcome(&[(
+        "crates/core/src/x.rs",
+        "pub fn f(s: f64) -> bool {\n    // lint:allow(L003) parsed sentinel, never computed\n    s == 1.0\n}\n",
+    )]);
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+    assert_eq!(out.waived.len(), 1);
+}
+
+#[test]
+fn reasonless_waiver_does_not_waive() {
+    let out = outcome(&[(
+        "crates/core/src/x.rs",
+        "pub fn f(s: f64) -> bool {\n    s == 1.0 // lint:allow(L003)\n}\n",
+    )]);
+    // The violation stands AND the bare waiver is itself reported.
+    assert_eq!(out.violations.len(), 1);
+    assert_eq!(out.waiver_problems.len(), 1);
+    assert!(out.waiver_problems[0].detail.contains("no reason"));
+}
+
+#[test]
+fn stale_waiver_is_reported() {
+    let out = outcome(&[(
+        "crates/core/src/x.rs",
+        "// lint:allow(L003) nothing on the next line violates anything\npub fn f() {}\n",
+    )]);
+    assert!(out.violations.is_empty());
+    assert_eq!(out.waiver_problems.len(), 1);
+    assert!(out.waiver_problems[0].detail.contains("stale"));
+}
+
+#[test]
+fn unknown_rule_in_waiver_is_reported() {
+    let out = outcome(&[(
+        "crates/core/src/x.rs",
+        "// lint:allow(L999) no such rule\npub fn f() {}\n",
+    )]);
+    assert_eq!(out.waiver_problems.len(), 1);
+    assert!(out.waiver_problems[0].detail.contains("L999"));
+}
+
+#[test]
+fn waiver_for_a_different_rule_does_not_suppress() {
+    let out = outcome(&[(
+        "crates/core/src/x.rs",
+        "pub fn f(s: f64) -> bool {\n    s == 1.0 // lint:allow(L001) wrong rule entirely\n}\n",
+    )]);
+    assert_eq!(out.violations.len(), 1, "{:?}", out.violations);
+    assert_eq!(out.violations[0].rule, "L003");
+    // And the mismatched waiver is stale.
+    assert_eq!(out.waiver_problems.len(), 1);
+}
+
+#[test]
+fn one_waiver_may_name_several_rules() {
+    let out = outcome(&[(
+        "crates/simcore/src/metrics.rs",
+        "pub fn f(xs: &[f64]) -> f64 {\n    let mut total_flow = 0.0;\n    total_flow += xs[0] == 1.0 as u8 as f64; // lint:allow(L001, L003) fixture exercising multi-rule waivers\n    total_flow\n}\n",
+    )]);
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+    assert_eq!(out.waived.len(), 2, "{:?}", out.waived);
+}

@@ -86,7 +86,11 @@ pub fn curve_from_field(field: &str) -> Result<Curve, SimError> {
 /// fifth `weight` column is emitted only when some job's weight differs
 /// from 1, keeping the common unweighted files minimal.
 pub fn instance_to_csv(instance: &Instance) -> String {
-    let weighted = instance.jobs().iter().any(|j| j.weight != 1.0);
+    // Weights are parsed or defaulted, never computed — exact by intent.
+    let weighted = instance
+        .jobs()
+        .iter()
+        .any(|j| !parsched_speedup::exact_eq(j.weight, 1.0));
     let mut out = String::from(if weighted {
         "id,release,size,curve,weight\n"
     } else {

@@ -191,6 +191,7 @@ impl IdMap {
 
     /// Inserts a mapping; the id must not be present (callers check first).
     fn insert(&mut self, id: JobId, idx: usize) {
+        // lint:allow(L005) u32 slot capacity (4.29e9 concurrently-alive jobs) is far beyond the design envelope; overflow here is unrecoverable corruption, not an input error
         let slot = u32::try_from(idx + 1).expect("more than u32::MAX jobs");
         // Direct-index ids up to a small multiple of the live count so the
         // dense table stays linear in the mapped population even for id
@@ -472,7 +473,9 @@ impl<'a> Engine<'a> {
     /// `V(t)`). `O(1)` on the incremental path.
     pub fn total_remaining(&self) -> Work {
         match self.mode {
-            ExecMode::Exhaustive => self.alive.iter().map(|&i| self.jobs[i].remaining).sum(),
+            ExecMode::Exhaustive => {
+                NeumaierSum::total(self.alive.iter().map(|&i| self.jobs[i].remaining))
+            }
             ExecMode::Incremental => self.srpt.total_remaining(),
         }
     }
@@ -1930,7 +1933,7 @@ mod tests {
     fn streaming_arena_stays_bounded_by_alive_set() {
         // 16 sequential jobs with disjoint lifetimes: the free list must
         // recycle one arena slot throughout.
-        let jobs: Vec<(f64, f64)> = (0..16).map(|i| (2.0 * i as f64, 1.0)).collect();
+        let jobs: Vec<(f64, f64)> = (0..16).map(|i| (2.0 * f64::from(i), 1.0)).collect();
         let instance = inst(&jobs, Curve::Sequential);
         let mut p = EquiSplit;
         let mut source = StaticSource::new(&instance);
@@ -2044,7 +2047,7 @@ mod tests {
         // streaming runs, whose makespans reach 10⁷). The event cap turns a
         // regression into an error instead of a hang.
         let t0 = 9_000_000.0;
-        let jobs: Vec<(f64, f64)> = (0..200).map(|i| (t0 + i as f64 * 0.37, 1.0)).collect();
+        let jobs: Vec<(f64, f64)> = (0..200).map(|i| (t0 + f64::from(i) * 0.37, 1.0)).collect();
         let instance = inst(&jobs, Curve::power(0.5));
         let mut p = EquiSplit;
         let mut source = StaticSource::new(&instance);

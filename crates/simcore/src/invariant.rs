@@ -428,7 +428,7 @@ impl Invariant for WorkDrainConsistency {
             return;
         }
         let dt = (cur.t - prev.t).max(0.0);
-        let index: std::collections::HashMap<JobId, &FrameJob> =
+        let index: std::collections::BTreeMap<JobId, &FrameJob> =
             prev.jobs.iter().map(|j| (j.id, j)).collect();
         for j in &cur.jobs {
             let Some(p) = index.get(&j.id) else { continue };

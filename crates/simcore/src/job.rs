@@ -79,7 +79,7 @@ impl Instance {
     /// Rejects: non-finite or negative releases, non-finite or non-positive
     /// sizes, duplicate ids, and invalid curves.
     pub fn new(mut jobs: Vec<JobSpec>) -> Result<Self, SimError> {
-        let mut seen = std::collections::HashSet::with_capacity(jobs.len());
+        let mut seen = std::collections::BTreeSet::new();
         for j in &jobs {
             if !j.release.is_finite() || j.release < 0.0 {
                 return Err(SimError::BadInstance {
@@ -191,7 +191,7 @@ impl Instance {
 
     /// Total work volume of the instance.
     pub fn total_work(&self) -> Work {
-        self.jobs.iter().map(|j| j.size).sum()
+        crate::kahan::NeumaierSum::total(self.jobs.iter().map(|j| j.size))
     }
 
     /// Latest release time (`0` if empty).

@@ -106,7 +106,7 @@ mod tests {
 
     #[test]
     fn matches_naive_sum_on_benign_input() {
-        let terms: Vec<f64> = (1..=100).map(|i| i as f64 * 0.5).collect();
+        let terms: Vec<f64> = (1..=100).map(|i| f64::from(i) * 0.5).collect();
         let naive: f64 = terms.iter().sum();
         assert_eq!(NeumaierSum::total(terms.iter().copied()), naive);
     }

@@ -181,10 +181,7 @@ impl AllocationTrace {
 
     /// Total processor-time recorded (`Σ share·(end − start)`).
     pub fn total_processor_time(&self) -> f64 {
-        self.segments
-            .iter()
-            .map(|s| s.share * (s.end - s.start))
-            .sum()
+        crate::kahan::NeumaierSum::total(self.segments.iter().map(|s| s.share * (s.end - s.start)))
     }
 
     /// The segments of one job, in time order.

@@ -9,7 +9,11 @@
 //! jobs, or overcommits processors, is rejected at construction or run
 //! time).
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: `from_tracks` *iterates* the active set to emit
+// `PlanSegment::shares`, so the map's iteration order is observable in the
+// plan (and in anything downstream that hashes or serializes it). Ordered
+// maps keep plans a pure function of their inputs.
+use std::collections::BTreeMap;
 
 use parsched_speedup::EPS;
 use serde::{Deserialize, Serialize};
@@ -56,7 +60,8 @@ impl AllocationPlan {
                 });
             }
             prev_end = seg.end;
-            let total: f64 = seg.shares.iter().map(|&(_, s)| s.max(0.0)).sum();
+            let total =
+                crate::kahan::NeumaierSum::total(seg.shares.iter().map(|&(_, s)| s.max(0.0)));
             if seg.shares.iter().any(|&(_, s)| !s.is_finite() || s < -EPS) {
                 return Err(SimError::BadInstance {
                     what: format!("plan segment {i} has an invalid share"),
@@ -113,7 +118,7 @@ impl AllocationPlan {
             })
         });
         let mut segments = Vec::new();
-        let mut active: HashMap<JobId, f64> = HashMap::new();
+        let mut active: BTreeMap<JobId, f64> = BTreeMap::new();
         let mut prev_t: Option<Time> = None;
         let mut i = 0;
         while i < events.len() {
@@ -225,7 +230,7 @@ impl Policy for PlannedPolicy {
         shares.fill(0.0);
         match self.plan.segment_at(now) {
             Some(seg) => {
-                let lookup: HashMap<JobId, f64> = seg.shares.iter().copied().collect();
+                let lookup: BTreeMap<JobId, f64> = seg.shares.iter().copied().collect();
                 for (i, job) in jobs.iter().enumerate() {
                     if let Some(&s) = lookup.get(&job.id()) {
                         shares[i] = s.max(0.0);

@@ -14,6 +14,7 @@ use parsched_speedup::EPS;
 
 use crate::error::SimError;
 use crate::job::{Instance, Time};
+use crate::kahan::NeumaierSum;
 use crate::policy::{AliveJob, Policy};
 
 /// Result of a quantized run.
@@ -47,7 +48,7 @@ pub fn simulate_quantized(
     let mut done: Vec<bool> = vec![false; jobs.len()];
     let mut next_arrival = 0usize;
     let mut alive: Vec<usize> = Vec::new();
-    let mut total_flow = 0.0;
+    let mut total_flow = NeumaierSum::new();
     let mut completed = 0usize;
     let mut steps = 0u64;
     let mut now = 0.0f64;
@@ -81,7 +82,7 @@ pub fn simulate_quantized(
         shares.clear();
         shares.resize(alive.len(), 0.0);
         policy.assign(now, m, &views, &mut shares);
-        let total: f64 = shares.iter().map(|s| s.max(0.0)).sum();
+        let total = NeumaierSum::total(shares.iter().map(|s| s.max(0.0)));
         if total > m * (1.0 + 1e-9) + EPS {
             return Err(SimError::InfeasibleAllocation {
                 at: now,
@@ -100,7 +101,7 @@ pub fn simulate_quantized(
             if remaining[idx] <= EPS * jobs[idx].size.max(1.0) {
                 remaining[idx] = 0.0;
                 done[idx] = true;
-                total_flow += now - jobs[idx].release;
+                total_flow.add(now - jobs[idx].release);
                 completed += 1;
                 alive.swap_remove(i);
                 shares.swap_remove(i);
@@ -111,7 +112,7 @@ pub fn simulate_quantized(
     }
     debug_assert!(done.iter().all(|&d| d));
     Ok(QuantizedOutcome {
-        total_flow,
+        total_flow: total_flow.value(),
         num_jobs: completed,
         steps,
     })

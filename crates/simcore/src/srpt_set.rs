@@ -214,8 +214,8 @@ impl SrptSet {
         self.s1 += 1.0 / slot.size;
         self.sk += key.key / slot.size;
         self.key_sum += key.key;
-        self.hetero_running += slot.hetero as usize;
-        self.nonunit_running += slot.nonunit as usize;
+        self.hetero_running += usize::from(slot.hetero);
+        self.nonunit_running += usize::from(slot.nonunit);
         let prev = self.running.insert(key, slot);
         debug_assert!(prev.is_none(), "duplicate running key");
     }
@@ -237,8 +237,8 @@ impl SrptSet {
         self.s1 -= 1.0 / slot.size;
         self.sk -= key.key / slot.size;
         self.key_sum -= key.key;
-        self.hetero_running -= slot.hetero as usize;
-        self.nonunit_running -= slot.nonunit as usize;
+        self.hetero_running -= usize::from(slot.hetero);
+        self.nonunit_running -= usize::from(slot.nonunit);
     }
 
     fn add_queued(&mut self, key: OrdKey, slot: Slot) {
@@ -580,7 +580,7 @@ mod tests {
             match next(3) {
                 0 => {
                     let size = 1.0 + next(16) as f64;
-                    let release = step as f64;
+                    let release = f64::from(step);
                     set.insert(arena, &spec(arena as u64, release, size), size);
                     model.push((arena, size, release, arena as u64));
                     arena += 1;

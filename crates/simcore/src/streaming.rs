@@ -257,7 +257,7 @@ mod tests {
     #[test]
     fn sketch_quantiles_respect_relative_error_bound() {
         let mut s = QuantileSketch::new();
-        let values: Vec<f64> = (1..=10_000).map(|i| i as f64 * 0.37).collect();
+        let values: Vec<f64> = (1..=10_000).map(|i| f64::from(i) * 0.37).collect();
         for &v in &values {
             s.record(v);
         }

@@ -22,7 +22,7 @@
 //! The serialization is hand-rolled JSON (see [`crate::jsonlite`] for
 //! why); curves reuse the compact field syntax of [`crate::csv`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::csv::{curve_from_field, curve_to_field};
 use crate::engine::{Engine, EngineConfig};
@@ -32,6 +32,7 @@ use crate::invariant::{
 };
 use crate::job::{Instance, JobId, JobSpec, Time};
 use crate::jsonlite::{escape, Json};
+use crate::kahan::NeumaierSum;
 use crate::metrics::{CompletedJob, RunMetrics, RunOutcome};
 use crate::observer::Observer;
 use crate::policy::{AliveJob, Policy};
@@ -439,16 +440,16 @@ struct ReplayJob {
 pub fn replay(trace: &Trace, level: AuditLevel) -> Result<ReplayOutcome, SimError> {
     let mut auditor = Auditor::new(level);
     let mut jobs: Vec<ReplayJob> = Vec::new();
-    let mut index: HashMap<JobId, usize> = HashMap::new();
+    let mut index: BTreeMap<JobId, usize> = BTreeMap::new();
     // Alive arena indices in admission order (replay frames iterate this).
     let mut alive: Vec<usize> = Vec::new();
-    let mut shares: HashMap<JobId, f64> = HashMap::new();
+    let mut shares: BTreeMap<JobId, f64> = BTreeMap::new();
     let mut now: Time = 0.0;
     let mut frames: u64 = 0;
-    let mut total_flow = 0.0;
+    let mut total_flow = NeumaierSum::new();
     let mut max_flow = 0.0_f64;
-    let mut frac_flow = 0.0;
-    let mut alive_integral = 0.0;
+    let mut frac_flow = NeumaierSum::new();
+    let mut alive_integral = NeumaierSum::new();
     let mut completed: Vec<CompletedJob> = Vec::new();
     let violation = |invariant: &'static str, event: usize, at: Time| Violation {
         invariant,
@@ -564,7 +565,7 @@ pub fn replay(trace: &Trace, level: AuditLevel) -> Result<ReplayOutcome, SimErro
                     }));
                 }
                 let dt = *t1 - *t0;
-                alive_integral += alive.len() as f64 * dt;
+                alive_integral.add(alive.len() as f64 * dt);
                 for &idx in &alive {
                     let j = &mut jobs[idx];
                     let share = shares.get(&j.spec.id).copied().unwrap_or(0.0);
@@ -574,7 +575,7 @@ pub fn replay(trace: &Trace, level: AuditLevel) -> Result<ReplayOutcome, SimErro
                         0.0
                     };
                     let drained = rate * dt;
-                    frac_flow += (j.remaining - drained / 2.0).max(0.0) * dt / j.spec.size;
+                    frac_flow.add((j.remaining - drained / 2.0).max(0.0) * dt / j.spec.size);
                     j.remaining = (j.remaining - drained).max(0.0);
                 }
                 now = *t1;
@@ -624,7 +625,7 @@ pub fn replay(trace: &Trace, level: AuditLevel) -> Result<ReplayOutcome, SimErro
                     completion: now,
                     weight: spec.weight,
                 };
-                total_flow += cj.flow();
+                total_flow.add(cj.flow());
                 max_flow = max_flow.max(cj.flow());
                 completed.push(cj);
             }
@@ -632,11 +633,12 @@ pub fn replay(trace: &Trace, level: AuditLevel) -> Result<ReplayOutcome, SimErro
     }
 
     let n = completed.len();
+    let total_flow = total_flow.value();
     let metrics = RunMetrics {
         total_flow,
         mean_flow: if n == 0 { 0.0 } else { total_flow / n as f64 },
         max_flow,
-        fractional_flow: frac_flow,
+        fractional_flow: frac_flow.value(),
         makespan: completed.iter().map(|c| c.completion).fold(0.0, f64::max),
         num_jobs: n,
         events: trace
@@ -644,10 +646,10 @@ pub fn replay(trace: &Trace, level: AuditLevel) -> Result<ReplayOutcome, SimErro
             .as_ref()
             .map(|r| r.events)
             .unwrap_or(trace.events.len() as u64),
-        alive_integral,
-        total_stretch: completed.iter().map(|c| c.stretch()).sum(),
+        alive_integral: alive_integral.value(),
+        total_stretch: NeumaierSum::total(completed.iter().map(|c| c.stretch())),
         max_stretch: completed.iter().map(|c| c.stretch()).fold(0.0, f64::max),
-        total_weighted_flow: completed.iter().map(|c| c.weighted_flow()).sum(),
+        total_weighted_flow: NeumaierSum::total(completed.iter().map(|c| c.weighted_flow())),
     };
 
     // Cross-check against the recorded metrics, when present: the replay
@@ -698,8 +700,8 @@ pub fn replay(trace: &Trace, level: AuditLevel) -> Result<ReplayOutcome, SimErro
 
     auditor.check_final(&FinalAccounting {
         total_flow,
-        alive_integral,
-        fractional_flow: frac_flow,
+        alive_integral: alive_integral.value(),
+        fractional_flow: frac_flow.value(),
         completed: n,
         admitted: jobs.len(),
         alive_left: alive.len(),

@@ -64,7 +64,7 @@ mod tests {
     fn concave_sampled() {
         // Midpoint test on a grid: Γ((a+b)/2) ≥ (Γ(a)+Γ(b))/2.
         let s = 0.2;
-        let grid: Vec<f64> = (0..50).map(|i| i as f64 * 0.5).collect();
+        let grid: Vec<f64> = (0..50).map(|i| f64::from(i) * 0.5).collect();
         for &a in &grid {
             for &b in &grid {
                 let mid = amdahl_rate(s, (a + b) / 2.0);

@@ -113,7 +113,7 @@ impl Curve {
             Curve::FullyParallel => Some(r),
             Curve::Sequential => None,
             Curve::Power { alpha } => {
-                if *alpha == 0.0 {
+                if crate::float::exact_eq(*alpha, 0.0) {
                     None
                 } else {
                     Some(r.powf(1.0 / *alpha))
@@ -285,7 +285,7 @@ mod tests {
         ];
         for c in &curves {
             for i in 0..200 {
-                let x = i as f64 * 0.25;
+                let x = f64::from(i) * 0.25;
                 assert!(c.rate(x) <= x + 1e-12, "{c:?} violates Γ(x) ≤ x at {x}");
             }
         }

@@ -27,6 +27,25 @@ pub fn approx_le(a: f64, b: f64) -> bool {
     a - b <= EPS * scale
 }
 
+/// Bitwise-exact `a == b`, by name.
+///
+/// The workspace's static analysis (rule **L003**, see `docs/LINTS.md`)
+/// rejects bare `==`/`!=` against float values: almost every comparison in
+/// a simulator should tolerate accumulated rounding ([`approx_eq`] /
+/// [`approx_le`]). The rare *intended* exact comparisons — sentinel values
+/// that were **constructed and never computed**, like "was `--speed` left
+/// at its default `1.0`?" or "is this the `α = 0` sequential curve
+/// variant?" — go through this helper instead, so the intent is named at
+/// the call site and the exactness requirement is documented here once:
+/// both operands must be values that reach the comparison unchanged from a
+/// literal, parse, or direct assignment. For anything that has been through
+/// arithmetic, use the tolerant helpers.
+#[inline]
+#[allow(clippy::float_cmp)]
+pub fn exact_eq(a: f64, b: f64) -> bool {
+    a == b
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,6 +45,6 @@ mod power;
 pub use amdahl::amdahl_rate;
 pub use curve::Curve;
 pub use error::CurveError;
-pub use float::{approx_eq, approx_le, EPS};
+pub use float::{approx_eq, approx_le, exact_eq, EPS};
 pub use piecewise::PiecewiseLinear;
 pub use power::power_rate;

@@ -388,7 +388,7 @@ impl ArrivalSource for PhaseAdversary {
                 PendingEvent::Decision { phase } => {
                     // Remaining short work of this phase in the online
                     // algorithm's queue.
-                    let shorts: std::collections::HashSet<JobId> = self.phases[phase]
+                    let shorts: std::collections::BTreeSet<JobId> = self.phases[phase]
                         .short_waves
                         .iter()
                         .flat_map(|(_, ids)| ids.iter().copied())

@@ -244,7 +244,7 @@ mod tests {
         for d in &dists {
             let n = 200_000;
             let sum: f64 = (0..n).map(|_| d.sample(&mut r)).sum();
-            let emp = sum / n as f64;
+            let emp = sum / f64::from(n);
             let ana = d.mean();
             assert!(
                 (emp - ana).abs() / ana < 0.02,

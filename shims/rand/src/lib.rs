@@ -101,6 +101,10 @@ impl SampleRange<f64> for RangeInclusive<f64> {
 macro_rules! int_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
+            // One macro arm covers every width, so the narrow types can't
+            // use `From` without a per-type arm; `as u64` is exact for all
+            // instantiated unsigned widths and intended for the signed ones.
+            #[allow(clippy::cast_lossless)]
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "empty gen_range");
                 let span = (self.end - self.start) as u64;
@@ -108,6 +112,7 @@ macro_rules! int_sample_range {
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_lossless)]
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty gen_range");
@@ -222,7 +227,7 @@ mod tests {
             assert!((0.0..1.0).contains(&x));
             sum += x;
         }
-        let mean = sum / n as f64;
+        let mean = sum / f64::from(n);
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 
