@@ -9,12 +9,12 @@
 
 use parsched::PolicyKind;
 use parsched_opt::bounds;
-use parsched_sim::{simulate_audited, AuditLevel};
+use parsched_sim::{simulate_audited, AuditLevel, EngineBuffers};
 use parsched_workloads::random::{AlphaDist, PoissonWorkload, SizeDist};
 
 use super::{ExpOptions, ExpResult};
 use crate::stats::geomean;
-use crate::sweep::{grid2, parallel_map};
+use crate::sweep::{grid2, simulate_audited_reusing, Pool};
 use crate::table::{fnum, Table};
 
 const M: f64 = 8.0;
@@ -40,37 +40,50 @@ pub(super) fn run(opts: &ExpOptions) -> ExpResult {
     let policies = PolicyKind::all_standard();
 
     let cells = grid2(&grid2(&loads, &alphas), &seeds);
-    let results = parallel_map(cells, |((load, alpha), seed)| {
-        let sizes = SizeDist::Pareto { p: P, shape: 1.5 };
-        let w = PoissonWorkload {
-            n,
-            rate: PoissonWorkload::rate_for_load(load, M, &sizes),
-            sizes,
-            alphas: AlphaDist::Fixed(alpha),
-            seed,
-        };
-        let inst = w.generate().expect("workload");
-        let lb = bounds::lower_bound(&inst, M);
-        // Every run goes through the sampled invariant auditor: an audit
-        // failure is data (the table's last column), not a panic.
-        let flows: Vec<(String, f64, bool)> = PolicyKind::all_standard()
-            .iter()
-            .map(
-                |k| match simulate_audited(&inst, &mut k.build(), M, AuditLevel::Sampled(64)) {
-                    Ok(out) => (k.name(), out.metrics.total_flow, out.audit.is_some()),
-                    Err(parsched_sim::SimError::AuditFailed { .. }) => {
-                        let f = simulate_audited(&inst, &mut k.build(), M, AuditLevel::Off)
-                            .expect("policy run")
-                            .metrics
-                            .total_flow;
-                        (k.name(), f, false)
+    // Each sweep worker owns one set of recycled engine buffers for its
+    // whole share of the grid; results are committed in input order, so
+    // the table is byte-identical however many workers run it (tested in
+    // `tests/sweep_pool_determinism.rs`).
+    let results =
+        Pool::current().map_with(EngineBuffers::new, cells, |bufs, ((load, alpha), seed)| {
+            let sizes = SizeDist::Pareto { p: P, shape: 1.5 };
+            let w = PoissonWorkload {
+                n,
+                rate: PoissonWorkload::rate_for_load(load, M, &sizes),
+                sizes,
+                alphas: AlphaDist::Fixed(alpha),
+                seed,
+            };
+            let inst = w.generate().expect("workload");
+            let lb = bounds::lower_bound(&inst, M);
+            // Every run goes through the sampled invariant auditor: an audit
+            // failure is data (the table's last column), not a panic.
+            let flows: Vec<(String, f64, bool)> = PolicyKind::all_standard()
+                .iter()
+                .map(|k| {
+                    let (out, next) = simulate_audited_reusing(
+                        std::mem::take(bufs),
+                        &inst,
+                        k.build().as_mut(),
+                        M,
+                        AuditLevel::Sampled(64),
+                    );
+                    *bufs = next;
+                    match out {
+                        Ok(out) => (k.name(), out.metrics.total_flow, out.audit.is_some()),
+                        Err(parsched_sim::SimError::AuditFailed { .. }) => {
+                            let f = simulate_audited(&inst, &mut k.build(), M, AuditLevel::Off)
+                                .expect("policy run")
+                                .metrics
+                                .total_flow;
+                            (k.name(), f, false)
+                        }
+                        Err(e) => panic!("policy run: {e}"),
                     }
-                    Err(e) => panic!("policy run: {e}"),
-                },
-            )
-            .collect();
-        (load, alpha, lb, flows)
-    });
+                })
+                .collect();
+            (load, alpha, lb, flows)
+        });
 
     // Aggregate per (load, α): normalized flow = flow / LB, geomean over
     // seeds.

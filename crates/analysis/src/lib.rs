@@ -35,5 +35,7 @@ pub mod table;
 pub use lemmas::{LemmaReport, LemmaSample};
 pub use potential::{lockstep_report, LockstepReport, PotentialReport};
 pub use ratio::RatioMeasurement;
-pub use sweep::{parallel_map, streaming_sweep};
+pub use sweep::{
+    parallel_map, set_sweep_jobs, simulate_audited_reusing, streaming_sweep, sweep_jobs, Pool,
+};
 pub use table::Table;

@@ -1,26 +1,244 @@
 //! Deterministic parallel parameter sweeps.
 //!
 //! Every experiment is a grid of independent simulation runs; this module
-//! fans them out over std channels to scoped worker threads and returns
-//! results **in input order**, so sweeps are reproducible regardless of
-//! scheduling. (rayon is not in the approved offline crate set; two
-//! channels + `std::thread::scope` are all these embarrassingly parallel
-//! sweeps need.)
+//! fans them out over a bounded work-stealing [`Pool`] of scoped worker
+//! threads and commits results **in input order**, so sweep output is
+//! byte-identical to the serial path regardless of scheduling. (rayon is
+//! not in the approved offline crate set; atomics + `std::thread::scope`
+//! are all these embarrassingly parallel sweeps need.)
+//!
+//! # Ordering guarantee
+//!
+//! [`Pool::map_with`] applies `f` to each item exactly once and places the
+//! result at that item's input index. Which *worker* runs an item (and in
+//! what order) is scheduling-dependent, but since items are independent
+//! and results are committed by index, the returned `Vec` — and therefore
+//! every experiment table built from it — is identical to
+//! `items.into_iter().map(...)`. Worker-local state handed out by `init`
+//! (for example recycled [`EngineBuffers`]) must not leak into results;
+//! the engine's buffer-reuse contract is audited separately
+//! (`tests/engine_zero_alloc.rs`).
+//!
+//! # Work stealing
+//!
+//! Items are pre-partitioned into one contiguous range per worker, packed
+//! into an `AtomicU64` (`lo` in the high half, `hi` in the low half).
+//! Owners pop from the front of their range (cache-friendly, mostly input
+//! order); a worker whose range runs dry steals single items from the
+//! *back* of a victim's range via the same compare-and-swap, so skewed
+//! per-item costs cannot idle a core while work remains. Since every index
+//! is claimed by exactly one successful CAS, item hand-off needs no
+//! locking in principle; the per-item `Mutex<Option<T>>` below is an
+//! uncontended formality that keeps the crate `forbid(unsafe_code)`.
 
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use parsched_sim::{
-    simulate_streaming_audited, ArrivalSource, AuditLevel, Policy, SimError, StreamingOutcome,
+    simulate_streaming_audited, ArrivalSource, AuditLevel, Engine, EngineBuffers, EngineConfig,
+    Instance, NullObserver, Policy, RunOutcome, SimError, StaticSource, StreamingOutcome,
 };
+
+/// Process-wide worker-count override for [`Pool::current`] (0 = pick
+/// automatically from `available_parallelism`). Set once at startup by
+/// `parsched sweep --jobs N`; library callers normally leave it alone.
+static SWEEP_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count used by [`Pool::current`] (and therefore by
+/// [`parallel_map`] and every experiment sweep). `0` restores automatic
+/// sizing; `1` forces the serial path, which is how the determinism tests
+/// produce their reference output.
+pub fn set_sweep_jobs(jobs: usize) {
+    SWEEP_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The current [`set_sweep_jobs`] override (0 = automatic).
+pub fn sweep_jobs() -> usize {
+    SWEEP_JOBS.load(Ordering::Relaxed)
+}
+
+/// A bounded work-stealing pool for deterministic sweeps.
+///
+/// The pool itself is just a worker-count policy — threads are scoped to
+/// each [`Pool::map_with`] call, so a `Pool` is `Copy`, trivially cheap,
+/// and holds no OS resources between calls.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool with a fixed worker count (`0` = automatic: one worker per
+    /// available core, capped by the item count at each call).
+    pub fn new(jobs: usize) -> Self {
+        Pool { jobs }
+    }
+
+    /// The pool configured by [`set_sweep_jobs`] (automatic by default).
+    pub fn current() -> Self {
+        Pool::new(sweep_jobs())
+    }
+
+    /// The worker count a call mapping `n` items would use.
+    pub fn workers_for(&self, n: usize) -> usize {
+        let base = if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        };
+        base.min(n).max(1)
+    }
+
+    /// Maps `f` over `items`, preserving input order.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        self.map_with(|| (), items, |(), item| f(item))
+    }
+
+    /// Maps `f` over `items` with per-worker state, preserving input
+    /// order.
+    ///
+    /// `init` runs once on each worker thread (and once on the caller for
+    /// the serial path); the state it returns is threaded through every
+    /// item that worker processes. This is how sweep workers own one set
+    /// of recycled [`EngineBuffers`] across a whole grid — see
+    /// [`simulate_audited_reusing`].
+    ///
+    /// Results are committed by input index after the scope joins, so the
+    /// output is identical to the serial `map` whatever the interleaving;
+    /// a panic in `f` or `init` propagates after all workers stop.
+    pub fn map_with<S, T, R, I, F>(&self, init: I, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers_for(n);
+        if workers <= 1 {
+            let mut state = init();
+            return items.into_iter().map(|item| f(&mut state, item)).collect();
+        }
+        assert!(n < u32::MAX as usize, "sweep too large for packed ranges");
+        // Each item parks in a slot until the worker that won its index
+        // claims it; the winning CAS is the unique claim, so each lock is
+        // uncontended (see the module notes on `forbid(unsafe_code)`).
+        let slots: Vec<Mutex<Option<T>>> = items
+            .into_iter()
+            .map(|item| Mutex::new(Some(item)))
+            .collect();
+        // Contiguous initial partition: worker `w` owns [w·n/W, (w+1)·n/W).
+        let ranges: Vec<AtomicU64> = (0..workers)
+            .map(|w| AtomicU64::new(pack(w * n / workers, (w + 1) * n / workers)))
+            .collect();
+        let mut locals: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let slots = &slots;
+                    let ranges = &ranges;
+                    let init = &init;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut state = init();
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let idx = take_front(&ranges[w]).or_else(|| steal(ranges, w));
+                            let Some(i) = idx else { break };
+                            let item = slots[i]
+                                .lock()
+                                .expect("slot lock")
+                                .take()
+                                .expect("index claimed exactly once");
+                            out.push((i, f(&mut state, item)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(v) => locals.push(v),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        let mut merged: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in locals.into_iter().flatten() {
+            debug_assert!(merged[i].is_none(), "index {i} produced twice");
+            merged[i] = Some(r);
+        }
+        merged
+            .into_iter()
+            .map(|r| r.expect("every index was processed"))
+            .collect()
+    }
+}
+
+/// Packs a half-open index range into one atomic word (`lo` high, `hi`
+/// low) so owner pops and thief steals race through a single CAS.
+fn pack(lo: usize, hi: usize) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+fn unpack(v: u64) -> (usize, usize) {
+    ((v >> 32) as usize, (v & 0xffff_ffff) as usize)
+}
+
+/// Owner side: claim the front index of `r`, or `None` if the range is
+/// empty.
+fn take_front(r: &AtomicU64) -> Option<usize> {
+    let mut cur = r.load(Ordering::Acquire);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        match r.compare_exchange_weak(cur, pack(lo + 1, hi), Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return Some(lo),
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Thief side: claim the back index of `r`, or `None` if the range is
+/// empty.
+fn steal_back(r: &AtomicU64) -> Option<usize> {
+    let mut cur = r.load(Ordering::Acquire);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        match r.compare_exchange_weak(cur, pack(lo, hi - 1), Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return Some(hi - 1),
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Scan the other workers' ranges (round-robin from `w + 1`) and steal one
+/// item from the first non-empty one. Items are never re-queued, so one
+/// full scan that finds every range empty means the sweep is drained.
+fn steal(ranges: &[AtomicU64], w: usize) -> Option<usize> {
+    let k = ranges.len();
+    (1..k).find_map(|off| steal_back(&ranges[(w + off) % k]))
+}
 
 /// Maps `f` over `items` in parallel, preserving input order.
 ///
-/// Uses up to `std::thread::available_parallelism()` workers (capped by
-/// the item count). Workers pull `(index, item)` jobs from a shared queue
-/// and send `(index, result)` back over a channel; the results vector is
-/// assembled once on the caller's thread, so no lock is held around `f`.
-/// Panics in `f` propagate after the scope joins.
+/// Delegates to [`Pool::current`] — up to one worker per available core
+/// (capped by the item count), unless overridden by [`set_sweep_jobs`].
 ///
 /// ```
 /// let squares = parsched_analysis::parallel_map(vec![1, 2, 3], |x| x * x);
@@ -32,53 +250,38 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    // Job queue: std mpsc receivers are single-consumer, so workers share
-    // the receiving end behind a mutex held only for the dequeue itself.
-    let (job_tx, job_rx) = mpsc::channel::<(usize, T)>();
-    for pair in items.into_iter().enumerate() {
-        job_tx.send(pair).expect("queue is open");
-    }
-    drop(job_tx);
-    let job_rx = Mutex::new(job_rx);
-    let next_job = || job_rx.lock().expect("job queue lock").recv().ok();
+    Pool::current().map(items, f)
+}
 
-    let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let f = &f;
-        let next_job = &next_job;
-        for _ in 0..workers {
-            let result_tx = result_tx.clone();
-            scope.spawn(move || {
-                while let Some((i, item)) = next_job() {
-                    let r = f(item);
-                    result_tx.send((i, r)).expect("collector is open");
-                }
-            });
-        }
-        drop(result_tx);
-        // Collect on the calling thread while workers run; ends when the
-        // last worker drops its sender clone.
-        for (i, r) in result_rx.iter() {
-            debug_assert!(slots[i].is_none(), "index {i} produced twice");
-            slots[i] = Some(r);
-        }
-    });
-    slots
-        .into_iter()
-        .map(|r| r.expect("every index was processed"))
-        .collect()
+/// One audited in-memory run on donated [`EngineBuffers`]; returns the
+/// outcome (or error) together with buffers ready for the next run.
+///
+/// This is the sweep workers' inner loop: a worker created by
+/// [`Pool::map_with`] with `EngineBuffers::new` as `init` recycles one
+/// set of engine allocations across its whole share of the grid, keeping
+/// the steady state of a sweep allocation-free (see `docs/PERF.md` §6).
+/// On error the buffers died with the engine, so a fresh (empty) set is
+/// returned — error paths are rare and not performance-relevant.
+pub fn simulate_audited_reusing(
+    bufs: EngineBuffers,
+    instance: &Instance,
+    policy: &mut dyn Policy,
+    m: f64,
+    audit: AuditLevel,
+) -> (Result<RunOutcome, SimError>, EngineBuffers) {
+    let mut source = StaticSource::new(instance);
+    let mut obs = NullObserver;
+    let engine = Engine::with_buffers(
+        EngineConfig::new(m).with_audit(audit),
+        policy,
+        &mut source,
+        &mut obs,
+        bufs,
+    );
+    match engine.run_reusing() {
+        Ok((outcome, bufs)) => (Ok(outcome), bufs),
+        Err(e) => (Err(e), EngineBuffers::new()),
+    }
 }
 
 /// Sweeps streaming simulations over a parameter grid in parallel,
@@ -166,6 +369,115 @@ mod tests {
     #[test]
     fn single_item_fast_path() {
         assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn pool_output_matches_serial_bit_for_bit() {
+        // Float results compared by bits: the pool must be invisible in
+        // the output no matter the worker count.
+        let items: Vec<f64> = (0..533).map(|i| 0.1 + f64::from(i) * 0.37).collect();
+        let f = |x: f64| (x.sin() * x.sqrt()).ln_1p();
+        let reference: Vec<u64> = Pool::new(1)
+            .map(items.clone(), f)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        for jobs in [2, 3, 4, 8] {
+            let got: Vec<u64> = Pool::new(jobs)
+                .map(items.clone(), f)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(got, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn map_with_initializes_one_state_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let pool = Pool::new(3);
+        let out = pool.map_with(
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            (0..100).collect::<Vec<usize>>(),
+            |seen, x| {
+                *seen += 1;
+                x + *seen - *seen // result independent of worker state
+            },
+        );
+        assert_eq!(out, (0..100).collect::<Vec<usize>>());
+        let created = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=3).contains(&created),
+            "expected ≤ 3 worker states, got {created}"
+        );
+    }
+
+    #[test]
+    fn stealing_balances_skewed_costs() {
+        // Front-loaded costs: with contiguous partitioning the first
+        // worker owns all the slow items; stealing keeps the others busy.
+        // The test asserts correctness (exactly-once, in order) — wall
+        // clock on 1-core CI says nothing.
+        let items: Vec<u64> = (0..64).collect();
+        let out = Pool::new(4).map(items, |x| {
+            if x < 16 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            x * x
+        });
+        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn set_sweep_jobs_overrides_current_pool() {
+        // Serialized via the global: restore before returning.
+        let before = sweep_jobs();
+        set_sweep_jobs(1);
+        assert_eq!(Pool::current().workers_for(100), 1);
+        set_sweep_jobs(5);
+        assert_eq!(Pool::current().workers_for(100), 5);
+        assert_eq!(Pool::current().workers_for(3), 3);
+        set_sweep_jobs(before);
+    }
+
+    #[test]
+    fn simulate_audited_reusing_matches_fresh_runs() {
+        use parsched::PolicyKind;
+        use parsched_sim::simulate_audited;
+        use parsched_workloads::random::{AlphaDist, PoissonWorkload, SizeDist};
+        let sizes = SizeDist::LogUniform { p: 16.0 };
+        let inst = PoissonWorkload {
+            n: 400,
+            rate: PoissonWorkload::rate_for_load(0.9, 4.0, &sizes),
+            sizes,
+            alphas: AlphaDist::Fixed(0.5),
+            seed: 77,
+        }
+        .generate()
+        .expect("workload");
+        let mut bufs = EngineBuffers::new();
+        for _ in 0..3 {
+            let mut policy = PolicyKind::IntermediateSrpt.build();
+            let (out, next) =
+                simulate_audited_reusing(bufs, &inst, policy.as_mut(), 4.0, AuditLevel::Final);
+            bufs = next;
+            let reused = out.expect("reusing run");
+            let fresh = simulate_audited(
+                &inst,
+                PolicyKind::IntermediateSrpt.build().as_mut(),
+                4.0,
+                AuditLevel::Final,
+            )
+            .expect("fresh run");
+            assert_eq!(
+                reused.metrics.total_flow.to_bits(),
+                fresh.metrics.total_flow.to_bits()
+            );
+            assert_eq!(reused.metrics.events, fresh.metrics.events);
+        }
     }
 
     #[test]

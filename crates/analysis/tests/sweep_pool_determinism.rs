@@ -1,0 +1,45 @@
+//! The sweep pool's ordering guarantee, end to end: running an experiment
+//! through the work-stealing pool must produce output **byte-identical**
+//! to the serial path — tables, notes, and verdict. CI runs this in the
+//! audit job (see `.github/workflows/ci.yml`).
+//!
+//! The worker count is process-global (`set_sweep_jobs`), so the
+//! comparisons live in one `#[test]` to avoid harness-thread interleaving.
+
+use parsched_analysis::experiments::{run, ExpOptions, ExpResult};
+use parsched_analysis::set_sweep_jobs;
+
+/// Everything an experiment emits, flattened to one comparable string.
+fn render(result: &ExpResult) -> String {
+    let mut out = String::new();
+    for table in &result.tables {
+        out.push_str(&table.render());
+        out.push_str(&table.to_markdown());
+        out.push_str(&table.to_csv());
+    }
+    for note in &result.notes {
+        out.push_str(note);
+        out.push('\n');
+    }
+    out.push_str(&format!("pass={}\n", result.pass));
+    out
+}
+
+#[test]
+fn pooled_experiments_match_serial_byte_for_byte() {
+    let opts = ExpOptions::quick();
+    for id in ["t1", "t2", "t3"] {
+        set_sweep_jobs(1);
+        let serial = run(id, &opts).expect("known experiment id");
+        for jobs in [2, 4, 8] {
+            set_sweep_jobs(jobs);
+            let pooled = run(id, &opts).expect("known experiment id");
+            assert_eq!(
+                render(&pooled),
+                render(&serial),
+                "{id}: pool with {jobs} workers diverged from serial output"
+            );
+        }
+    }
+    set_sweep_jobs(0);
+}

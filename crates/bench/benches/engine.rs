@@ -190,6 +190,54 @@ fn plan_from_tracks(c: &mut Criterion) {
     });
 }
 
+fn engine_sweep_pool(c: &mut Criterion) {
+    // The work-stealing sweep pool at 1/2/4/8 workers over a fixed
+    // 16-run Intermediate-SRPT grid, each worker recycling one set of
+    // engine buffers. On a single-core host the >1-worker rows measure
+    // the pool's overhead rather than any speed-up; the snapshot's
+    // `sweep_scaling_8c` field records the same ratio next to
+    // `host_cores` so the two are read together.
+    use parsched_analysis::{simulate_audited_reusing, Pool};
+    use parsched_bench::poisson_workload;
+    use parsched_sim::{AuditLevel, EngineBuffers};
+
+    let m = 8.0;
+    let instances: Vec<_> = (0..16u64)
+        .map(|seed| {
+            let mut w = poisson_workload(1_000, 0.9, m);
+            w.seed = w.seed.wrapping_add(seed);
+            w.generate().expect("sweep fixture")
+        })
+        .collect();
+    let mut g = c.benchmark_group("engine/sweep_pool");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(instances.len() as u64));
+    for &jobs in &[1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let flows = Pool::new(jobs).map_with(
+                    EngineBuffers::new,
+                    instances.iter().collect(),
+                    |bufs, inst| {
+                        let mut policy = IntermediateSrpt::new();
+                        let (out, next) = simulate_audited_reusing(
+                            std::mem::take(bufs),
+                            inst,
+                            &mut policy,
+                            m,
+                            AuditLevel::Off,
+                        );
+                        *bufs = next;
+                        out.expect("sweep run").metrics.total_flow
+                    },
+                );
+                black_box(flows)
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     engine_scaling_n,
@@ -198,6 +246,7 @@ criterion_group!(
     engine_streaming_path,
     engine_scaling_m,
     planned_schedule_replay,
-    plan_from_tracks
+    plan_from_tracks,
+    engine_sweep_pool
 );
 criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! `speedup/kernel`: per-α Γ-evaluation cost through [`PowKernel`].
+//!
+//! One benchmark per classified exponent class — the endpoints (α = 0, 1),
+//! the sqrt chains (1/2, 1/4, 3/4), the table+`exp` general path (α = 0.37),
+//! and the `powf_reference` control arm the snapshot's `kernel_speedup_n1e5`
+//! field is measured against. The kernel value itself is `black_box`ed:
+//! in the engine α arrives as runtime data from the job record, so letting
+//! LLVM constant-fold `powf(x, 0.5)` into `sqrt` would benchmark a code
+//! path the engine never executes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use parsched_speedup::PowKernel;
+
+/// Evaluation points spanning the supra-knee domain (1, m] the engine
+/// actually queries — below the knee `Γ(x) = x` and no power is evaluated.
+fn eval_points() -> Vec<f64> {
+    let m = 32.0;
+    (0..4096)
+        .map(|i| 1.0 + (f64::from(i) + 0.5) * (m - 1.0) / 4096.0)
+        .collect()
+}
+
+fn sum_evals(k: PowKernel, xs: &[f64]) -> f64 {
+    let k = black_box(k);
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += k.eval(black_box(x));
+    }
+    acc
+}
+
+fn kernel_per_alpha(c: &mut Criterion) {
+    let xs = eval_points();
+    let mut g = c.benchmark_group("speedup/kernel");
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    for &alpha in &[0.0, 0.25, 0.37, 0.5, 0.75, 1.0] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(alpha),
+            &PowKernel::new(alpha),
+            |b, &k| b.iter(|| black_box(sum_evals(k, &xs))),
+        );
+    }
+    // The control arm: identical dispatch, but every eval is f64::powf.
+    g.bench_with_input(
+        BenchmarkId::new("powf_reference", 0.5),
+        &PowKernel::powf_reference(0.5),
+        |b, &k| b.iter(|| black_box(sum_evals(k, &xs))),
+    );
+    g.finish();
+}
+
+fn kernel_invert(c: &mut Criterion) {
+    // `invert` is the admission-time counterpart (rate → share); it runs
+    // once per job rather than once per event, but the round-trip cost
+    // still matters for the optimizer's bisection loops.
+    let xs = eval_points();
+    let mut g = c.benchmark_group("speedup/kernel_invert");
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    for &alpha in &[0.25, 0.37, 0.5] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(alpha),
+            &PowKernel::new(alpha),
+            |b, &k| {
+                let k = black_box(k);
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &x in &xs {
+                        acc += k.invert(black_box(k.eval(x)));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, kernel_per_alpha, kernel_invert);
+criterion_main!(benches);

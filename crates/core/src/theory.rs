@@ -13,6 +13,7 @@ pub fn four_power(alpha: f64) -> f64 {
     if alpha >= 1.0 {
         f64::INFINITY
     } else {
+        // lint:allow(L006) closed-form theorem constant, computed once per table row
         4f64.powf(1.0 / (1.0 - alpha))
     }
 }
@@ -40,6 +41,7 @@ pub fn lemma1_rhs(m: f64, p: f64, opt_alive: usize) -> f64 {
 /// `≤ k`) by which the algorithm can trail any feasible schedule at an
 /// overloaded time.
 pub fn lemma4_rhs(m: f64, k: i32) -> f64 {
+    // lint:allow(L006) lemma right-hand side, one-off theory math
     m * 2f64.powi(k + 1)
 }
 
@@ -53,6 +55,7 @@ pub fn lemma5_rhs(m: f64, p: f64, opt_alive: usize) -> f64 {
 pub fn reduction_factor(alpha: f64) -> f64 {
     debug_assert!((0.0..1.0).contains(&alpha), "Theorem 2 needs α < 1");
     let eps = 1.0 - alpha;
+    // lint:allow(L006) adversary construction constant, one-off theory math
     0.5 * (1.0 - 2f64.powf(-eps))
 }
 
@@ -75,6 +78,7 @@ pub fn log_inv_r(alpha: f64, p: f64) -> f64 {
 /// phase's `m/2` long jobs must remain unfinished.
 pub fn survival_fraction(alpha: f64) -> f64 {
     let eps = 1.0 - alpha;
+    // lint:allow(L006) adversary construction constant, one-off theory math
     let t = 2f64.powf(eps);
     0.5 * (t - 1.0) / (t + 1.0)
 }

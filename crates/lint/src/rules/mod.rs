@@ -13,17 +13,19 @@ mod float_eq;
 mod float_sum;
 mod hygiene;
 mod nondeterminism;
+mod pow_kernel;
 mod registry;
 
 pub use float_eq::FloatEq;
 pub use float_sum::FloatSum;
 pub use hygiene::CrateHygiene;
 pub use nondeterminism::Nondeterminism;
+pub use pow_kernel::PowKernelRouting;
 pub use registry::RegistryComplete;
 
 /// One static-analysis rule.
 pub trait Rule {
-    /// Stable id (`L001` … `L005`), the name waivers use.
+    /// Stable id (`L001` … `L006`), the name waivers use.
     fn id(&self) -> &'static str;
     /// One-line description for `--format json` and docs.
     fn summary(&self) -> &'static str;
@@ -39,6 +41,7 @@ pub fn catalog() -> Vec<Box<dyn Rule>> {
         Box::new(FloatEq),
         Box::new(RegistryComplete),
         Box::new(CrateHygiene),
+        Box::new(PowKernelRouting),
     ]
 }
 

@@ -1,0 +1,67 @@
+//! L006 — hot-path power evaluations must route through `PowKernel`.
+//!
+//! The engine evaluates `Γ(x) = x^α` on every event interval. A bare
+//! `.powf(` / `.powi(` in the engine or policy layer pays the generic
+//! `pow` argument-reduction cost per call *and* bypasses the per-α
+//! classification that makes the endpoint and sqrt-chain exponents exact
+//! (see `crates/speedup/src/kernel.rs` and docs/PERF.md §6). Power-law
+//! evaluation belongs in `parsched_speedup` — hot loops hold a cached
+//! [`PowKernel`] and everything else calls `Curve::rate`.
+//!
+//! Theory-layer constants (closed-form competitive ratios, adversary
+//! parameters) legitimately compute one-off powers; waive those with
+//! `// lint:allow(L006) <why>`. Test code is exempt, as everywhere.
+
+use crate::engine::Workspace;
+use crate::rules::{diag_at, in_scope, Rule};
+use crate::Diagnostic;
+
+/// Crates whose non-test code sits on the per-event hot path. The
+/// `speedup` crate is deliberately absent: it *implements* the kernel,
+/// so raw `powf` is its job.
+const SCOPE: &[&str] = &["crates/simcore/src/", "crates/core/src/"];
+
+/// The L006 rule value.
+pub struct PowKernelRouting;
+
+impl Rule for PowKernelRouting {
+    fn id(&self) -> &'static str {
+        "L006"
+    }
+
+    fn summary(&self) -> &'static str {
+        "engine/policy hot paths must not call .powf()/.powi() directly; route power-law \
+         evaluation through a cached parsched_speedup::PowKernel (waive for theory constants)"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !in_scope(&file.rel, SCOPE) {
+                continue;
+            }
+            for i in 0..file.tokens.len() {
+                if file.in_test_code(i) {
+                    continue;
+                }
+                let text = file.tok(i);
+                if (text == "powf" || text == "powi")
+                    && file.prev_code(i).is_some_and(|p| file.tok(p) == ".")
+                    && file.next_code(i).is_some_and(|n| file.tok(n) == "(")
+                {
+                    out.push(diag_at(
+                        file,
+                        i,
+                        self.id(),
+                        format!(
+                            "`.{text}()` on the engine/policy hot path; evaluate powers \
+                             through a cached `PowKernel` (classified once per α) or waive \
+                             with a reason if this is one-off theory math"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

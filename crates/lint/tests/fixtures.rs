@@ -67,6 +67,16 @@ fn l005_fixture_trips_only_l005() {
 }
 
 #[test]
+fn l006_fixture_trips_only_l006() {
+    let out = fixture("l006");
+    assert_eq!(rules_hit(&out), vec!["L006"], "{:?}", out.violations);
+    // One `.powf(` and one `.powi(` on the hot path.
+    assert_eq!(out.violations.len(), 2);
+    let msgs: Vec<&str> = out.violations.iter().map(|d| d.message.as_str()).collect();
+    assert!(msgs.iter().all(|m| m.contains("PowKernel")), "{msgs:?}");
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let out = fixture("clean");
     assert!(out.is_clean(), "{:?}", out.violations);

@@ -1,0 +1,15 @@
+//! L006 fixture: per-call power evaluation on the event-loop hot path.
+
+/// Evaluates the power-law curve the slow way on every event.
+pub fn drain_rate(alpha: f64, share: f64) -> f64 {
+    if share <= 1.0 {
+        share
+    } else {
+        share.powf(alpha)
+    }
+}
+
+/// Integer-exponent variant, equally banned on the hot path.
+pub fn quadratic_rate(share: f64) -> f64 {
+    share.powi(2)
+}

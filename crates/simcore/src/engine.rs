@@ -27,7 +27,7 @@
 //! sink in the same order, so the aggregate metrics of a streaming run are
 //! bit-identical to the in-memory run of the same workload.
 
-use parsched_speedup::{Curve, EPS};
+use parsched_speedup::{Curve, PowKernel, EPS};
 
 use crate::error::SimError;
 use crate::invariant::{AuditFrame, AuditLevel, Auditor, EnginePath, FinalAccounting, FrameJob};
@@ -75,6 +75,12 @@ pub struct EngineConfig {
     /// job retires, and a duplicate of an already-*retired* id is no
     /// longer detected.
     pub streaming: bool,
+    /// Benchmark control: when `false`, power-family jobs are admitted
+    /// with a [`PowKernel::powf_reference`] kernel so every Γ evaluation
+    /// pays the per-call `powf` cost the classified kernel replaced.
+    /// `bench-snapshot` runs the same fixture both ways to compute the
+    /// `kernel_speedup_n1e5` field; everything else leaves this `true`.
+    pub pow_kernel: bool,
 }
 
 impl EngineConfig {
@@ -88,6 +94,7 @@ impl EngineConfig {
             full_reassign: false,
             audit: AuditLevel::Off,
             streaming: false,
+            pow_kernel: true,
         }
     }
 
@@ -127,6 +134,13 @@ impl EngineConfig {
         self.max_time = max_time;
         self
     }
+
+    /// Enables (or, for the benchmark baseline arm, disables) the
+    /// classified power kernel — see [`EngineConfig::pow_kernel`].
+    pub fn with_pow_kernel(mut self, pow_kernel: bool) -> Self {
+        self.pow_kernel = pow_kernel;
+        self
+    }
 }
 
 /// An owned snapshot of one alive job (used by lockstep analyses that hold
@@ -154,9 +168,27 @@ struct JobRecord {
     /// Offset-space SRPT key while `in_running` (incremental path only);
     /// materialized remaining work is `run_key − drain_offset`.
     run_key: f64,
+    /// Power-law evaluation kernel, classified once at admission so the
+    /// per-event rate computations skip both the curve-variant dispatch
+    /// and `powf` (see [`PowKernel`]). `None` for curves outside the
+    /// power-law family (Amdahl, piecewise), which keep the generic path.
+    kernel: Option<PowKernel>,
     /// Whether the job currently sits in the incremental running prefix.
     in_running: bool,
     done: bool,
+}
+
+impl JobRecord {
+    /// `Γ(share)` for this job via the cached kernel when available.
+    /// Identical arithmetic to `spec.curve.rate(share)` — the kernel *is*
+    /// the power-law implementation — minus the per-call classification.
+    #[inline]
+    fn gamma(&self, share: f64) -> f64 {
+        match self.kernel {
+            Some(k) => k.gamma(share),
+            None => self.spec.curve.rate(share),
+        }
+    }
 }
 
 /// Id → arena-index map tuned for the common case of small dense ids:
@@ -214,6 +246,15 @@ impl IdMap {
                 }
             }
         }
+    }
+
+    /// Forgets every mapping while retaining both tables' capacity (the
+    /// dense table is re-grown by `insert`'s `resize`, which reuses the
+    /// existing allocation).
+    fn reset(&mut self) {
+        self.dense.clear();
+        self.sparse.clear();
+        self.live = 0;
     }
 
     /// Drops a mapping if present (streaming-mode retirement). Increasing
@@ -322,6 +363,58 @@ pub struct Engine<'a> {
     peak_alive: usize,
 }
 
+/// The engine's heap-backed working state, detached from any run.
+///
+/// An [`Engine`] borrows its policy, source, and observer, so one engine
+/// value cannot outlive a workload's source — but its *buffers* (job
+/// arena, id map, SRPT heaps, share/rate vectors, scratch, metric sink)
+/// can. Donating the buffers of a finished run to the next engine via
+/// [`Engine::with_buffers`] / [`Engine::into_buffers`] makes repeated runs
+/// on one thread allocation-free at steady state after warm-up: every
+/// structure is cleared with capacity retained, never dropped. This is the
+/// mechanism behind the sweep pool's per-worker engine reuse (see
+/// `docs/PERF.md` §6 for the lifecycle and the allocation audit).
+///
+/// When the source itself can rewind (see [`ArrivalSource::rewind`]),
+/// [`Engine::reset`] offers the same reuse without tearing the engine
+/// down.
+#[derive(Debug, Default)]
+pub struct EngineBuffers {
+    jobs: Vec<JobRecord>,
+    ids: IdMap,
+    alive: Vec<usize>,
+    shares: Vec<f64>,
+    rates: Vec<f64>,
+    srpt: SrptSet,
+    scratch_moves: Vec<(usize, Placement)>,
+    scratch_batch: Vec<JobSpec>,
+    completed: Vec<CompletedJob>,
+    free: Vec<usize>,
+    sink: StreamingMetrics,
+}
+
+impl EngineBuffers {
+    /// Fresh, empty buffers (what [`Engine::new`] starts from).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all content in place, retaining every allocation.
+    fn clear(&mut self) {
+        self.jobs.clear();
+        self.ids.reset();
+        self.alive.clear();
+        self.shares.clear();
+        self.rates.clear();
+        self.srpt.reset();
+        self.scratch_moves.clear();
+        self.scratch_batch.clear();
+        self.completed.clear();
+        self.free.clear();
+        self.sink.reset();
+    }
+}
+
 /// Applies a reported [`Placement`] to the per-job record.
 fn apply_placement(jobs: &mut [JobRecord], idx: usize, p: Placement) {
     let rec = &mut jobs[idx];
@@ -352,6 +445,22 @@ impl<'a> Engine<'a> {
         source: &'a mut dyn ArrivalSource,
         observer: &'a mut dyn Observer,
     ) -> Self {
+        Self::with_buffers(cfg, policy, source, observer, EngineBuffers::new())
+    }
+
+    /// Like [`Engine::new`], but reusing the buffers of a previous run
+    /// instead of allocating fresh ones. The buffers are cleared here
+    /// (content discarded, capacity retained), so donating dirty buffers
+    /// is fine. Recover them afterwards with [`Engine::into_buffers`] or
+    /// one of the `run_*_reusing` finalizers.
+    pub fn with_buffers(
+        cfg: EngineConfig,
+        policy: &'a mut dyn Policy,
+        source: &'a mut dyn ArrivalSource,
+        observer: &'a mut dyn Observer,
+        mut bufs: EngineBuffers,
+    ) -> Self {
+        bufs.clear();
         policy.reset();
         let mode = if !cfg.full_reassign
             && policy.stability() == AllocationStability::SrptPrefix
@@ -369,21 +478,21 @@ impl<'a> Engine<'a> {
             policy,
             source,
             observer,
-            jobs: Vec::new(),
-            ids: IdMap::default(),
+            jobs: bufs.jobs,
+            ids: bufs.ids,
             mode,
-            alive: Vec::new(),
-            shares: Vec::new(),
-            rates: Vec::new(),
-            srpt: SrptSet::new(),
+            alive: bufs.alive,
+            shares: bufs.shares,
+            rates: bufs.rates,
+            srpt: bufs.srpt,
             profile: PrefixAllocation {
                 count: 0,
                 share: 0.0,
             },
             interval: IntervalKind::Idle,
             next_completion: None,
-            scratch_moves: Vec::new(),
-            scratch_batch: Vec::new(),
+            scratch_moves: bufs.scratch_moves,
+            scratch_batch: bufs.scratch_batch,
             now: 0.0,
             alloc_fresh: false,
             quantum_deadline: None,
@@ -394,11 +503,79 @@ impl<'a> Engine<'a> {
             policy_srpt_ordered,
             frac_flow: NeumaierSum::new(),
             alive_integral: NeumaierSum::new(),
-            sink: StreamingMetrics::new(),
-            completed: Vec::new(),
-            free: Vec::new(),
+            sink: bufs.sink,
+            completed: bufs.completed,
+            free: bufs.free,
             admitted: 0,
             peak_alive: 0,
+        }
+    }
+
+    /// Resets the engine in place for a fresh run of the *same* policy and
+    /// source, retaining every buffer — the zero-allocation repeat-run
+    /// path. Requires the source to rewind (see [`ArrivalSource::rewind`]);
+    /// sources that cannot replay their history make this an error rather
+    /// than a silent re-run of a different workload.
+    pub fn reset(&mut self) -> Result<(), SimError> {
+        if !self.source.rewind() {
+            return Err(SimError::BadInstance {
+                what: "arrival source cannot rewind; rebuild the engine with \
+                       Engine::with_buffers to reuse buffers across sources"
+                    .into(),
+            });
+        }
+        self.policy.reset();
+        self.clear_run_state();
+        Ok(())
+    }
+
+    /// Clears all per-run state, retaining buffer capacity.
+    fn clear_run_state(&mut self) {
+        self.jobs.clear();
+        self.ids.reset();
+        self.alive.clear();
+        self.shares.clear();
+        self.rates.clear();
+        self.srpt.reset();
+        self.profile = PrefixAllocation {
+            count: 0,
+            share: 0.0,
+        };
+        self.interval = IntervalKind::Idle;
+        self.next_completion = None;
+        self.scratch_moves.clear();
+        self.scratch_batch.clear();
+        self.now = 0.0;
+        self.alloc_fresh = false;
+        self.quantum_deadline = None;
+        self.events = 0;
+        self.finished = false;
+        self.auditor = (!self.cfg.audit.is_off()).then(|| Auditor::new(self.cfg.audit));
+        self.frac_flow = NeumaierSum::new();
+        self.alive_integral = NeumaierSum::new();
+        self.sink.reset();
+        self.completed.clear();
+        self.free.clear();
+        self.admitted = 0;
+        self.peak_alive = 0;
+    }
+
+    /// Tears the engine down to its reusable buffers (cleared, capacity
+    /// retained), releasing the policy/source/observer borrows.
+    pub fn into_buffers(mut self) -> EngineBuffers {
+        self.clear_run_state();
+        EngineBuffers {
+            jobs: std::mem::take(&mut self.jobs),
+            ids: std::mem::take(&mut self.ids),
+            alive: std::mem::take(&mut self.alive),
+            shares: std::mem::take(&mut self.shares),
+            rates: std::mem::take(&mut self.rates),
+            srpt: std::mem::take(&mut self.srpt),
+            scratch_moves: std::mem::take(&mut self.scratch_moves),
+            scratch_batch: std::mem::take(&mut self.scratch_batch),
+            completed: std::mem::take(&mut self.completed),
+            free: std::mem::take(&mut self.free),
+            sink: std::mem::take(&mut self.sink),
         }
     }
 
@@ -610,6 +787,11 @@ impl<'a> Engine<'a> {
                 self.ids.insert(spec.id, idx);
                 self.admitted += 1;
                 let remaining = spec.size;
+                let kernel = if self.cfg.pow_kernel {
+                    spec.curve.kernel()
+                } else {
+                    spec.curve.alpha().map(PowKernel::powf_reference)
+                };
                 let rec = match self.mode {
                     ExecMode::Exhaustive => {
                         self.alive.push(idx);
@@ -617,6 +799,7 @@ impl<'a> Engine<'a> {
                             spec,
                             remaining,
                             run_key: 0.0,
+                            kernel,
                             in_running: false,
                             done: false,
                         }
@@ -631,6 +814,7 @@ impl<'a> Engine<'a> {
                             spec,
                             remaining,
                             run_key,
+                            kernel,
                             in_running,
                             done: false,
                         }
@@ -726,7 +910,7 @@ impl<'a> Engine<'a> {
                     let rate = if unit_rate {
                         self.cfg.speed
                     } else {
-                        self.cfg.speed * self.jobs[slot.idx].spec.curve.rate(share)
+                        self.cfg.speed * self.jobs[slot.idx].gamma(share)
                     };
                     if rate > 0.0 {
                         // Invariant under uniform drain, so it doubles as
@@ -741,7 +925,7 @@ impl<'a> Engine<'a> {
         } else {
             let mut next: Option<Time> = None;
             for (slot, rem) in self.srpt.iter_running() {
-                let rate = self.cfg.speed * self.jobs[slot.idx].spec.curve.rate(share);
+                let rate = self.cfg.speed * self.jobs[slot.idx].gamma(share);
                 if rate > 0.0 {
                     let t = self.now + rem / rate;
                     if next.is_none_or(|n| t < n) {
@@ -801,7 +985,7 @@ impl<'a> Engine<'a> {
         for (i, &idx) in self.alive.iter().enumerate() {
             let share = self.shares[i].max(0.0);
             self.shares[i] = share;
-            self.rates[i] = self.cfg.speed * self.jobs[idx].spec.curve.rate(share);
+            self.rates[i] = self.cfg.speed * self.jobs[idx].gamma(share);
         }
         if let Some(q) = quantum {
             if q.is_finite() && q > 0.0 {
@@ -950,7 +1134,7 @@ impl<'a> Engine<'a> {
                 let speed = self.cfg.speed;
                 let mut run = 0.0;
                 for (slot, rem) in self.srpt.iter_running() {
-                    let rate = speed * self.jobs[slot.idx].spec.curve.rate(share);
+                    let rate = speed * self.jobs[slot.idx].gamma(share);
                     run += (rem - rate * dt / 2.0).max(0.0) / slot.size;
                 }
                 self.frac_flow.add((run + self.srpt.queued_frac_sum()) * dt);
@@ -960,7 +1144,7 @@ impl<'a> Engine<'a> {
                     let jobs = &self.jobs;
                     self.srpt.drain_scan(
                         dt,
-                        |idx| speed * jobs[idx].spec.curve.rate(share),
+                        |idx| speed * jobs[idx].gamma(share),
                         |idx, p| moves.push((idx, p)),
                     );
                 }
@@ -1037,7 +1221,7 @@ impl<'a> Engine<'a> {
             let rate = match self.interval {
                 IntervalKind::Uniform { rate } => rate,
                 IntervalKind::Scan => {
-                    self.cfg.speed * self.jobs[slot.idx].spec.curve.rate(self.profile.share)
+                    self.cfg.speed * self.jobs[slot.idx].gamma(self.profile.share)
                 }
                 IntervalKind::Idle => 0.0,
             };
@@ -1090,7 +1274,7 @@ impl<'a> Engine<'a> {
                         size: rec.spec.size,
                         remaining,
                         share,
-                        rate: self.cfg.speed * rec.spec.curve.rate(share),
+                        rate: self.cfg.speed * rec.gamma(share),
                     });
                 }
                 for (slot, remaining) in self.srpt.iter_queued() {
@@ -1168,6 +1352,24 @@ impl<'a> Engine<'a> {
         self.into_outcome()
     }
 
+    /// Like [`Engine::run`], additionally handing back the engine's
+    /// buffers for the next run (see [`EngineBuffers`]). The outcome's
+    /// completion list and instance are freshly owned by the caller —
+    /// those allocations transfer with the outcome by design — but the
+    /// arena, heaps, and scratch are all recycled.
+    pub fn run_reusing(mut self) -> Result<(RunOutcome, EngineBuffers), SimError> {
+        if self.cfg.streaming {
+            return Err(SimError::BadInstance {
+                what: "streaming engines produce a StreamingOutcome; \
+                       call run_streaming_reusing() instead of run_reusing()"
+                    .into(),
+            });
+        }
+        while self.step()? {}
+        let outcome = self.take_outcome()?;
+        Ok((outcome, self.into_buffers()))
+    }
+
     /// Runs to completion and returns the constant-size
     /// [`StreamingOutcome`]. Works in either mode (a non-streaming engine
     /// simply doesn't recycle memory), so the same finalizer serves the
@@ -1175,6 +1377,16 @@ impl<'a> Engine<'a> {
     pub fn run_streaming(mut self) -> Result<StreamingOutcome, SimError> {
         while self.step()? {}
         self.into_streaming_outcome()
+    }
+
+    /// Like [`Engine::run_streaming`], additionally handing back the
+    /// engine's buffers for the next run. This is the fully
+    /// allocation-free repeat-run shape: the streaming outcome is
+    /// constant-size and nothing per-job survives the run.
+    pub fn run_streaming_reusing(mut self) -> Result<(StreamingOutcome, EngineBuffers), SimError> {
+        while self.step()? {}
+        let outcome = self.take_streaming_outcome()?;
+        Ok((outcome, self.into_buffers()))
     }
 
     /// Runs the end-of-run audit identities, if auditing is on.
@@ -1209,31 +1421,27 @@ impl<'a> Engine<'a> {
         )
     }
 
-    /// Finalizes the run into a [`RunOutcome`] (all jobs must be finished).
-    pub fn into_outcome(mut self) -> Result<RunOutcome, SimError> {
-        if self.cfg.streaming {
-            return Err(SimError::BadInstance {
-                what: "streaming engines produce a StreamingOutcome; \
-                       call into_streaming_outcome() instead"
-                    .into(),
-            });
-        }
+    /// Non-consuming finalizer core: extracts the [`RunOutcome`], leaving
+    /// the engine's buffers empty but with capacity intact. The completion
+    /// list and the instance's spec vector transfer to the outcome (they
+    /// are the outcome); the job arena's own allocation stays behind.
+    fn take_outcome(&mut self) -> Result<RunOutcome, SimError> {
         let audit = self.check_final_audit()?;
         let metrics = self.final_metrics();
         Ok(RunOutcome {
             metrics,
-            completed: self.completed,
+            completed: std::mem::take(&mut self.completed),
             // The arena holds every spec ever emitted (done or not), in
             // admission order, already validated at admission; rebuilding
             // the instance from it avoids both the seed engine's duplicate
             // `emitted` clone stream and a second O(n) validation pass.
-            instance: Instance::from_admitted(self.jobs.into_iter().map(|r| r.spec).collect()),
+            instance: Instance::from_admitted(self.jobs.drain(..).map(|r| r.spec).collect()),
             audit,
         })
     }
 
-    /// Finalizes the run into a constant-size [`StreamingOutcome`].
-    pub fn into_streaming_outcome(mut self) -> Result<StreamingOutcome, SimError> {
+    /// Non-consuming finalizer core for the streaming outcome.
+    fn take_streaming_outcome(&mut self) -> Result<StreamingOutcome, SimError> {
         let audit = self.check_final_audit()?;
         let metrics = self.final_metrics();
         Ok(StreamingOutcome {
@@ -1243,6 +1451,23 @@ impl<'a> Engine<'a> {
             admitted: self.admitted,
             audit,
         })
+    }
+
+    /// Finalizes the run into a [`RunOutcome`] (all jobs must be finished).
+    pub fn into_outcome(mut self) -> Result<RunOutcome, SimError> {
+        if self.cfg.streaming {
+            return Err(SimError::BadInstance {
+                what: "streaming engines produce a StreamingOutcome; \
+                       call into_streaming_outcome() instead"
+                    .into(),
+            });
+        }
+        self.take_outcome()
+    }
+
+    /// Finalizes the run into a constant-size [`StreamingOutcome`].
+    pub fn into_streaming_outcome(mut self) -> Result<StreamingOutcome, SimError> {
+        self.take_streaming_outcome()
     }
 }
 

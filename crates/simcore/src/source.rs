@@ -73,6 +73,15 @@ pub trait ArrivalSource {
     fn needs_system_view(&self) -> bool {
         true
     }
+
+    /// Rewinds the source to its initial state for a fresh run, returning
+    /// `true` on success. Replay sources can; adaptive or generative
+    /// sources whose history cannot be replayed keep the default `false`,
+    /// which makes [`crate::Engine::reset`] refuse rather than silently
+    /// re-run a different workload.
+    fn rewind(&mut self) -> bool {
+        false
+    }
 }
 
 /// Cap on the clock-relative admission window (absolute sim-time units).
@@ -143,6 +152,11 @@ impl ArrivalSource for StaticSource {
 
     fn needs_system_view(&self) -> bool {
         false
+    }
+
+    fn rewind(&mut self) -> bool {
+        self.cursor = 0;
+        true
     }
 }
 

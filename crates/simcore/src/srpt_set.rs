@@ -1,7 +1,7 @@
 //! The ordered alive set behind the engine's incremental `O(log n)` path.
 //!
 //! [`SrptSet`] maintains the alive jobs in SRPT order — `(remaining,
-//! release, id)` — split into two ordered maps:
+//! release, id)` — split into two partitions:
 //!
 //! * **running**: the scheduled prefix (the `k` smallest jobs), keyed in
 //!   *offset* space `key = remaining + D`, where `D` is the cumulative
@@ -16,9 +16,26 @@
 //! remaining work is `key − D`. Because all running keys share the same
 //! offset, their relative order is preserved, and since running jobs only
 //! shrink while queued jobs are static, the cross-partition invariant
-//! `max(running) − D ≤ min(queued)` is preserved too. Every operation is
-//! `O(log n)`; a handful of running sums make total/fractional remaining
-//! work `O(1)` per interval.
+//! `max(running) − D ≤ min(queued)` is preserved too.
+//!
+//! # Representation
+//!
+//! Both partitions are **`Vec`-backed heaps**, not `BTreeMap`s: the hot
+//! loop needs only `insert`, `pop-min`, `pop-max` (demotion), and the two
+//! peeks — all `O(log n)` on a contiguous array with no per-node
+//! allocation, where the seed's B-tree paid pointer chasing plus a node
+//! allocation/free per structural change on every event. The running
+//! prefix is a **min-max heap** (Atkinson et al.: even levels ordered by
+//! min, odd by max, so both ends pop in `O(log k)`); the queue only ever
+//! pops its minimum (promotion) and is a plain binary min-heap. Buffers
+//! are retained across [`SrptSet::reset`], which is what makes repeated
+//! engine runs allocation-free after warm-up (see `docs/PERF.md` §6).
+//!
+//! Ordered iteration (audit frames, snapshots, heterogeneous-prefix
+//! scans) is off the steady-state path and materializes a sorted copy; the
+//! sort uses the same total order the B-tree kept, so every externally
+//! observable sequence — completion order, tie-breaks, floating-point
+//! accumulation order of the running sums — is unchanged.
 //!
 //! Heterogeneous prefixes (different curves at share ≠ 1) drain at
 //! per-job rates; [`SrptSet::drain_scan`] handles those intervals in
@@ -26,7 +43,8 @@
 //! differs from the first-admitted reference and jobs with `Γ(1) ≠ 1` —
 //! let the engine detect the uniform case in `O(1)`.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use parsched_speedup::Curve;
 
@@ -84,6 +102,236 @@ pub(crate) struct Slot {
     nonunit: bool,
 }
 
+/// One heap element: ordering key plus payload. Total order is the key's
+/// (keys are unique — `id` is a tie-break of last resort — so `Eq` by key
+/// is consistent with logical identity).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: OrdKey,
+    slot: Slot,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A `Vec`-backed min-max heap (Atkinson–Sack–Santoro–Strothotte):
+/// `O(log n)` push / pop-min / pop-max, `O(1)` peek at both ends, and no
+/// per-node allocation. Levels alternate: the root level (depth 0) and
+/// every even depth satisfy the *min* property (element ≤ its subtree),
+/// odd depths the *max* property (element ≥ its subtree).
+#[derive(Debug, Default)]
+struct MinMaxHeap {
+    a: Vec<Entry>,
+}
+
+/// Whether heap index `i` sits on a min (even-depth) level.
+#[inline]
+fn on_min_level(i: usize) -> bool {
+    // depth = floor(log2(i + 1)); even depth ⇔ min level.
+    (i + 1).ilog2() & 1 == 0
+}
+
+impl MinMaxHeap {
+    #[inline]
+    fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    #[inline]
+    fn peek_min(&self) -> Option<&Entry> {
+        self.a.first()
+    }
+
+    fn max_index(&self) -> Option<usize> {
+        match self.a.len() {
+            0 => None,
+            1 => Some(0),
+            2 => Some(1),
+            _ => Some(if self.a[1] >= self.a[2] { 1 } else { 2 }),
+        }
+    }
+
+    #[inline]
+    fn peek_max(&self) -> Option<&Entry> {
+        self.max_index().map(|i| &self.a[i])
+    }
+
+    fn push(&mut self, e: Entry) {
+        self.a.push(e);
+        self.bubble_up(self.a.len() - 1);
+    }
+
+    fn pop_min(&mut self) -> Option<Entry> {
+        if self.a.is_empty() {
+            return None;
+        }
+        let min = self.a.swap_remove(0);
+        if !self.a.is_empty() {
+            self.trickle_down(0);
+        }
+        Some(min)
+    }
+
+    fn pop_max(&mut self) -> Option<Entry> {
+        let i = self.max_index()?;
+        let max = self.a.swap_remove(i);
+        if i < self.a.len() {
+            self.trickle_down(i);
+        }
+        Some(max)
+    }
+
+    fn clear(&mut self) {
+        self.a.clear();
+    }
+
+    /// Unordered view of the entries (callers sort for SRPT order).
+    #[inline]
+    fn entries(&self) -> &[Entry] {
+        &self.a
+    }
+
+    /// Drains all entries (unordered) into `out`, leaving capacity behind.
+    fn drain_into(&mut self, out: &mut Vec<Entry>) {
+        out.extend_from_slice(&self.a);
+        self.a.clear();
+    }
+
+    fn bubble_up(&mut self, mut i: usize) {
+        if i == 0 {
+            return;
+        }
+        let parent = (i - 1) / 2;
+        if on_min_level(i) {
+            if self.a[i] > self.a[parent] {
+                self.a.swap(i, parent);
+                i = parent;
+                self.bubble_up_grand(i, false);
+            } else {
+                self.bubble_up_grand(i, true);
+            }
+        } else if self.a[i] < self.a[parent] {
+            self.a.swap(i, parent);
+            i = parent;
+            self.bubble_up_grand(i, true);
+        } else {
+            self.bubble_up_grand(i, false);
+        }
+    }
+
+    /// Sifts `i` toward the root along grandparent links; `min` selects
+    /// which property (min or max levels) is being restored.
+    fn bubble_up_grand(&mut self, mut i: usize, min: bool) {
+        while i > 2 {
+            let gp = ((i - 1) / 2 - 1) / 2;
+            let swap = if min {
+                self.a[i] < self.a[gp]
+            } else {
+                self.a[i] > self.a[gp]
+            };
+            if !swap {
+                break;
+            }
+            self.a.swap(i, gp);
+            i = gp;
+        }
+    }
+
+    fn trickle_down(&mut self, i: usize) {
+        if on_min_level(i) {
+            self.trickle(i, true);
+        } else {
+            self.trickle(i, false);
+        }
+    }
+
+    /// Restores the heap property below `i`; `min` selects the property of
+    /// `i`'s level. Standard min-max trickle: descend to the extreme child
+    /// or grandchild, swapping the intervening parent when a grandchild
+    /// wins.
+    fn trickle(&mut self, mut i: usize, min: bool) {
+        let len = self.a.len();
+        loop {
+            // The extreme element among children and grandchildren.
+            let first_child = 2 * i + 1;
+            if first_child >= len {
+                return;
+            }
+            let mut best = first_child;
+            let mut best_is_grandchild = false;
+            let second_child = first_child + 1;
+            if second_child < len {
+                let better = if min {
+                    self.a[second_child] < self.a[best]
+                } else {
+                    self.a[second_child] > self.a[best]
+                };
+                if better {
+                    best = second_child;
+                }
+            }
+            let first_grand = 4 * i + 3;
+            for g in first_grand..(first_grand + 4).min(len) {
+                let better = if min {
+                    self.a[g] < self.a[best]
+                } else {
+                    self.a[g] > self.a[best]
+                };
+                if better {
+                    best = g;
+                    best_is_grandchild = true;
+                }
+            }
+            let improves = if min {
+                self.a[best] < self.a[i]
+            } else {
+                self.a[best] > self.a[i]
+            };
+            if !improves {
+                return;
+            }
+            self.a.swap(i, best);
+            if !best_is_grandchild {
+                return;
+            }
+            // After a grandchild swap the intervening parent (an opposite-
+            // level node) may now violate its own property.
+            let parent = (best - 1) / 2;
+            let parent_violated = if min {
+                self.a[best] > self.a[parent]
+            } else {
+                self.a[best] < self.a[parent]
+            };
+            if parent_violated {
+                self.a.swap(best, parent);
+            }
+            i = best;
+        }
+    }
+}
+
 /// Where an alive job currently lives, reported back to the engine so it
 /// can keep per-record state (`remaining` vs. offset key) coherent.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,8 +351,13 @@ pub(crate) enum Placement {
 /// The alive set in SRPT order with an `O(1)` uniform-drain fast path.
 #[derive(Debug, Default)]
 pub(crate) struct SrptSet {
-    running: BTreeMap<OrdKey, Slot>,
-    queued: BTreeMap<OrdKey, Slot>,
+    /// Scheduled prefix: min-max heap over offset-space keys.
+    running: MinMaxHeap,
+    /// Queue: binary min-heap over literal remaining work.
+    queued: BinaryHeap<Reverse<Entry>>,
+    /// Scratch for ordered rebuilds (`drain_scan` / `maybe_rebase`);
+    /// retained so rebuilds allocate nothing after warm-up.
+    scratch: Vec<Entry>,
     /// Cumulative uniform drain applied to the running partition.
     drain: f64,
     /// `Σ 1/p_j` over running.
@@ -126,8 +379,23 @@ pub(crate) struct SrptSet {
 }
 
 impl SrptSet {
-    pub fn new() -> Self {
-        Self::default()
+    /// Clears all state for a fresh run while **retaining** every buffer
+    /// (both heap arrays and the rebuild scratch) — the piece of
+    /// [`crate::Engine::reset`]'s zero-allocation contract this structure
+    /// owns.
+    pub fn reset(&mut self) {
+        self.running.clear();
+        self.queued.clear();
+        self.scratch.clear();
+        self.drain = 0.0;
+        self.s1 = 0.0;
+        self.sk = 0.0;
+        self.key_sum = 0.0;
+        self.q_frac = 0.0;
+        self.q_rem_sum = 0.0;
+        self.hetero_running = 0;
+        self.nonunit_running = 0;
+        self.reference = None;
     }
 
     /// Total alive jobs.
@@ -180,23 +448,34 @@ impl SrptSet {
     /// The front (smallest-remaining) running job: `(slot, remaining)`.
     pub fn front_running(&self) -> Option<(Slot, f64)> {
         self.running
-            .first_key_value()
-            .map(|(k, s)| (*s, (k.key - self.drain).max(0.0)))
+            .peek_min()
+            .map(|e| (e.slot, (e.key.key - self.drain).max(0.0)))
     }
 
-    /// Iterates the running prefix in SRPT order as `(slot, remaining)`.
+    /// The running prefix in SRPT order as `(slot, remaining)`.
+    ///
+    /// Materializes a sorted copy: ordered views are off the steady-state
+    /// path (audit frames, heterogeneous scans, snapshots), and sorting by
+    /// the same total order the old B-tree kept preserves every observable
+    /// iteration sequence bit-for-bit.
     pub fn iter_running(&self) -> impl Iterator<Item = (Slot, f64)> + '_ {
-        self.running
-            .iter()
-            .map(|(k, s)| (*s, (k.key - self.drain).max(0.0)))
+        let mut v: Vec<Entry> = self.running.entries().to_vec();
+        v.sort_unstable();
+        let drain = self.drain;
+        v.into_iter()
+            .map(move |e| (e.slot, (e.key.key - drain).max(0.0)))
     }
 
-    /// Iterates queued jobs in SRPT order as `(slot, remaining)`.
+    /// Queued jobs in SRPT order as `(slot, remaining)` (sorted copy, see
+    /// [`SrptSet::iter_running`]).
     pub fn iter_queued(&self) -> impl Iterator<Item = (Slot, f64)> + '_ {
-        self.queued.iter().map(|(k, s)| (*s, k.key))
+        let mut v: Vec<Entry> = Vec::with_capacity(self.queued.len());
+        v.extend(self.queued.iter().map(|r| r.0));
+        v.sort_unstable();
+        v.into_iter().map(|e| (e.slot, e.key.key))
     }
 
-    /// Iterates the whole alive set in SRPT order as `(idx, remaining)`.
+    /// The whole alive set in SRPT order as `(idx, remaining)`.
     pub fn iter_alive(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
         self.iter_running()
             .chain(self.iter_queued())
@@ -216,8 +495,7 @@ impl SrptSet {
         self.key_sum += key.key;
         self.hetero_running += usize::from(slot.hetero);
         self.nonunit_running += usize::from(slot.nonunit);
-        let prev = self.running.insert(key, slot);
-        debug_assert!(prev.is_none(), "duplicate running key");
+        self.running.push(Entry { key, slot });
     }
 
     fn settle_running(&mut self) {
@@ -244,8 +522,7 @@ impl SrptSet {
     fn add_queued(&mut self, key: OrdKey, slot: Slot) {
         self.q_frac += key.key / slot.size;
         self.q_rem_sum += key.key;
-        let prev = self.queued.insert(key, slot);
-        debug_assert!(prev.is_none(), "duplicate queued key");
+        self.queued.push(Reverse(Entry { key, slot }));
     }
 
     fn forget_queued(&mut self, key: &OrdKey, slot: &Slot) {
@@ -272,10 +549,7 @@ impl SrptSet {
             release: spec.release,
             id: spec.id,
         };
-        let belongs_in_prefix = self
-            .running
-            .last_key_value()
-            .is_some_and(|(max, _)| run_key < *max);
+        let belongs_in_prefix = self.running.peek_max().is_some_and(|max| run_key < max.key);
         if belongs_in_prefix {
             self.add_running(run_key, slot);
             Placement::Running { key: run_key.key }
@@ -296,7 +570,7 @@ impl SrptSet {
     pub fn rebalance(&mut self, target: usize, mut moved: impl FnMut(usize, Placement)) {
         let want = target.min(self.len());
         while self.running.len() > want {
-            let (key, slot) = self.running.pop_last().expect("nonempty");
+            let Entry { key, slot } = self.running.pop_max().expect("nonempty");
             let remaining = (key.key - self.drain).max(0.0);
             self.forget_running(&key, &slot);
             self.settle_running();
@@ -309,7 +583,7 @@ impl SrptSet {
             moved(slot.idx, Placement::Queued { remaining });
         }
         while self.running.len() < want {
-            let (key, slot) = self.queued.pop_first().expect("nonempty");
+            let Reverse(Entry { key, slot }) = self.queued.pop().expect("nonempty");
             self.forget_queued(&key, &slot);
             let rkey = OrdKey {
                 key: key.key + self.drain,
@@ -332,66 +606,67 @@ impl SrptSet {
     /// Pops the front running job (the imminent completion). Returns the
     /// slot and its materialized remaining work.
     pub fn pop_front_running(&mut self) -> Option<(Slot, f64)> {
-        let (key, slot) = self.running.pop_first()?;
+        let Entry { key, slot } = self.running.pop_min()?;
         let remaining = (key.key - self.drain).max(0.0);
         self.forget_running(&key, &slot);
         self.settle_running();
         Some((slot, remaining))
     }
 
+    /// Rebuilds the running partition through `update` (applied in SRPT
+    /// order — the old B-tree's iteration order, so the floating-point sum
+    /// accumulation and the `moved` callback sequence are unchanged),
+    /// folding the drain offset to zero. Shared by [`SrptSet::drain_scan`]
+    /// and [`SrptSet::maybe_rebase`].
+    fn rebuild_running(
+        &mut self,
+        mut update: impl FnMut(usize, f64) -> f64,
+        mut moved: impl FnMut(usize, Placement),
+    ) {
+        self.scratch.clear();
+        self.running.drain_into(&mut self.scratch);
+        let mut old = std::mem::take(&mut self.scratch);
+        old.sort_unstable();
+        self.s1 = 0.0;
+        self.sk = 0.0;
+        self.key_sum = 0.0;
+        self.hetero_running = 0;
+        self.nonunit_running = 0;
+        let drain = std::mem::replace(&mut self.drain, 0.0);
+        for Entry { key, slot } in old.drain(..) {
+            let rem = update(slot.idx, (key.key - drain).max(0.0));
+            let new_key = OrdKey {
+                key: rem,
+                release: key.release,
+                id: key.id,
+            };
+            self.add_running(new_key, slot);
+            moved(slot.idx, Placement::Running { key: rem });
+        }
+        self.scratch = old;
+    }
+
     /// Drains each running job at its own rate for `dt` — the
-    /// heterogeneous-prefix slow path. Rebuilds the running map (the order
+    /// heterogeneous-prefix slow path. Rebuilds the running heap (the order
     /// may genuinely change), resets the offset to zero, and reports every
     /// job's new placement. `O(k log k)` in the prefix size.
     pub fn drain_scan(
         &mut self,
         dt: f64,
         rate_of: impl Fn(usize) -> f64,
-        mut moved: impl FnMut(usize, Placement),
+        moved: impl FnMut(usize, Placement),
     ) {
-        let old = std::mem::take(&mut self.running);
-        self.s1 = 0.0;
-        self.sk = 0.0;
-        self.key_sum = 0.0;
-        self.hetero_running = 0;
-        self.nonunit_running = 0;
-        let drain = std::mem::replace(&mut self.drain, 0.0);
-        for (key, slot) in old {
-            let rem = ((key.key - drain).max(0.0) - rate_of(slot.idx) * dt).max(0.0);
-            let new_key = OrdKey {
-                key: rem,
-                release: key.release,
-                id: key.id,
-            };
-            self.add_running(new_key, slot);
-            moved(slot.idx, Placement::Running { key: rem });
-        }
+        self.rebuild_running(|idx, rem| (rem - rate_of(idx) * dt).max(0.0), moved);
     }
 
     /// Folds the drain offset into the running keys when it has grown past
     /// [`REBASE_LIMIT`], keeping `ulp(key)` well under completion
     /// tolerances. Reports refreshed keys. No-op most of the time.
-    pub fn maybe_rebase(&mut self, mut moved: impl FnMut(usize, Placement)) {
+    pub fn maybe_rebase(&mut self, moved: impl FnMut(usize, Placement)) {
         if self.drain <= REBASE_LIMIT {
             return;
         }
-        let old = std::mem::take(&mut self.running);
-        self.s1 = 0.0;
-        self.sk = 0.0;
-        self.key_sum = 0.0;
-        self.hetero_running = 0;
-        self.nonunit_running = 0;
-        let drain = std::mem::replace(&mut self.drain, 0.0);
-        for (key, slot) in old {
-            let rem = (key.key - drain).max(0.0);
-            let new_key = OrdKey {
-                key: rem,
-                release: key.release,
-                id: key.id,
-            };
-            self.add_running(new_key, slot);
-            moved(slot.idx, Placement::Running { key: rem });
-        }
+        self.rebuild_running(|_, rem| rem, moved);
     }
 }
 
@@ -409,7 +684,7 @@ mod tests {
 
     #[test]
     fn insert_and_rebalance_partition_by_srpt_order() {
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         for (i, size) in [5.0, 1.0, 3.0].iter().enumerate() {
             set.insert(i, &spec(i as u64, 0.0, *size), *size);
         }
@@ -423,7 +698,7 @@ mod tests {
 
     #[test]
     fn uniform_advance_drains_only_the_prefix() {
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         set.insert(0, &spec(0, 0.0, 2.0), 2.0);
         set.insert(1, &spec(1, 0.0, 4.0), 4.0);
         set.rebalance(1, |_, _| {});
@@ -436,7 +711,7 @@ mod tests {
 
     #[test]
     fn pop_front_returns_smallest_and_resets_offset_when_empty() {
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         set.insert(0, &spec(0, 0.0, 2.0), 2.0);
         set.rebalance(1, |_, _| {});
         set.advance_uniform(2.0);
@@ -450,7 +725,7 @@ mod tests {
 
     #[test]
     fn rebalance_promotes_in_srpt_order_after_completion() {
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         for (i, size) in [1.0, 2.0, 3.0].iter().enumerate() {
             set.insert(i, &spec(i as u64, 0.0, *size), *size);
         }
@@ -469,7 +744,7 @@ mod tests {
 
     #[test]
     fn ties_break_by_release_then_id() {
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         set.insert(0, &spec(9, 1.0, 2.0), 2.0);
         set.insert(1, &spec(3, 0.0, 2.0), 2.0);
         set.insert(2, &spec(5, 0.0, 2.0), 2.0);
@@ -480,7 +755,7 @@ mod tests {
 
     #[test]
     fn uniformity_counters_track_membership() {
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         set.insert(0, &spec(0, 0.0, 2.0), 2.0); // reference: Sequential
         let mut par = spec(1, 0.0, 3.0);
         par.curve = Curve::FullyParallel;
@@ -494,7 +769,7 @@ mod tests {
 
     #[test]
     fn drain_scan_reorders_by_new_remaining() {
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         // Sequential job drains at rate(2) = 1; parallel at rate(2) = 2.
         set.insert(0, &spec(0, 0.0, 3.0), 3.0);
         let mut par = spec(1, 0.0, 3.5);
@@ -513,7 +788,7 @@ mod tests {
 
     #[test]
     fn rebase_folds_offset_without_changing_state() {
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         set.insert(0, &spec(0, 0.0, 3e6), 3e6);
         set.insert(1, &spec(1, 0.0, 4e6), 4e6);
         set.rebalance(2, |_, _| {});
@@ -534,7 +809,7 @@ mod tests {
 
     #[test]
     fn fractional_sums_match_direct_computation() {
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         let sizes = [2.0, 5.0, 7.0, 11.0];
         for (i, size) in sizes.iter().enumerate() {
             set.insert(i, &spec(i as u64, 0.0, *size), *size);
@@ -548,6 +823,86 @@ mod tests {
         let expect_q = 1.0 + 1.0; // 7/7 + 11/11
         assert!((set.queued_frac_sum() - expect_q).abs() < 1e-12);
         assert!((set.total_remaining() - (1.0 + 4.0 + 7.0 + 11.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_capacity() {
+        let mut set = SrptSet::default();
+        for i in 0..64usize {
+            let size = 1.0 + i as f64;
+            set.insert(i, &spec(i as u64, 0.0, size), size);
+        }
+        set.rebalance(8, |_, _| {});
+        set.advance_uniform(0.25);
+        set.reset();
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.running_len(), 0);
+        assert_eq!(set.drain_offset(), 0.0);
+        assert_eq!(set.total_remaining(), 0.0);
+        assert!(set.uniform_curves() && set.unit_rate_at_one());
+        // The set is fully reusable after reset.
+        set.insert(0, &spec(100, 0.0, 2.0), 2.0);
+        set.rebalance(1, |_, _| {});
+        assert_eq!(set.front_running().unwrap().0.idx, 0);
+    }
+
+    /// Min-max heap fuzz: interleaved push / pop-min / pop-max against a
+    /// sorted-Vec model, checking both peeks before every mutation.
+    #[test]
+    fn min_max_heap_matches_sorted_model_under_churn() {
+        let mut heap = MinMaxHeap::default();
+        let mut model: Vec<OrdKey> = Vec::new();
+        let mut rng: u64 = 0x1234_5678_9abc_def0;
+        let mut next = |m: u64| {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 33) % m
+        };
+        let slot = Slot {
+            idx: 0,
+            size: 1.0,
+            hetero: false,
+            nonunit: false,
+        };
+        for step in 0..4000 {
+            // Peeks agree with the model.
+            model.sort();
+            assert_eq!(
+                heap.peek_min().map(|e| e.key.id),
+                model.first().map(|k| k.id)
+            );
+            assert_eq!(
+                heap.peek_max().map(|e| e.key.id),
+                model.last().map(|k| k.id)
+            );
+            match next(4) {
+                0 | 1 => {
+                    let key = OrdKey {
+                        key: next(50) as f64 * 0.5,
+                        release: 0.0,
+                        id: JobId(step as u64),
+                    };
+                    heap.push(Entry { key, slot });
+                    model.push(key);
+                }
+                2 => {
+                    let got = heap.pop_min().map(|e| e.key.id);
+                    let want = model.first().map(|k| k.id);
+                    assert_eq!(got, want, "pop_min at step {step}");
+                    if !model.is_empty() {
+                        model.remove(0);
+                    }
+                }
+                _ => {
+                    let got = heap.pop_max().map(|e| e.key.id);
+                    let want = model.last().map(|k| k.id);
+                    assert_eq!(got, want, "pop_max at step {step}");
+                    model.pop();
+                }
+            }
+            assert_eq!(heap.len(), model.len());
+        }
     }
 
     /// Naive reference order: `(remaining, release, id)` ascending.
@@ -566,7 +921,7 @@ mod tests {
         // ordering or sum drift introduced by the offset representation
         // (insert-during-drain, rebases, tie-breaks) shows up here.
         const PREFIX: usize = 3;
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         let mut model: Vec<(usize, f64, f64, u64)> = Vec::new();
         let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
         let mut next = |m: u64| {
@@ -633,7 +988,7 @@ mod tests {
 
     #[test]
     fn equal_remaining_after_offset_bump_ties_by_release_then_id() {
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         // Job 0 (release 0) starts at 5 and drains to 2; job 1 (release 7)
         // then arrives with remaining exactly 2. The drained job keeps
         // priority through the earlier release despite identical remaining.
@@ -657,7 +1012,7 @@ mod tests {
 
     #[test]
     fn insert_at_prefix_boundary_queues_then_promotes_in_order() {
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         set.insert(0, &spec(0, 0.0, 2.0), 2.0);
         set.insert(1, &spec(1, 0.0, 6.0), 6.0);
         set.rebalance(2, |_, _| {});
@@ -676,7 +1031,7 @@ mod tests {
 
     #[test]
     fn front_completion_with_tied_pair_pops_one_at_a_time() {
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         set.insert(0, &spec(0, 0.0, 3.0), 3.0);
         set.insert(1, &spec(1, 0.0, 3.0), 3.0);
         set.rebalance(2, |_, _| {});
@@ -692,7 +1047,7 @@ mod tests {
 
     #[test]
     fn insert_during_drain_lands_in_correct_position() {
-        let mut set = SrptSet::new();
+        let mut set = SrptSet::default();
         set.insert(0, &spec(0, 0.0, 4.0), 4.0);
         set.insert(1, &spec(1, 0.0, 10.0), 10.0);
         set.rebalance(2, |_, _| {});

@@ -65,6 +65,14 @@ impl QuantileSketch {
         }
     }
 
+    /// Clears all recorded values in place, retaining the bucket array.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+
     fn bucket_of(x: f64) -> usize {
         if x > 0.0 && x.is_finite() {
             let k = (x.log2() * BUCKETS_PER_OCTAVE).floor() as i64 + BUCKET_OFFSET;
@@ -133,7 +141,7 @@ impl QuantileSketch {
             seen += c;
             if seen >= rank {
                 let mid =
-                    2f64.powf((i as i64 - BUCKET_OFFSET) as f64 / BUCKETS_PER_OCTAVE + 1.0 / 16.0);
+                    ((i as i64 - BUCKET_OFFSET) as f64 / BUCKETS_PER_OCTAVE + 1.0 / 16.0).exp2();
                 return mid.clamp(self.min, self.max);
             }
         }
@@ -163,6 +171,20 @@ impl StreamingMetrics {
     /// An empty sink.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clears all aggregates in place, retaining the sketch's bucket array
+    /// (part of the engine's buffer-reuse contract; see
+    /// [`crate::EngineBuffers`]).
+    pub fn reset(&mut self) {
+        self.count = 0;
+        self.total_flow = NeumaierSum::new();
+        self.max_flow = 0.0;
+        self.total_stretch = NeumaierSum::new();
+        self.max_stretch = 0.0;
+        self.total_weighted_flow = NeumaierSum::new();
+        self.makespan = 0.0;
+        self.sketch.reset();
     }
 
     /// Folds one completion into the aggregates. Must be called in

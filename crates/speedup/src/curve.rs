@@ -116,7 +116,7 @@ impl Curve {
                 if crate::float::exact_eq(*alpha, 0.0) {
                     None
                 } else {
-                    Some(r.powf(1.0 / *alpha))
+                    Some(crate::kernel::PowKernel::new(*alpha).invert(r))
                 }
             }
             Curve::Amdahl { serial_fraction } => {
@@ -174,6 +174,14 @@ impl Curve {
             Curve::Power { alpha } => Some(*alpha),
             _ => None,
         }
+    }
+
+    /// The compiled power kernel for this curve, when it belongs to the
+    /// power family (see [`crate::PowKernel::for_curve`]); hot loops cache
+    /// this once per job instead of re-dispatching `rate` per event.
+    #[inline]
+    pub fn kernel(&self) -> Option<crate::kernel::PowKernel> {
+        crate::kernel::PowKernel::for_curve(self)
     }
 
     /// A short human-readable label (used in tables and traces).

@@ -39,6 +39,7 @@ mod amdahl;
 mod curve;
 mod error;
 mod float;
+mod kernel;
 mod piecewise;
 mod power;
 
@@ -46,5 +47,6 @@ pub use amdahl::amdahl_rate;
 pub use curve::Curve;
 pub use error::CurveError;
 pub use float::{approx_eq, approx_le, exact_eq, EPS};
+pub use kernel::PowKernel;
 pub use piecewise::PiecewiseLinear;
 pub use power::power_rate;

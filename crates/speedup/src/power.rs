@@ -15,13 +15,13 @@ pub fn power_rate(alpha: f64, x: f64) -> f64 {
     debug_assert!((0.0..=1.0).contains(&alpha), "alpha out of range: {alpha}");
     debug_assert!(x >= 0.0, "negative processor allocation: {x}");
     // α is a constructed model parameter, never computed: the endpoint
-    // variants are exact by definition.
-    if x <= 1.0 || crate::float::exact_eq(alpha, 1.0) {
+    // variants (and the sqrt-chain exponents) classify exactly inside the
+    // kernel. Hot loops that evaluate one α repeatedly should hold a
+    // [`crate::PowKernel`] instead of re-classifying per call.
+    if x <= 1.0 {
         x
-    } else if crate::float::exact_eq(alpha, 0.0) {
-        1.0
     } else {
-        x.powf(alpha)
+        crate::kernel::PowKernel::new(alpha).eval(x)
     }
 }
 

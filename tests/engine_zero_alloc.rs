@@ -1,0 +1,162 @@
+//! Steady-state allocation audit for the engine's buffer-reuse contract
+//! (see `docs/PERF.md` §6).
+//!
+//! A counting global allocator wraps the system allocator; the assertions
+//! below prove that after a warm-up run, repeated streaming runs on reused
+//! [`EngineBuffers`] (and in-place [`Engine::reset`] reruns) execute their
+//! entire event loop — arrivals, rebalances, drains, completions — without
+//! a single heap allocation. Engine *construction* and *finalization* sit
+//! outside the audited window: construction clones the policy name and the
+//! source clones the instance, and the streaming finalizer clones the
+//! constant-size quantile sketch; none of that is per-event.
+//!
+//! This is an integration test on purpose: the workspace crates carry
+//! `#![forbid(unsafe_code)]`, and a `GlobalAlloc` impl is necessarily
+//! `unsafe`. Keeping the counter here confines the unsafety to test code.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parsched::PolicyKind;
+use parsched_sim::{
+    Engine, EngineBuffers, EngineConfig, Instance, JobId, JobSpec, NullObserver, StaticSource,
+};
+use parsched_speedup::Curve;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that moves or grows is an allocation for the purpose
+        // of this audit: buffer reuse is supposed to prevent regrowth.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A deterministic arrival-heavy workload: `n` power-law jobs with LCG
+/// sizes and staggered releases, enough churn to exercise insertions,
+/// promotions, demotions, uniform drains, and completions.
+fn workload(n: usize) -> Instance {
+    let mut rng: u64 = 0x5bd1_e995_9e37_79b9;
+    let mut next = || {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (rng >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let jobs = (0..n)
+        .map(|i| {
+            let release = i as f64 * 0.35;
+            let size = 0.5 + 8.0 * next();
+            JobSpec::new(JobId(i as u64), release, size, Curve::power(0.5))
+        })
+        .collect();
+    Instance::new(jobs).expect("valid workload")
+}
+
+/// Streams `inst` once on donated buffers; returns the allocation count
+/// observed strictly during the event loop, plus the buffers.
+fn audited_run(inst: &Instance, bufs: EngineBuffers) -> (u64, EngineBuffers) {
+    let mut policy = PolicyKind::IntermediateSrpt.build();
+    let mut source = StaticSource::new(inst);
+    let mut obs = NullObserver;
+    let cfg = EngineConfig::new(8.0).with_streaming(true);
+    let mut engine = Engine::with_buffers(cfg, policy.as_mut(), &mut source, &mut obs, bufs);
+    let before = allocs();
+    while engine.step().expect("run failed") {}
+    let during = allocs() - before;
+    // Finalize outside the audited window (clones the 8 KiB sketch).
+    let (outcome, bufs) = engine.run_streaming_reusing().expect("finalize failed");
+    assert_eq!(outcome.metrics.num_jobs, inst.jobs().len());
+    (during, bufs)
+}
+
+#[test]
+fn steady_state_streaming_runs_allocate_nothing() {
+    let inst = workload(4_000);
+    // Warm-up: first run grows every buffer to the workload's high-water
+    // marks (and is expected to allocate while doing so).
+    let (warmup_allocs, bufs) = audited_run(&inst, EngineBuffers::new());
+    assert!(warmup_allocs > 0, "warm-up should have grown the buffers");
+    // Steady state: every subsequent run on the reused buffers must not
+    // touch the heap inside the event loop.
+    let (second, bufs) = audited_run(&inst, bufs);
+    assert_eq!(second, 0, "second run allocated {second} times");
+    let (third, _bufs) = audited_run(&inst, bufs);
+    assert_eq!(third, 0, "third run allocated {third} times");
+}
+
+#[test]
+fn engine_reset_reruns_allocate_nothing() {
+    let inst = workload(2_000);
+    let mut policy = PolicyKind::IntermediateSrpt.build();
+    let mut source = StaticSource::new(&inst);
+    let mut obs = NullObserver;
+    let cfg = EngineConfig::new(8.0).with_streaming(true);
+    let mut engine = Engine::with_buffers(
+        cfg,
+        policy.as_mut(),
+        &mut source,
+        &mut obs,
+        EngineBuffers::new(),
+    );
+    // Warm-up run.
+    while engine.step().expect("run failed") {}
+    // In-place reset + rerun: zero allocations in reset and the rerun.
+    let before = allocs();
+    engine.reset().expect("static source rewinds");
+    while engine.step().expect("rerun failed") {}
+    let during = allocs() - before;
+    assert_eq!(during, 0, "reset rerun allocated {during} times");
+}
+
+#[test]
+fn buffer_reuse_reproduces_identical_metrics() {
+    // The reuse machinery must be invisible in the results: a run on
+    // dirty recycled buffers is bit-identical to a run on fresh ones.
+    let inst = workload(1_500);
+    let run = |bufs: EngineBuffers| {
+        let mut policy = PolicyKind::IntermediateSrpt.build();
+        let mut source = StaticSource::new(&inst);
+        let mut obs = NullObserver;
+        let cfg = EngineConfig::new(8.0).with_streaming(true);
+        Engine::with_buffers(cfg, policy.as_mut(), &mut source, &mut obs, bufs)
+            .run_streaming_reusing()
+            .expect("run failed")
+    };
+    let (fresh, bufs) = run(EngineBuffers::new());
+    let (reused, _) = run(bufs);
+    assert_eq!(
+        fresh.metrics.total_flow.to_bits(),
+        reused.metrics.total_flow.to_bits()
+    );
+    assert_eq!(
+        fresh.metrics.fractional_flow.to_bits(),
+        reused.metrics.fractional_flow.to_bits()
+    );
+    assert_eq!(
+        fresh.metrics.makespan.to_bits(),
+        reused.metrics.makespan.to_bits()
+    );
+    assert_eq!(fresh.metrics.events, reused.metrics.events);
+    assert_eq!(fresh.quantiles, reused.quantiles);
+}
