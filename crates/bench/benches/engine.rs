@@ -6,10 +6,10 @@ use std::hint::black_box;
 
 use parsched::IntermediateSrpt;
 use parsched_bench::{
-    overload_fixture, poisson_fixture, poisson_stream_fixture, timed_audited_run, timed_run,
-    timed_streaming_run,
+    mixed_alpha_fixture, overload_fixture, poisson_fixture, poisson_stream_fixture,
+    timed_audited_run, timed_run, timed_run_cfg, timed_streaming_run,
 };
-use parsched_sim::{simulate, AuditLevel, PlannedPolicy};
+use parsched_sim::{simulate, AuditLevel, EngineConfig, EventQueueKind, PlannedPolicy};
 use parsched_workloads::GreedyTrap;
 
 fn engine_scaling_n(c: &mut Criterion) {
@@ -78,6 +78,65 @@ fn engine_overload_scaling(c: &mut Criterion) {
             b.iter(|| {
                 let out = simulate(black_box(inst), &mut IntermediateSrpt::new(), 8.0).unwrap();
                 black_box(out.metrics.total_flow)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn engine_mixed_alpha(c: &mut Criterion) {
+    // Per-job mixed α ({0.25, 0.5, 0.75} fast classes + a general 0.37):
+    // every refresh walks jobs on *different* speed-up curves, so this is
+    // the group that exercises the class registry, the per-class Γ rate
+    // cache, and the grouped `gamma_by_class` driver. The single-α groups
+    // above collapse to one kernel class and cannot catch a regression
+    // there. The legacy arm at n = 10_000 gives the same-run ratio.
+    let mut g = c.benchmark_group("engine/mixed_alpha");
+    g.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let inst = mixed_alpha_fixture(n, 0.9, 8.0);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                let out = simulate(black_box(inst), &mut IntermediateSrpt::new(), 8.0).unwrap();
+                black_box(out.metrics.total_flow)
+            })
+        });
+    }
+    let n = 10_000usize;
+    let inst = mixed_alpha_fixture(n, 0.9, 8.0);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_with_input(BenchmarkId::new("legacy", n), &inst, |b, inst| {
+        b.iter(|| {
+            black_box(
+                timed_run(black_box(inst), &mut IntermediateSrpt::new(), 8.0, true).total_flow,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn engine_event_queue_arms(c: &mut Criterion) {
+    // Calendar queue vs binary-heap control arm on the overload fixture
+    // (the densest event stream we have). Both arms must produce
+    // bit-identical runs (tests/engine_event_queue.rs); this group keeps
+    // the *cost* comparison honest: the calendar arm must not lag the
+    // heap it replaces as the default.
+    let mut g = c.benchmark_group("engine/event_queue");
+    g.sample_size(10);
+    let n = 10_000usize;
+    let inst = overload_fixture(n, 8.0);
+    g.throughput(Throughput::Elements(n as u64));
+    for (label, kind) in [
+        ("calendar", EventQueueKind::Calendar),
+        ("heap", EventQueueKind::Heap),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, n), &inst, |b, inst| {
+            b.iter(|| {
+                let cfg = EngineConfig::new(8.0).with_event_queue(kind);
+                black_box(
+                    timed_run_cfg(black_box(inst), &mut IntermediateSrpt::new(), cfg).total_flow,
+                )
             })
         });
     }
@@ -242,6 +301,8 @@ criterion_group!(
     benches,
     engine_scaling_n,
     engine_overload_scaling,
+    engine_mixed_alpha,
+    engine_event_queue_arms,
     engine_audit_overhead,
     engine_streaming_path,
     engine_scaling_m,

@@ -1,0 +1,26 @@
+//! Build-time provenance for `parsched bench-snapshot`: the opt-level and
+//! compiler version a benchmark binary was built with are part of the
+//! measurement, so the snapshot JSON records them (a debug-build or
+//! stale-toolchain snapshot must be recognizable as such).
+
+use std::env;
+use std::process::Command;
+
+fn main() {
+    // OPT_LEVEL is set by cargo for every build script invocation.
+    println!(
+        "cargo:rustc-env=PARSCHED_OPT_LEVEL={}",
+        env::var("OPT_LEVEL").unwrap_or_default()
+    );
+    // RUSTC points at the exact compiler driving this build (which may
+    // differ from whatever `rustc` is on PATH at snapshot time).
+    let rustc = env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = Command::new(rustc)
+        .arg("-V")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    println!("cargo:rustc-env=PARSCHED_RUSTC_VERSION={version}");
+}

@@ -641,10 +641,10 @@ fn cmd_audit(path: &str, flags: &Flags) -> Result<bool, String> {
 fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
     use parsched::PolicyKind;
     use parsched_bench::{
-        overload_fixture, poisson_fixture, poisson_stream_fixture, timed_audited_run, timed_run,
-        timed_run_cfg, timed_streaming_run,
+        mixed_alpha_fixture, overload_fixture, poisson_fixture, poisson_stream_fixture,
+        timed_audited_run, timed_run, timed_run_cfg, timed_streaming_run,
     };
-    use parsched_sim::{AllocationStability, AuditLevel, EngineConfig};
+    use parsched_sim::{AllocationStability, AuditLevel, EngineConfig, EventQueueKind};
 
     struct Row {
         policy: String,
@@ -825,9 +825,75 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
                 events_per_sec: s.events_per_sec,
             });
         }
+        // Mixed-α fixture: per-job α from {0.25, 0.5, 0.75, 0.37}, the
+        // workload that actually drives the multi-class Scan path (class
+        // registry + per-class Γ rate cache + grouped gamma_by_class).
+        // Single-α fixtures collapse to one kernel class.
+        {
+            let mixed = mixed_alpha_fixture(n, 0.9, m);
+            let mut policy = PolicyKind::IntermediateSrpt.build();
+            let s = timed_run(&mixed, policy.as_mut(), m, false);
+            eprintln!(
+                "  {:<22} n={n:<7} {:<11} {:>12.0} events/s (mixed-alpha)",
+                "Intermediate-SRPT", "incremental", s.events_per_sec
+            );
+            rows.push(Row {
+                policy: "Intermediate-SRPT".to_string(),
+                fixture: "mixed-alpha-0.9",
+                mode: "incremental",
+                n,
+                m,
+                events: s.events,
+                seconds: s.seconds,
+                events_per_sec: s.events_per_sec,
+            });
+            if n <= 10_000 {
+                let mut policy = PolicyKind::IntermediateSrpt.build();
+                let s = timed_run(&mixed, policy.as_mut(), m, true);
+                eprintln!(
+                    "  {:<22} n={n:<7} {:<11} {:>12.0} events/s (mixed-alpha)",
+                    "Intermediate-SRPT", "legacy", s.events_per_sec
+                );
+                rows.push(Row {
+                    policy: "Intermediate-SRPT".to_string(),
+                    fixture: "mixed-alpha-0.9",
+                    mode: "legacy",
+                    n,
+                    m,
+                    events: s.events,
+                    seconds: s.seconds,
+                    events_per_sec: s.events_per_sec,
+                });
+            }
+        }
         // Overload-heavy fixture: the alive set grows ~linearly with n, so
         // this is where the O(n) vs O(log n) per-event separation shows.
         let over = overload_fixture(n, m);
+        // Binary-heap control arm for the event queue on the densest
+        // event stream; the default incremental row below is the
+        // calendar arm, so the two rows difference the queue cost.
+        {
+            let mut policy = PolicyKind::IntermediateSrpt.build();
+            let s = timed_run_cfg(
+                &over,
+                policy.as_mut(),
+                EngineConfig::new(m).with_event_queue(EventQueueKind::Heap),
+            );
+            eprintln!(
+                "  {:<22} n={n:<7} {:<11} {:>12.0} events/s (overload)",
+                "Intermediate-SRPT", "heap-queue", s.events_per_sec
+            );
+            rows.push(Row {
+                policy: "Intermediate-SRPT".to_string(),
+                fixture: "poisson-1.5",
+                mode: "heap-queue",
+                n,
+                m,
+                events: s.events,
+                seconds: s.seconds,
+                events_per_sec: s.events_per_sec,
+            });
+        }
         let mut policy = PolicyKind::IntermediateSrpt.build();
         let s = timed_run(&over, policy.as_mut(), m, false);
         eprintln!(
@@ -864,24 +930,36 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
         }
     }
 
-    let ratio = |fixture: &str| {
-        let pick = |mode: &str| {
-            rows.iter()
-                .find(|r| {
-                    r.policy == "Intermediate-SRPT"
-                        && r.fixture == fixture
-                        && r.mode == mode
-                        && r.n == 10_000
-                })
-                .map(|r| r.events_per_sec)
-        };
-        match (pick("incremental"), pick("legacy")) {
-            (Some(inc), Some(leg)) if leg > 0.0 => inc / leg,
-            _ => f64::NAN,
-        }
+    let pick_rate = |fixture: &str, mode: &str, n: usize| {
+        rows.iter()
+            .find(|r| {
+                r.policy == "Intermediate-SRPT"
+                    && r.fixture == fixture
+                    && r.mode == mode
+                    && r.n == n
+            })
+            .map(|r| r.events_per_sec)
+    };
+    let ratio = |fixture: &str| match (
+        pick_rate(fixture, "incremental", 10_000),
+        pick_rate(fixture, "legacy", 10_000),
+    ) {
+        (Some(inc), Some(leg)) if leg > 0.0 => inc / leg,
+        _ => f64::NAN,
     };
     let speedup = ratio("poisson-0.9");
     let overload_speedup = ratio("poisson-1.5");
+    let mixed_alpha_speedup = ratio("mixed-alpha-0.9");
+    // Event-queue A/B on the overload fixture: calendar arm (the default
+    // incremental row) over the binary-heap control arm. ≥ ~1.0 is the
+    // acceptance bar — the calendar must not lag the heap it replaces.
+    let queue_ratio = match (
+        pick_rate("poisson-1.5", "incremental", 10_000),
+        pick_rate("poisson-1.5", "heap-queue", 10_000),
+    ) {
+        (Some(cal), Some(heap)) if heap > 0.0 => cal / heap,
+        _ => f64::NAN,
+    };
     // Audit overhead: unaudited / audited throughput at n = 10_000
     // (≥ 1; the acceptance bar for the sampled level is ≤ 2).
     let audit_overhead = |mode: &str| {
@@ -1020,12 +1098,40 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
 
     // Hand-rolled JSON: the offline serde shim only type-checks derives,
     // it does not serialize.
+    // Measurement provenance: which compiler and opt-level produced the
+    // binary (baked in at build time), and which commit it measured
+    // (read at run time; null outside a git checkout). A snapshot from a
+    // debug build or a dirty toolchain must be recognizable as such.
+    let git_commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"parsched-bench-snapshot/v1\",\n");
+    json.push_str(&format!(
+        "  \"rustc_version\": \"{}\",\n",
+        env!("PARSCHED_RUSTC_VERSION").replace('"', "'")
+    ));
+    json.push_str(&format!(
+        "  \"opt_level\": \"{}\",\n",
+        env!("PARSCHED_OPT_LEVEL")
+    ));
+    json.push_str(&format!(
+        "  \"git_commit\": {},\n",
+        git_commit
+            .map(|c| format!("\"{}\"", c.replace('"', "'")))
+            .unwrap_or_else(|| "null".to_string())
+    ));
     json.push_str(
         "  \"fixture\": \"PoissonWorkload, alpha=0.5, sizes log-uniform [1,32], seed 0xbe9c; \
-         poisson-0.9 = load 0.9, poisson-1.5 = overload load 1.5\",\n",
+         poisson-0.9 = load 0.9, poisson-1.5 = overload load 1.5, mixed-alpha-0.9 = load 0.9 \
+         with per-job alpha from {0.25, 0.5, 0.75, 0.37}\",\n",
     );
     json.push_str(&format!(
         "  \"isrpt_speedup_vs_legacy_n10000\": {:.2},\n",
@@ -1034,6 +1140,14 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
     json.push_str(&format!(
         "  \"isrpt_overload_speedup_vs_legacy_n10000\": {:.2},\n",
         overload_speedup
+    ));
+    json.push_str(&format!(
+        "  \"isrpt_mixed_alpha_speedup_vs_legacy_n10000\": {:.2},\n",
+        mixed_alpha_speedup
+    ));
+    json.push_str(&format!(
+        "  \"queue_calendar_vs_heap_overload_n10000\": {:.2},\n",
+        queue_ratio
     ));
     json.push_str(&format!(
         "  \"audit_sampled_overhead_n10000\": {:.2},\n",
@@ -1090,11 +1204,14 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
     std::fs::write(&out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
     println!(
         "wrote {out_path} ({} rows); Intermediate-SRPT incremental/legacy speed-up at \
-         n=10_000: {:.1}x (load 0.9), {:.1}x (overload); audit overhead: {:.2}x sampled, \
+         n=10_000: {:.1}x (load 0.9), {:.1}x (overload), {:.1}x (mixed-alpha); \
+         calendar/heap queue on overload: {:.2}x; audit overhead: {:.2}x sampled, \
          {:.2}x strict",
         rows.len(),
         speedup,
         overload_speedup,
+        mixed_alpha_speedup,
+        queue_ratio,
         sampled_overhead,
         strict_overhead
     );

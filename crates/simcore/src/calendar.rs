@@ -1,0 +1,557 @@
+//! Future-event ordering for the engine: a hierarchical calendar queue
+//! tuned to near-monotone event times, with a binary-heap control arm.
+//!
+//! The engine's incremental event loop queues its *arrival timeline*
+//! here: wakeups whose times come straight from the arrival source, so
+//! they are near-monotone and never re-scheduled once queued. A wakeup
+//! superseded by an admission round is generation-tagged stale; its time
+//! is ≤ the clock by then, so it surfaces at the queue front and is
+//! lazily discarded. (Interval-completion candidates deliberately stay
+//! *out* of the queue — they are recomputed by every allocation refresh
+//! and would pile up as stale future-time entries; see `docs/PERF.md`
+//! §7.)
+//!
+//! Two interchangeable implementations sit behind [`EventQueue`]:
+//!
+//! * [`CalendarQueue`] — a single-rotation calendar (Brown's calendar
+//!   queue, one level plus an overflow day list). Simulation clocks only
+//!   move forward, so inserts land at or after the cursor bucket, making
+//!   insert `O(1)` and pop amortized `O(1)` for the near-monotone time
+//!   streams the engine produces (see `docs/PERF.md` §7). This is the
+//!   default arm.
+//! * [`EventHeap`] — a plain `BinaryHeap` in min order; `O(log n)` per
+//!   op. Kept as the conventional control arm behind
+//!   [`crate::EngineConfig::with_event_queue`] so CI can difference the
+//!   two on full runs.
+//!
+//! **Ordering contract (both arms):** entries pop in ascending
+//! `(time, seq)` order, where `seq` is the insertion sequence number —
+//! ties on time resolve FIFO by insertion, deterministically. Times are
+//! compared with `f64::total_cmp`; non-finite times are rejected at
+//! insert. The property tests at the bottom of this file pin the two
+//! arms to identical pop sequences, including tie storms and
+//! bucket-rollover boundaries.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One queued future event: a timestamp plus an opaque payload (the
+/// engine packs an event kind and a generation tag into it).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    time: f64,
+    seq: u64,
+    payload: u64,
+}
+
+/// The total order both arms pop in: ascending time (`total_cmp`), FIFO
+/// by insertion sequence on ties.
+fn cmp_entries(a: &Entry, b: &Entry) -> std::cmp::Ordering {
+    a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq))
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        cmp_entries(self, other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        cmp_entries(self, other)
+    }
+}
+
+/// Number of buckets in one calendar rotation. The engine keeps a
+/// handful of live candidates, so a small power of two keeps the ring
+/// cache-resident; property tests exercise multi-rotation loads.
+const BUCKETS: usize = 64;
+
+/// A single-rotation calendar queue with an overflow list.
+///
+/// The ring covers `[base, base + BUCKETS·width)`; entry `t` lands in
+/// bucket `⌊(t − base)/width⌋`, times beyond the horizon go to the
+/// overflow list, and times before the cursor bucket's start clamp
+/// *into* the cursor bucket. The clamp preserves the pop order: every
+/// bucket behind the cursor is empty, a clamped entry still wins its
+/// bucket's min-scan if it is the smallest, and entries in later
+/// buckets are provably later than the cursor bucket's span.
+///
+/// When a rotation drains, the queue rebases onto the overflow list:
+/// `base` snaps to the overflow minimum and `width` adapts to the
+/// observed span, so the structure self-tunes to whatever event-time
+/// density the workload produces. All bucket vectors retain capacity
+/// across [`CalendarQueue::clear`], keeping steady-state operation
+/// allocation-free after warm-up.
+#[derive(Debug)]
+pub(crate) struct CalendarQueue {
+    /// Cached `(time, seq)`-minimal entry. The engine's steady state
+    /// keeps at most one live wakeup queued, so serving peek/pop/insert
+    /// from this slot keeps the bucket ring entirely cold (no cache
+    /// traffic) until the queue actually holds two or more entries.
+    front: Option<Entry>,
+    buckets: Vec<Vec<Entry>>,
+    overflow: Vec<Entry>,
+    /// Spare vector swapped with `overflow` during rebase so
+    /// redistribution never sheds capacity (zero-allocation contract).
+    spare: Vec<Entry>,
+    /// Start time of bucket 0 of the current rotation.
+    base: f64,
+    width: f64,
+    /// Current bucket index; buckets before it are empty.
+    cursor: usize,
+    /// Entries resident in the ring + overflow (excludes `front`).
+    ring_len: usize,
+    seq: u64,
+    /// Whether `base`/`width` have been initialized by a first ring push.
+    primed: bool,
+    /// Time of the most recent insert (for the gap estimate below).
+    last_insert: f64,
+    /// EWMA of positive deltas between successive insert times. A nearly
+    /// empty queue has `span ≈ 0`, so sizing buckets from the span alone
+    /// collapses the width to ulp scale and every later insert overflows
+    /// (one full rebase per event). Sizing from the observed inter-event
+    /// gap instead keeps future near-monotone inserts landing inside the
+    /// ring — Brown's classic width heuristic, adapted to a stream.
+    gap: f64,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        Self {
+            front: None,
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            spare: Vec::new(),
+            base: 0.0,
+            width: 1.0,
+            cursor: 0,
+            ring_len: 0,
+            seq: 0,
+            primed: false,
+            last_insert: 0.0,
+            gap: 0.0,
+        }
+    }
+}
+
+impl CalendarQueue {
+    fn bucket_of(&self, time: f64) -> Option<usize> {
+        let off = (time - self.base) / self.width;
+        if off >= BUCKETS as f64 {
+            return None; // beyond the horizon → overflow
+        }
+        // Negative offsets (pre-base times) and offsets behind the
+        // cursor clamp into the cursor bucket; see the type docs for
+        // why that preserves order.
+        let idx = if off <= 0.0 { 0 } else { off as usize };
+        Some(idx.clamp(self.cursor, BUCKETS - 1))
+    }
+
+    fn insert(&mut self, time: f64, payload: u64) {
+        assert!(time.is_finite(), "event time must be finite, got {time}");
+        let entry = Entry {
+            time,
+            seq: self.seq,
+            payload,
+        };
+        self.seq += 1;
+        if self.seq > 1 {
+            let d = time - self.last_insert;
+            if d > 0.0 && d.is_finite() {
+                self.gap = if self.gap > 0.0 {
+                    0.875 * self.gap + 0.125 * d
+                } else {
+                    d
+                };
+            }
+        }
+        self.last_insert = self.last_insert.max(time);
+        // Serve the front slot first; only a displaced (non-minimal)
+        // entry touches the bucket ring.
+        match self.front {
+            None => self.front = Some(entry),
+            Some(f) if cmp_entries(&entry, &f) == std::cmp::Ordering::Less => {
+                self.front = Some(entry);
+                self.ring_push(f);
+            }
+            Some(_) => self.ring_push(entry),
+        }
+    }
+
+    fn ring_push(&mut self, entry: Entry) {
+        if !self.primed {
+            // First ring push primes the rotation around the first time
+            // seen; width adapts at the first rebase.
+            self.primed = true;
+            self.base = entry.time;
+            self.width = entry.time.abs().max(1.0) * 1e-3;
+            self.cursor = 0;
+        }
+        self.ring_len += 1;
+        match self.bucket_of(entry.time) {
+            Some(b) => self.buckets[b].push(entry),
+            None => self.overflow.push(entry),
+        }
+    }
+
+    /// Advances the cursor to the next non-empty bucket, rebasing from
+    /// the overflow list when the rotation is spent. After this returns,
+    /// either `ring_len == 0` or `buckets[cursor]` is non-empty.
+    fn settle(&mut self) {
+        if self.ring_len == 0 {
+            return;
+        }
+        loop {
+            while self.cursor < BUCKETS {
+                if !self.buckets[self.cursor].is_empty() {
+                    return;
+                }
+                self.cursor += 1;
+            }
+            // Rotation spent: everything alive is in the overflow list.
+            debug_assert_eq!(self.overflow.len(), self.ring_len);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for e in &self.overflow {
+                lo = lo.min(e.time);
+                hi = hi.max(e.time);
+            }
+            self.base = lo;
+            let span = hi - lo;
+            let min_width = lo.abs().max(1.0) * f64::EPSILON * 4.0;
+            // Width from whichever is coarser: the resident span spread
+            // over the ring, or the inter-insert gap estimate (which
+            // keeps a nearly empty queue from collapsing to ulp-width
+            // buckets and overflowing on every future insert).
+            self.width = (span / BUCKETS as f64).max(self.gap).max(min_width);
+            self.cursor = 0;
+            // Swap in the retained spare so entries that stay beyond the
+            // new horizon land in a warm vector — the rebase allocates
+            // nothing once both vectors have grown to their high-water
+            // marks.
+            let mut pending =
+                std::mem::replace(&mut self.overflow, std::mem::take(&mut self.spare));
+            for e in pending.drain(..) {
+                match self.bucket_of(e.time) {
+                    Some(b) => self.buckets[b].push(e),
+                    None => self.overflow.push(e),
+                }
+            }
+            self.spare = pending;
+            // The rebase put the minimum into bucket 0 by construction,
+            // so the outer loop terminates on the next pass.
+        }
+    }
+
+    /// Index of the `(time, seq)`-minimal entry in the cursor bucket.
+    fn min_in_cursor(&self) -> usize {
+        let bucket = &self.buckets[self.cursor];
+        let mut best = 0;
+        for (i, e) in bucket.iter().enumerate().skip(1) {
+            if cmp_entries(e, &bucket[best]) == std::cmp::Ordering::Less {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Removes and returns the ring's `(time, seq)`-minimal entry.
+    fn ring_pop(&mut self) -> Option<Entry> {
+        self.settle();
+        if self.ring_len == 0 {
+            return None;
+        }
+        let i = self.min_in_cursor();
+        let e = self.buckets[self.cursor].swap_remove(i);
+        self.ring_len -= 1;
+        Some(e)
+    }
+
+    fn peek(&self) -> Option<(f64, u64)> {
+        self.front.map(|e| (e.time, e.payload))
+    }
+
+    fn pop(&mut self) -> Option<(f64, u64)> {
+        let e = self.front.take()?;
+        self.front = self.ring_pop();
+        Some((e.time, e.payload))
+    }
+
+    fn len(&self) -> usize {
+        self.ring_len + usize::from(self.front.is_some())
+    }
+
+    fn clear(&mut self) {
+        self.front = None;
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.spare.clear();
+        self.base = 0.0;
+        self.width = 1.0;
+        self.cursor = 0;
+        self.ring_len = 0;
+        self.seq = 0;
+        self.primed = false;
+        self.last_insert = 0.0;
+        self.gap = 0.0;
+    }
+}
+
+/// The binary-heap control arm: identical contract, conventional
+/// structure.
+#[derive(Debug, Default)]
+pub(crate) struct EventHeap {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+impl EventHeap {
+    fn insert(&mut self, time: f64, payload: u64) {
+        assert!(time.is_finite(), "event time must be finite, got {time}");
+        self.heap.push(Reverse(Entry {
+            time,
+            seq: self.seq,
+            payload,
+        }));
+        self.seq += 1;
+    }
+
+    fn peek(&self) -> Option<(f64, u64)> {
+        self.heap.peek().map(|Reverse(e)| (e.time, e.payload))
+    }
+
+    fn pop(&mut self) -> Option<(f64, u64)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+    }
+}
+
+/// The engine-facing future-event queue: one of the two arms above,
+/// selected by [`crate::EngineConfig::with_event_queue`].
+#[derive(Debug)]
+pub(crate) enum EventQueue {
+    /// Calendar-queue arm (default).
+    Calendar(CalendarQueue),
+    /// Binary-heap control arm.
+    Heap(EventHeap),
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::Calendar(CalendarQueue::default())
+    }
+}
+
+impl EventQueue {
+    pub fn heap() -> Self {
+        EventQueue::Heap(EventHeap::default())
+    }
+
+    pub fn is_heap(&self) -> bool {
+        matches!(self, EventQueue::Heap(_))
+    }
+
+    /// Queues `(time, payload)`. Panics on non-finite times — the engine
+    /// never schedules at `±∞`/NaN, and a silent total-order of NaN
+    /// would corrupt pop order.
+    pub fn insert(&mut self, time: f64, payload: u64) {
+        match self {
+            EventQueue::Calendar(q) => q.insert(time, payload),
+            EventQueue::Heap(q) => q.insert(time, payload),
+        }
+    }
+
+    /// The `(time, seq)`-minimal entry without removing it.
+    pub fn peek(&mut self) -> Option<(f64, u64)> {
+        match self {
+            EventQueue::Calendar(q) => q.peek(),
+            EventQueue::Heap(q) => q.peek(),
+        }
+    }
+
+    /// Removes and returns the `(time, seq)`-minimal entry.
+    pub fn pop(&mut self) -> Option<(f64, u64)> {
+        match self {
+            EventQueue::Calendar(q) => q.pop(),
+            EventQueue::Heap(q) => q.pop(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Calendar(q) => q.len(),
+            EventQueue::Heap(q) => q.len(),
+        }
+    }
+
+    /// Empties the queue, retaining capacity (zero-allocation reuse).
+    pub fn clear(&mut self) {
+        match self {
+            EventQueue::Calendar(q) => q.clear(),
+            EventQueue::Heap(q) => q.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut EventQueue) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn both_arms_pop_sorted_and_agree() {
+        let times = [
+            5.0, 1.0, 3.0, 3.0, 2.5, 100.0, 0.5, 3.0, 64.25, 7.75, 1.0, 1e6,
+        ];
+        let mut cal = EventQueue::default();
+        let mut heap = EventQueue::heap();
+        for (i, &t) in times.iter().enumerate() {
+            cal.insert(t, i as u64);
+            heap.insert(t, i as u64);
+        }
+        let a = drain(&mut cal);
+        let b = drain(&mut heap);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "not sorted: {a:?}");
+    }
+
+    #[test]
+    fn ties_pop_fifo_by_insertion_sequence() {
+        let mut cal = EventQueue::default();
+        let mut heap = EventQueue::heap();
+        for q in [&mut cal, &mut heap] {
+            for i in 0..10u64 {
+                q.insert(42.0, i);
+            }
+            // An interleaved earlier entry must still pop first.
+            q.insert(41.0, 99);
+            let order = drain(q);
+            assert_eq!(order[0], (41.0, 99));
+            let payloads: Vec<u64> = order[1..].iter().map(|e| e.1).collect();
+            assert_eq!(payloads, (0..10).collect::<Vec<_>>(), "ties not FIFO");
+        }
+    }
+
+    #[test]
+    fn interleaved_pops_and_near_monotone_inserts_agree() {
+        // Deterministic LCG-driven mixed workload: mostly monotone
+        // inserts (the engine's pattern) with occasional slightly-late
+        // ones, interleaved with pops, across rollover boundaries.
+        let mut cal = EventQueue::default();
+        let mut heap = EventQueue::heap();
+        let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut clock = 0.0f64;
+        let mut last_pop_cal: Option<(f64, u64)> = None;
+        for i in 0..4000u64 {
+            let u = next();
+            if u < 0.6 || cal.len() == 0 {
+                // Near-monotone insert: at or slightly after the last
+                // popped time, with occasional big jumps to force the
+                // calendar past its horizon (overflow + rebase).
+                clock += next() * if next() < 0.05 { 5_000.0 } else { 2.0 };
+                let t = if next() < 0.1 {
+                    // Slightly late (but ≥ last pop): exercises the
+                    // cursor-bucket clamp.
+                    last_pop_cal.map_or(clock, |(pt, _)| pt) + next() * 0.25
+                } else {
+                    clock
+                };
+                cal.insert(t, i);
+                heap.insert(t, i);
+            } else {
+                let a = cal.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "arms diverged at op {i}");
+                if let Some(p) = a {
+                    if let Some(prev) = last_pop_cal {
+                        assert!(p.0 >= prev.0, "pop order regressed: {prev:?} then {p:?}");
+                    }
+                    last_pop_cal = Some(p);
+                }
+            }
+        }
+        assert_eq!(drain(&mut cal), drain(&mut heap));
+    }
+
+    #[test]
+    fn rollover_across_many_rotations_preserves_order() {
+        // Times spread across thousands of rotations of the initial
+        // width so every pop-side rebase path runs.
+        let mut cal = EventQueue::default();
+        let mut heap = EventQueue::heap();
+        for i in 0..500u64 {
+            let t = (i as f64 * 7919.0) % 100_003.0; // decorrelated order
+            cal.insert(t, i);
+            heap.insert(t, i);
+        }
+        assert_eq!(drain(&mut cal), drain(&mut heap));
+    }
+
+    #[test]
+    fn clear_retains_determinism_and_resets_sequence() {
+        let mut cal = EventQueue::default();
+        cal.insert(10.0, 1);
+        cal.insert(20.0, 2);
+        cal.clear();
+        assert_eq!(cal.len(), 0);
+        assert_eq!(cal.pop(), None);
+        cal.insert(5.0, 7);
+        cal.insert(5.0, 8);
+        assert_eq!(cal.pop(), Some((5.0, 7)), "seq did not reset on clear");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_times_are_rejected() {
+        EventQueue::default().insert(f64::NAN, 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn calendar_matches_heap_on_arbitrary_time_sets(
+            raw in proptest::collection::vec(0u64..1_000_000, 1..200),
+            scale in 1e-6f64..1e9,
+        ) {
+            // Times quantized from integers so exact ties occur often.
+            let mut cal = EventQueue::default();
+            let mut heap = EventQueue::heap();
+            for (i, &r) in raw.iter().enumerate() {
+                let t = (r / 7) as f64 * scale;
+                cal.insert(t, i as u64);
+                heap.insert(t, i as u64);
+            }
+            let a = drain(&mut cal);
+            let b = drain(&mut heap);
+            proptest::prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -29,6 +29,7 @@
 
 use parsched_speedup::{Curve, PowKernel, EPS};
 
+use crate::calendar::EventQueue;
 use crate::error::SimError;
 use crate::invariant::{AuditFrame, AuditLevel, Auditor, EnginePath, FinalAccounting, FrameJob};
 use crate::job::{Instance, JobId, JobSpec, Time, Work};
@@ -81,6 +82,26 @@ pub struct EngineConfig {
     /// `bench-snapshot` runs the same fixture both ways to compute the
     /// `kernel_speedup_n1e5` field; everything else leaves this `true`.
     pub pow_kernel: bool,
+    /// Which future-event ordering structure the incremental path uses
+    /// (see [`crate::calendar`]): the calendar queue tuned to
+    /// near-monotone event times (default), or the conventional binary
+    /// heap kept as a differential control arm. Both arms observe the
+    /// same generation-tagged candidates and pop in the same
+    /// `(time, insertion)` order, so runs are bit-identical across the
+    /// flag — which is exactly what the queue-differential tests check.
+    pub event_queue: EventQueueKind,
+}
+
+/// Selector for the engine's future-event queue arm — see
+/// [`EngineConfig::event_queue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventQueueKind {
+    /// Calendar-queue arm (default): amortized `O(1)` insert/pop on the
+    /// near-monotone event times a forward-running clock produces.
+    Calendar,
+    /// Binary-heap control arm: `O(log n)` per op, kept for
+    /// differential runs.
+    Heap,
 }
 
 impl EngineConfig {
@@ -95,6 +116,7 @@ impl EngineConfig {
             audit: AuditLevel::Off,
             streaming: false,
             pow_kernel: true,
+            event_queue: EventQueueKind::Calendar,
         }
     }
 
@@ -141,7 +163,21 @@ impl EngineConfig {
         self.pow_kernel = pow_kernel;
         self
     }
+
+    /// Selects the future-event queue arm — see
+    /// [`EngineConfig::event_queue`].
+    pub fn with_event_queue(mut self, event_queue: EventQueueKind) -> Self {
+        self.event_queue = event_queue;
+        self
+    }
 }
+
+// The event queue holds only the *arrival timeline*: wakeups whose times
+// come straight from the source, so they are near-monotone and are never
+// re-scheduled once queued (a superseded wakeup has time ≤ now and is
+// discarded from the queue front on the next peek). Interval-completion
+// candidates stay in a plain field — they are recomputed by every profile
+// refresh, and queueing them would only pile up stale future-time entries.
 
 /// An owned snapshot of one alive job (used by lockstep analyses that hold
 /// snapshots of two engines simultaneously).
@@ -159,34 +195,144 @@ pub struct AliveSnapshot {
     pub curve: Curve,
 }
 
-#[derive(Debug)]
-struct JobRecord {
-    spec: JobSpec,
+/// Kernel-class sentinel: the job's curve is outside the power-law family
+/// (Amdahl, piecewise) — evaluate through `specs[idx].curve.rate`.
+const CLASS_CURVE: u32 = u32::MAX;
+/// Kernel-class sentinel: power-law job that arrived after the class
+/// registry filled — evaluate through its own `kern[idx]` kernel.
+const CLASS_UNGROUPED: u32 = u32::MAX - 1;
+/// Class-registry capacity. Real workloads draw α from a handful of
+/// values; past this many *distinct* exponents the marginal job falls
+/// back to per-job kernels (`CLASS_UNGROUPED`), trading the grouped-rate
+/// cache for an O(1) registry scan bound.
+const MAX_CLASSES: usize = 64;
+
+/// The per-job arena, struct-of-arrays. Every vector is indexed by the
+/// arena slot (`IdMap` value / `SrptSet` slot idx) and grows in lockstep:
+/// `admit_due_arrivals` is the single site that pushes, `finish_job` only
+/// retires slots. The event loop's hot walks — `refresh_profile`'s Scan
+/// recompute, the exhaustive rate sweep, the integrators — touch exactly
+/// the 8-byte lanes they need (`remaining`, `run_key`, `class`) instead of
+/// striding over whole `JobSpec`-sized records, so a 64-byte cache line
+/// serves 8 jobs rather than one (see `docs/PERF.md` §7).
+#[derive(Debug, Default)]
+struct JobArena {
+    /// Immutable admission specs (identity, release, size, weight, curve).
+    specs: Vec<JobSpec>,
     /// Authoritative remaining work while the job is *not* in the running
     /// prefix (always authoritative on the exhaustive path).
-    remaining: Work,
+    remaining: Vec<Work>,
     /// Offset-space SRPT key while `in_running` (incremental path only);
     /// materialized remaining work is `run_key − drain_offset`.
-    run_key: f64,
+    run_key: Vec<f64>,
     /// Power-law evaluation kernel, classified once at admission so the
     /// per-event rate computations skip both the curve-variant dispatch
-    /// and `powf` (see [`PowKernel`]). `None` for curves outside the
-    /// power-law family (Amdahl, piecewise), which keep the generic path.
-    kernel: Option<PowKernel>,
+    /// and `powf` (see [`PowKernel`]). A placeholder for curves outside
+    /// the power-law family (`class == CLASS_CURVE`), which keep the
+    /// generic path.
+    kern: Vec<PowKernel>,
+    /// Kernel-class registry index, or one of the sentinels above. Jobs
+    /// of one class share bit-identical kernels, so a Scan interval needs
+    /// one Γ evaluation per *class*, not per job.
+    class: Vec<u32>,
     /// Whether the job currently sits in the incremental running prefix.
-    in_running: bool,
-    done: bool,
+    in_running: Vec<bool>,
+    done: Vec<bool>,
+    /// Kernel-class registry: one representative kernel per distinct α
+    /// seen this run (same α ⇒ bit-identical kernel, since construction
+    /// is deterministic in α and the reference/classified choice is
+    /// per-run constant).
+    classes: Vec<PowKernel>,
+    /// Per-class speed-adjusted rate `speed·Γ_c(share)` for the *current*
+    /// Scan interval; refilled by [`JobArena::refresh_class_rates`] on
+    /// every profile refresh that classifies a Scan interval, so it is
+    /// valid whenever the engine's interval is `Scan`.
+    class_rates: Vec<f64>,
 }
 
-impl JobRecord {
-    /// `Γ(share)` for this job via the cached kernel when available.
-    /// Identical arithmetic to `spec.curve.rate(share)` — the kernel *is*
-    /// the power-law implementation — minus the per-call classification.
+impl JobArena {
+    fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    fn clear(&mut self) {
+        self.specs.clear();
+        self.remaining.clear();
+        self.run_key.clear();
+        self.kern.clear();
+        self.class.clear();
+        self.in_running.clear();
+        self.done.clear();
+        self.classes.clear();
+        self.class_rates.clear();
+    }
+
+    /// Registry lookup/insert for an admitted kernel. Returns the kernel
+    /// value to store in the `kern` lane (a placeholder for non-power
+    /// curves) and the class id. O(|classes|) linear scan on α bits —
+    /// bounded by [`MAX_CLASSES`], and in practice a handful of entries.
+    fn classify(&mut self, kernel: Option<PowKernel>) -> (PowKernel, u32) {
+        match kernel {
+            None => (PowKernel::new(1.0), CLASS_CURVE),
+            Some(k) => {
+                let bits = k.alpha().to_bits();
+                let class = match self
+                    .classes
+                    .iter()
+                    .position(|c| c.alpha().to_bits() == bits)
+                {
+                    Some(p) => p as u32,
+                    None if self.classes.len() < MAX_CLASSES => {
+                        self.classes.push(k);
+                        self.class_rates.push(0.0);
+                        (self.classes.len() - 1) as u32
+                    }
+                    None => CLASS_UNGROUPED,
+                };
+                (k, class)
+            }
+        }
+    }
+
+    /// Refills the per-class rate cache for a Scan interval at `share`:
+    /// one grouped Γ evaluation per distinct class
+    /// ([`parsched_speedup::gamma_by_class`]) instead of one per running
+    /// job. Allocation-free after warm-up (the cache vector's capacity
+    /// tracks the registry).
+    fn refresh_class_rates(&mut self, speed: f64, share: f64) {
+        parsched_speedup::gamma_by_class(&self.classes, share, &mut self.class_rates);
+        for r in &mut self.class_rates {
+            *r *= speed;
+        }
+    }
+
+    /// Speed-adjusted drain rate of one job in the current Scan interval,
+    /// via the per-class cache. Bit-identical to
+    /// `speed * self.gamma(idx, share)`: cache entries are
+    /// `speed·Γ_c(share)` computed from a kernel bit-identical to the
+    /// job's own. Callers must have refreshed the cache for (`speed`,
+    /// `share`) — the engine does so whenever it classifies a Scan
+    /// interval.
     #[inline]
-    fn gamma(&self, share: f64) -> f64 {
-        match self.kernel {
-            Some(k) => k.gamma(share),
-            None => self.spec.curve.rate(share),
+    fn rate_cached(&self, idx: usize, speed: f64, share: f64) -> f64 {
+        match self.class[idx] {
+            CLASS_CURVE => speed * self.specs[idx].curve.rate(share),
+            CLASS_UNGROUPED => speed * self.kern[idx].gamma(share),
+            c => self.class_rates[c as usize],
+        }
+    }
+
+    /// `Γ(share)` for one job via its cached kernel when available.
+    /// Identical arithmetic to `specs[idx].curve.rate(share)` — the kernel
+    /// *is* the power-law implementation — minus the per-call
+    /// classification. (Cold-path scalar form; hot loops go through the
+    /// per-class rate cache instead.)
+    #[inline]
+    fn gamma(&self, idx: usize, share: f64) -> f64 {
+        if self.class[idx] == CLASS_CURVE {
+            self.specs[idx].curve.rate(share)
+        } else {
+            self.kern[idx].gamma(share)
         }
     }
 }
@@ -305,7 +451,7 @@ pub struct Engine<'a> {
     policy: &'a mut dyn Policy,
     source: &'a mut dyn ArrivalSource,
     observer: &'a mut dyn Observer,
-    jobs: Vec<JobRecord>,
+    jobs: JobArena,
     ids: IdMap,
     mode: ExecMode,
     /// Exhaustive path: indices into `jobs` of unfinished, released jobs.
@@ -326,6 +472,23 @@ pub struct Engine<'a> {
     /// `Uniform` intervals the front's `now + rem/rate` is invariant under
     /// uniform drain).
     next_completion: Option<Time>,
+    /// Cached `source.next_time()`, refreshed after every emission round.
+    /// `next_time` takes `&self` and the engine holds the only borrow of
+    /// the source, so the value can only change when the engine itself
+    /// emits — caching it turns the three-per-event virtual source calls
+    /// into plain float compares.
+    next_arrival: Option<Time>,
+    /// Incremental path: the arrival timeline as future-event wakeups,
+    /// generation-tagged for lazy discard; see [`crate::calendar`].
+    equeue: EventQueue,
+    /// Generation of the live arrival wakeup (bumped whenever the
+    /// cached `next_arrival` is refreshed; older queue entries are
+    /// stale, have times ≤ `now`, and are popped at the queue front).
+    arr_gen: u64,
+    /// Steps that processed a completion *and* an arrival at one
+    /// timestamp — the same-timestamp coalescing the event loop performs
+    /// as a first-class step (see `docs/PERF.md` §4).
+    coalesced: u64,
     /// Reusable buffer for placement updates (avoids per-event allocation).
     scratch_moves: Vec<(usize, Placement)>,
     /// Reusable arrival-batch buffer (avoids per-arrival allocation).
@@ -380,7 +543,7 @@ pub struct Engine<'a> {
 /// down.
 #[derive(Debug, Default)]
 pub struct EngineBuffers {
-    jobs: Vec<JobRecord>,
+    jobs: JobArena,
     ids: IdMap,
     alive: Vec<usize>,
     shares: Vec<f64>,
@@ -391,6 +554,7 @@ pub struct EngineBuffers {
     completed: Vec<CompletedJob>,
     free: Vec<usize>,
     sink: StreamingMetrics,
+    equeue: EventQueue,
 }
 
 impl EngineBuffers {
@@ -412,20 +576,20 @@ impl EngineBuffers {
         self.completed.clear();
         self.free.clear();
         self.sink.reset();
+        self.equeue.clear();
     }
 }
 
-/// Applies a reported [`Placement`] to the per-job record.
-fn apply_placement(jobs: &mut [JobRecord], idx: usize, p: Placement) {
-    let rec = &mut jobs[idx];
+/// Applies a reported [`Placement`] to the per-job lanes.
+fn apply_placement(jobs: &mut JobArena, idx: usize, p: Placement) {
     match p {
         Placement::Running { key } => {
-            rec.in_running = true;
-            rec.run_key = key;
+            jobs.in_running[idx] = true;
+            jobs.run_key[idx] = key;
         }
         Placement::Queued { remaining } => {
-            rec.in_running = false;
-            rec.remaining = remaining;
+            jobs.in_running[idx] = false;
+            jobs.remaining[idx] = remaining;
         }
     }
 }
@@ -473,6 +637,26 @@ impl<'a> Engine<'a> {
         let auditor = (!cfg.audit.is_off()).then(|| Auditor::new(cfg.audit));
         let policy_name = policy.name();
         let policy_srpt_ordered = policy.srpt_ordered();
+        // Prime the arrival cache and, on the incremental path, seed the
+        // event queue with the first arrival wakeup. Donated buffers may
+        // carry the other queue arm; swap only then (the donation
+        // contract assumes a stable config, so this never reallocates at
+        // steady state).
+        let next_arrival = source.next_time();
+        let mut equeue = bufs.equeue;
+        let want_heap = cfg.event_queue == EventQueueKind::Heap;
+        if want_heap != equeue.is_heap() {
+            equeue = if want_heap {
+                EventQueue::heap()
+            } else {
+                EventQueue::default()
+            };
+        }
+        if mode == ExecMode::Incremental {
+            if let Some(t) = next_arrival {
+                equeue.insert(t, 0);
+            }
+        }
         Self {
             cfg,
             policy,
@@ -491,6 +675,10 @@ impl<'a> Engine<'a> {
             },
             interval: IntervalKind::Idle,
             next_completion: None,
+            next_arrival,
+            equeue,
+            arr_gen: 0,
+            coalesced: 0,
             scratch_moves: bufs.scratch_moves,
             scratch_batch: bufs.scratch_batch,
             now: 0.0,
@@ -543,6 +731,16 @@ impl<'a> Engine<'a> {
         };
         self.interval = IntervalKind::Idle;
         self.next_completion = None;
+        self.equeue.clear();
+        debug_assert_eq!(self.equeue.len(), 0);
+        self.arr_gen = 0;
+        self.coalesced = 0;
+        self.next_arrival = self.source.next_time();
+        if self.mode == ExecMode::Incremental {
+            if let Some(t) = self.next_arrival {
+                self.equeue.insert(t, 0);
+            }
+        }
         self.scratch_moves.clear();
         self.scratch_batch.clear();
         self.now = 0.0;
@@ -576,6 +774,7 @@ impl<'a> Engine<'a> {
             completed: std::mem::take(&mut self.completed),
             free: std::mem::take(&mut self.free),
             sink: std::mem::take(&mut self.sink),
+            equeue: std::mem::take(&mut self.equeue),
         }
     }
 
@@ -603,19 +802,28 @@ impl<'a> Engine<'a> {
         self.finished
     }
 
+    /// Steps that processed a completion *and* an arrival at a single
+    /// timestamp (same-timestamp coalescing): the step count stays one
+    /// event short of `completions + arrivals` for each of these. The
+    /// canonical case is Parallel-SRPT on a saturating release schedule,
+    /// where every completion coincides with the next release (see
+    /// `docs/PERF.md` §4).
+    pub fn coalesced_steps(&self) -> u64 {
+        self.coalesced
+    }
+
     /// Remaining work of a job: `Some(0.0)` once completed, `None` if the
     /// job has not been released (emitted) yet. In streaming mode a
     /// completed job's slot is retired, so `None` is also returned after
     /// completion (there is no per-job record to consult).
     pub fn remaining_of(&self, id: JobId) -> Option<Work> {
         self.ids.get(id).map(|i| {
-            let rec = &self.jobs[i];
-            if rec.done {
+            if self.jobs.done[i] {
                 0.0
-            } else if rec.in_running {
-                (rec.run_key - self.srpt.drain_offset()).max(0.0)
+            } else if self.jobs.in_running[i] {
+                (self.jobs.run_key[i] - self.srpt.drain_offset()).max(0.0)
             } else {
-                rec.remaining
+                self.jobs.remaining[i]
             }
         })
     }
@@ -623,20 +831,20 @@ impl<'a> Engine<'a> {
     /// Owned snapshots of all alive jobs (in no contractual order).
     pub fn alive_snapshot(&self) -> Vec<AliveSnapshot> {
         let snap = |i: usize, remaining: Work| {
-            let rec = &self.jobs[i];
+            let spec = &self.jobs.specs[i];
             AliveSnapshot {
-                id: rec.spec.id,
-                release: rec.spec.release,
-                size: rec.spec.size,
+                id: spec.id,
+                release: spec.release,
+                size: spec.size,
                 remaining,
-                curve: rec.spec.curve.clone(),
+                curve: spec.curve.clone(),
             }
         };
         match self.mode {
             ExecMode::Exhaustive => self
                 .alive
                 .iter()
-                .map(|&i| snap(i, self.jobs[i].remaining))
+                .map(|&i| snap(i, self.jobs.remaining[i]))
                 .collect(),
             ExecMode::Incremental => self
                 .srpt
@@ -651,7 +859,7 @@ impl<'a> Engine<'a> {
     pub fn total_remaining(&self) -> Work {
         match self.mode {
             ExecMode::Exhaustive => {
-                NeumaierSum::total(self.alive.iter().map(|&i| self.jobs[i].remaining))
+                NeumaierSum::total(self.alive.iter().map(|&i| self.jobs.remaining[i]))
             }
             ExecMode::Incremental => self.srpt.total_remaining(),
         }
@@ -681,10 +889,12 @@ impl<'a> Engine<'a> {
     /// dominated arrival cost for jobs with piecewise curves.
     fn admit_due_arrivals(&mut self) -> Result<bool, SimError> {
         let mut any = false;
-        while let Some(t) = self.source.next_time() {
+        let mut rounds = 0u32;
+        while let Some(t) = self.next_arrival {
             if t > self.now + crate::source::arrival_tolerance(self.now) {
                 break;
             }
+            rounds += 1;
             let mut batch = std::mem::take(&mut self.scratch_batch);
             batch.clear();
             {
@@ -698,15 +908,15 @@ impl<'a> Engine<'a> {
                             .alive
                             .iter()
                             .map(|&i| AliveJob {
-                                spec: &self.jobs[i].spec,
-                                remaining: self.jobs[i].remaining,
+                                spec: &self.jobs.specs[i],
+                                remaining: self.jobs.remaining[i],
                             })
                             .collect(),
                         ExecMode::Incremental => self
                             .srpt
                             .iter_alive()
                             .map(|(i, remaining)| AliveJob {
-                                spec: &self.jobs[i].spec,
+                                spec: &self.jobs.specs[i],
                                 remaining,
                             })
                             .collect(),
@@ -721,6 +931,9 @@ impl<'a> Engine<'a> {
                 };
                 self.source.emit_into(&view, &mut batch);
             }
+            // The emission is the only thing that can move the source's
+            // clock; refresh the cache once per round, not per query.
+            self.next_arrival = self.source.next_time();
             if batch.is_empty() {
                 self.scratch_batch = batch;
                 // An empty batch is a decision-only wakeup (used by
@@ -728,8 +941,7 @@ impl<'a> Engine<'a> {
                 // source must still make progress or we'd loop
                 // forever.
                 let stuck = self
-                    .source
-                    .next_time()
+                    .next_arrival
                     .is_some_and(|nt| nt <= t + EPS * t.abs().max(1.0));
                 if stuck {
                     return Err(SimError::BadInstance {
@@ -792,44 +1004,57 @@ impl<'a> Engine<'a> {
                 } else {
                     spec.curve.alpha().map(PowKernel::powf_reference)
                 };
-                let rec = match self.mode {
+                let (kern, class) = self.jobs.classify(kernel);
+                let (run_key, in_running) = match self.mode {
                     ExecMode::Exhaustive => {
                         self.alive.push(idx);
-                        JobRecord {
-                            spec,
-                            remaining,
-                            run_key: 0.0,
-                            kernel,
-                            in_running: false,
-                            done: false,
-                        }
+                        (0.0, false)
                     }
-                    ExecMode::Incremental => {
-                        let placement = self.srpt.insert(idx, &spec, remaining);
-                        let (run_key, in_running) = match placement {
-                            Placement::Running { key } => (key, true),
-                            Placement::Queued { .. } => (0.0, false),
-                        };
-                        JobRecord {
-                            spec,
-                            remaining,
-                            run_key,
-                            kernel,
-                            in_running,
-                            done: false,
-                        }
-                    }
+                    ExecMode::Incremental => match self.srpt.insert(idx, &spec, remaining) {
+                        Placement::Running { key } => (key, true),
+                        Placement::Queued { .. } => (0.0, false),
+                    },
                 };
                 if idx == self.jobs.len() {
-                    self.jobs.push(rec);
+                    self.jobs.specs.push(spec);
+                    self.jobs.remaining.push(remaining);
+                    self.jobs.run_key.push(run_key);
+                    self.jobs.kern.push(kern);
+                    self.jobs.class.push(class);
+                    self.jobs.in_running.push(in_running);
+                    self.jobs.done.push(false);
                 } else {
-                    self.jobs[idx] = rec;
+                    self.jobs.specs[idx] = spec;
+                    self.jobs.remaining[idx] = remaining;
+                    self.jobs.run_key[idx] = run_key;
+                    self.jobs.kern[idx] = kern;
+                    self.jobs.class[idx] = class;
+                    self.jobs.in_running[idx] = in_running;
+                    self.jobs.done[idx] = false;
                 }
             }
             self.scratch_batch = batch;
             self.policy.on_arrival(self.now, self.num_alive());
             self.peak_alive = self.peak_alive.max(self.num_alive());
             any = true;
+        }
+        if rounds > 0 {
+            // The cached next-arrival moved: retag the live arrival
+            // candidate and queue the new wakeup (older entries go
+            // stale and are lazily discarded at the queue front).
+            self.arr_gen += 1;
+            if self.mode == ExecMode::Incremental {
+                // The superseded wakeup is the queue minimum (its time
+                // was just admitted, hence ≤ now): retire it eagerly so
+                // the queue holds exactly the live arrival timeline. The
+                // generation tags and the lazy discard in
+                // `next_event_time` remain as a safety net, but after
+                // this pop they never fire on the steady-state path.
+                let _ = self.equeue.pop();
+                if let Some(t) = self.next_arrival {
+                    self.equeue.insert(t, self.arr_gen);
+                }
+            }
         }
         if any {
             self.alloc_fresh = false;
@@ -910,7 +1135,7 @@ impl<'a> Engine<'a> {
                     let rate = if unit_rate {
                         self.cfg.speed
                     } else {
-                        self.cfg.speed * self.jobs[slot.idx].gamma(share)
+                        self.cfg.speed * self.jobs.gamma(slot.idx, share)
                     };
                     if rate > 0.0 {
                         // Invariant under uniform drain, so it doubles as
@@ -923,16 +1148,23 @@ impl<'a> Engine<'a> {
             };
             self.interval = IntervalKind::Uniform { rate };
         } else {
+            // Scan interval: one Γ evaluation per kernel *class*, then a
+            // contiguous walk over the prefix through the per-class rate
+            // cache (no per-job pointer chase, no per-job powf).
+            self.jobs.refresh_class_rates(self.cfg.speed, share);
             let mut next: Option<Time> = None;
-            for (slot, rem) in self.srpt.iter_running() {
-                let rate = self.cfg.speed * self.jobs[slot.idx].gamma(share);
+            let jobs = &self.jobs;
+            let now = self.now;
+            let speed = self.cfg.speed;
+            self.srpt.for_each_running_ordered(|slot, rem| {
+                let rate = jobs.rate_cached(slot.idx, speed, share);
                 if rate > 0.0 {
-                    let t = self.now + rem / rate;
+                    let t = now + rem / rate;
                     if next.is_none_or(|n| t < n) {
                         next = Some(t);
                     }
                 }
-            }
+            });
             self.interval = IntervalKind::Scan;
             self.next_completion = next;
         }
@@ -955,8 +1187,8 @@ impl<'a> Engine<'a> {
             .alive
             .iter()
             .map(|&i| AliveJob {
-                spec: &self.jobs[i].spec,
-                remaining: self.jobs[i].remaining,
+                spec: &self.jobs.specs[i],
+                remaining: self.jobs.remaining[i],
             })
             .collect();
         let quantum = self
@@ -985,7 +1217,7 @@ impl<'a> Engine<'a> {
         for (i, &idx) in self.alive.iter().enumerate() {
             let share = self.shares[i].max(0.0);
             self.shares[i] = share;
-            self.rates[i] = self.cfg.speed * self.jobs[idx].gamma(share);
+            self.rates[i] = self.cfg.speed * self.jobs.gamma(idx, share);
         }
         if let Some(q) = quantum {
             if q.is_finite() && q > 0.0 {
@@ -1019,20 +1251,31 @@ impl<'a> Engine<'a> {
             ExecMode::Exhaustive => {
                 for (i, &idx) in self.alive.iter().enumerate() {
                     if self.rates[i] > 0.0 {
-                        consider(self.now + self.jobs[idx].remaining / self.rates[i]);
+                        consider(self.now + self.jobs.remaining[idx] / self.rates[i]);
                     }
                 }
+                if let Some(t) = self.next_arrival {
+                    consider(t.max(self.now));
+                }
             }
-            // Incremental: the imminent completion was precomputed by the
-            // refresh (front of the running prefix) — O(1), no scan.
+            // Incremental: the interval's completion candidate is a plain
+            // field (recomputed by every refresh); the arrival wakeup is
+            // peeked from the event queue, lazily discarding superseded
+            // generations (their times are ≤ now, so they sit at the
+            // front). Clamping to `now` after the min is identical to
+            // clamping before it (max(·, now) is monotone).
             ExecMode::Incremental => {
                 if let Some(t) = self.next_completion {
                     consider(t.max(self.now));
                 }
+                while let Some((t, gen)) = self.equeue.peek() {
+                    if gen == self.arr_gen {
+                        consider(t.max(self.now));
+                        break;
+                    }
+                    self.equeue.pop();
+                }
             }
-        }
-        if let Some(t) = self.source.next_time() {
-            consider(t.max(self.now));
         }
         if let Some(t) = self.quantum_deadline {
             consider(t.max(self.now));
@@ -1090,8 +1333,15 @@ impl<'a> Engine<'a> {
                 self.alloc_fresh = false;
             }
         }
-        // Arrivals due exactly now.
-        self.admit_due_arrivals()?;
+        // Arrivals due exactly now. A completion and an arrival landing
+        // on one timestamp are processed inside this single call — one
+        // event, one step — which is the first-class same-timestamp
+        // coalescing documented in `docs/PERF.md` §4; count it so tests
+        // can pin the behavior instead of inferring it from event totals.
+        let arrived = self.admit_due_arrivals()?;
+        if completed_any && arrived {
+            self.coalesced += 1;
+        }
         Ok(())
     }
 
@@ -1099,13 +1349,13 @@ impl<'a> Engine<'a> {
     fn integrate_exhaustive(&mut self, dt: f64) {
         self.alive_integral.add(self.alive.len() as f64 * dt);
         for (i, &idx) in self.alive.iter().enumerate() {
-            let rec = &mut self.jobs[idx];
+            let rem = self.jobs.remaining[idx];
             let drained = self.rates[i] * dt;
             // Fractional flow: ∫ p_j(τ)/p_j dτ over [now, t], exact for
             // the linear drain.
             self.frac_flow
-                .add((rec.remaining - drained / 2.0).max(0.0) * dt / rec.spec.size);
-            rec.remaining = (rec.remaining - drained).max(0.0);
+                .add((rem - drained / 2.0).max(0.0) * dt / self.jobs.specs[idx].size);
+            self.jobs.remaining[idx] = (rem - drained).max(0.0);
         }
     }
 
@@ -1132,10 +1382,16 @@ impl<'a> Engine<'a> {
             IntervalKind::Scan => {
                 let share = self.profile.share;
                 let speed = self.cfg.speed;
+                // The per-class rate cache is valid for this (speed, share)
+                // whenever the interval is Scan (refilled by the profile
+                // refresh that classified it).
                 let mut run = 0.0;
-                for (slot, rem) in self.srpt.iter_running() {
-                    let rate = speed * self.jobs[slot.idx].gamma(share);
-                    run += (rem - rate * dt / 2.0).max(0.0) / slot.size;
+                {
+                    let jobs = &self.jobs;
+                    self.srpt.for_each_running_ordered(|slot, rem| {
+                        let rate = jobs.rate_cached(slot.idx, speed, share);
+                        run += (rem - rate * dt / 2.0).max(0.0) / slot.size;
+                    });
                 }
                 self.frac_flow.add((run + self.srpt.queued_frac_sum()) * dt);
                 let mut moves = std::mem::take(&mut self.scratch_moves);
@@ -1144,7 +1400,7 @@ impl<'a> Engine<'a> {
                     let jobs = &self.jobs;
                     self.srpt.drain_scan(
                         dt,
-                        |idx| speed * jobs[idx].gamma(share),
+                        |idx| jobs.rate_cached(idx, speed, share),
                         |idx, p| moves.push((idx, p)),
                     );
                 }
@@ -1164,27 +1420,27 @@ impl<'a> Engine<'a> {
     /// the arena slot (streaming mode). Callers have already detached the
     /// job from their alive structure.
     fn finish_job(&mut self, idx: usize) {
-        let rec = &mut self.jobs[idx];
-        rec.remaining = 0.0;
-        rec.in_running = false;
-        rec.done = true;
+        self.jobs.remaining[idx] = 0.0;
+        self.jobs.in_running[idx] = false;
+        self.jobs.done[idx] = true;
+        let spec = &self.jobs.specs[idx];
         self.sink
-            .record(rec.spec.release, rec.spec.size, self.now, rec.spec.weight);
+            .record(spec.release, spec.size, self.now, spec.weight);
         if !self.cfg.streaming {
             self.completed.push(CompletedJob {
-                id: rec.spec.id,
-                release: rec.spec.release,
-                size: rec.spec.size,
+                id: spec.id,
+                release: spec.release,
+                size: spec.size,
                 completion: self.now,
-                weight: rec.spec.weight,
+                weight: spec.weight,
             });
         }
-        self.observer.on_completion(self.now, &self.jobs[idx].spec);
+        self.observer.on_completion(self.now, &self.jobs.specs[idx]);
         if self.cfg.streaming {
             // Retire the slot: forget the id and hand the arena index to
             // the next arrival. The spec stays in place (inert) until
             // overwritten — nothing reads `done` slots.
-            self.ids.remove(self.jobs[idx].spec.id);
+            self.ids.remove(self.jobs.specs[idx].id);
             self.free.push(idx);
         }
     }
@@ -1195,8 +1451,9 @@ impl<'a> Engine<'a> {
         let mut i = 0;
         while i < self.alive.len() {
             let idx = self.alive[i];
-            let rec = &self.jobs[idx];
-            if rec.remaining <= Self::completion_tolerance(rec.spec.size, self.rates[i], self.now) {
+            let rem = self.jobs.remaining[idx];
+            let size = self.jobs.specs[idx].size;
+            if rem <= Self::completion_tolerance(size, self.rates[i], self.now) {
                 self.alive.swap_remove(i);
                 // Keep the parallel share/rate vectors aligned with `alive`
                 // for the rest of this sweep (they are rebuilt on the next
@@ -1221,7 +1478,8 @@ impl<'a> Engine<'a> {
             let rate = match self.interval {
                 IntervalKind::Uniform { rate } => rate,
                 IntervalKind::Scan => {
-                    self.cfg.speed * self.jobs[slot.idx].gamma(self.profile.share)
+                    self.jobs
+                        .rate_cached(slot.idx, self.cfg.speed, self.profile.share)
                 }
                 IntervalKind::Idle => 0.0,
             };
@@ -1253,12 +1511,12 @@ impl<'a> Engine<'a> {
         match self.mode {
             ExecMode::Exhaustive => {
                 for (i, &idx) in self.alive.iter().enumerate() {
-                    let rec = &self.jobs[idx];
+                    let spec = &self.jobs.specs[idx];
                     jobs.push(FrameJob {
-                        id: rec.spec.id,
-                        release: rec.spec.release,
-                        size: rec.spec.size,
-                        remaining: rec.remaining,
+                        id: spec.id,
+                        release: spec.release,
+                        size: spec.size,
+                        remaining: self.jobs.remaining[idx],
                         share: self.shares[i],
                         rate: self.rates[i],
                     });
@@ -1267,22 +1525,22 @@ impl<'a> Engine<'a> {
             ExecMode::Incremental => {
                 let share = self.profile.share;
                 for (slot, remaining) in self.srpt.iter_running() {
-                    let rec = &self.jobs[slot.idx];
+                    let spec = &self.jobs.specs[slot.idx];
                     jobs.push(FrameJob {
-                        id: rec.spec.id,
-                        release: rec.spec.release,
-                        size: rec.spec.size,
+                        id: spec.id,
+                        release: spec.release,
+                        size: spec.size,
                         remaining,
                         share,
-                        rate: self.cfg.speed * rec.gamma(share),
+                        rate: self.cfg.speed * self.jobs.gamma(slot.idx, share),
                     });
                 }
                 for (slot, remaining) in self.srpt.iter_queued() {
-                    let rec = &self.jobs[slot.idx];
+                    let spec = &self.jobs.specs[slot.idx];
                     jobs.push(FrameJob {
-                        id: rec.spec.id,
-                        release: rec.spec.release,
-                        size: rec.spec.size,
+                        id: spec.id,
+                        release: spec.release,
+                        size: spec.size,
                         remaining,
                         share: 0.0,
                         rate: 0.0,
@@ -1435,7 +1693,7 @@ impl<'a> Engine<'a> {
             // admission order, already validated at admission; rebuilding
             // the instance from it avoids both the seed engine's duplicate
             // `emitted` clone stream and a second O(n) validation pass.
-            instance: Instance::from_admitted(self.jobs.drain(..).map(|r| r.spec).collect()),
+            instance: Instance::from_admitted(self.jobs.specs.drain(..).collect()),
             audit,
         })
     }

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod calendar;
 pub mod csv;
 mod engine;
 mod error;
@@ -65,7 +66,7 @@ pub mod trace;
 
 pub use engine::{
     simulate, simulate_audited, simulate_streaming, simulate_streaming_audited,
-    simulate_with_observer, AliveSnapshot, Engine, EngineBuffers, EngineConfig,
+    simulate_with_observer, AliveSnapshot, Engine, EngineBuffers, EngineConfig, EventQueueKind,
 };
 pub use error::SimError;
 pub use invariant::{AuditLevel, AuditReport, Auditor, EnginePath, Invariant, Violation};

@@ -358,6 +358,10 @@ pub(crate) struct SrptSet {
     /// Scratch for ordered rebuilds (`drain_scan` / `maybe_rebase`);
     /// retained so rebuilds allocate nothing after warm-up.
     scratch: Vec<Entry>,
+    /// Scratch for steady-state ordered *views*
+    /// ([`SrptSet::for_each_running_ordered`]); kept separate from
+    /// `scratch` because a view can be taken while a rebuild is pending.
+    ordered: Vec<Entry>,
     /// Cumulative uniform drain applied to the running partition.
     drain: f64,
     /// `Σ 1/p_j` over running.
@@ -387,6 +391,7 @@ impl SrptSet {
         self.running.clear();
         self.queued.clear();
         self.scratch.clear();
+        self.ordered.clear();
         self.drain = 0.0;
         self.s1 = 0.0;
         self.sk = 0.0;
@@ -464,6 +469,27 @@ impl SrptSet {
         let drain = self.drain;
         v.into_iter()
             .map(move |e| (e.slot, (e.key.key - drain).max(0.0)))
+    }
+
+    /// Visits the running prefix in SRPT order without allocating: the
+    /// sort happens in the retained `ordered` scratch, so once that buffer
+    /// has grown to the high-water mark this is heap-free — the variant
+    /// the engine's Scan interval uses on its steady-state path.
+    ///
+    /// The visit order is identical to [`SrptSet::iter_running`]: both
+    /// `sort_unstable` the same entries by the same total `OrdKey` order,
+    /// and keys are unique (ties broken by release then id), so unstable
+    /// sorting cannot permute observably. Order matters: the engine
+    /// accumulates per-job fractional flow in this sequence and float
+    /// addition is not associative.
+    pub fn for_each_running_ordered(&mut self, mut f: impl FnMut(Slot, f64)) {
+        self.ordered.clear();
+        self.ordered.extend_from_slice(self.running.entries());
+        self.ordered.sort_unstable();
+        let drain = self.drain;
+        for e in &self.ordered {
+            f(e.slot, (e.key.key - drain).max(0.0));
+        }
     }
 
     /// Queued jobs in SRPT order as `(slot, remaining)` (sorted copy, see
@@ -694,6 +720,25 @@ mod tests {
         assert_eq!(order, vec![1, 2, 0]); // remaining 1, 3, 5
         let running: Vec<usize> = set.iter_running().map(|(s, _)| s.idx).collect();
         assert_eq!(running, vec![1, 2]);
+    }
+
+    #[test]
+    fn for_each_running_ordered_matches_iter_running_bitwise() {
+        let mut set = SrptSet::default();
+        let sizes = [5.0, 1.0, 3.0, 2.75, 4.5, 0.25, 7.0, 6.125];
+        for (i, size) in sizes.iter().enumerate() {
+            set.insert(i, &spec(i as u64, 0.1 * i as f64, *size), *size);
+        }
+        set.rebalance(5, |_, _| {});
+        set.advance_uniform(0.4375); // non-trivial drain offset
+        let via_iter: Vec<(usize, u64)> = set
+            .iter_running()
+            .map(|(s, rem)| (s.idx, rem.to_bits()))
+            .collect();
+        let mut via_visit = Vec::new();
+        set.for_each_running_ordered(|s, rem| via_visit.push((s.idx, rem.to_bits())));
+        assert_eq!(via_iter, via_visit);
+        assert_eq!(via_visit.len(), 5);
     }
 
     #[test]

@@ -303,6 +303,112 @@ impl PowKernel {
         }
     }
 
+    /// Batched [`PowKernel::eval`]: `out[i] = self.eval(xs[i])`.
+    ///
+    /// Bit-identical to `N` scalar calls — each per-kind loop body *is* the
+    /// scalar body — but the kind dispatch is hoisted out of the loop, so
+    /// the sqrt-chain and endpoint kinds compile to straight-line slice
+    /// loops the autovectorizer can widen (the general DD ln-table path
+    /// stays scalar per element; its table gather defeats vectorization,
+    /// and bit-identity matters more than width there).
+    ///
+    /// # Panics
+    /// If `xs` and `out` differ in length.
+    pub fn eval_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "eval_batch slice length mismatch");
+        match self.kind {
+            Kind::Zero => {
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = if x.is_nan() { x.powf(self.alpha) } else { 1.0 };
+                }
+            }
+            Kind::One => out.copy_from_slice(xs),
+            Kind::Half => {
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = x.sqrt();
+                }
+            }
+            Kind::Quarter => {
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = x.sqrt().sqrt();
+                }
+            }
+            Kind::ThreeQuarters => {
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = (x * x.sqrt()).sqrt();
+                }
+            }
+            Kind::General => {
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = self.eval_general(x);
+                }
+            }
+            Kind::Reference => {
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = x.powf(self.alpha);
+                }
+            }
+        }
+    }
+
+    /// Batched [`PowKernel::gamma`]: `out[i] = self.gamma(xs[i])`,
+    /// bit-identical to `N` scalar calls (see [`PowKernel::eval_batch`] for
+    /// the vectorization contract). The knee test `x ≤ 1` stays inside the
+    /// per-element loop — it is a branchless select in the vectorized
+    /// kinds — so mixed below/above-knee batches are handled exactly.
+    ///
+    /// # Panics
+    /// If `xs` and `out` differ in length.
+    pub fn gamma_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "gamma_batch slice length mismatch");
+        match self.kind {
+            // x ≤ 1 ⇒ x, else 1 (NaN defers to powf like the scalar path).
+            Kind::Zero => {
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    debug_assert!(x >= 0.0, "negative processor allocation: {x}");
+                    *o = if x <= 1.0 {
+                        x
+                    } else if x.is_nan() {
+                        x.powf(self.alpha)
+                    } else {
+                        1.0
+                    };
+                }
+            }
+            Kind::One => out.copy_from_slice(xs),
+            Kind::Half => {
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    debug_assert!(x >= 0.0, "negative processor allocation: {x}");
+                    *o = if x <= 1.0 { x } else { x.sqrt() };
+                }
+            }
+            Kind::Quarter => {
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    debug_assert!(x >= 0.0, "negative processor allocation: {x}");
+                    *o = if x <= 1.0 { x } else { x.sqrt().sqrt() };
+                }
+            }
+            Kind::ThreeQuarters => {
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    debug_assert!(x >= 0.0, "negative processor allocation: {x}");
+                    *o = if x <= 1.0 { x } else { (x * x.sqrt()).sqrt() };
+                }
+            }
+            Kind::General => {
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    debug_assert!(x >= 0.0, "negative processor allocation: {x}");
+                    *o = if x <= 1.0 { x } else { self.eval_general(x) };
+                }
+            }
+            Kind::Reference => {
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    debug_assert!(x >= 0.0, "negative processor allocation: {x}");
+                    *o = if x <= 1.0 { x } else { x.powf(self.alpha) };
+                }
+            }
+        }
+    }
+
     /// General-α path: `exp(α · ln x)` with `ln x` in double-double.
     ///
     /// Argument reduction: `x = 2^e · m`, `m ∈ [1, 2)`; nearest table node
@@ -341,6 +447,23 @@ impl PowKernel {
         let (yh, yl) = two_sum(ph, p_err + self.alpha * lo);
         yh.exp() * (1.0 + yl)
     }
+}
+
+/// Grouped-by-class Γ driver: evaluates `Γ(share)` **once per distinct
+/// kernel** — `out[c] = kernels[c].gamma(share)` — instead of once per job.
+///
+/// This is the engine's mixed-α `Scan`-interval contract: within one
+/// constant-allocation interval every running job receives the same
+/// `share`, so a job's drain rate depends only on its kernel class, and a
+/// prefix of `k` jobs over `C` distinct exponents needs `C` Γ evaluations,
+/// not `k`. Results are bit-identical to per-job scalar [`PowKernel::gamma`]
+/// calls because `gamma` is a pure function of `(α, share)`.
+///
+/// `out` is cleared and refilled (capacity retained), so a caller-owned
+/// buffer keeps this allocation-free at steady state.
+pub fn gamma_by_class(kernels: &[PowKernel], share: f64, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(kernels.iter().map(|k| k.gamma(share)));
 }
 
 #[cfg(test)]
@@ -492,7 +615,118 @@ mod tests {
         assert!(PowKernel::for_curve(&Curve::try_amdahl(0.25).unwrap()).is_none());
     }
 
+    /// Every kernel class the classifier can produce, including the two
+    /// exact endpoints, all three sqrt chains, the general table path, and
+    /// the powf reference arm.
+    fn all_class_kernels() -> Vec<PowKernel> {
+        let mut ks: Vec<PowKernel> = [0.0, 0.25, 0.5, 0.75, 1.0, 0.37, 1.0 / 3.0, 0.999]
+            .iter()
+            .map(|&a| PowKernel::new(a))
+            .collect();
+        ks.push(PowKernel::powf_reference(0.6));
+        ks
+    }
+
+    #[test]
+    fn batch_apis_handle_empty_singleton_odd_and_large_lengths() {
+        for k in all_class_kernels() {
+            for n in [0usize, 1, 7, 1023] {
+                let xs: Vec<f64> = (0..n)
+                    .map(|i| 0.5 + (i as f64) * (1.5 + i as f64 * 0.37))
+                    .collect();
+                let mut got = vec![f64::NAN; n];
+                k.eval_batch(&xs, &mut got);
+                for (&x, &g) in xs.iter().zip(&got) {
+                    assert_eq!(g.to_bits(), k.eval(x).to_bits(), "eval α={}", k.alpha());
+                }
+                k.gamma_batch(&xs, &mut got);
+                for (&x, &g) in xs.iter().zip(&got) {
+                    assert_eq!(g.to_bits(), k.gamma(x).to_bits(), "gamma α={}", k.alpha());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn batch_apis_reject_mismatched_lengths() {
+        let mut out = [0.0; 2];
+        PowKernel::new(0.5).gamma_batch(&[1.0, 2.0, 3.0], &mut out);
+    }
+
+    #[test]
+    fn gamma_by_class_matches_per_job_scalar() {
+        let kernels = all_class_kernels();
+        let mut out = Vec::new();
+        for share in [0.0, 0.5, 1.0, 1.0 + f64::EPSILON, 2.5, 8.0, 1e6] {
+            gamma_by_class(&kernels, share, &mut out);
+            assert_eq!(out.len(), kernels.len());
+            for (k, &g) in kernels.iter().zip(&out) {
+                assert_eq!(g.to_bits(), k.gamma(share).to_bits(), "α={}", k.alpha());
+            }
+        }
+        // Capacity is reused, not reallocated, across refills.
+        let cap = out.capacity();
+        gamma_by_class(&kernels, 3.0, &mut out);
+        assert_eq!(out.capacity(), cap);
+    }
+
     proptest::proptest! {
+        #[test]
+        fn gamma_batch_bit_identical_to_scalar_general_alpha(
+            alpha in 0.000001f64..0.999999,
+            mant in 1.0f64..2.0,
+            exp in 0u32..40,
+            len in 0usize..33,
+        ) {
+            // Log-uniform base point x ∈ [1, 2^40); the batch fans out a
+            // deterministic spread around it (and dips below the knee) so
+            // one case covers many magnitudes at once.
+            let x = mant * f64::from(2u32).powi(
+                i32::try_from(exp).expect("exp < 40 fits i32"));
+            let xs: Vec<f64> = (0..len)
+                .map(|i| {
+                    let t = i as f64 / 8.0;
+                    if i % 4 == 3 { t.min(1.0) * 0.9 } else { x * (1.0 + t) }
+                })
+                .collect();
+            let k = PowKernel::new(alpha);
+            let mut out = vec![0.0; xs.len()];
+            k.gamma_batch(&xs, &mut out);
+            for (&xi, &g) in xs.iter().zip(&out) {
+                proptest::prop_assert_eq!(g.to_bits(), k.gamma(xi).to_bits());
+            }
+            k.eval_batch(&xs, &mut out);
+            for (&xi, &g) in xs.iter().zip(&out) {
+                proptest::prop_assert_eq!(g.to_bits(), k.eval(xi).to_bits());
+            }
+        }
+
+        #[test]
+        fn gamma_batch_bit_identical_on_classified_kernels(
+            class in 0usize..6,
+            mant in 1.0f64..2.0,
+            exp in 0u32..40,
+        ) {
+            // The endpoint and sqrt-chain classes, plus the reference arm.
+            let k = match class {
+                0 => PowKernel::new(0.0),
+                1 => PowKernel::new(1.0),
+                2 => PowKernel::new(0.5),
+                3 => PowKernel::new(0.25),
+                4 => PowKernel::new(0.75),
+                _ => PowKernel::powf_reference(0.5),
+            };
+            let x = mant * f64::from(2u32).powi(
+                i32::try_from(exp).expect("exp < 40 fits i32"));
+            let xs = [0.0, 0.5, 1.0, x, x * 1.0000001, x * 2.0];
+            let mut out = [0.0; 6];
+            k.gamma_batch(&xs, &mut out);
+            for (&xi, &g) in xs.iter().zip(&out) {
+                proptest::prop_assert_eq!(g.to_bits(), k.gamma(xi).to_bits());
+            }
+        }
+
         #[test]
         fn eval_matches_powf_within_2_ulp(
             alpha in 0.000001f64..0.999999,

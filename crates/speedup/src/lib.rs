@@ -47,6 +47,6 @@ pub use amdahl::amdahl_rate;
 pub use curve::Curve;
 pub use error::CurveError;
 pub use float::{approx_eq, approx_le, exact_eq, EPS};
-pub use kernel::PowKernel;
+pub use kernel::{gamma_by_class, PowKernel};
 pub use piecewise::PiecewiseLinear;
 pub use power::power_rate;

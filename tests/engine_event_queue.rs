@@ -1,0 +1,151 @@
+//! Engine-level contracts for the future-event queue (see
+//! `crates/simcore/src/calendar.rs` for the queue-level property tests):
+//!
+//! * the calendar-queue arm and the binary-heap control arm must produce
+//!   **bit-identical** runs — same event count, same completion sequence,
+//!   same metrics to the last bit — across fixtures and policies;
+//! * a same-timestamp arrival + completion is one engine step, counted
+//!   once (`Engine::coalesced_steps`, docs/PERF.md §4);
+//! * the Parallel-SRPT event count on the standard n = 10⁴ fixture is
+//!   pinned exactly: 19_999 = 2n − 1, one coalesced step on this seed,
+//!   while Intermediate-SRPT sees 20_000 (no coincidence under its
+//!   allocation). Any drift in arrival admission, queue ordering, or
+//!   coalescing shows up here as an off-by-k.
+
+use parsched::PolicyKind;
+use parsched_bench::{mixed_alpha_fixture, overload_fixture, poisson_fixture};
+use parsched_sim::{
+    Engine, EngineConfig, EventQueueKind, Instance, JobId, JobSpec, NullObserver, RunOutcome,
+    StaticSource,
+};
+use parsched_speedup::Curve;
+
+fn run_with_queue(inst: &Instance, kind: &PolicyKind, queue: EventQueueKind) -> RunOutcome {
+    let mut policy = kind.build();
+    let mut source = StaticSource::new(inst);
+    let mut obs = NullObserver;
+    let cfg = EngineConfig::new(8.0).with_event_queue(queue);
+    Engine::new(cfg, policy.as_mut(), &mut source, &mut obs)
+        .run()
+        .expect("queue-arm run")
+}
+
+#[test]
+fn calendar_and_heap_arms_are_bit_identical_end_to_end() {
+    let fixtures: [(&str, Instance); 3] = [
+        ("poisson-0.9", poisson_fixture(2_000, 0.9, 8.0)),
+        ("overload", overload_fixture(2_000, 8.0)),
+        ("mixed-alpha", mixed_alpha_fixture(2_000, 0.9, 8.0)),
+    ];
+    let policies = [
+        PolicyKind::IntermediateSrpt,
+        PolicyKind::ParallelSrpt,
+        PolicyKind::Equi,
+    ];
+    for (name, inst) in &fixtures {
+        for kind in &policies {
+            let cal = run_with_queue(inst, kind, EventQueueKind::Calendar);
+            let heap = run_with_queue(inst, kind, EventQueueKind::Heap);
+            let ctx = format!("{name} / {}", kind.name());
+            assert_eq!(cal.metrics.events, heap.metrics.events, "{ctx}: events");
+            assert_eq!(
+                cal.metrics.total_flow.to_bits(),
+                heap.metrics.total_flow.to_bits(),
+                "{ctx}: total_flow diverged ({} vs {})",
+                cal.metrics.total_flow,
+                heap.metrics.total_flow
+            );
+            assert_eq!(
+                cal.metrics.makespan.to_bits(),
+                heap.metrics.makespan.to_bits(),
+                "{ctx}: makespan"
+            );
+            assert_eq!(
+                cal.completed.len(),
+                heap.completed.len(),
+                "{ctx}: completion count"
+            );
+            for (a, b) in cal.completed.iter().zip(&heap.completed) {
+                assert_eq!(a.id, b.id, "{ctx}: completion order");
+                assert_eq!(
+                    a.completion.to_bits(),
+                    b.completion.to_bits(),
+                    "{ctx}: completion time of {:?}",
+                    a.id
+                );
+            }
+        }
+    }
+}
+
+/// Two fully parallelizable jobs on m = 8: job 0 (size 8, release 0)
+/// drains at rate 8 and completes at exactly t = 1.0 — the instant job 1
+/// is released. The engine must process that coincidence as ONE step
+/// (completion + arrival coalesced), and count it once.
+#[test]
+fn same_timestamp_arrival_and_completion_coalesce_into_one_counted_step() {
+    let inst = Instance::new(vec![
+        JobSpec::new(JobId(0), 0.0, 8.0, Curve::power(1.0)),
+        JobSpec::new(JobId(1), 1.0, 8.0, Curve::power(1.0)),
+    ])
+    .expect("coincidence instance");
+    for queue in [EventQueueKind::Calendar, EventQueueKind::Heap] {
+        let mut policy = PolicyKind::IntermediateSrpt.build();
+        let mut source = StaticSource::new(&inst);
+        let mut obs = NullObserver;
+        let cfg = EngineConfig::new(8.0).with_event_queue(queue);
+        let mut engine = Engine::new(cfg, policy.as_mut(), &mut source, &mut obs);
+        while engine.step().expect("step") {}
+        assert_eq!(
+            engine.coalesced_steps(),
+            1,
+            "{queue:?}: the t = 1.0 coincidence must be one coalesced step"
+        );
+        let out = engine.into_outcome().expect("outcome");
+        // 2 events: the t = 0 admission precedes the first step (not an
+        // event), t = 1 is ONE coalesced completion+arrival step (not
+        // two), t = 2 is the final completion.
+        assert_eq!(out.metrics.events, 2, "{queue:?}: event count");
+        assert_eq!(out.metrics.makespan, 2.0, "{queue:?}: makespan");
+    }
+}
+
+#[test]
+fn parallel_srpt_event_count_is_pinned_on_the_standard_n1e4_fixture() {
+    let inst = poisson_fixture(10_000, 0.9, 8.0);
+    for queue in [EventQueueKind::Calendar, EventQueueKind::Heap] {
+        let psrpt = run_with_queue(&inst, &PolicyKind::ParallelSrpt, queue);
+        assert_eq!(
+            psrpt.metrics.events, 19_999,
+            "{queue:?}: Parallel-SRPT event count moved — arrival \
+             admission, queue ordering, or coalescing changed"
+        );
+        let isrpt = run_with_queue(&inst, &PolicyKind::IntermediateSrpt, queue);
+        assert_eq!(
+            isrpt.metrics.events, 20_000,
+            "{queue:?}: Intermediate-SRPT event count moved"
+        );
+    }
+}
+
+/// The coalesced-step counter explains the 2n − 1 above: Parallel-SRPT
+/// hits exactly one arrival/completion coincidence on this seed.
+#[test]
+fn parallel_srpt_coalesces_exactly_one_step_on_the_standard_fixture() {
+    let inst = poisson_fixture(10_000, 0.9, 8.0);
+    let mut policy = PolicyKind::ParallelSrpt.build();
+    let mut source = StaticSource::new(&inst);
+    let mut obs = NullObserver;
+    let mut engine = Engine::new(
+        EngineConfig::new(8.0),
+        policy.as_mut(),
+        &mut source,
+        &mut obs,
+    );
+    while engine.step().expect("step") {}
+    assert_eq!(engine.coalesced_steps(), 1);
+    assert_eq!(
+        engine.into_outcome().expect("outcome").metrics.events,
+        19_999
+    );
+}

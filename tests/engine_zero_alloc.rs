@@ -56,6 +56,15 @@ fn allocs() -> u64 {
 /// sizes and staggered releases, enough churn to exercise insertions,
 /// promotions, demotions, uniform drains, and completions.
 fn workload(n: usize) -> Instance {
+    workload_with_alphas(n, &[0.5])
+}
+
+/// Same, cycling per-job α through `alphas`: with several distinct
+/// exponents the engine's Scan intervals run the kernel-class registry
+/// and the grouped per-class Γ rate cache, so the audit also covers
+/// that machinery (registry lookups and cache refills must reuse their
+/// vectors, not regrow them).
+fn workload_with_alphas(n: usize, alphas: &[f64]) -> Instance {
     let mut rng: u64 = 0x5bd1_e995_9e37_79b9;
     let mut next = || {
         rng = rng
@@ -67,7 +76,8 @@ fn workload(n: usize) -> Instance {
         .map(|i| {
             let release = i as f64 * 0.35;
             let size = 0.5 + 8.0 * next();
-            JobSpec::new(JobId(i as u64), release, size, Curve::power(0.5))
+            let alpha = alphas[i % alphas.len()];
+            JobSpec::new(JobId(i as u64), release, size, Curve::power(alpha))
         })
         .collect();
     Instance::new(jobs).expect("valid workload")
@@ -103,6 +113,21 @@ fn steady_state_streaming_runs_allocate_nothing() {
     assert_eq!(second, 0, "second run allocated {second} times");
     let (third, _bufs) = audited_run(&inst, bufs);
     assert_eq!(third, 0, "third run allocated {third} times");
+}
+
+#[test]
+fn steady_state_mixed_alpha_runs_allocate_nothing() {
+    // Multi-class variant: four distinct α values force Scan intervals
+    // through the class registry and the grouped-Γ rate cache
+    // (docs/PERF.md §7.2). Warm-up populates the registry; steady-state
+    // reruns must re-classify and refill the cache without the heap.
+    let inst = workload_with_alphas(4_000, &[0.25, 0.5, 0.75, 0.37]);
+    let (warmup_allocs, bufs) = audited_run(&inst, EngineBuffers::new());
+    assert!(warmup_allocs > 0, "warm-up should have grown the buffers");
+    let (second, bufs) = audited_run(&inst, bufs);
+    assert_eq!(second, 0, "second mixed-alpha run allocated {second} times");
+    let (third, _bufs) = audited_run(&inst, bufs);
+    assert_eq!(third, 0, "third mixed-alpha run allocated {third} times");
 }
 
 #[test]
