@@ -1,0 +1,250 @@
+//! The committed corpus codec: schema `parsched-adv/v1`.
+//!
+//! Every hard instance (or engine-failure reproducer) the search emits
+//! is written as one JSON document under `tests/corpus/adversary/` and
+//! replayed by `tests/adversary_corpus.rs` on every CI run. An entry
+//! records the **explicit job list** — not just the genome — so replay
+//! is independent of any future evolution of the generator or the RNG;
+//! the genome provenance string and search parameters ride along for
+//! archaeology only.
+//!
+//! Like the trace codec ([`parsched_sim::trace`]), documents round-trip
+//! through [`parsched_sim::jsonlite`] with floats formatted by Rust's
+//! shortest-round-trip `{:?}` — so a committed file re-renders to the
+//! same bytes, which is what makes `--emit-corpus` output byte-stable
+//! across worker counts and hosts.
+
+use parsched_sim::jsonlite::{escape, Json};
+use parsched_sim::{Instance, JobId, JobSpec, SimError};
+use parsched_speedup::Curve;
+
+/// Schema tag every entry must carry.
+pub const SCHEMA: &str = "parsched-adv/v1";
+
+/// Entry kind: a hard instance mined by the search.
+pub const KIND_HARD: &str = "hard-instance";
+/// Entry kind: a shrunk engine-failure reproducer.
+pub const KIND_REPRODUCER: &str = "reproducer";
+
+/// One corpus document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// [`KIND_HARD`] or [`KIND_REPRODUCER`].
+    pub kind: String,
+    /// CLI-parsable policy token (`isrpt`, `equi`, `laps:0.5`, …).
+    pub policy: String,
+    /// Processor count the ratio was measured at.
+    pub m: f64,
+    /// Master seed of the search that found this entry.
+    pub search_seed: u64,
+    /// Evaluation budget of that search.
+    pub budget: usize,
+    /// Measured `flow / lb` (0 for reproducers).
+    pub ratio: f64,
+    /// Measured total flow time.
+    pub flow: f64,
+    /// The lower bound used as the denominator.
+    pub lb: f64,
+    /// Name of the bound ([`parsched_opt::LbKind::name`]).
+    pub lb_kind: String,
+    /// Git commit of the engine that measured the entry (provenance
+    /// only; replay re-measures).
+    pub engine_commit: String,
+    /// Genome provenance string (not parsed back).
+    pub genome: String,
+    /// The explicit job list — the replayable part.
+    pub jobs: Vec<JobSpec>,
+}
+
+/// The power-law exponent of a job's curve, for serialization.
+///
+/// The genome only emits `Curve::Power`; `Sequential` and
+/// `FullyParallel` map to their exponent endpoints so a corpus entry
+/// can always be written.
+fn curve_alpha(curve: &Curve) -> Result<f64, String> {
+    match curve {
+        Curve::Power { alpha } => Ok(*alpha),
+        Curve::Sequential => Ok(0.0),
+        Curve::FullyParallel => Ok(1.0),
+        other => Err(format!(
+            "corpus entries require power-law curves, got {other:?}"
+        )),
+    }
+}
+
+/// Shortest-round-trip float lexeme, matching the trace codec.
+fn num(x: f64) -> String {
+    format!("{x:?}")
+}
+
+impl CorpusEntry {
+    /// Renders the entry as a `parsched-adv/v1` document.
+    ///
+    /// One top-level field per line, one job per line: stable, diffable
+    /// output for a committed corpus. Re-rendering a parsed entry
+    /// reproduces the same bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", escape(SCHEMA)));
+        out.push_str(&format!("  \"kind\": \"{}\",\n", escape(&self.kind)));
+        out.push_str(&format!("  \"policy\": \"{}\",\n", escape(&self.policy)));
+        out.push_str(&format!("  \"m\": {},\n", num(self.m)));
+        out.push_str(&format!("  \"search_seed\": {},\n", self.search_seed));
+        out.push_str(&format!("  \"budget\": {},\n", self.budget));
+        out.push_str(&format!("  \"ratio\": {},\n", num(self.ratio)));
+        out.push_str(&format!("  \"flow\": {},\n", num(self.flow)));
+        out.push_str(&format!("  \"lb\": {},\n", num(self.lb)));
+        out.push_str(&format!("  \"lb_kind\": \"{}\",\n", escape(&self.lb_kind)));
+        out.push_str(&format!(
+            "  \"engine_commit\": \"{}\",\n",
+            escape(&self.engine_commit)
+        ));
+        out.push_str(&format!("  \"genome\": \"{}\",\n", escape(&self.genome)));
+        out.push_str("  \"jobs\": [\n");
+        for (i, j) in self.jobs.iter().enumerate() {
+            let alpha = curve_alpha(&j.curve).expect("corpus jobs use power-law curves");
+            out.push_str(&format!(
+                "    {{\"id\": {}, \"release\": {}, \"size\": {}, \"alpha\": {}}}{}\n",
+                j.id.0,
+                num(j.release),
+                num(j.size),
+                num(alpha),
+                if i + 1 < self.jobs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a `parsched-adv/v1` document.
+    pub fn from_json(text: &str) -> Result<CorpusEntry, String> {
+        let v = Json::parse(text)?;
+        let schema = v.req("schema")?.as_str()?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema '{schema}' (want '{SCHEMA}')"));
+        }
+        let jobs = v
+            .req("jobs")?
+            .as_arr()?
+            .iter()
+            .map(|j| {
+                let id = j.req("id")?.as_u64()?;
+                let release = j.req("release")?.as_f64()?;
+                let size = j.req("size")?.as_f64()?;
+                let alpha = j.req("alpha")?.as_f64()?;
+                let curve =
+                    Curve::try_power(alpha).map_err(|e| format!("job {id}: bad alpha: {e:?}"))?;
+                Ok(JobSpec::new(JobId(id), release, size, curve))
+            })
+            .collect::<Result<Vec<JobSpec>, String>>()?;
+        Ok(CorpusEntry {
+            kind: v.req("kind")?.as_str()?.to_string(),
+            policy: v.req("policy")?.as_str()?.to_string(),
+            m: v.req("m")?.as_f64()?,
+            search_seed: v.req("search_seed")?.as_u64()?,
+            budget: v.req("budget")?.as_usize()?,
+            ratio: v.req("ratio")?.as_f64()?,
+            flow: v.req("flow")?.as_f64()?,
+            lb: v.req("lb")?.as_f64()?,
+            lb_kind: v.req("lb_kind")?.as_str()?.to_string(),
+            engine_commit: v.req("engine_commit")?.as_str()?.to_string(),
+            genome: v.req("genome")?.as_str()?.to_string(),
+            jobs,
+        })
+    }
+
+    /// Reconstructs the instance for replay.
+    pub fn instance(&self) -> Result<Instance, SimError> {
+        Instance::new(self.jobs.clone())
+    }
+
+    /// Deterministic file name for this entry within a corpus directory.
+    ///
+    /// `<policy-slug>-s<seed>-<rank>.json`, with the policy token
+    /// sanitized (`laps:0.5` → `laps_0.5`) so names stay portable.
+    pub fn file_name(&self, rank: usize) -> String {
+        let slug: String = self
+            .policy
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        format!("{slug}-s{}-{rank:02}.json", self.search_seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> CorpusEntry {
+        CorpusEntry {
+            kind: KIND_HARD.to_string(),
+            policy: "equi".to_string(),
+            m: 4.0,
+            search_seed: 7,
+            budget: 640,
+            ratio: 1.0 + 0.1 + 0.2, // deliberately non-terminating binary
+            flow: 17.25,
+            lb: 12.5,
+            lb_kind: "hesrpt-batch".to_string(),
+            engine_commit: "abc1234".to_string(),
+            genome: "InstanceGenome { n: 2, .. }".to_string(),
+            jobs: vec![
+                JobSpec::new(JobId(0), 0.0, 4.0, Curve::power(0.5)),
+                JobSpec::new(JobId(1), 0.1 + 0.2, 1.0, Curve::power(0.5)),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let e = entry();
+        let text = e.to_json();
+        let back = CorpusEntry::from_json(&text).unwrap();
+        assert_eq!(back, e);
+        // Bit-exact floats, including the 0.30000000000000004 lexemes.
+        assert_eq!(back.ratio.to_bits(), e.ratio.to_bits());
+        assert_eq!(back.jobs[1].release.to_bits(), e.jobs[1].release.to_bits());
+        // Re-rendering reproduces the same bytes.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn instance_reconstruction_matches_jobs() {
+        let e = entry();
+        let inst = e.instance().unwrap();
+        assert_eq!(inst.jobs(), &e.jobs[..]);
+    }
+
+    #[test]
+    fn rejects_other_schemas_and_garbage() {
+        assert!(CorpusEntry::from_json("{}").is_err());
+        assert!(CorpusEntry::from_json("not json").is_err());
+        let wrong = entry()
+            .to_json()
+            .replace("parsched-adv/v1", "parsched-adv/v0");
+        assert!(CorpusEntry::from_json(&wrong).is_err());
+    }
+
+    #[test]
+    fn file_names_are_sanitized() {
+        let mut e = entry();
+        e.policy = "laps:0.5".to_string();
+        assert_eq!(e.file_name(3), "laps_0.5-s7-03.json");
+    }
+
+    #[test]
+    fn endpoint_curves_serialize_as_alpha_endpoints() {
+        assert_eq!(curve_alpha(&Curve::Sequential).unwrap(), 0.0);
+        assert_eq!(curve_alpha(&Curve::FullyParallel).unwrap(), 1.0);
+        assert_eq!(curve_alpha(&Curve::power(0.37)).unwrap(), 0.37);
+    }
+}

@@ -1,0 +1,364 @@
+//! The instance genome: a compact, mutable description of a workload.
+//!
+//! The search does not mutate raw job lists — it mutates this genome
+//! (job count, size distribution, α mix, release pattern) and
+//! *materializes* each candidate into a concrete [`Instance`] through a
+//! deterministic function of the genome alone. That keeps candidates
+//! cheap to store, mutation domain-aware (a "burst gap" tweak moves the
+//! whole arrival structure coherently), and every discovered instance
+//! replayable from a one-line provenance string.
+
+use parsched_sim::{Instance, JobId, JobSpec, SimError};
+use parsched_speedup::Curve;
+use parsched_workloads::random::{AlphaDist, PoissonWorkload, SizeDist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the genome's jobs are spread over time.
+///
+/// These are the axes Theorem 2 of the source paper (and the Fox–Moseley
+/// lower-bound constructions it builds on) suggest are adversarial:
+/// synchronized bursts, starvation-probing trickles, trap-style ramps
+/// that accelerate arrivals into a loaded system, and abrupt phase
+/// transitions between those regimes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReleasePattern {
+    /// Everything at `t = 0` — the regime where the heSRPT closed form
+    /// gives an exact OPT reference, so measured ratios are tight.
+    Batch,
+    /// Poisson arrivals at the given offered load (work volume per unit
+    /// of capacity; `1.0` is saturation).
+    Poisson {
+        /// Offered load `ρ`.
+        load: f64,
+    },
+    /// `waves` synchronized batches, `gap` time units apart.
+    Bursts {
+        /// Number of waves (≥ 1).
+        waves: usize,
+        /// Time between consecutive waves.
+        gap: f64,
+    },
+    /// One job every `spacing` time units — probes starvation of the
+    /// backlog by a thin stream of fresh arrivals.
+    Trickle {
+        /// Inter-arrival spacing.
+        spacing: f64,
+    },
+    /// Arrivals accelerating quadratically towards `horizon` — the
+    /// trap-style ramp: the system fills slowly, then the adversary
+    /// floods it just as the backlog peaks.
+    Ramp {
+        /// Time of the last (densest) arrival.
+        horizon: f64,
+    },
+    /// Phase transition: the first `split` fraction arrives as a batch
+    /// at `t = 0`, the rest trickles in every `spacing` units.
+    Phases {
+        /// Fraction of jobs in the opening batch (clamped to `[0, 1]`).
+        split: f64,
+        /// Spacing of the trailing trickle.
+        spacing: f64,
+    },
+}
+
+/// A candidate instance, described by its generative parameters.
+///
+/// Materialization is a pure function of the genome (sizes and α values
+/// come from [`StdRng`] seeded with `seed`), so equal genomes produce
+/// bit-identical instances on every thread, host, and run — the property
+/// the byte-identical `--jobs N` guarantee rests on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceGenome {
+    /// Number of jobs.
+    pub n: usize,
+    /// Seed for the size/α draws.
+    pub seed: u64,
+    /// Job-size distribution.
+    pub sizes: SizeDist,
+    /// Parallelizability (α) distribution.
+    pub alphas: AlphaDist,
+    /// Arrival structure.
+    pub release: ReleasePattern,
+}
+
+/// Bounds within which [`InstanceGenome::random`] and
+/// [`InstanceGenome::mutate`] keep every axis, so candidate cost stays
+/// predictable whatever the mutation path.
+#[derive(Debug, Clone, Copy)]
+pub struct GenomeBounds {
+    /// Largest job count a candidate may reach.
+    pub max_n: usize,
+}
+
+impl Default for GenomeBounds {
+    fn default() -> Self {
+        GenomeBounds { max_n: 64 }
+    }
+}
+
+/// The α values mutation draws from: the paper's intermediate range plus
+/// the near-sequential and near-parallel edges where regime boundaries
+/// (and therefore policy mistakes) live.
+const ALPHA_POOL: [f64; 6] = [0.1, 0.25, 0.37, 0.5, 0.75, 0.9];
+
+impl InstanceGenome {
+    /// A fresh random genome within `bounds`.
+    pub fn random(rng: &mut StdRng, bounds: GenomeBounds) -> Self {
+        let n = rng.gen_range(2..=bounds.max_n);
+        let genome = InstanceGenome {
+            n,
+            seed: rng.gen_range(0..=u64::MAX / 2),
+            sizes: random_sizes(rng),
+            alphas: random_alphas(rng),
+            release: random_release(rng),
+        };
+        debug_assert!(genome.n >= 2);
+        genome
+    }
+
+    /// A mutated copy: one axis is re-drawn or perturbed, the rest kept.
+    ///
+    /// Mutation is the coordinate step of the search — by changing one
+    /// axis at a time the elite pool climbs each dimension of instance
+    /// space separately, like coordinate descent with random restarts.
+    pub fn mutate(&self, rng: &mut StdRng, bounds: GenomeBounds) -> Self {
+        let mut out = self.clone();
+        match rng.gen_range(0u32..=5) {
+            0 => {
+                // Job count: geometric step up or down.
+                out.n = if rng.gen::<f64>() < 0.5 {
+                    (out.n / 2).max(2)
+                } else {
+                    (out.n * 2).min(bounds.max_n)
+                };
+            }
+            1 => out.seed = rng.gen_range(0..=u64::MAX / 2),
+            2 => out.sizes = random_sizes(rng),
+            3 => out.alphas = random_alphas(rng),
+            4 => out.release = random_release(rng),
+            _ => {
+                // In-place perturbation of the release pattern's scale —
+                // the fine-grained half of the coordinate step.
+                out.release = match out.release {
+                    ReleasePattern::Batch => ReleasePattern::Batch,
+                    ReleasePattern::Poisson { load } => ReleasePattern::Poisson {
+                        load: (load * rng.gen_range(0.5..=1.5)).clamp(0.1, 2.0),
+                    },
+                    ReleasePattern::Bursts { waves, gap } => ReleasePattern::Bursts {
+                        waves: (waves + 1).min(8),
+                        gap: (gap * rng.gen_range(0.5..=1.5)).clamp(0.1, 64.0),
+                    },
+                    ReleasePattern::Trickle { spacing } => ReleasePattern::Trickle {
+                        spacing: (spacing * rng.gen_range(0.5..=1.5)).clamp(0.01, 64.0),
+                    },
+                    ReleasePattern::Ramp { horizon } => ReleasePattern::Ramp {
+                        horizon: (horizon * rng.gen_range(0.5..=1.5)).clamp(0.1, 256.0),
+                    },
+                    ReleasePattern::Phases { split, spacing } => ReleasePattern::Phases {
+                        split: (split + rng.gen_range(-0.2..=0.2)).clamp(0.0, 1.0),
+                        spacing: (spacing * rng.gen_range(0.5..=1.5)).clamp(0.01, 64.0),
+                    },
+                };
+            }
+        }
+        out
+    }
+
+    /// Materializes the genome into a concrete instance.
+    ///
+    /// Release times are analytic functions of the pattern (except
+    /// Poisson, which draws inter-arrivals from the seeded RNG); sizes
+    /// and α values are drawn from `StdRng::seed_from_u64(self.seed)`.
+    /// Equal genomes therefore always yield equal instances.
+    pub fn materialize(&self, m: f64) -> Result<Instance, SimError> {
+        if let ReleasePattern::Poisson { load } = self.release {
+            // Reuse the workloads generator so Poisson genomes match the
+            // experiment pipeline's instances exactly.
+            return PoissonWorkload {
+                n: self.n,
+                rate: PoissonWorkload::rate_for_load(load, m, &self.sizes),
+                sizes: self.sizes,
+                alphas: self.alphas.clone(),
+                seed: self.seed,
+            }
+            .generate();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.n;
+        let jobs: Vec<JobSpec> = (0..n)
+            .map(|i| {
+                let release = match self.release {
+                    ReleasePattern::Batch => 0.0,
+                    ReleasePattern::Poisson { .. } => unreachable!("handled above"),
+                    ReleasePattern::Bursts { waves, gap } => {
+                        (i % waves.max(1)) as f64 * gap.max(0.0)
+                    }
+                    ReleasePattern::Trickle { spacing } => i as f64 * spacing.max(0.0),
+                    ReleasePattern::Ramp { horizon } => {
+                        let u = i as f64 / n as f64;
+                        horizon.max(0.0) * u * u
+                    }
+                    ReleasePattern::Phases { split, spacing } => {
+                        let head = (split.clamp(0.0, 1.0) * n as f64) as usize;
+                        if i < head {
+                            0.0
+                        } else {
+                            (i - head + 1) as f64 * spacing.max(0.0)
+                        }
+                    }
+                };
+                let size = self.sizes.sample(&mut rng).max(1e-9);
+                let alpha = self.alphas.sample(&mut rng).clamp(0.0, 1.0);
+                JobSpec::new(JobId(i as u64), release, size, Curve::power(alpha))
+            })
+            .collect();
+        // The engine requires releases in nondecreasing order of arrival;
+        // Bursts interleaves waves, so sort (stably, by release then id).
+        let mut jobs = jobs;
+        jobs.sort_by(|a, b| {
+            a.release
+                .partial_cmp(&b.release)
+                .expect("finite releases")
+                .then(a.id.0.cmp(&b.id.0))
+        });
+        Instance::new(jobs)
+    }
+
+    /// One-line provenance string recorded in corpus entries.
+    ///
+    /// This is the debug rendering of the genome — stable enough for
+    /// provenance (it is never parsed back; corpus replay uses the
+    /// explicit job list).
+    pub fn provenance(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+fn random_sizes(rng: &mut StdRng) -> SizeDist {
+    match rng.gen_range(0u32..=3) {
+        0 => SizeDist::Fixed(rng.gen_range(1.0..=32.0)),
+        1 => SizeDist::LogUniform {
+            p: rng.gen_range(2.0..=64.0),
+        },
+        2 => SizeDist::Pareto {
+            p: rng.gen_range(2.0..=64.0),
+            shape: rng.gen_range(0.8..=2.5),
+        },
+        _ => SizeDist::Bimodal {
+            small: 1.0,
+            large: rng.gen_range(8.0..=64.0),
+            prob_large: rng.gen_range(0.05..=0.5),
+        },
+    }
+}
+
+fn random_alphas(rng: &mut StdRng) -> AlphaDist {
+    match rng.gen_range(0u32..=2) {
+        // Weighted towards Fixed: the heSRPT denominator (tight OPT) only
+        // applies to common-α batches, so the search finds *provably*
+        // hard instances fastest there.
+        0 | 1 => AlphaDist::Fixed(ALPHA_POOL[rng.gen_range(0..ALPHA_POOL.len())]),
+        _ => {
+            let a = ALPHA_POOL[rng.gen_range(0..ALPHA_POOL.len())];
+            let b = ALPHA_POOL[rng.gen_range(0..ALPHA_POOL.len())];
+            AlphaDist::Choice(vec![(a, 1.0), (b, rng.gen_range(0.2..=2.0))])
+        }
+    }
+}
+
+fn random_release(rng: &mut StdRng) -> ReleasePattern {
+    match rng.gen_range(0u32..=5) {
+        0 => ReleasePattern::Batch,
+        1 => ReleasePattern::Poisson {
+            load: rng.gen_range(0.3..=1.5),
+        },
+        2 => ReleasePattern::Bursts {
+            waves: rng.gen_range(2..=6),
+            gap: rng.gen_range(0.5..=16.0),
+        },
+        3 => ReleasePattern::Trickle {
+            spacing: rng.gen_range(0.05..=8.0),
+        },
+        4 => ReleasePattern::Ramp {
+            horizon: rng.gen_range(1.0..=64.0),
+        },
+        _ => ReleasePattern::Phases {
+            split: rng.gen_range(0.2..=0.8),
+            spacing: rng.gen_range(0.05..=8.0),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let g = InstanceGenome::random(&mut rng, GenomeBounds::default());
+            let a = g.materialize(4.0).expect("valid instance");
+            let b = g.materialize(4.0).expect("valid instance");
+            assert_eq!(a, b, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn releases_are_sorted_and_finite() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let g = InstanceGenome::random(&mut rng, GenomeBounds::default());
+            let inst = g.materialize(4.0).expect("valid instance");
+            let jobs = inst.jobs();
+            for w in jobs.windows(2) {
+                assert!(w[0].release <= w[1].release, "{g:?}");
+            }
+            for j in jobs {
+                assert!(j.release.is_finite() && j.release >= 0.0);
+                assert!(j.size.is_finite() && j.size > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_stays_within_bounds() {
+        let bounds = GenomeBounds { max_n: 32 };
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut g = InstanceGenome::random(&mut rng, bounds);
+        for _ in 0..500 {
+            g = g.mutate(&mut rng, bounds);
+            assert!(g.n >= 2 && g.n <= bounds.max_n, "{g:?}");
+            assert!(g.materialize(4.0).is_ok(), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn batch_genomes_are_batch_released() {
+        let g = InstanceGenome {
+            n: 8,
+            seed: 5,
+            sizes: SizeDist::LogUniform { p: 16.0 },
+            alphas: AlphaDist::Fixed(0.5),
+            release: ReleasePattern::Batch,
+        };
+        let inst = g.materialize(4.0).unwrap();
+        assert!(inst.jobs().iter().all(|j| j.release == 0.0));
+    }
+
+    #[test]
+    fn provenance_mentions_every_axis() {
+        let g = InstanceGenome {
+            n: 8,
+            seed: 5,
+            sizes: SizeDist::Fixed(2.0),
+            alphas: AlphaDist::Fixed(0.5),
+            release: ReleasePattern::Trickle { spacing: 0.25 },
+        };
+        let p = g.provenance();
+        for needle in ["n: 8", "seed: 5", "Fixed", "Trickle"] {
+            assert!(p.contains(needle), "{p}");
+        }
+    }
+}

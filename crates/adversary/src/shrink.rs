@@ -1,0 +1,177 @@
+//! Domain-aware instance shrinking for engine-failure reproducers.
+//!
+//! When the fuzz pass finds a failing instance (a strict-audit violation
+//! or a cross-path divergence), a raw 64-job reproducer is nearly
+//! useless for debugging. This module minimizes it the way proptest
+//! shrinks — repeatedly trying smaller/simpler variants and keeping any
+//! that still fail — but with *scheduling-domain* moves instead of
+//! generic byte twiddling:
+//!
+//! 1. **Chunk removal** (ddmin-style): drop contiguous job runs, halving
+//!    the chunk size while progress stalls. Fewer jobs = smaller event
+//!    horizon.
+//! 2. **Batch-ification**: pull each job's release to `0`, removing the
+//!    arrival structure when it is not what triggers the failure.
+//! 3. **Size halving**: shrink each job's size towards `1`, shortening
+//!    the schedule (and any accumulated float drift) while preserving
+//!    the job-count structure.
+//!
+//! The predicate is re-checked after every accepted move, so the result
+//! always still fails; all moves strictly reduce a well-founded measure
+//! (job count, Σ releases, Σ sizes), so termination needs no fuel
+//! counter beyond the per-pass fixpoint loops.
+
+use parsched_sim::JobSpec;
+
+/// Minimizes `jobs` while `fails` keeps returning `true`.
+///
+/// `fails` receives candidate job lists (always subsequences with
+/// possibly simplified fields, in the original order) and must return
+/// whether the failure still reproduces. The input is assumed to fail;
+/// if it does not, it is returned unchanged.
+pub fn shrink_jobs(jobs: Vec<JobSpec>, fails: &dyn Fn(&[JobSpec]) -> bool) -> Vec<JobSpec> {
+    if !fails(&jobs) {
+        return jobs;
+    }
+    let mut cur = jobs;
+
+    // Pass 1: ddmin-style chunk removal, chunk size n/2, n/4, …, 1.
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < cur.len() && cur.len() > 1 {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if !candidate.is_empty() && fails(&candidate) {
+                cur = candidate;
+                removed_any = true;
+                // Same `start` now addresses the next chunk.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    // Pass 2: batch-ify — zero each release (latest first, so earlier
+    // zeroings never reorder the remaining arrivals).
+    for i in (0..cur.len()).rev() {
+        if cur[i].release > 0.0 {
+            let mut candidate = cur.clone();
+            candidate[i].release = 0.0;
+            // Keep arrivals sorted for the engine.
+            candidate.sort_by(|a, b| {
+                a.release
+                    .partial_cmp(&b.release)
+                    .expect("finite releases")
+                    .then(a.id.0.cmp(&b.id.0))
+            });
+            if fails(&candidate) {
+                cur = candidate;
+            }
+        }
+    }
+
+    // Pass 3: halve sizes towards 1 until no halving reproduces.
+    loop {
+        let mut changed = false;
+        for i in 0..cur.len() {
+            if cur[i].size > 1.0 {
+                let mut candidate = cur.clone();
+                candidate[i].size = (candidate[i].size / 2.0).max(1.0);
+                if fails(&candidate) {
+                    cur = candidate;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_sim::JobId;
+    use parsched_speedup::Curve;
+
+    fn job(id: u64, release: f64, size: f64) -> JobSpec {
+        JobSpec::new(JobId(id), release, size, Curve::power(0.5))
+    }
+
+    fn staircase(n: u64) -> Vec<JobSpec> {
+        (0..n).map(|i| job(i, i as f64, 8.0)).collect()
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit_job() {
+        // Failure: "job 13 is present".
+        let fails = |jobs: &[JobSpec]| -> bool { jobs.iter().any(|j| j.id == JobId(13)) };
+        let out = shrink_jobs(staircase(40), &fails);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, JobId(13));
+        // Batch-ified and size-shrunk too.
+        assert_eq!(out[0].release, 0.0);
+        assert_eq!(out[0].size, 1.0);
+    }
+
+    #[test]
+    fn shrinks_a_pair_dependency() {
+        // Failure needs jobs 3 AND 17 together.
+        let fails = |jobs: &[JobSpec]| -> bool {
+            jobs.iter().any(|j| j.id == JobId(3)) && jobs.iter().any(|j| j.id == JobId(17))
+        };
+        let out = shrink_jobs(staircase(32), &fails);
+        assert_eq!(out.len(), 2);
+        assert!(fails(&out));
+    }
+
+    #[test]
+    fn preserves_releases_and_sizes_the_failure_depends_on() {
+        // Failure: some job released strictly after t = 4 with size > 4.
+        let fails =
+            |jobs: &[JobSpec]| -> bool { jobs.iter().any(|j| j.release > 4.0 && j.size > 4.0) };
+        let out = shrink_jobs(staircase(20), &fails);
+        assert_eq!(out.len(), 1);
+        assert!(fails(&out));
+        // Size halving stops at the last failing value, > 4.
+        assert!(out[0].size > 4.0 && out[0].size <= 8.0);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let jobs = staircase(5);
+        let out = shrink_jobs(jobs.clone(), &|_| false);
+        assert_eq!(out.len(), jobs.len());
+    }
+
+    #[test]
+    fn always_failing_predicate_reaches_one_minimal_job() {
+        let out = shrink_jobs(staircase(33), &|jobs| !jobs.is_empty());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].release, 0.0);
+        assert_eq!(out[0].size, 1.0);
+    }
+
+    #[test]
+    fn result_stays_sorted_by_release() {
+        let fails = |jobs: &[JobSpec]| jobs.len() >= 3;
+        let out = shrink_jobs(staircase(24), &fails);
+        assert_eq!(out.len(), 3);
+        for w in out.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+    }
+}

@@ -43,3 +43,66 @@ fn pooled_experiments_match_serial_byte_for_byte() {
     }
     set_sweep_jobs(0);
 }
+
+/// Everything an adversary search emits, flattened to one comparable
+/// string: elite corpus documents (the bytes `--emit-corpus` writes) plus
+/// the bit-exact best-ratio trajectory.
+fn render_search(out: &parsched_adversary::SearchOutcome, cfg_label: &str) -> String {
+    use parsched_adversary::{CorpusEntry, KIND_HARD};
+    let mut s = String::new();
+    for (rank, e) in out.elites.iter().enumerate() {
+        let instance = e.genome.materialize(4.0).expect("elite rematerializes");
+        let entry = CorpusEntry {
+            kind: KIND_HARD.to_string(),
+            policy: cfg_label.to_string(),
+            m: 4.0,
+            search_seed: 0,
+            budget: 0,
+            ratio: e.ratio,
+            flow: e.flow,
+            lb: e.lb,
+            lb_kind: e.lb_kind.name().to_string(),
+            engine_commit: "test".to_string(),
+            genome: e.genome.provenance(),
+            jobs: instance.jobs().to_vec(),
+        };
+        s.push_str(&entry.file_name(rank));
+        s.push('\n');
+        s.push_str(&entry.to_json());
+    }
+    for r in &out.trajectory {
+        s.push_str(&format!("{:016x}\n", r.to_bits()));
+    }
+    s.push_str(&format!(
+        "evals={} failures={}\n",
+        out.evals,
+        out.failures.len()
+    ));
+    s
+}
+
+/// Satellite of the adversary-search PR: the search rides on the same
+/// pool, so the same guarantee must hold one level up — identical
+/// `--seed`/`--budget` produce byte-identical corpus output and best-ratio
+/// trajectory whatever `--jobs` is.
+#[test]
+fn adversary_search_is_jobs_invariant_byte_for_byte() {
+    use parsched::PolicyKind;
+    use parsched_adversary::{run_search, SearchConfig};
+    for (token, policy) in [
+        ("isrpt", PolicyKind::IntermediateSrpt),
+        ("equi", PolicyKind::Equi),
+    ] {
+        let mut cfg = SearchConfig::new(policy, 7, 64);
+        cfg.jobs = 1;
+        let serial = render_search(&run_search(&cfg), token);
+        for jobs in [2, 4] {
+            cfg.jobs = jobs;
+            let pooled = render_search(&run_search(&cfg), token);
+            assert_eq!(
+                pooled, serial,
+                "{token}: search with {jobs} workers diverged from serial"
+            );
+        }
+    }
+}

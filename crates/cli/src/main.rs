@@ -34,6 +34,10 @@ USAGE:
   parsched audit <trace.json> [OPTIONS] replay a recorded trace through the
                                         invariant-audit suite
   parsched bench-snapshot [OPTIONS]     engine throughput snapshot → JSON
+  parsched adversary [OPTIONS]          seeded evolutionary search for hard
+                                        instances (maximizes flow / OPT-LB)
+                                        doubling as a strict dual-path
+                                        engine fuzzer; see docs/TESTING.md
   parsched lint [OPTIONS] [paths...]    static analysis: determinism, float
                                         hygiene, and registry contracts
                                         (rules L001–L006, see docs/LINTS.md)
@@ -66,6 +70,19 @@ BENCH-SNAPSHOT OPTIONS:
   --out <file>    where to write the JSON (default BENCH_engine.json)
   --quick         drop the n = 100_000 rows and the n = 10⁷ streaming
                   measurement (CI smoke; the streaming fields become null)
+
+ADVERSARY OPTIONS:
+  --policy <p|all>     target policy token, or 'all' for the standard set
+                       (default all)
+  --budget <evals>     candidate evaluations per policy (default 200)
+  --m <int>            processors (default 4)
+  --jobs <N>           sweep-pool workers (0 = auto). Wall clock only:
+                       results are byte-identical for every N
+  --emit-corpus <dir>  write the elites (and any shrunk engine-failure
+                       reproducers) as parsched-adv/v1 JSON into <dir>
+  --corpus-top <K>     elites per policy to emit (default 2)
+  --seed <N>           master search seed (default 0x5eed5eed)
+  exit 0 = clean, 1 = engine failure discovered (reproducer emitted)
 
 LINT OPTIONS:
   --root <dir>        workspace root to analyze (default .)
@@ -140,6 +157,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 }
 
 impl Flags {
+    fn get_str(&self, key: &str) -> Option<&str> {
+        self.named
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
     fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.named
             .iter()
@@ -1221,6 +1245,121 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
 /// `parsched lint [--root dir] [--format human|json] [paths...]`.
 ///
 /// Returns `Ok(true)` when the tree is clean, `Ok(false)` on violations or
+/// `parsched adversary` — the seeded evolutionary hard-instance search
+/// (see `crates/adversary`). One search per target policy; everything on
+/// stdout (trajectories, failures, the t5-style summary table, corpus
+/// entries) is a deterministic function of `(--policy, --budget, --seed,
+/// --m)` — `--jobs` only changes wall clock. Returns `Ok(false)` when
+/// the strict dual-path fuzz pass discovered an engine failure (exit 1)
+/// so CI fails loudly on a fresh reproducer.
+fn cmd_adversary(flags: &Flags) -> Result<bool, String> {
+    use parsched::PolicyKind;
+    use parsched_adversary::{
+        run_search, summary_table, CorpusEntry, SearchConfig, KIND_HARD, KIND_REPRODUCER,
+    };
+
+    let budget = flags.get_f64("budget", 200.0) as usize;
+    let m = flags.get_f64("m", 4.0);
+    let jobs = flags.get_f64("jobs", 0.0) as usize;
+    let policy_arg = flags.get_str("policy").unwrap_or("all");
+    let targets: Vec<(String, PolicyKind)> = if policy_arg == "all" {
+        [
+            "isrpt", "psrpt", "ssrpt", "greedy", "equi", "laps:0.5", "setf",
+        ]
+        .iter()
+        .map(|t| (t.to_string(), t.parse().expect("standard token parses")))
+        .collect()
+    } else {
+        vec![(policy_arg.to_string(), policy_arg.parse::<PolicyKind>()?)]
+    };
+
+    // Provenance only — replay re-measures, so an unset var is harmless.
+    let engine_commit =
+        std::env::var("PARSCHED_ENGINE_COMMIT").unwrap_or_else(|_| "unrecorded".to_string());
+    let emit_dir = flags.get_str("emit-corpus").map(str::to_string);
+    if let Some(dir) = &emit_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--emit-corpus {dir}: {e}"))?;
+    }
+
+    let mut results = Vec::new();
+    let mut clean = true;
+    for (token, kind) in &targets {
+        let mut cfg = SearchConfig::new(*kind, flags.seed, budget);
+        cfg.m = m;
+        cfg.jobs = jobs;
+        let start = std::time::Instant::now();
+        let out = run_search(&cfg);
+        eprintln!(
+            "{token}: {} evals in {:.2}s",
+            out.evals,
+            start.elapsed().as_secs_f64()
+        );
+        let traj: Vec<String> = out.trajectory.iter().map(|r| format!("{r:.4}")).collect();
+        println!("{token}: best-ratio trajectory {}", traj.join(" -> "));
+        for f in &out.failures {
+            clean = false;
+            println!(
+                "{token}: ENGINE FAILURE: {} — shrunk to {} job(s) [{}]",
+                f.error,
+                f.jobs.len(),
+                f.provenance
+            );
+        }
+        if let Some(dir) = &emit_dir {
+            let corpus_top = flags.get_f64("corpus-top", 2.0) as usize;
+            let mut written = 0usize;
+            for (rank, e) in out.elites.iter().take(corpus_top).enumerate() {
+                let instance = e
+                    .genome
+                    .materialize(m)
+                    .map_err(|err| format!("elite rematerialization: {err}"))?;
+                let entry = CorpusEntry {
+                    kind: KIND_HARD.to_string(),
+                    policy: token.clone(),
+                    m,
+                    search_seed: flags.seed,
+                    budget,
+                    ratio: e.ratio,
+                    flow: e.flow,
+                    lb: e.lb,
+                    lb_kind: e.lb_kind.name().to_string(),
+                    engine_commit: engine_commit.clone(),
+                    genome: e.genome.provenance(),
+                    jobs: instance.jobs().to_vec(),
+                };
+                let name = entry.file_name(rank);
+                std::fs::write(format!("{dir}/{name}"), entry.to_json())
+                    .map_err(|err| format!("writing {dir}/{name}: {err}"))?;
+                written += 1;
+            }
+            for (rank, f) in out.failures.iter().enumerate() {
+                let entry = CorpusEntry {
+                    kind: KIND_REPRODUCER.to_string(),
+                    policy: token.clone(),
+                    m,
+                    search_seed: flags.seed,
+                    budget,
+                    ratio: 0.0,
+                    flow: 0.0,
+                    lb: 0.0,
+                    lb_kind: "none".to_string(),
+                    engine_commit: engine_commit.clone(),
+                    genome: f.provenance.clone(),
+                    jobs: f.jobs.clone(),
+                };
+                let name = format!("repro-{}", entry.file_name(rank));
+                std::fs::write(format!("{dir}/{name}"), entry.to_json())
+                    .map_err(|err| format!("writing {dir}/{name}: {err}"))?;
+                written += 1;
+            }
+            println!("{token}: wrote {written} corpus entr(y/ies)");
+        }
+        results.push((token.clone(), out));
+    }
+    println!("{}", summary_table(&results).render());
+    Ok(clean)
+}
+
 /// waiver problems (exit 1), `Err` on usage/IO errors (exit 2). Paths are
 /// workspace-relative prefixes that restrict which files are analyzed.
 fn cmd_lint(args: &[String]) -> Result<bool, String> {
@@ -1379,6 +1518,14 @@ fn main() -> ExitCode {
         },
         "compare" => match parse_flags(rest).and_then(|flags| cmd_compare(&flags)) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "adversary" => match parse_flags(rest).and_then(|flags| cmd_adversary(&flags)) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::from(1),
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::from(2)

@@ -231,6 +231,109 @@ fn run_stream_covers_trap_and_phase_families() {
     }
 }
 
+/// Exit-code contract of `parsched audit`: 0 = replay clean, 1 = audit
+/// violation, 2 = unreadable/unparseable input. The library-level split
+/// between the two error shapes is pinned in `tests/trace_roundtrip.rs`;
+/// this checks the mapping end to end on real files.
+#[test]
+fn audit_exit_codes_distinguish_parse_errors_from_violations() {
+    let golden = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/golden_trace.json");
+    let text = std::fs::read_to_string(&golden).expect("committed golden trace");
+    let tmp = std::env::temp_dir();
+
+    // Clean replay → 0.
+    let out = bin()
+        .args(["audit", golden.to_str().expect("utf8 path")])
+        .output()
+        .expect("audit golden");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("audit PASS"));
+
+    // Parse errors → 2: missing file, empty file, truncated file.
+    let empty = tmp.join("parsched_cli_audit_empty.json");
+    std::fs::write(&empty, "").expect("write tmp");
+    let truncated = tmp.join("parsched_cli_audit_truncated.json");
+    std::fs::write(&truncated, &text[..text.len() / 2]).expect("write tmp");
+    for path in [
+        "/nonexistent/trace.json",
+        empty.to_str().unwrap(),
+        truncated.to_str().unwrap(),
+    ] {
+        let out = bin().args(["audit", path]).output().expect("audit");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{path}: parse/IO failure must exit 2, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // A parseable trace whose recorded summary contradicts its event log
+    // → violation → 1.
+    let tampered = tmp.join("parsched_cli_audit_tampered.json");
+    let needle = "\"num_jobs\": 5";
+    assert!(text.contains(needle), "golden fixture shape changed");
+    std::fs::write(&tampered, text.replace(needle, "\"num_jobs\": 6")).expect("write tmp");
+    let out = bin()
+        .args(["audit", tampered.to_str().unwrap()])
+        .output()
+        .expect("audit tampered");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "violation must exit 1, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("audit FAIL"));
+
+    for f in [empty, truncated, tampered] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+/// The adversary search's CLI contract: identical stdout whatever
+/// `--jobs` is (timings go to stderr), a t5-style summary table, and
+/// exit 0 on a clean search.
+#[test]
+fn adversary_smoke_is_jobs_invariant_on_stdout() {
+    let run = |jobs: &str| {
+        let out = bin()
+            .args([
+                "adversary",
+                "--policy",
+                "isrpt",
+                "--budget",
+                "24",
+                "--seed",
+                "7",
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .expect("adversary");
+        assert!(
+            out.status.success(),
+            "--jobs {jobs} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf8")
+    };
+    let serial = run("1");
+    assert!(serial.contains("best-ratio trajectory"), "{serial}");
+    assert!(serial.contains("worst ratio"), "{serial}");
+    assert_eq!(serial, run("4"), "stdout must not depend on --jobs");
+}
+
+#[test]
+fn adversary_rejects_unknown_policy() {
+    let out = bin()
+        .args(["adversary", "--policy", "bogus", "--budget", "4"])
+        .output()
+        .expect("adversary");
+    assert_eq!(out.status.code(), Some(2));
+}
+
 #[test]
 fn run_stream_rejects_unknown_kind() {
     let out = bin()

@@ -16,6 +16,10 @@ const SCOPE: &[&str] = &[
     "crates/simcore/src/",
     "crates/core/src/",
     "crates/workloads/src/",
+    // The adversary search promises byte-identical output across
+    // `--jobs N`; a wall clock or entropy seed anywhere in it breaks
+    // the corpus replay contract the same way it breaks trace replay.
+    "crates/adversary/src/",
 ];
 
 /// (identifier, what is wrong with it).

@@ -1,6 +1,21 @@
 //! Provable lower bounds on the optimal total flow time.
+//!
+//! Three bounds with disjoint strengths, plus a selection API
+//! ([`best_lower_bound`]) that reports *which* bound won so downstream
+//! consumers (the adversary search's ratio denominators, corpus entries)
+//! can record their provenance:
+//!
+//! * [`processing_lb`] — tight when underloaded / poorly parallelizable;
+//! * [`srpt_fluid_lb`] — tight under heavy queueing of parallel work;
+//! * [`hesrpt_batch_lb`] — the heSRPT closed form (Berg–Vesilo–
+//!   Harchol-Balter, arXiv 1903.09346): the *exact* optimum of the pure
+//!   power-law relaxation, applicable to batch-release instances whose
+//!   jobs all share one `Γ(x) = x^α` curve. Where its optimal allocations
+//!   stay ≥ 1 processor it equals OPT of this repository's model exactly
+//!   (see the tightness property suite in `crates/opt/tests`).
 
 use parsched_sim::Instance;
+use parsched_speedup::Curve;
 
 use crate::srpt_single::SrptSingleMachine;
 
@@ -29,9 +44,128 @@ pub fn srpt_fluid_lb(instance: &Instance, m: f64) -> f64 {
     SrptSingleMachine::new(m).total_flow(instance)
 }
 
+/// Which lower bound produced a value — recorded alongside every ratio
+/// the adversary search reports, so a corpus entry names the denominator
+/// it was measured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LbKind {
+    /// [`processing_lb`].
+    Processing,
+    /// [`srpt_fluid_lb`].
+    SrptFluid,
+    /// [`hesrpt_batch_lb`].
+    HesrptBatch,
+}
+
+impl LbKind {
+    /// Stable identifier used in corpus files and experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LbKind::Processing => "processing",
+            LbKind::SrptFluid => "srpt-fluid",
+            LbKind::HesrptBatch => "hesrpt-batch",
+        }
+    }
+}
+
+impl std::str::FromStr for LbKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "processing" => Ok(LbKind::Processing),
+            "srpt-fluid" => Ok(LbKind::SrptFluid),
+            "hesrpt-batch" => Ok(LbKind::HesrptBatch),
+            other => Err(format!("unknown lower-bound kind '{other}'")),
+        }
+    }
+}
+
+/// The shared power-law exponent of a batch-release instance, if the
+/// heSRPT closed form applies: every job released at the same instant,
+/// every curve `Curve::Power { alpha }` with one common `α ∈ [0, 1)`.
+fn hesrpt_alpha(instance: &Instance) -> Option<f64> {
+    let jobs = instance.jobs();
+    let first = jobs.first()?;
+    let alpha = match first.curve {
+        Curve::Power { alpha } if alpha < 1.0 => alpha,
+        _ => return None,
+    };
+    let release = first.release;
+    for j in jobs {
+        if j.release.to_bits() != release.to_bits() {
+            return None;
+        }
+        match j.curve {
+            Curve::Power { alpha: a } if a.to_bits() == alpha.to_bits() => {}
+            _ => return None,
+        }
+    }
+    Some(alpha)
+}
+
+/// The heSRPT closed form: exact optimal total flow time for batch-release
+/// jobs under the *pure* power law `Γ(x) = x^α` (no efficiency knee at
+/// `x = 1`), which dominates this repository's kneed curves pointwise —
+/// so the value is a rigorous lower bound on OPT here, and is OPT exactly
+/// whenever the optimal allocations never dip below one processor.
+///
+/// With sizes sorted ascending `p_1 ≤ … ≤ p_n`, `β = 1/(1−α)` and rank
+/// weights `w_r = r^β − (r−1)^β` (rank 1 = largest alive job), the
+/// optimum completes jobs smallest-first with job `j` allocated the share
+/// `m·w_{n−j+1}/(n−i+1)^β` while `{i..n}` are alive, giving
+///
+/// ```text
+/// OPT = m^{−α} Σ_j (n−j+1)^β (q_j − q_{j−1}),   q_j = p_j / w_{n−j+1}^α
+/// ```
+///
+/// (`q` is nondecreasing, so every term is nonnegative). Returns `None`
+/// when the closed form does not apply — staggered releases, mixed α,
+/// non-power curves, or `α = 1` (where `β` diverges; the fluid bound is
+/// exact there anyway).
+pub fn hesrpt_batch_lb(instance: &Instance, m: f64) -> Option<f64> {
+    let alpha = hesrpt_alpha(instance)?;
+    let mut sizes: Vec<f64> = instance.jobs().iter().map(|j| j.size).collect();
+    sizes.sort_by(|a, b| a.partial_cmp(b).expect("finite job sizes"));
+    let n = sizes.len();
+    let beta = 1.0 / (1.0 - alpha);
+    // ranks[r] = r^β for r = 0..=n, so w_r = ranks[r] − ranks[r−1].
+    let ranks: Vec<f64> = (0..=n).map(|r| (r as f64).powf(beta)).collect();
+    let mut total = parsched_sim::NeumaierSum::new();
+    let mut q_prev = 0.0;
+    for (j, &p) in sizes.iter().enumerate() {
+        // Job j (0-based ascending) has rank n − j from the largest.
+        let r = n - j;
+        let w = ranks[r] - ranks[r - 1];
+        let q = p / w.powf(alpha);
+        total.add(ranks[r] * (q - q_prev));
+        q_prev = q;
+    }
+    Some(total.value() / m.powf(alpha))
+}
+
 /// The best (largest) of the implemented lower bounds.
+///
+/// Equivalent to `best_lower_bound(..).0`; kept as the simple entry point
+/// for callers that do not care which bound won.
 pub fn lower_bound(instance: &Instance, m: f64) -> f64 {
-    processing_lb(instance, m).max(srpt_fluid_lb(instance, m))
+    best_lower_bound(instance, m).0
+}
+
+/// The largest applicable lower bound together with its provenance — the
+/// selection API behind every adversary-search ratio denominator.
+pub fn best_lower_bound(instance: &Instance, m: f64) -> (f64, LbKind) {
+    let mut best = (processing_lb(instance, m), LbKind::Processing);
+    let fluid = srpt_fluid_lb(instance, m);
+    if fluid > best.0 {
+        best = (fluid, LbKind::SrptFluid);
+    }
+    if let Some(hesrpt) = hesrpt_batch_lb(instance, m) {
+        if hesrpt > best.0 {
+            best = (hesrpt, LbKind::HesrptBatch);
+        }
+    }
+    best
 }
 
 #[cfg(test)]

@@ -33,6 +33,9 @@ pub mod bounds;
 pub mod feasible;
 mod srpt_single;
 
+pub use bounds::{
+    best_lower_bound, hesrpt_batch_lb, lower_bound, processing_lb, srpt_fluid_lb, LbKind,
+};
 pub use feasible::{best_feasible, FeasibleResult};
 pub use srpt_single::SrptSingleMachine;
 

@@ -1,0 +1,202 @@
+//! Property suite for the lower-bound stack (`crates/opt/src/bounds.rs`).
+//!
+//! Soundness: a lower bound that ever exceeds the flow of *any* feasible
+//! schedule is not a lower bound, so every bound is checked against every
+//! standard policy on randomized batch instances. Tightness: where the
+//! heSRPT closed form applies and its optimal allocations stay ≥ 1
+//! processor, the closed-form value is *achieved* by a feasible schedule
+//! in this repository's kneed model — realized here as an explicit
+//! `AllocationPlan` and replayed through the simulator.
+
+use parsched::PolicyKind;
+use parsched_opt::{
+    best_lower_bound, hesrpt_batch_lb, lower_bound, processing_lb, srpt_fluid_lb, LbKind,
+};
+use parsched_sim::{simulate, AllocationPlan, Instance, JobId, PlanSegment, PlannedPolicy};
+use parsched_speedup::Curve;
+use proptest::prelude::*;
+
+/// Slack for LB-vs-flow comparisons: the engine's event arithmetic and the
+/// closed forms accumulate error independently.
+const RTOL: f64 = 1e-6;
+
+/// Batch-release pure-power instance from proptest-drawn sizes.
+fn batch_instance(sizes: &[f64], alpha: f64) -> Instance {
+    let specs: Vec<(f64, f64)> = sizes.iter().map(|&p| (0.0, p)).collect();
+    Instance::from_sizes(&specs, Curve::power(alpha)).expect("positive sizes")
+}
+
+/// Builds the heSRPT-optimal allocation plan for ascending `sizes` under
+/// `Γ(x) = x^α` with `m` processors, phase by phase: while jobs `i..n`
+/// (0-based, ascending) are alive, job `j` holds the constant share
+/// `m · w_{n−j} / (n−i)^β` with rank weights `w_r = r^β − (r−1)^β`
+/// (`β = 1/(1−α)`), and jobs complete smallest-first.
+///
+/// Returns the plan and the completion times it induces.
+fn hesrpt_plan(sizes: &[f64], alpha: f64, m: f64) -> (AllocationPlan, Vec<f64>) {
+    let n = sizes.len();
+    let beta = 1.0 / (1.0 - alpha);
+    let w = |r: usize| (r as f64).powf(beta) - ((r - 1) as f64).powf(beta);
+    let mut remaining = sizes.to_vec();
+    let mut segments = Vec::new();
+    let mut completions = Vec::new();
+    let mut now = 0.0;
+    for i in 0..n {
+        let alive = n - i;
+        let denom = (alive as f64).powf(beta);
+        // shares[j − i] is job j's allocation during this phase.
+        let shares: Vec<f64> = (i..n).map(|j| m * w(n - j) / denom).collect();
+        // Smallest alive job (index i) finishes first under heSRPT.
+        let dt = remaining[i] / shares[0].powf(alpha);
+        for (k, j) in (i..n).enumerate() {
+            remaining[j] -= dt * shares[k].powf(alpha);
+        }
+        segments.push(PlanSegment {
+            start: now,
+            end: now + dt,
+            shares: (i..n).map(|j| (JobId(j as u64), shares[j - i])).collect(),
+        });
+        now += dt;
+        completions.push(now);
+    }
+    let plan = AllocationPlan::new(segments, m).expect("well-formed heSRPT plan");
+    (plan, completions)
+}
+
+#[test]
+fn hesrpt_closed_form_matches_hand_computed_two_job_value() {
+    // n = 2 equal sizes p, α = 1/2, m = 1: β = 2, w = [1, 3], so
+    // OPT = p·(1 + √3) — a value you can check on paper.
+    let p = 5.0;
+    let inst = batch_instance(&[p, p], 0.5);
+    let lb = hesrpt_batch_lb(&inst, 1.0).expect("closed form applies");
+    let expected = p * (1.0 + 3.0f64.sqrt());
+    assert!(
+        (lb - expected).abs() <= expected * RTOL,
+        "heSRPT value {lb} != hand-computed {expected}"
+    );
+}
+
+#[test]
+fn hesrpt_bound_is_achieved_by_its_own_schedule_when_allocations_stay_whole() {
+    // α = 1/2 ⇒ β = 2, weights w = [1, 3, 5]. With m = 9 and three alive
+    // jobs the smallest share in any phase is 9·1/9 = 1 processor, so the
+    // pure power law and the kneed model agree along the whole schedule
+    // and the closed form is exactly OPT — witnessed by simulating the
+    // plan it describes.
+    let sizes = [2.0, 5.0, 11.0];
+    let (alpha, m) = (0.5, 9.0);
+    let inst = batch_instance(&sizes, alpha);
+    let lb = hesrpt_batch_lb(&inst, m).expect("closed form applies");
+
+    let (plan, completions) = hesrpt_plan(&sizes, alpha, m);
+    let outcome = simulate(&inst, &mut PlannedPolicy::named(plan, "hesrpt"), m)
+        .expect("heSRPT plan simulates cleanly");
+    let flow = outcome.metrics.total_flow;
+    let closed: f64 = completions.iter().sum();
+    assert!(
+        (flow - lb).abs() <= lb * RTOL,
+        "simulated heSRPT flow {flow} is not tight against the closed form {lb}"
+    );
+    assert!(
+        (closed - lb).abs() <= lb * RTOL,
+        "phase-by-phase completion sum {closed} disagrees with closed form {lb}"
+    );
+}
+
+#[test]
+fn hesrpt_gates_reject_everything_outside_the_closed_form() {
+    // Staggered releases.
+    let staggered = Instance::from_sizes(&[(0.0, 2.0), (1.0, 3.0)], Curve::power(0.5)).unwrap();
+    assert_eq!(hesrpt_batch_lb(&staggered, 4.0), None);
+    // Mixed α across jobs.
+    let mixed = Instance::new(vec![
+        parsched_sim::JobSpec::new(JobId(0), 0.0, 2.0, Curve::power(0.5)),
+        parsched_sim::JobSpec::new(JobId(1), 0.0, 3.0, Curve::power(0.25)),
+    ])
+    .unwrap();
+    assert_eq!(hesrpt_batch_lb(&mixed, 4.0), None);
+    // Non-power curves.
+    let seq = Instance::from_sizes(&[(0.0, 2.0)], Curve::Sequential).unwrap();
+    assert_eq!(hesrpt_batch_lb(&seq, 4.0), None);
+    let par = Instance::from_sizes(&[(0.0, 2.0)], Curve::FullyParallel).unwrap();
+    assert_eq!(hesrpt_batch_lb(&par, 4.0), None);
+    // α = 1 (β diverges; the fluid bound is exact there anyway).
+    let linear = Instance::from_sizes(&[(0.0, 2.0)], Curve::power(1.0)).unwrap();
+    assert_eq!(hesrpt_batch_lb(&linear, 4.0), None);
+}
+
+#[test]
+fn lb_kind_names_round_trip() {
+    for kind in [LbKind::Processing, LbKind::SrptFluid, LbKind::HesrptBatch] {
+        assert_eq!(kind.name().parse::<LbKind>().unwrap(), kind);
+    }
+    assert!("not-a-bound".parse::<LbKind>().is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness: on batch pure-power instances, *every* implemented bound
+    /// (not just the selected max) stays at or below the measured flow of
+    /// every standard policy — each policy is a feasible schedule, so any
+    /// violation is a broken bound or a broken simulator.
+    #[test]
+    fn every_bound_is_below_every_standard_policy(
+        sizes in proptest::collection::vec(0.5f64..20.0, 1..9),
+        alpha in prop_oneof![Just(0.25f64), Just(0.5), Just(0.75)],
+        m in prop_oneof![Just(1.0f64), Just(2.0), Just(4.0), Just(9.0)],
+    ) {
+        let inst = batch_instance(&sizes, alpha);
+        let mut bounds = vec![
+            ("processing", processing_lb(&inst, m)),
+            ("srpt-fluid", srpt_fluid_lb(&inst, m)),
+        ];
+        if let Some(h) = hesrpt_batch_lb(&inst, m) {
+            bounds.push(("hesrpt-batch", h));
+        }
+        for kind in PolicyKind::all_standard() {
+            let flow = simulate(&inst, kind.build().as_mut(), m)
+                .expect("batch instance simulates")
+                .metrics
+                .total_flow;
+            for &(name, lb) in &bounds {
+                prop_assert!(
+                    lb <= flow * (1.0 + RTOL),
+                    "{name} bound {lb} exceeds {}'s feasible flow {flow}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    /// Dominance and selection: heSRPT (when applicable) is at least the
+    /// processing bound — every job's completion needs at least
+    /// `p_j / m^α` even alone on the machine — and `best_lower_bound`
+    /// returns the max of the applicable bounds with matching provenance.
+    #[test]
+    fn best_lower_bound_selects_the_max_with_correct_provenance(
+        sizes in proptest::collection::vec(0.5f64..20.0, 1..9),
+        alpha in prop_oneof![Just(0.25f64), Just(0.5), Just(0.75)],
+        m in prop_oneof![Just(1.0f64), Just(2.0), Just(4.0), Just(9.0)],
+    ) {
+        let inst = batch_instance(&sizes, alpha);
+        let proc = processing_lb(&inst, m);
+        let fluid = srpt_fluid_lb(&inst, m);
+        let hesrpt = hesrpt_batch_lb(&inst, m).expect("batch pure-power applies");
+        prop_assert!(
+            hesrpt >= proc * (1.0 - RTOL),
+            "heSRPT {hesrpt} below the processing bound {proc}"
+        );
+        let (best, kind) = best_lower_bound(&inst, m);
+        let max = proc.max(fluid).max(hesrpt);
+        prop_assert!((best - max).abs() <= max * RTOL);
+        let named = match kind {
+            LbKind::Processing => proc,
+            LbKind::SrptFluid => fluid,
+            LbKind::HesrptBatch => hesrpt,
+        };
+        prop_assert!((best - named).abs() <= max * RTOL, "provenance {kind:?} mismatch");
+        prop_assert_eq!(lower_bound(&inst, m), best);
+    }
+}

@@ -6,14 +6,15 @@
 //! codec. This module is deliberately tiny: a recursive-descent parser
 //! into a [`Json`] value tree (objects, arrays, numbers kept as raw
 //! lexemes for lossless `f64`/`u64` reads, strings with standard escapes,
-//! booleans, null) and a string-escape helper for the writer side.
-
-#![allow(dead_code)]
+//! booleans, null) and a string-escape helper for the writer side. It is
+//! public because downstream crates (the adversary corpus codec in
+//! `parsched-adversary`) reuse the same dialect for their own committed
+//! JSON artifacts.
 
 /// A parsed JSON value. Numbers keep their raw lexeme so integer ids
 /// larger than 2^53 survive a round-trip.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -30,7 +31,7 @@ pub(crate) enum Json {
 
 impl Json {
     /// Parses a complete JSON document (trailing whitespace allowed).
-    pub(crate) fn parse(text: &str) -> Result<Json, String> {
+    pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
@@ -45,7 +46,7 @@ impl Json {
     }
 
     /// Object field lookup.
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -53,37 +54,42 @@ impl Json {
     }
 
     /// Required object field, with a path-ish error.
-    pub(crate) fn req(&self, key: &str) -> Result<&Json, String> {
+    pub fn req(&self, key: &str) -> Result<&Json, String> {
         self.get(key)
             .ok_or_else(|| format!("missing field '{key}'"))
     }
 
-    pub(crate) fn as_f64(&self) -> Result<f64, String> {
+    /// The number as `f64` (error on non-numbers or bad lexemes).
+    pub fn as_f64(&self) -> Result<f64, String> {
         match self {
             Json::Num(raw) => raw.parse().map_err(|e| format!("bad number '{raw}': {e}")),
             other => Err(format!("expected number, got {other:?}")),
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Result<u64, String> {
+    /// The number as `u64` (error on non-numbers or bad lexemes).
+    pub fn as_u64(&self) -> Result<u64, String> {
         match self {
             Json::Num(raw) => raw.parse().map_err(|e| format!("bad integer '{raw}': {e}")),
             other => Err(format!("expected integer, got {other:?}")),
         }
     }
 
-    pub(crate) fn as_usize(&self) -> Result<usize, String> {
+    /// The number as `usize` (error on non-numbers or bad lexemes).
+    pub fn as_usize(&self) -> Result<usize, String> {
         self.as_u64().map(|v| v as usize)
     }
 
-    pub(crate) fn as_str(&self) -> Result<&str, String> {
+    /// The string contents (error on non-strings).
+    pub fn as_str(&self) -> Result<&str, String> {
         match self {
             Json::Str(s) => Ok(s),
             other => Err(format!("expected string, got {other:?}")),
         }
     }
 
-    pub(crate) fn as_arr(&self) -> Result<&[Json], String> {
+    /// The array items (error on non-arrays).
+    pub fn as_arr(&self) -> Result<&[Json], String> {
         match self {
             Json::Arr(items) => Ok(items),
             other => Err(format!("expected array, got {other:?}")),
@@ -96,7 +102,7 @@ impl Json {
     /// their stored raw lexeme verbatim and strings round-trip through
     /// [`escape`], so `parse → render → parse` is a fixed point on any
     /// valid document (the fuzz suite below locks this in).
-    pub(crate) fn render(&self) -> String {
+    pub fn render(&self) -> String {
         let mut out = String::new();
         self.render_into(&mut out);
         out
@@ -352,7 +358,8 @@ impl Parser<'_> {
 }
 
 /// Escapes a string for embedding in a JSON document (writer side).
-pub(crate) fn escape(s: &str) -> String {
+/// Escapes a string for embedding between JSON double quotes.
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

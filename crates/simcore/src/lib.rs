@@ -52,7 +52,7 @@ mod engine;
 mod error;
 pub mod invariant;
 mod job;
-mod jsonlite;
+pub mod jsonlite;
 mod kahan;
 mod metrics;
 mod observer;

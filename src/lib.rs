@@ -10,11 +10,14 @@
 //! * [`workloads`] — random workloads and the paper's adversarial families.
 //! * [`opt`] — rigorous OPT brackets.
 //! * [`analysis`] — potential function, lemma checkers, experiments.
+//! * [`adversary`] — evolutionary hard-instance mining and the committed
+//!   regression corpus.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use parsched as policies;
+pub use parsched_adversary as adversary;
 pub use parsched_analysis as analysis;
 pub use parsched_opt as opt;
 pub use parsched_sim as sim;

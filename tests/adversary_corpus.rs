@@ -1,0 +1,179 @@
+//! Correctness layer 5: adversarial corpus replay (see docs/TESTING.md).
+//!
+//! Every `parsched-adv/v1` document under `tests/corpus/adversary/` is a
+//! hard instance mined by `parsched adversary` — an empirical
+//! competitive-ratio witness against a named policy. This suite replays
+//! each one on every CI run and pins three things:
+//!
+//! 1. **Ratios never regress**: the re-measured flow divided by the
+//!    *recorded* lower bound must stay at or above the recorded ratio
+//!    (minus float tolerance). An engine or policy change that quietly
+//!    makes a policy look better on its hardest known inputs is either a
+//!    genuine improvement (re-mine and re-commit the corpus, with the
+//!    new ratio in the entry) or a simulation bug — both deserve a red
+//!    test, not silence.
+//! 2. **Lower bounds only improve**: the recomputed best LB must not
+//!    drop below the recorded one (a weaker LB would inflate every
+//!    ratio the repo reports).
+//! 3. **Strict audits stay green on the nastiest known instances**, on
+//!    both engine paths, with bit-identical cross-path aggregates.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use parsched::PolicyKind;
+use parsched_adversary::{strict_dual_path_check, CorpusEntry, KIND_HARD, KIND_REPRODUCER};
+use parsched_opt::best_lower_bound;
+use parsched_sim::simulate;
+
+/// Relative slack on ratio reproduction: the engine promises incremental
+/// vs legacy agreement to 1e-6 relative, so replay inherits the same.
+const RTOL: f64 = 1e-6;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/adversary")
+}
+
+/// Every committed entry, sorted by file name for deterministic order.
+fn load_corpus() -> Vec<(String, CorpusEntry)> {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus/adversary exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).expect("readable corpus file");
+            let entry = CorpusEntry::from_json(&text)
+                .unwrap_or_else(|e| panic!("{name}: bad corpus entry: {e}"));
+            (name, entry)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_is_populated_and_covers_every_standard_policy() {
+    let corpus = load_corpus();
+    let hard: Vec<_> = corpus.iter().filter(|(_, e)| e.kind == KIND_HARD).collect();
+    assert!(
+        hard.len() >= 10,
+        "corpus must hold ≥ 10 hard instances, found {}",
+        hard.len()
+    );
+    let policies: BTreeSet<&str> = hard.iter().map(|(_, e)| e.policy.as_str()).collect();
+    for token in [
+        "isrpt", "psrpt", "ssrpt", "greedy", "equi", "laps:0.5", "setf",
+    ] {
+        assert!(policies.contains(token), "no corpus entry for {token}");
+        let best = hard
+            .iter()
+            .filter(|(_, e)| e.policy == token)
+            .map(|(_, e)| e.ratio)
+            .fold(0.0f64, f64::max);
+        assert!(
+            best > 1.0,
+            "{token}: corpus must witness a ratio strictly above the trivial \
+             1.0 baseline, best recorded is {best}"
+        );
+    }
+}
+
+#[test]
+fn corpus_entries_round_trip_through_the_codec() {
+    for (name, entry) in load_corpus() {
+        let rendered = entry.to_json();
+        let original = std::fs::read_to_string(corpus_dir().join(&name)).unwrap();
+        assert_eq!(
+            rendered, original,
+            "{name}: committed bytes must re-render identically"
+        );
+    }
+}
+
+#[test]
+fn recorded_ratios_reproduce_and_never_regress() {
+    for (name, entry) in load_corpus() {
+        if entry.kind != KIND_HARD {
+            continue;
+        }
+        let instance = entry.instance().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let kind: PolicyKind = entry
+            .policy
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let flow = simulate(&instance, kind.build().as_mut(), entry.m)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .metrics
+            .total_flow;
+        let measured = flow / entry.lb;
+        assert!(
+            measured >= entry.ratio * (1.0 - RTOL),
+            "{name}: measured ratio {measured} regressed below recorded {} \
+             (flow {flow} vs recorded {})",
+            entry.ratio,
+            entry.flow
+        );
+        // The recorded flow itself must reproduce within tolerance (in
+        // either direction — a *jump* would mean nondeterminism).
+        assert!(
+            (flow - entry.flow).abs() <= entry.flow.abs() * RTOL,
+            "{name}: flow {flow} drifted from recorded {}",
+            entry.flow
+        );
+    }
+}
+
+#[test]
+fn recorded_lower_bounds_are_still_valid_and_not_weakened() {
+    for (name, entry) in load_corpus() {
+        if entry.kind != KIND_HARD {
+            continue;
+        }
+        let instance = entry.instance().unwrap();
+        let (lb, _) = best_lower_bound(&instance, entry.m);
+        assert!(
+            lb >= entry.lb * (1.0 - RTOL),
+            "{name}: best LB {lb} dropped below recorded {} — a weakened \
+             bound would inflate every reported ratio",
+            entry.lb
+        );
+        assert!(
+            entry.lb <= entry.flow * (1.0 + RTOL),
+            "{name}: recorded LB {} exceeds recorded flow {} — not a valid \
+             lower bound",
+            entry.lb,
+            entry.flow
+        );
+    }
+}
+
+#[test]
+fn strict_audits_pass_on_both_engine_paths() {
+    for (name, entry) in load_corpus() {
+        if entry.kind != KIND_HARD {
+            continue;
+        }
+        let instance = entry.instance().unwrap();
+        let kind: PolicyKind = entry.policy.parse().unwrap();
+        strict_dual_path_check(&instance, kind, entry.m).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn no_unresolved_engine_reproducers_are_committed() {
+    // A `reproducer` entry is a known-failing engine input the search
+    // shrank; committing one is a statement that the engine is broken.
+    // The corpus must stay free of them — fixing the bug should remove
+    // the reproducer in the same PR.
+    for (name, entry) in load_corpus() {
+        assert!(
+            entry.kind != KIND_REPRODUCER,
+            "{name}: unresolved engine-failure reproducer in the corpus \
+             ({}); fix the engine and drop the file",
+            entry.genome
+        );
+    }
+}

@@ -295,6 +295,33 @@ fn regression_single_slot_recycled_many_times() {
     }
 }
 
+/// The PR 6 mixed-α fixture through the full oracle: four α classes per
+/// instance, so the kernel-class registry path (Γ evaluation grouped by
+/// curve class, PR 6) is exercised in all four modes rather than the
+/// single-class fast path the other fixtures mostly hit.
+#[test]
+fn mixed_alpha_fixture_agrees_in_all_four_modes() {
+    let inst = parsched_bench::mixed_alpha_fixture(160, 0.9, 4.0);
+    // The fixture draws from four distinct α values; the class registry
+    // must actually be multi-class or this test regressed into the fast
+    // path.
+    let classes: std::collections::BTreeSet<u64> = inst
+        .jobs()
+        .iter()
+        .map(|j| match j.curve {
+            Curve::Power { alpha } => alpha.to_bits(),
+            ref other => panic!("fixture emits power curves only, got {other:?}"),
+        })
+        .collect();
+    assert!(
+        classes.len() >= 4,
+        "expected ≥ 4 α classes, got {classes:?}"
+    );
+    for kind in registry() {
+        assert_four_way(&inst, kind, 4.0, AuditLevel::Strict);
+    }
+}
+
 /// The convenience entry points agree with each other: `simulate` (the
 /// in-memory helper) and `simulate_streaming` over a `StaticSource` of the
 /// same instance produce identical metrics.

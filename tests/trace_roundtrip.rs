@@ -7,7 +7,7 @@ use std::path::PathBuf;
 
 use parsched_repro::policies::PolicyKind;
 use parsched_repro::sim::trace::{trace_from_json, trace_to_json};
-use parsched_repro::sim::{record_run, replay, AuditLevel, Instance, JobId, JobSpec};
+use parsched_repro::sim::{record_run, replay, AuditLevel, Instance, JobId, JobSpec, SimError};
 use parsched_repro::speedup::Curve;
 
 /// The fixed instance behind `tests/fixtures/golden_trace.json`: one job
@@ -132,4 +132,68 @@ fn golden_fixture_is_stable_and_audit_clean() {
     );
     let replayed = replay(&trace_from_json(&committed).unwrap(), AuditLevel::Strict).unwrap();
     assert_metrics_close(&replayed.metrics, &outcome.metrics, "golden");
+}
+
+/// `parsched audit` maps parse errors to exit 2 and audit violations to
+/// exit 1, so the two `SimError` shapes must never blur: malformed input
+/// (empty files, truncated downloads) is a *parse* error, not an
+/// `AuditFailed` — the CLI-level counterpart lives in
+/// `crates/cli/tests/cli.rs`.
+#[test]
+fn empty_and_truncated_traces_are_parse_errors_not_violations() {
+    let committed = std::fs::read_to_string(golden_path()).unwrap();
+    let half = {
+        let mut cut = committed.len() / 2;
+        while !committed.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        &committed[..cut]
+    };
+    for (what, text) in [
+        ("empty", ""),
+        ("whitespace", "  \n\t\n"),
+        ("bare brace", "{"),
+        ("truncated golden", half),
+        ("wrong top-level type", "[1, 2, 3]"),
+    ] {
+        let err = trace_from_json(text).expect_err(what);
+        assert!(
+            !matches!(err, SimError::AuditFailed { .. }),
+            "{what}: parse failure misreported as an audit violation: {err}"
+        );
+    }
+    // A recognizable document with the wrong schema tag is also a parse
+    // error, and names the offending schema.
+    let wrong = committed.replace("parsched-trace/v1", "parsched-trace/v0");
+    let err = trace_from_json(&wrong).expect_err("wrong schema");
+    assert!(
+        err.to_string().contains("unsupported schema"),
+        "unexpected error for wrong schema: {err}"
+    );
+}
+
+/// The flip side: a trace that *parses* but whose recorded summary
+/// disagrees with its own event log is an audit violation (`AuditFailed`
+/// → CLI exit 1), not a parse error.
+#[test]
+fn tampered_recorded_metrics_replay_as_a_violation() {
+    let (trace, _) = record_run(
+        &golden_instance(),
+        PolicyKind::IntermediateSrpt.build().as_mut(),
+        2.0,
+    )
+    .unwrap();
+    let mut tampered = trace;
+    let rec = tampered
+        .recorded
+        .as_mut()
+        .expect("record_run keeps metrics");
+    rec.total_flow *= 2.0;
+    let err = replay(&tampered, AuditLevel::Strict).expect_err("tampered summary");
+    match err {
+        SimError::AuditFailed { violation } => {
+            assert_eq!(violation.invariant, "recorded-metrics", "{violation}");
+        }
+        other => panic!("tampered trace must fail as a violation, got: {other}"),
+    }
 }
