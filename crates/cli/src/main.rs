@@ -38,6 +38,11 @@ USAGE:
                                         instances (maximizes flow / OPT-LB)
                                         doubling as a strict dual-path
                                         engine fuzzer; see docs/TESTING.md
+  parsched fleet [OPTIONS]              multi-tenant serving demo: N
+                                        scheduling scenarios advance in
+                                        slices on the shard pool via
+                                        snapshot suspend/resume; output is
+                                        byte-identical for every --jobs N
   parsched lint [OPTIONS] [paths...]    static analysis: determinism, float
                                         hygiene, and registry contracts
                                         (rules L001–L006, see docs/LINTS.md)
@@ -83,6 +88,22 @@ ADVERSARY OPTIONS:
   --corpus-top <K>     elites per policy to emit (default 2)
   --seed <N>           master search seed (default 0x5eed5eed)
   exit 0 = clean, 1 = engine failure discovered (reproducer emitted)
+
+FLEET OPTIONS:
+  --tenants <N>       scenarios to submit (default 12; seeded mix of
+                      policies, machine counts, and engine modes)
+  --cap <K>           max tenants holding engine state at once (default 8)
+  --queue <Q>         FIFO overflow-queue depth; submissions beyond
+                      cap + queue are shed with a reason (default: enough
+                      for everyone)
+  --slice <E>         engine events per tenant per round (default 16)
+  --migrate           force every suspension through the parsched-snap/v1
+                      text codec, as a cross-host migration would
+  --jobs <N>          shard-pool workers (0 = auto). Wall clock only:
+                      output is byte-identical for every N
+  --seed <N>          tenant-generation seed (default 42)
+  --json              machine-readable single-line report
+  exit 0 = all tenants done, 1 = any shed or failed, 2 = usage error
 
 LINT OPTIONS:
   --root <dir>        workspace root to analyze (default .)
@@ -136,6 +157,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--bracket" => flags.named.push(("bracket".to_string(), String::new())),
             "--stream" => flags.named.push(("stream".to_string(), String::new())),
+            "--migrate" => flags.named.push(("migrate".to_string(), String::new())),
+            "--json" => flags.named.push(("json".to_string(), String::new())),
             other if other.starts_with("--") => {
                 let key = other.trim_start_matches("--").to_string();
                 // Both `--audit strict` and `--audit=strict` are accepted.
@@ -1360,6 +1383,207 @@ fn cmd_adversary(flags: &Flags) -> Result<bool, String> {
     Ok(clean)
 }
 
+/// `parsched fleet` — the multi-tenant serving demo. Generates a seeded
+/// mix of scheduling scenarios (policy × machine count × engine mode),
+/// submits them under the admission caps, and drives them round-by-round
+/// on the shard pool via snapshot suspend/resume. The report (text or
+/// `--json`) is **byte-identical for every `--jobs N`** and with
+/// `--migrate` on or off — that invariance is pinned by `tests/cli.rs`
+/// and CI's fleet job. `Ok(false)` (exit 1) when any tenant was shed or
+/// failed; parameter errors are `Err` (exit 2).
+fn cmd_fleet(flags: &Flags) -> Result<bool, String> {
+    use parsched_analysis::Pool;
+    use parsched_fleet::{FleetConfig, FleetSession, TenantStatus};
+
+    let get_usize = |key: &str, default: usize| -> Result<usize, String> {
+        match flags.get_str(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{key}: {e}")),
+        }
+    };
+    let tenants_n = get_usize("tenants", 12)?;
+    let cap = get_usize("cap", 8)?;
+    let queue = get_usize("queue", tenants_n)?;
+    let slice = get_usize("slice", 16)? as u64;
+    let jobs = get_usize("jobs", 0)?;
+    let migrate = flags.get_str("migrate").is_some();
+    let json = flags.get_str("json").is_some();
+    let seed = if flags.get_str("seed").is_some() {
+        flags.seed
+    } else {
+        42
+    };
+
+    let cfg = FleetConfig {
+        max_in_flight: cap,
+        max_pending: queue,
+        slice_events: slice,
+        migrate,
+    };
+    let mut session =
+        FleetSession::new(cfg, fleet_tenants(tenants_n, seed)).map_err(|e| e.to_string())?;
+    let out = session.run(&Pool::new(jobs));
+
+    if json {
+        println!("{}", fleet_report_json(&out, cap, queue, slice, migrate));
+    } else {
+        println!(
+            "fleet: {} tenants, cap {cap} in-flight + {queue} queued, \
+             slice {slice} events, migrate {}",
+            out.reports.len(),
+            if migrate { "on" } else { "off" }
+        );
+        for r in &out.reports {
+            let mode = if r.streaming {
+                "streaming"
+            } else {
+                "in-memory"
+            };
+            match &r.status {
+                TenantStatus::Done { metrics, rounds } => println!(
+                    "  {}  {:<22} {:<9} jobs {:>3}  done in {rounds} rounds: \
+                     events {} flow {:?} makespan {:?}",
+                    r.name,
+                    r.policy,
+                    mode,
+                    r.jobs,
+                    metrics.events,
+                    metrics.total_flow,
+                    metrics.makespan
+                ),
+                TenantStatus::Shed { reason } => {
+                    println!(
+                        "  {}  {:<22} {:<9} jobs {:>3}  SHED: {reason}",
+                        r.name, r.policy, mode, r.jobs
+                    )
+                }
+                TenantStatus::Failed { error } => {
+                    println!(
+                        "  {}  {:<22} {:<9} jobs {:>3}  FAILED: {error}",
+                        r.name, r.policy, mode, r.jobs
+                    )
+                }
+            }
+        }
+        println!(
+            "fleet done: {} done, {} shed, {} failed in {} rounds",
+            out.done, out.shed, out.failed, out.rounds
+        );
+    }
+    Ok(out.shed == 0 && out.failed == 0)
+}
+
+/// Deterministic tenant mix for `parsched fleet`: policies cycle through
+/// the whole registry, machine counts alternate 4/8, every third tenant
+/// runs the streaming path, and each instance is a small seeded
+/// mixed-α workload.
+fn fleet_tenants(n: usize, seed: u64) -> Vec<parsched_fleet::TenantSpec> {
+    use parsched::PolicyKind;
+    use parsched_fleet::TenantSpec;
+    use parsched_sim::{Instance, JobId, JobSpec};
+    use parsched_speedup::Curve;
+
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let policies = PolicyKind::all_registered();
+    let alphas = [0.25, 0.5, 0.75, 1.0];
+    (0..n)
+        .map(|i| {
+            let n_jobs = 3 + (next() % 8) as usize;
+            let mut release = 0.0;
+            let jobs = (0..n_jobs)
+                .map(|j| {
+                    let u = next();
+                    release += (u % 5) as f64 * 0.5;
+                    let size = 1.0 + (u % 7) as f64;
+                    let alpha = alphas[(u as usize >> 8) % alphas.len()];
+                    JobSpec::new(JobId(j as u64), release, size, Curve::power(alpha))
+                })
+                .collect();
+            let instance = Instance::new(jobs).expect("seeded fleet instance is valid");
+            TenantSpec::new(
+                format!("tenant-{i:04}"),
+                instance,
+                policies[i % policies.len()],
+                if i % 2 == 0 { 4.0 } else { 8.0 },
+            )
+            .with_streaming(i % 3 == 0)
+        })
+        .collect()
+}
+
+/// Single-line machine-readable fleet report. Field order is fixed and
+/// floats render via Rust's shortest-round-trip formatting, so the
+/// document is byte-stable run-to-run.
+fn fleet_report_json(
+    out: &parsched_fleet::FleetOutcome,
+    cap: usize,
+    queue: usize,
+    slice: u64,
+    migrate: bool,
+) -> String {
+    use parsched_fleet::TenantStatus;
+    use parsched_sim::jsonlite::Json;
+    let obj = |fields: Vec<(&str, Json)>| {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+    let num = |x: f64| Json::Num(format!("{x:?}"));
+    let reports = out
+        .reports
+        .iter()
+        .map(|r| {
+            let mut fields = vec![
+                ("name", Json::Str(r.name.clone())),
+                ("policy", Json::Str(r.policy.clone())),
+                ("streaming", Json::Bool(r.streaming)),
+                ("jobs", Json::Num(r.jobs.to_string())),
+            ];
+            match &r.status {
+                TenantStatus::Done { metrics, rounds } => {
+                    fields.push(("status", Json::Str("done".to_string())));
+                    fields.push(("rounds", Json::Num(rounds.to_string())));
+                    fields.push(("events", Json::Num(metrics.events.to_string())));
+                    fields.push(("total_flow", num(metrics.total_flow)));
+                    fields.push(("makespan", num(metrics.makespan)));
+                }
+                TenantStatus::Shed { reason } => {
+                    fields.push(("status", Json::Str("shed".to_string())));
+                    fields.push(("reason", Json::Str(reason.to_string())));
+                }
+                TenantStatus::Failed { error } => {
+                    fields.push(("status", Json::Str("failed".to_string())));
+                    fields.push(("error", Json::Str(error.clone())));
+                }
+            }
+            obj(fields)
+        })
+        .collect();
+    obj(vec![
+        ("format", Json::Str("parsched-fleet/v1".to_string())),
+        ("cap", Json::Num(cap.to_string())),
+        ("queue", Json::Num(queue.to_string())),
+        ("slice", Json::Num(slice.to_string())),
+        ("migrate", Json::Bool(migrate)),
+        ("rounds", Json::Num(out.rounds.to_string())),
+        ("done", Json::Num(out.done.to_string())),
+        ("shed", Json::Num(out.shed.to_string())),
+        ("failed", Json::Num(out.failed.to_string())),
+        ("reports", Json::Arr(reports)),
+    ])
+    .render()
+}
+
 /// waiver problems (exit 1), `Err` on usage/IO errors (exit 2). Paths are
 /// workspace-relative prefixes that restrict which files are analyzed.
 fn cmd_lint(args: &[String]) -> Result<bool, String> {
@@ -1518,6 +1742,14 @@ fn main() -> ExitCode {
         },
         "compare" => match parse_flags(rest).and_then(|flags| cmd_compare(&flags)) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "fleet" => match parse_flags(rest).and_then(|flags| cmd_fleet(&flags)) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::from(1),
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::from(2)

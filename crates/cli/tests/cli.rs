@@ -343,3 +343,113 @@ fn run_stream_rejects_unknown_kind() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --kind"));
 }
+
+/// `parsched fleet` output — text and JSON — must be byte-identical for
+/// every `--jobs N`, including with every suspension forced through the
+/// migration codec. This is the CLI face of the fleet determinism
+/// contract (crates/fleet/tests/fleet_determinism.rs).
+#[test]
+fn fleet_is_jobs_invariant_including_forced_migrations() {
+    let run = |extra: &[&str]| {
+        let mut args = vec!["fleet", "--tenants", "14", "--slice", "6", "--json"];
+        args.extend_from_slice(extra);
+        let out = bin().args(&args).output().expect("fleet");
+        assert!(
+            out.status.success(),
+            "{extra:?} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf8")
+    };
+    let serial = run(&["--jobs", "1"]);
+    assert!(
+        serial.contains("\"format\":\"parsched-fleet/v1\""),
+        "{serial}"
+    );
+    assert!(serial.contains("\"done\":14"), "{serial}");
+    assert_eq!(
+        serial,
+        run(&["--jobs", "4"]),
+        "stdout must not depend on --jobs"
+    );
+    let migrated = run(&["--jobs", "1", "--migrate"]);
+    assert_eq!(
+        migrated,
+        run(&["--jobs", "4", "--migrate"]),
+        "migrated stdout must not depend on --jobs"
+    );
+    // Migration may only change the echoed `migrate` config field, never
+    // a tenant result.
+    assert_eq!(
+        serial.replace("\"migrate\":false", "\"migrate\":true"),
+        migrated,
+        "forcing migrations changed tenant results"
+    );
+}
+
+/// Admission caps: submissions beyond `--cap + --queue` are shed with a
+/// recorded reason, shedding is reported in the JSON contract, and the
+/// exit code flips to 1. The shed set depends only on submission order,
+/// so it is identical for every worker count.
+#[test]
+fn fleet_backpressure_sheds_deterministically_and_exits_1() {
+    let run = |jobs: &str| {
+        let out = bin()
+            .args([
+                "fleet",
+                "--tenants",
+                "9",
+                "--cap",
+                "2",
+                "--queue",
+                "3",
+                "--jobs",
+                jobs,
+                "--json",
+            ])
+            .output()
+            .expect("fleet");
+        assert_eq!(out.status.code(), Some(1), "shed fleet must exit 1");
+        String::from_utf8(out.stdout).expect("utf8")
+    };
+    let serial = run("1");
+    assert!(serial.contains("\"done\":5"), "{serial}");
+    assert!(serial.contains("\"shed\":4"), "{serial}");
+    assert!(serial.contains("\"failed\":0"), "{serial}");
+    assert!(
+        serial.contains(
+            "\"status\":\"shed\",\"reason\":\"admission queue full (2 in-flight + 3 pending)\""
+        ),
+        "{serial}"
+    );
+    // Exactly tenants 5..8 (submission order) are shed.
+    for (name, want_shed) in (0..9).map(|i| (format!("tenant-{i:04}"), i >= 5)) {
+        let section = serial
+            .split(&format!("\"name\":\"{name}\""))
+            .nth(1)
+            .unwrap_or_else(|| panic!("missing {name} in {serial}"));
+        let status = &section[..section.find('}').unwrap_or(section.len())];
+        assert_eq!(
+            status.contains("\"status\":\"shed\""),
+            want_shed,
+            "{name}: {status}"
+        );
+    }
+    assert_eq!(serial, run("4"), "shed set must not depend on --jobs");
+}
+
+#[test]
+fn fleet_rejects_degenerate_parameters() {
+    let out = bin()
+        .args(["fleet", "--tenants", "3", "--slice", "0"])
+        .output()
+        .expect("fleet");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("slice_events"));
+    let out = bin()
+        .args(["fleet", "--tenants", "x"])
+        .output()
+        .expect("fleet");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --tenants"));
+}

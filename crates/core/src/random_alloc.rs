@@ -90,6 +90,23 @@ impl Policy for RandomAllocation {
         self.state = self.seed;
     }
 
+    fn snapshot_state(&self) -> Vec<u64> {
+        // The generator position is the policy's only run-mutable state;
+        // re-running `assign` on restore (instead of restoring the word)
+        // would advance the stream off-timeline and diverge the resume.
+        vec![self.state]
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> bool {
+        match state {
+            [s] => {
+                self.state = *s;
+                true
+            }
+            _ => false,
+        }
+    }
+
     fn stability(&self) -> AllocationStability {
         // Shares are re-rolled at every decision point; nothing prefix-
         // shaped for the incremental path to maintain.

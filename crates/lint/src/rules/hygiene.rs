@@ -18,6 +18,12 @@ use crate::Diagnostic;
 const EVENT_LOOP: &[&str] = &[
     "crates/simcore/src/engine.rs",
     "crates/simcore/src/streaming.rs",
+    // The snapshot codec and the fleet's serving loop sit on the same
+    // hot path: a corrupt migration document must surface as a
+    // `SimError` / failed tenant, never a panic that takes down every
+    // co-scheduled tenant on the shard.
+    "crates/simcore/src/snapshot.rs",
+    "crates/fleet/src/lib.rs",
 ];
 
 /// The L005 rule value.

@@ -20,6 +20,10 @@ const SCOPE: &[&str] = &[
     // `--jobs N`; a wall clock or entropy seed anywhere in it breaks
     // the corpus replay contract the same way it breaks trace replay.
     "crates/adversary/src/",
+    // The fleet promises byte-identical per-tenant results across shard
+    // counts and migrations; any ambient entropy in the serving layer
+    // would break that the same way.
+    "crates/fleet/src/",
 ];
 
 /// (identifier, what is wrong with it).

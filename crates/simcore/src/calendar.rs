@@ -303,6 +303,46 @@ impl CalendarQueue {
         self.last_insert = 0.0;
         self.gap = 0.0;
     }
+
+    /// All resident entries in pop order, plus the next sequence number.
+    fn snapshot_entries(&self) -> (Vec<(f64, u64, u64)>, u64) {
+        let mut all: Vec<Entry> = self.front.into_iter().collect();
+        for b in &self.buckets {
+            all.extend_from_slice(b);
+        }
+        all.extend_from_slice(&self.overflow);
+        all.sort_unstable();
+        (
+            all.into_iter()
+                .map(|e| (e.time, e.seq, e.payload))
+                .collect(),
+            self.seq,
+        )
+    }
+
+    /// Rebuilds the queue from [`CalendarQueue::snapshot_entries`] output.
+    ///
+    /// Entries keep their original sequence numbers — the generation-tagged
+    /// staleness protocol the engine layers on top compares payloads, and
+    /// the pop order both arms promise is a pure function of `(time, seq)`,
+    /// so bucket geometry (`base`/`width`/`gap`) need not round-trip: it is
+    /// re-primed by the first ring push and only affects constant factors.
+    fn restore_entries(&mut self, entries: &[(f64, u64, u64)], next_seq: u64) {
+        self.clear();
+        for &(time, seq, payload) in entries {
+            let entry = Entry { time, seq, payload };
+            self.last_insert = self.last_insert.max(time);
+            match self.front {
+                None => self.front = Some(entry),
+                Some(f) if cmp_entries(&entry, &f) == std::cmp::Ordering::Less => {
+                    self.front = Some(entry);
+                    self.ring_push(f);
+                }
+                Some(_) => self.ring_push(entry),
+            }
+        }
+        self.seq = next_seq;
+    }
 }
 
 /// The binary-heap control arm: identical contract, conventional
@@ -339,6 +379,28 @@ impl EventHeap {
     fn clear(&mut self) {
         self.heap.clear();
         self.seq = 0;
+    }
+
+    /// All resident entries in pop order, plus the next sequence number.
+    fn snapshot_entries(&self) -> (Vec<(f64, u64, u64)>, u64) {
+        let mut all: Vec<Entry> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        all.sort_unstable();
+        (
+            all.into_iter()
+                .map(|e| (e.time, e.seq, e.payload))
+                .collect(),
+            self.seq,
+        )
+    }
+
+    /// Rebuilds the heap from [`EventHeap::snapshot_entries`] output,
+    /// preserving original sequence numbers.
+    fn restore_entries(&mut self, entries: &[(f64, u64, u64)], next_seq: u64) {
+        self.clear();
+        for &(time, seq, payload) in entries {
+            self.heap.push(Reverse(Entry { time, seq, payload }));
+        }
+        self.seq = next_seq;
     }
 }
 
@@ -405,6 +467,26 @@ impl EventQueue {
         match self {
             EventQueue::Calendar(q) => q.clear(),
             EventQueue::Heap(q) => q.clear(),
+        }
+    }
+
+    /// All resident `(time, seq, payload)` entries in pop order plus the
+    /// next insertion sequence number — everything a snapshot needs to
+    /// reproduce the remaining pop sequence exactly, independent of arm.
+    pub fn snapshot_entries(&self) -> (Vec<(f64, u64, u64)>, u64) {
+        match self {
+            EventQueue::Calendar(q) => q.snapshot_entries(),
+            EventQueue::Heap(q) => q.snapshot_entries(),
+        }
+    }
+
+    /// Rebuilds the queue from [`EventQueue::snapshot_entries`] output,
+    /// preserving every entry's original sequence number (tie order) and
+    /// the counter future inserts will draw from.
+    pub fn restore_entries(&mut self, entries: &[(f64, u64, u64)], next_seq: u64) {
+        match self {
+            EventQueue::Calendar(q) => q.restore_entries(entries, next_seq),
+            EventQueue::Heap(q) => q.restore_entries(entries, next_seq),
         }
     }
 }

@@ -37,6 +37,7 @@ use crate::kahan::NeumaierSum;
 use crate::metrics::{CompletedJob, RunMetrics, RunOutcome};
 use crate::observer::{NullObserver, Observer};
 use crate::policy::{AliveJob, AllocationStability, Policy, PrefixAllocation};
+use crate::snapshot::{SnapCfg, SnapInterval, SnapJob, Snapshot};
 use crate::source::{ArrivalSource, StaticSource, SystemView};
 use crate::srpt_set::{Placement, SrptSet};
 use crate::streaming::{StreamingMetrics, StreamingOutcome};
@@ -863,6 +864,311 @@ impl<'a> Engine<'a> {
             }
             ExecMode::Incremental => self.srpt.total_remaining(),
         }
+    }
+
+    /// Captures the engine's complete run state at the current event
+    /// boundary as a [`Snapshot`]. Valid between [`Engine::step`] calls
+    /// (including before the first and after the last); resuming via
+    /// [`Engine::restore`] replays the remaining trajectory bit-for-bit —
+    /// same completion order, same low-order float bits in every metric.
+    ///
+    /// Requires auditing off: audit state is a debugging aid, not run
+    /// state, and is deliberately not captured.
+    pub fn snapshot(&self) -> Result<Snapshot, SimError> {
+        if self.auditor.is_some() {
+            return Err(SimError::BadInstance {
+                what: "snapshot requires AuditLevel::Off (audit state is not captured)".into(),
+            });
+        }
+        let jobs = (0..self.jobs.len())
+            .map(|i| SnapJob {
+                spec: self.jobs.specs[i].clone(),
+                remaining: self.jobs.remaining[i],
+                run_key: self.jobs.run_key[i],
+                class: self.jobs.class[i],
+                in_running: self.jobs.in_running[i],
+                done: self.jobs.done[i],
+            })
+            .collect();
+        let (equeue_entries, equeue_next_seq) = self.equeue.snapshot_entries();
+        Ok(Snapshot {
+            cfg: SnapCfg {
+                m: self.cfg.m,
+                speed: self.cfg.speed,
+                full_reassign: self.cfg.full_reassign,
+                streaming: self.cfg.streaming,
+                pow_kernel: self.cfg.pow_kernel,
+                heap_queue: self.cfg.event_queue == EventQueueKind::Heap,
+            },
+            policy_name: self.policy_name.clone(),
+            policy_state: self.policy.snapshot_state(),
+            incremental: self.mode == ExecMode::Incremental,
+            now: self.now,
+            events: self.events,
+            coalesced: self.coalesced,
+            arr_gen: self.arr_gen,
+            finished: self.finished,
+            alloc_fresh: self.alloc_fresh,
+            quantum_deadline: self.quantum_deadline,
+            next_completion: self.next_completion,
+            next_arrival: self.next_arrival,
+            profile_count: self.profile.count,
+            profile_share: self.profile.share,
+            interval: match self.interval {
+                IntervalKind::Idle => SnapInterval::Idle,
+                IntervalKind::Uniform { rate } => SnapInterval::Uniform { rate },
+                IntervalKind::Scan => SnapInterval::Scan,
+            },
+            frac_flow: self.frac_flow.parts(),
+            alive_integral: self.alive_integral.parts(),
+            admitted: self.admitted,
+            peak_alive: self.peak_alive,
+            sink: self.sink.snapshot_state(),
+            jobs,
+            class_alpha_bits: self
+                .jobs
+                .classes
+                .iter()
+                .map(|k| k.alpha().to_bits())
+                .collect(),
+            free: self.free.clone(),
+            alive: self.alive.clone(),
+            shares: self.shares.clone(),
+            rates: self.rates.clone(),
+            srpt: self.srpt.snapshot_state(),
+            completed: self.completed.clone(),
+            equeue_entries,
+            equeue_next_seq,
+        })
+    }
+
+    /// Rebuilds the engine's run state from a [`Snapshot`], so subsequent
+    /// [`Engine::step`] calls continue the captured run bit-identically.
+    ///
+    /// The engine must have been constructed over the *same scenario*: a
+    /// config whose semantic knobs (`m`, `speed`, paths, modes, queue arm)
+    /// match the snapshot's, a policy with the same name, auditing off,
+    /// and an arrival source that can [`ArrivalSource::fast_forward`] to
+    /// the snapshot's admission count and then agrees on the next arrival
+    /// time — anything else is a different trajectory, not a resume, and
+    /// is refused.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SimError> {
+        let bad = |what: String| SimError::BadInstance { what };
+        if self.auditor.is_some() {
+            return Err(bad(
+                "restore requires AuditLevel::Off (audit state is not captured)".into(),
+            ));
+        }
+        let have = SnapCfg {
+            m: self.cfg.m,
+            speed: self.cfg.speed,
+            full_reassign: self.cfg.full_reassign,
+            streaming: self.cfg.streaming,
+            pow_kernel: self.cfg.pow_kernel,
+            heap_queue: self.cfg.event_queue == EventQueueKind::Heap,
+        };
+        if have.m.to_bits() != snap.cfg.m.to_bits()
+            || have.speed.to_bits() != snap.cfg.speed.to_bits()
+            || have.full_reassign != snap.cfg.full_reassign
+            || have.streaming != snap.cfg.streaming
+            || have.pow_kernel != snap.cfg.pow_kernel
+            || have.heap_queue != snap.cfg.heap_queue
+        {
+            return Err(bad(format!(
+                "restore config mismatch: engine {have:?} vs snapshot {:?}",
+                snap.cfg
+            )));
+        }
+        if (self.mode == ExecMode::Incremental) != snap.incremental {
+            return Err(bad(format!(
+                "restore path mismatch: engine is {:?} but the snapshot was taken on the {} path \
+                 (policy stability and observer must match the original run)",
+                self.mode,
+                if snap.incremental {
+                    "incremental"
+                } else {
+                    "exhaustive"
+                },
+            )));
+        }
+        if self.policy_name != snap.policy_name {
+            return Err(bad(format!(
+                "restore policy mismatch: engine runs '{}', snapshot was taken under '{}'",
+                self.policy_name, snap.policy_name
+            )));
+        }
+        // Structural validation up front, so a corrupt document errors
+        // instead of corrupting lanes mid-rebuild.
+        let n = snap.jobs.len();
+        let valid_class = |c: u32| {
+            c == CLASS_CURVE || c == CLASS_UNGROUPED || (c as usize) < snap.class_alpha_bits.len()
+        };
+        if let Some(j) = snap.jobs.iter().find(|j| !valid_class(j.class)) {
+            return Err(bad(format!(
+                "snapshot job {} references unknown kernel class {}",
+                j.spec.id, j.class
+            )));
+        }
+        if snap.class_alpha_bits.len() > MAX_CLASSES {
+            return Err(bad(format!(
+                "snapshot carries {} kernel classes (registry capacity {MAX_CLASSES})",
+                snap.class_alpha_bits.len()
+            )));
+        }
+        if let Some(&bits) = snap
+            .class_alpha_bits
+            .iter()
+            .find(|&&b| !(0.0..=1.0).contains(&f64::from_bits(b)))
+        {
+            return Err(bad(format!(
+                "snapshot kernel class α = {} outside [0, 1]",
+                f64::from_bits(bits)
+            )));
+        }
+        // The share/rate lanes track `alive` only while the allocation is
+        // fresh; after an admission they lag until the next lazy
+        // `refresh_allocation` (which clears and resizes them), so a
+        // stale-allocation snapshot may legitimately carry shorter lanes.
+        if snap.shares.len() != snap.rates.len() {
+            return Err(bad("snapshot share/rate lanes disagree in length".into()));
+        }
+        if snap.alloc_fresh && !snap.incremental && snap.shares.len() != snap.alive.len() {
+            return Err(bad(
+                "fresh-allocation snapshot share lane disagrees with alive set".into(),
+            ));
+        }
+        if let Some(&idx) = snap
+            .alive
+            .iter()
+            .chain(snap.free.iter())
+            .chain(snap.srpt.running.iter().map(|e| &e.idx))
+            .chain(snap.srpt.queued.iter().map(|e| &e.idx))
+            .find(|&&idx| idx >= n)
+        {
+            return Err(bad(format!(
+                "snapshot references arena slot {idx} (arena holds {n})"
+            )));
+        }
+        if !self.source.fast_forward(snap.admitted) {
+            return Err(bad(format!(
+                "arrival source cannot fast-forward to {} admitted jobs; restore needs a \
+                 replayable source positioned at the suspend point",
+                snap.admitted
+            )));
+        }
+        self.policy.reset();
+        if !self.policy.restore_state(&snap.policy_state) {
+            return Err(bad(format!(
+                "policy '{}' rejected its captured state ({} words)",
+                self.policy_name,
+                snap.policy_state.len()
+            )));
+        }
+        self.clear_run_state();
+        // `clear_run_state` refreshed `next_arrival` from the
+        // fast-forwarded source; it must agree with the capture bit-for-bit
+        // or the source replays a different stream than the original run.
+        let arrivals_agree = match (self.next_arrival, snap.next_arrival) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        };
+        if !arrivals_agree {
+            return Err(bad(format!(
+                "arrival stream diverged at restore: source offers {:?}, snapshot expects {:?}",
+                self.next_arrival, snap.next_arrival
+            )));
+        }
+        // Arena lanes. The kernel lane is reconstructed from each curve
+        // plus the per-run kernel flavour; this is bit-identical to the
+        // admission-time kernels because construction is deterministic in α
+        // (see the `JobArena::classes` invariant). The registry itself is
+        // rebuilt from the captured α bit patterns in first-seen order —
+        // replaying admissions cannot recover it under streaming slot
+        // recycling, where retired slots may have carried classes no
+        // resident job mentions.
+        for j in &snap.jobs {
+            let kernel = if self.cfg.pow_kernel {
+                j.spec.curve.kernel()
+            } else {
+                j.spec.curve.alpha().map(PowKernel::powf_reference)
+            };
+            self.jobs
+                .kern
+                .push(kernel.unwrap_or_else(|| PowKernel::new(1.0)));
+            self.jobs.specs.push(j.spec.clone());
+            self.jobs.remaining.push(j.remaining);
+            self.jobs.run_key.push(j.run_key);
+            self.jobs.class.push(j.class);
+            self.jobs.in_running.push(j.in_running);
+            self.jobs.done.push(j.done);
+        }
+        for &bits in &snap.class_alpha_bits {
+            let alpha = f64::from_bits(bits);
+            let k = if self.cfg.pow_kernel {
+                PowKernel::new(alpha)
+            } else {
+                PowKernel::powf_reference(alpha)
+            };
+            self.jobs.classes.push(k);
+            self.jobs.class_rates.push(0.0);
+        }
+        // Id map: every resident slot except (in streaming mode) retired
+        // ones, whose ids were forgotten by the original run too. Dense
+        // vs. sparse placement may differ from the original insertion
+        // history — that is a lookup-performance detail, not observable
+        // state.
+        for (idx, j) in snap.jobs.iter().enumerate() {
+            if self.cfg.streaming && j.done {
+                continue;
+            }
+            if self.ids.get(j.spec.id).is_some() {
+                return Err(bad(format!("snapshot duplicates job id {}", j.spec.id)));
+            }
+            self.ids.insert(j.spec.id, idx);
+        }
+        self.free.extend_from_slice(&snap.free);
+        self.alive.extend_from_slice(&snap.alive);
+        self.shares.extend_from_slice(&snap.shares);
+        self.rates.extend_from_slice(&snap.rates);
+        self.srpt.restore_state(&snap.srpt);
+        self.equeue
+            .restore_entries(&snap.equeue_entries, snap.equeue_next_seq);
+        self.profile = PrefixAllocation {
+            count: snap.profile_count,
+            share: snap.profile_share,
+        };
+        self.interval = match snap.interval {
+            SnapInterval::Idle => IntervalKind::Idle,
+            SnapInterval::Uniform { rate } => IntervalKind::Uniform { rate },
+            SnapInterval::Scan => IntervalKind::Scan,
+        };
+        self.next_completion = snap.next_completion;
+        self.arr_gen = snap.arr_gen;
+        self.coalesced = snap.coalesced;
+        self.now = snap.now;
+        self.alloc_fresh = snap.alloc_fresh;
+        self.quantum_deadline = snap.quantum_deadline;
+        self.events = snap.events;
+        self.finished = snap.finished;
+        self.frac_flow = NeumaierSum::from_parts(snap.frac_flow.0, snap.frac_flow.1);
+        self.alive_integral = NeumaierSum::from_parts(snap.alive_integral.0, snap.alive_integral.1);
+        if !self.sink.restore_state(&snap.sink) {
+            return Err(bad(
+                "snapshot sketch bucket array has the wrong length".into()
+            ));
+        }
+        self.completed.extend(snap.completed.iter().cloned());
+        self.admitted = snap.admitted;
+        self.peak_alive = snap.peak_alive;
+        // The per-class rate cache is only contractually valid while the
+        // interval is Scan; refill it for exactly that case (same call
+        // site semantics as the profile refresh that classified it).
+        if matches!(self.interval, IntervalKind::Scan) {
+            self.jobs
+                .refresh_class_rates(self.cfg.speed, self.profile.share);
+        }
+        Ok(())
     }
 
     fn snap_tolerance(size: Work) -> f64 {

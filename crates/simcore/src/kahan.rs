@@ -53,6 +53,21 @@ impl NeumaierSum {
         self.sum + self.comp
     }
 
+    /// The raw `(sum, compensation)` pair, for snapshotting. Restoring via
+    /// [`NeumaierSum::from_parts`] resumes the exact accumulator state, so a
+    /// suspended run continues bit-identically — `value()` alone would lose
+    /// the low-order bits the compensation is carrying.
+    #[inline]
+    pub fn parts(&self) -> (f64, f64) {
+        (self.sum, self.comp)
+    }
+
+    /// Rebuilds an accumulator from a [`NeumaierSum::parts`] pair.
+    #[inline]
+    pub fn from_parts(sum: f64, comp: f64) -> Self {
+        Self { sum, comp }
+    }
+
     /// Compensated sum of an iterator of terms.
     pub fn total<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
         let mut s = Self::new();

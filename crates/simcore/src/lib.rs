@@ -59,6 +59,7 @@ mod observer;
 mod plan;
 mod policy;
 pub mod quantized;
+mod snapshot;
 mod source;
 mod srpt_set;
 mod streaming;
@@ -78,6 +79,7 @@ pub use observer::{
 };
 pub use plan::{AllocationPlan, PlanSegment, PlannedPolicy};
 pub use policy::{AliveJob, AllocationStability, EquiSplit, Policy, PrefixAllocation};
+pub use snapshot::{Snapshot, SNAP_FORMAT};
 pub use source::{arrival_tolerance, ArrivalSource, StaticSource, SystemView};
 pub use streaming::{QuantileSketch, StreamingMetrics, StreamingOutcome};
 pub use trace::{record_run, replay, ReplayOutcome, Trace, TraceEvent, TraceRecorder};

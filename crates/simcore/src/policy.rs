@@ -163,6 +163,23 @@ pub trait Policy {
     fn on_completion(&mut self, now: Time, n_alive: usize) {
         let _ = (now, n_alive);
     }
+
+    /// The policy's mutable run state as opaque words, for
+    /// [`crate::Engine::snapshot`]. Stateless policies (the default) return
+    /// an empty vector. Stateful policies (e.g. a seeded randomized policy's
+    /// RNG position) must capture everything their future decisions depend
+    /// on: after `reset()` + [`Policy::restore_state`] with these words, the
+    /// policy must make bit-identical decisions to the captured one.
+    fn snapshot_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores run state captured by [`Policy::snapshot_state`]. Called
+    /// after `reset()`. Returns `false` when the words are not a valid
+    /// state for this policy (the default accepts only an empty slice).
+    fn restore_state(&mut self, state: &[u64]) -> bool {
+        state.is_empty()
+    }
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
@@ -202,6 +219,14 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
 
     fn on_completion(&mut self, now: Time, n_alive: usize) {
         (**self).on_completion(now, n_alive)
+    }
+
+    fn snapshot_state(&self) -> Vec<u64> {
+        (**self).snapshot_state()
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> bool {
+        (**self).restore_state(state)
     }
 }
 

@@ -1,0 +1,777 @@
+//! Suspend/resume snapshots of a running [`crate::Engine`].
+//!
+//! A [`Snapshot`] captures *everything* the event loop's future trajectory
+//! depends on — clock, arena lanes, SRPT partitions with their compensated
+//! sums, the generation-tagged event queue, policy state, and the metric
+//! accumulators — such that `restore → run-to-completion` is **bit-identical**
+//! to running the original engine to completion: same completion order, same
+//! low-order float bits in every aggregate, same event count. That contract
+//! is what lets the fleet layer suspend a tenant at any event boundary,
+//! migrate it to another shard (or another process, via the text codec), and
+//! resume as if nothing happened.
+//!
+//! # The `parsched-snap/v1` document
+//!
+//! Snapshots serialize to a single-line JSON document through the same
+//! hand-rolled [`crate::jsonlite`] dialect the trace format uses. Two codec
+//! rules make the rendering byte-stable and the round-trip exact:
+//!
+//! * **Every `f64` is stored as its IEEE-754 bit pattern**, a `u64` decimal
+//!   lexeme. Engine state legitimately contains `±∞` (the quantile sketch's
+//!   empty-state extrema) and depends on low-order bits that decimal
+//!   shortest-round-trip formatting preserves but whose lexemes are not
+//!   canonical across writers; bit patterns are.
+//! * **Field order is fixed** and rendering is compact, so
+//!   `parse → render` is the identity on any document this module emits —
+//!   a snapshot can hop between shards through the text form any number of
+//!   times without a byte changing.
+//!
+//! Speed-up curves ride on the compact field syntax from [`crate::csv`]
+//! (`pow:<α>`, `pwl:…`), whose `{:?}` float formatting is exact by Rust's
+//! shortest-round-trip guarantee.
+//!
+//! What is deliberately **not** captured: observers (a restored engine gets
+//! whatever observer its host wires up; snapshotting requires the null
+//! observer's path anyway on the incremental engine), auditors (snapshot
+//! requires [`crate::AuditLevel::Off`] — audit state is a debugging aid, not
+//! run state), and the calendar queue's bucket geometry (pop order is a pure
+//! function of the `(time, seq)` entries, which *are* captured; the restored
+//! queue re-primes itself on the first insert).
+
+use crate::csv::{curve_from_field, curve_to_field};
+use crate::error::SimError;
+use crate::job::{JobId, JobSpec, Time};
+use crate::jsonlite::Json;
+use crate::metrics::CompletedJob;
+use crate::srpt_set::{SetEntrySnap, SetSnap};
+use crate::streaming::SinkState;
+
+/// The format tag every document leads with.
+pub const SNAP_FORMAT: &str = "parsched-snap/v1";
+
+/// Engine-configuration fingerprint. Restore refuses a config whose
+/// semantics differ from the one that produced the snapshot — resuming a
+/// `speed = 1.0` snapshot on a `speed = 1.5` engine would be a silently
+/// different trajectory, not a resume.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SnapCfg {
+    pub(crate) m: f64,
+    pub(crate) speed: f64,
+    pub(crate) full_reassign: bool,
+    pub(crate) streaming: bool,
+    pub(crate) pow_kernel: bool,
+    pub(crate) heap_queue: bool,
+}
+
+/// Mirror of the engine's private interval classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum SnapInterval {
+    Idle,
+    Uniform { rate: f64 },
+    Scan,
+}
+
+/// One arena slot: the admission spec plus every mutable lane. The `kern`
+/// lane is *not* here — kernels are reconstructed from the curve and the
+/// `pow_kernel` flag, which is bit-identical because kernel construction is
+/// deterministic in α (see the class-registry note on [`Snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SnapJob {
+    pub(crate) spec: JobSpec,
+    pub(crate) remaining: f64,
+    pub(crate) run_key: f64,
+    pub(crate) class: u32,
+    pub(crate) in_running: bool,
+    pub(crate) done: bool,
+}
+
+/// A complete engine state at an event boundary. Produce with
+/// [`crate::Engine::snapshot`], resume with [`crate::Engine::restore`],
+/// and move between processes with [`Snapshot::to_json`] /
+/// [`Snapshot::from_json`].
+///
+/// The Γ class registry is serialized as the α bit patterns in first-seen
+/// order rather than replay-rebuilt on restore: under streaming slot
+/// recycling the surviving arena slots need not mention every class ever
+/// registered, and class ids stored in the `class` lane index this exact
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    pub(crate) cfg: SnapCfg,
+    pub(crate) policy_name: String,
+    pub(crate) policy_state: Vec<u64>,
+    pub(crate) incremental: bool,
+    pub(crate) now: Time,
+    pub(crate) events: u64,
+    pub(crate) coalesced: u64,
+    pub(crate) arr_gen: u64,
+    pub(crate) finished: bool,
+    pub(crate) alloc_fresh: bool,
+    pub(crate) quantum_deadline: Option<Time>,
+    pub(crate) next_completion: Option<Time>,
+    pub(crate) next_arrival: Option<Time>,
+    pub(crate) profile_count: usize,
+    pub(crate) profile_share: f64,
+    pub(crate) interval: SnapInterval,
+    pub(crate) frac_flow: (f64, f64),
+    pub(crate) alive_integral: (f64, f64),
+    pub(crate) admitted: usize,
+    pub(crate) peak_alive: usize,
+    pub(crate) sink: SinkState,
+    pub(crate) jobs: Vec<SnapJob>,
+    pub(crate) class_alpha_bits: Vec<u64>,
+    pub(crate) free: Vec<usize>,
+    pub(crate) alive: Vec<usize>,
+    pub(crate) shares: Vec<f64>,
+    pub(crate) rates: Vec<f64>,
+    pub(crate) srpt: SetSnap,
+    pub(crate) completed: Vec<CompletedJob>,
+    pub(crate) equeue_entries: Vec<(f64, u64, u64)>,
+    pub(crate) equeue_next_seq: u64,
+}
+
+impl Snapshot {
+    /// Simulation clock at the suspend point.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Events processed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Whether the run had already finished when captured.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Total jobs admitted from the source so far.
+    pub fn admitted(&self) -> usize {
+        self.admitted
+    }
+
+    /// Jobs completed so far.
+    pub fn completed_count(&self) -> u64 {
+        self.sink.count
+    }
+
+    /// Unfinished released jobs at the suspend point.
+    pub fn alive_count(&self) -> usize {
+        if self.incremental {
+            self.srpt.running.len() + self.srpt.queued.len()
+        } else {
+            self.alive.len()
+        }
+    }
+
+    /// Total flow time accumulated over completions so far (the running
+    /// value of the compensated sum — what `total_flow` will report if no
+    /// further job completes).
+    pub fn total_flow_so_far(&self) -> f64 {
+        self.sink.total_flow.0 + self.sink.total_flow.1
+    }
+
+    /// Completion time of `id`, if it had already completed at the
+    /// suspend point. Streaming captures retain no completion records, so
+    /// this is always `None` for streaming snapshots — callers that need
+    /// per-job completions under streaming must watch the live run (e.g.
+    /// via [`crate::Observer::on_completion`]).
+    pub fn completion_of(&self, id: JobId) -> Option<Time> {
+        self.completed
+            .iter()
+            .find(|c| c.id == id)
+            .map(|c| c.completion)
+    }
+
+    /// Name of the policy that was driving the run.
+    pub fn policy_name(&self) -> &str {
+        &self.policy_name
+    }
+
+    /// Whether the captured engine ran in memory-bounded streaming mode.
+    pub fn streaming(&self) -> bool {
+        self.cfg.streaming
+    }
+
+    /// Renders the `parsched-snap/v1` document (compact single line).
+    /// `from_json(to_json(s)) == s` exactly, and `to_json` of the parsed
+    /// snapshot reproduces the document byte-for-byte.
+    pub fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+
+    /// Parses a `parsched-snap/v1` document.
+    pub fn from_json(text: &str) -> Result<Snapshot, SimError> {
+        let doc = Json::parse(text).map_err(|e| bad(format!("unparseable document: {e}")))?;
+        Self::from_value(&doc)
+    }
+
+    fn to_value(&self) -> Json {
+        let obj = |fields: Vec<(&str, Json)>| {
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        };
+        let cfg = obj(vec![
+            ("m", fbits(self.cfg.m)),
+            ("speed", fbits(self.cfg.speed)),
+            ("full_reassign", Json::Bool(self.cfg.full_reassign)),
+            ("streaming", Json::Bool(self.cfg.streaming)),
+            ("pow_kernel", Json::Bool(self.cfg.pow_kernel)),
+            ("heap_queue", Json::Bool(self.cfg.heap_queue)),
+        ]);
+        let policy = obj(vec![
+            ("name", Json::Str(self.policy_name.clone())),
+            (
+                "state",
+                Json::Arr(self.policy_state.iter().map(|&w| unum(w)).collect()),
+            ),
+        ]);
+        let clock = obj(vec![
+            ("now", fbits(self.now)),
+            ("events", unum(self.events)),
+            ("coalesced", unum(self.coalesced)),
+            ("arr_gen", unum(self.arr_gen)),
+            ("finished", Json::Bool(self.finished)),
+            ("alloc_fresh", Json::Bool(self.alloc_fresh)),
+            ("quantum_deadline", opt_fbits(self.quantum_deadline)),
+            ("next_completion", opt_fbits(self.next_completion)),
+            ("next_arrival", opt_fbits(self.next_arrival)),
+        ]);
+        let interval = match self.interval {
+            SnapInterval::Idle => obj(vec![("kind", Json::Str("idle".into()))]),
+            SnapInterval::Uniform { rate } => obj(vec![
+                ("kind", Json::Str("uniform".into())),
+                ("rate", fbits(rate)),
+            ]),
+            SnapInterval::Scan => obj(vec![("kind", Json::Str("scan".into()))]),
+        };
+        let accum = obj(vec![
+            ("frac_flow", pair(self.frac_flow)),
+            ("alive_integral", pair(self.alive_integral)),
+            ("admitted", unum(self.admitted as u64)),
+            ("peak_alive", unum(self.peak_alive as u64)),
+        ]);
+        let sink = obj(vec![
+            ("count", unum(self.sink.count)),
+            ("total_flow", pair(self.sink.total_flow)),
+            ("max_flow", fbits(self.sink.max_flow)),
+            ("total_stretch", pair(self.sink.total_stretch)),
+            ("max_stretch", fbits(self.sink.max_stretch)),
+            ("total_weighted_flow", pair(self.sink.total_weighted_flow)),
+            ("makespan", fbits(self.sink.makespan)),
+            (
+                "sketch_counts",
+                Json::Arr(self.sink.sketch_counts.iter().map(|&c| unum(c)).collect()),
+            ),
+            ("sketch_total", unum(self.sink.sketch_total)),
+            ("sketch_min", fbits(self.sink.sketch_min)),
+            ("sketch_max", fbits(self.sink.sketch_max)),
+        ]);
+        let jobs = Json::Arr(
+            self.jobs
+                .iter()
+                .map(|j| {
+                    Json::Arr(vec![
+                        unum(j.spec.id.0),
+                        fbits(j.spec.release),
+                        fbits(j.spec.size),
+                        fbits(j.spec.weight),
+                        Json::Str(curve_to_field(&j.spec.curve)),
+                        fbits(j.remaining),
+                        fbits(j.run_key),
+                        unum(u64::from(j.class)),
+                        Json::Bool(j.in_running),
+                        Json::Bool(j.done),
+                    ])
+                })
+                .collect(),
+        );
+        let arena = obj(vec![
+            ("jobs", jobs),
+            (
+                "classes",
+                Json::Arr(self.class_alpha_bits.iter().map(|&b| unum(b)).collect()),
+            ),
+            (
+                "free",
+                Json::Arr(self.free.iter().map(|&i| unum(i as u64)).collect()),
+            ),
+        ]);
+        let exhaustive = obj(vec![
+            (
+                "alive",
+                Json::Arr(self.alive.iter().map(|&i| unum(i as u64)).collect()),
+            ),
+            (
+                "shares",
+                Json::Arr(self.shares.iter().map(|&s| fbits(s)).collect()),
+            ),
+            (
+                "rates",
+                Json::Arr(self.rates.iter().map(|&r| fbits(r)).collect()),
+            ),
+        ]);
+        let set_entry = |e: &SetEntrySnap| {
+            Json::Arr(vec![
+                fbits(e.key),
+                fbits(e.release),
+                unum(e.id.0),
+                unum(e.idx as u64),
+                fbits(e.size),
+                Json::Bool(e.hetero),
+                Json::Bool(e.nonunit),
+            ])
+        };
+        let srpt = obj(vec![
+            (
+                "running",
+                Json::Arr(self.srpt.running.iter().map(set_entry).collect()),
+            ),
+            (
+                "queued",
+                Json::Arr(self.srpt.queued.iter().map(set_entry).collect()),
+            ),
+            ("drain", fbits(self.srpt.drain)),
+            ("s1", fbits(self.srpt.s1)),
+            ("sk", fbits(self.srpt.sk)),
+            ("key_sum", fbits(self.srpt.key_sum)),
+            ("q_frac", fbits(self.srpt.q_frac)),
+            ("q_rem_sum", fbits(self.srpt.q_rem_sum)),
+            (
+                "reference",
+                match &self.srpt.reference {
+                    None => Json::Null,
+                    Some(c) => Json::Str(curve_to_field(c)),
+                },
+            ),
+        ]);
+        let completed = Json::Arr(
+            self.completed
+                .iter()
+                .map(|c| {
+                    Json::Arr(vec![
+                        unum(c.id.0),
+                        fbits(c.release),
+                        fbits(c.size),
+                        fbits(c.completion),
+                        fbits(c.weight),
+                    ])
+                })
+                .collect(),
+        );
+        let equeue = obj(vec![
+            (
+                "entries",
+                Json::Arr(
+                    self.equeue_entries
+                        .iter()
+                        .map(|&(t, seq, payload)| {
+                            Json::Arr(vec![fbits(t), unum(seq), unum(payload)])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("next_seq", unum(self.equeue_next_seq)),
+        ]);
+        obj(vec![
+            ("format", Json::Str(SNAP_FORMAT.into())),
+            ("cfg", cfg),
+            ("policy", policy),
+            ("incremental", Json::Bool(self.incremental)),
+            ("clock", clock),
+            (
+                "profile",
+                obj(vec![
+                    ("count", unum(self.profile_count as u64)),
+                    ("share", fbits(self.profile_share)),
+                ]),
+            ),
+            ("interval", interval),
+            ("accum", accum),
+            ("sink", sink),
+            ("arena", arena),
+            ("exhaustive", exhaustive),
+            ("srpt", srpt),
+            ("completed", completed),
+            ("equeue", equeue),
+        ])
+    }
+
+    fn from_value(doc: &Json) -> Result<Snapshot, SimError> {
+        let format = str_at(doc, "format")?;
+        if format != SNAP_FORMAT {
+            return Err(bad(format!(
+                "unsupported snapshot format '{format}' (expected '{SNAP_FORMAT}')"
+            )));
+        }
+        let cfg_v = field(doc, "cfg")?;
+        let cfg = SnapCfg {
+            m: f_at(cfg_v, "m")?,
+            speed: f_at(cfg_v, "speed")?,
+            full_reassign: bool_at(cfg_v, "full_reassign")?,
+            streaming: bool_at(cfg_v, "streaming")?,
+            pow_kernel: bool_at(cfg_v, "pow_kernel")?,
+            heap_queue: bool_at(cfg_v, "heap_queue")?,
+        };
+        let policy_v = field(doc, "policy")?;
+        let policy_name = str_at(policy_v, "name")?.to_string();
+        let policy_state = arr_at(policy_v, "state")?
+            .iter()
+            .map(|v| v.as_u64().map_err(|e| bad(format!("policy state: {e}"))))
+            .collect::<Result<Vec<u64>, SimError>>()?;
+        let clock = field(doc, "clock")?;
+        let profile = field(doc, "profile")?;
+        let interval_v = field(doc, "interval")?;
+        let interval = match str_at(interval_v, "kind")? {
+            "idle" => SnapInterval::Idle,
+            "uniform" => SnapInterval::Uniform {
+                rate: f_at(interval_v, "rate")?,
+            },
+            "scan" => SnapInterval::Scan,
+            other => return Err(bad(format!("unknown interval kind '{other}'"))),
+        };
+        let accum = field(doc, "accum")?;
+        let sink_v = field(doc, "sink")?;
+        let sink = SinkState {
+            count: u_at(sink_v, "count")?,
+            total_flow: pair_at(sink_v, "total_flow")?,
+            max_flow: f_at(sink_v, "max_flow")?,
+            total_stretch: pair_at(sink_v, "total_stretch")?,
+            max_stretch: f_at(sink_v, "max_stretch")?,
+            total_weighted_flow: pair_at(sink_v, "total_weighted_flow")?,
+            makespan: f_at(sink_v, "makespan")?,
+            sketch_counts: arr_at(sink_v, "sketch_counts")?
+                .iter()
+                .map(|v| v.as_u64().map_err(|e| bad(format!("sketch counts: {e}"))))
+                .collect::<Result<Vec<u64>, SimError>>()?,
+            sketch_total: u_at(sink_v, "sketch_total")?,
+            sketch_min: f_at(sink_v, "sketch_min")?,
+            sketch_max: f_at(sink_v, "sketch_max")?,
+        };
+        let arena = field(doc, "arena")?;
+        let jobs = arr_at(arena, "jobs")?
+            .iter()
+            .map(|row| {
+                let row = row.as_arr().map_err(|e| bad(format!("arena job: {e}")))?;
+                if row.len() != 10 {
+                    return Err(bad(format!(
+                        "arena job row has {} fields (expected 10)",
+                        row.len()
+                    )));
+                }
+                let class64 = row[7]
+                    .as_u64()
+                    .map_err(|e| bad(format!("arena class: {e}")))?;
+                let class = u32::try_from(class64)
+                    .map_err(|_| bad(format!("arena class {class64} out of u32 range")))?;
+                Ok(SnapJob {
+                    spec: JobSpec {
+                        id: JobId(row[0].as_u64().map_err(|e| bad(format!("job id: {e}")))?),
+                        release: f_item(&row[1], "release")?,
+                        size: f_item(&row[2], "size")?,
+                        weight: f_item(&row[3], "weight")?,
+                        curve: curve_from_field(
+                            row[4].as_str().map_err(|e| bad(format!("curve: {e}")))?,
+                        )?,
+                    },
+                    remaining: f_item(&row[5], "remaining")?,
+                    run_key: f_item(&row[6], "run_key")?,
+                    class,
+                    in_running: bool_item(&row[8], "in_running")?,
+                    done: bool_item(&row[9], "done")?,
+                })
+            })
+            .collect::<Result<Vec<SnapJob>, SimError>>()?;
+        let class_alpha_bits = arr_at(arena, "classes")?
+            .iter()
+            .map(|v| v.as_u64().map_err(|e| bad(format!("class bits: {e}"))))
+            .collect::<Result<Vec<u64>, SimError>>()?;
+        let free = usize_arr_at(arena, "free")?;
+        let exhaustive = field(doc, "exhaustive")?;
+        let alive = usize_arr_at(exhaustive, "alive")?;
+        let shares = f_arr_at(exhaustive, "shares")?;
+        let rates = f_arr_at(exhaustive, "rates")?;
+        let srpt_v = field(doc, "srpt")?;
+        let set_entries = |key: &str| -> Result<Vec<SetEntrySnap>, SimError> {
+            arr_at(srpt_v, key)?
+                .iter()
+                .map(|row| {
+                    let row = row
+                        .as_arr()
+                        .map_err(|e| bad(format!("srpt {key} entry: {e}")))?;
+                    if row.len() != 7 {
+                        return Err(bad(format!(
+                            "srpt {key} entry has {} fields (expected 7)",
+                            row.len()
+                        )));
+                    }
+                    Ok(SetEntrySnap {
+                        key: f_item(&row[0], "srpt key")?,
+                        release: f_item(&row[1], "srpt release")?,
+                        id: JobId(row[2].as_u64().map_err(|e| bad(format!("srpt id: {e}")))?),
+                        idx: row[3]
+                            .as_usize()
+                            .map_err(|e| bad(format!("srpt idx: {e}")))?,
+                        size: f_item(&row[4], "srpt size")?,
+                        hetero: bool_item(&row[5], "srpt hetero")?,
+                        nonunit: bool_item(&row[6], "srpt nonunit")?,
+                    })
+                })
+                .collect()
+        };
+        let srpt = SetSnap {
+            running: set_entries("running")?,
+            queued: set_entries("queued")?,
+            drain: f_at(srpt_v, "drain")?,
+            s1: f_at(srpt_v, "s1")?,
+            sk: f_at(srpt_v, "sk")?,
+            key_sum: f_at(srpt_v, "key_sum")?,
+            q_frac: f_at(srpt_v, "q_frac")?,
+            q_rem_sum: f_at(srpt_v, "q_rem_sum")?,
+            reference: match srpt_v.req("reference").map_err(bad)? {
+                Json::Null => None,
+                v => Some(curve_from_field(
+                    v.as_str()
+                        .map_err(|e| bad(format!("srpt reference: {e}")))?,
+                )?),
+            },
+        };
+        let completed = arr_at(doc, "completed")?
+            .iter()
+            .map(|row| {
+                let row = row.as_arr().map_err(|e| bad(format!("completed: {e}")))?;
+                if row.len() != 5 {
+                    return Err(bad(format!(
+                        "completed row has {} fields (expected 5)",
+                        row.len()
+                    )));
+                }
+                Ok(CompletedJob {
+                    id: JobId(
+                        row[0]
+                            .as_u64()
+                            .map_err(|e| bad(format!("completed id: {e}")))?,
+                    ),
+                    release: f_item(&row[1], "completed release")?,
+                    size: f_item(&row[2], "completed size")?,
+                    completion: f_item(&row[3], "completion")?,
+                    weight: f_item(&row[4], "completed weight")?,
+                })
+            })
+            .collect::<Result<Vec<CompletedJob>, SimError>>()?;
+        let equeue_v = field(doc, "equeue")?;
+        let equeue_entries = arr_at(equeue_v, "entries")?
+            .iter()
+            .map(|row| {
+                let row = row
+                    .as_arr()
+                    .map_err(|e| bad(format!("equeue entry: {e}")))?;
+                if row.len() != 3 {
+                    return Err(bad(format!(
+                        "equeue entry has {} fields (expected 3)",
+                        row.len()
+                    )));
+                }
+                Ok((
+                    f_item(&row[0], "equeue time")?,
+                    row[1]
+                        .as_u64()
+                        .map_err(|e| bad(format!("equeue seq: {e}")))?,
+                    row[2]
+                        .as_u64()
+                        .map_err(|e| bad(format!("equeue payload: {e}")))?,
+                ))
+            })
+            .collect::<Result<Vec<(f64, u64, u64)>, SimError>>()?;
+        Ok(Snapshot {
+            cfg,
+            policy_name,
+            policy_state,
+            incremental: bool_at(doc, "incremental")?,
+            now: f_at(clock, "now")?,
+            events: u_at(clock, "events")?,
+            coalesced: u_at(clock, "coalesced")?,
+            arr_gen: u_at(clock, "arr_gen")?,
+            finished: bool_at(clock, "finished")?,
+            alloc_fresh: bool_at(clock, "alloc_fresh")?,
+            quantum_deadline: opt_f_at(clock, "quantum_deadline")?,
+            next_completion: opt_f_at(clock, "next_completion")?,
+            next_arrival: opt_f_at(clock, "next_arrival")?,
+            profile_count: u_at(profile, "count")? as usize,
+            profile_share: f_at(profile, "share")?,
+            interval,
+            frac_flow: pair_at(accum, "frac_flow")?,
+            alive_integral: pair_at(accum, "alive_integral")?,
+            admitted: u_at(accum, "admitted")? as usize,
+            peak_alive: u_at(accum, "peak_alive")? as usize,
+            sink,
+            jobs,
+            class_alpha_bits,
+            free,
+            alive,
+            shares,
+            rates,
+            srpt,
+            completed,
+            equeue_entries,
+            equeue_next_seq: u_at(equeue_v, "next_seq")?,
+        })
+    }
+}
+
+fn bad(what: String) -> SimError {
+    SimError::BadInstance {
+        what: format!("snapshot: {what}"),
+    }
+}
+
+/// An `f64` as its bit pattern, the codec's canonical float encoding.
+fn fbits(x: f64) -> Json {
+    Json::Num(x.to_bits().to_string())
+}
+
+fn unum(x: u64) -> Json {
+    Json::Num(x.to_string())
+}
+
+fn opt_fbits(x: Option<f64>) -> Json {
+    match x {
+        None => Json::Null,
+        Some(v) => fbits(v),
+    }
+}
+
+fn pair(p: (f64, f64)) -> Json {
+    Json::Arr(vec![fbits(p.0), fbits(p.1)])
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, SimError> {
+    v.req(key).map_err(bad)
+}
+
+fn f_item(v: &Json, what: &str) -> Result<f64, SimError> {
+    v.as_u64()
+        .map(f64::from_bits)
+        .map_err(|e| bad(format!("{what}: {e}")))
+}
+
+fn bool_item(v: &Json, what: &str) -> Result<bool, SimError> {
+    match v {
+        Json::Bool(b) => Ok(*b),
+        other => Err(bad(format!("{what}: expected bool, got {other:?}"))),
+    }
+}
+
+fn f_at(v: &Json, key: &str) -> Result<f64, SimError> {
+    f_item(field(v, key)?, key)
+}
+
+fn opt_f_at(v: &Json, key: &str) -> Result<Option<f64>, SimError> {
+    match field(v, key)? {
+        Json::Null => Ok(None),
+        other => f_item(other, key).map(Some),
+    }
+}
+
+fn u_at(v: &Json, key: &str) -> Result<u64, SimError> {
+    field(v, key)?
+        .as_u64()
+        .map_err(|e| bad(format!("{key}: {e}")))
+}
+
+fn bool_at(v: &Json, key: &str) -> Result<bool, SimError> {
+    bool_item(field(v, key)?, key)
+}
+
+fn str_at<'a>(v: &'a Json, key: &str) -> Result<&'a str, SimError> {
+    field(v, key)?
+        .as_str()
+        .map_err(|e| bad(format!("{key}: {e}")))
+}
+
+fn arr_at<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], SimError> {
+    field(v, key)?
+        .as_arr()
+        .map_err(|e| bad(format!("{key}: {e}")))
+}
+
+fn pair_at(v: &Json, key: &str) -> Result<(f64, f64), SimError> {
+    let a = arr_at(v, key)?;
+    if a.len() != 2 {
+        return Err(bad(format!("{key}: expected 2-element pair")));
+    }
+    Ok((f_item(&a[0], key)?, f_item(&a[1], key)?))
+}
+
+fn usize_arr_at(v: &Json, key: &str) -> Result<Vec<usize>, SimError> {
+    arr_at(v, key)?
+        .iter()
+        .map(|x| x.as_usize().map_err(|e| bad(format!("{key}: {e}"))))
+        .collect()
+}
+
+fn f_arr_at(v: &Json, key: &str) -> Result<Vec<f64>, SimError> {
+    arr_at(v, key)?.iter().map(|x| f_item(x, key)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, EngineConfig, EquiSplit, Instance, StaticSource};
+    use parsched_speedup::Curve;
+
+    fn snap_of_run(steps: usize) -> Snapshot {
+        let inst = Instance::new(vec![
+            JobSpec::new(JobId(0), 0.0, 4.0, Curve::power(0.5)),
+            JobSpec::new(JobId(1), 1.0, 2.0, Curve::power(0.5)),
+            JobSpec::new(JobId(2), 2.0, 1.0, Curve::Sequential),
+        ])
+        .unwrap();
+        let mut policy = EquiSplit::new();
+        let mut source = StaticSource::new(&inst);
+        let mut obs = crate::NullObserver;
+        let mut eng = Engine::new(EngineConfig::new(4.0), &mut policy, &mut source, &mut obs);
+        for _ in 0..steps {
+            eng.step().unwrap();
+        }
+        eng.snapshot().unwrap()
+    }
+
+    #[test]
+    fn json_round_trip_is_exact_and_byte_stable() {
+        for steps in [0, 1, 3] {
+            let snap = snap_of_run(steps);
+            let text = snap.to_json();
+            let back = Snapshot::from_json(&text).unwrap();
+            assert_eq!(back, snap, "round-trip at {steps} steps");
+            assert_eq!(back.to_json(), text, "byte stability at {steps} steps");
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_formats_and_garbage() {
+        assert!(Snapshot::from_json("{}").is_err());
+        assert!(Snapshot::from_json("not json").is_err());
+        let mut doc = snap_of_run(1).to_json();
+        doc = doc.replace(SNAP_FORMAT, "parsched-snap/v999");
+        assert!(Snapshot::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn accessors_reflect_run_position() {
+        let snap = snap_of_run(2);
+        assert_eq!(snap.events(), 2);
+        assert_eq!(snap.policy_name(), "EQUI");
+        assert!(!snap.is_finished());
+        assert!(snap.admitted() >= 1);
+        assert_eq!(
+            snap.alive_count() + snap.completed_count() as usize,
+            snap.admitted()
+        );
+    }
+}

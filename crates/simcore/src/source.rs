@@ -82,6 +82,17 @@ pub trait ArrivalSource {
     fn rewind(&mut self) -> bool {
         false
     }
+
+    /// Positions the source as if it had already emitted `emitted_jobs`
+    /// jobs, returning `true` on success — the [`crate::Engine::restore`]
+    /// counterpart of [`ArrivalSource::rewind`]. Replay sources seek their
+    /// cursor; sources that cannot reproduce their position keep the
+    /// default `false`, which makes restore refuse rather than resume
+    /// against a divergent arrival stream.
+    fn fast_forward(&mut self, emitted_jobs: usize) -> bool {
+        let _ = emitted_jobs;
+        false
+    }
 }
 
 /// Cap on the clock-relative admission window (absolute sim-time units).
@@ -156,6 +167,14 @@ impl ArrivalSource for StaticSource {
 
     fn rewind(&mut self) -> bool {
         self.cursor = 0;
+        true
+    }
+
+    fn fast_forward(&mut self, emitted_jobs: usize) -> bool {
+        if emitted_jobs > self.jobs.len() {
+            return false;
+        }
+        self.cursor = emitted_jobs;
         true
     }
 }

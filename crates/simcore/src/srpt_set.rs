@@ -348,6 +348,40 @@ pub(crate) enum Placement {
     },
 }
 
+/// One alive-set entry as captured in a `parsched-snap/v1` document:
+/// ordering key (offset space for running, literal remaining for queued)
+/// plus the full [`Slot`] payload. The `hetero`/`nonunit` flags are stored
+/// verbatim — they were computed against the reference curve at *insert*
+/// time, and recomputing them on restore could diverge when the reference
+/// itself was a later-admitted job's curve in the original run.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SetEntrySnap {
+    pub(crate) key: f64,
+    pub(crate) release: Time,
+    pub(crate) id: JobId,
+    pub(crate) idx: usize,
+    pub(crate) size: Work,
+    pub(crate) hetero: bool,
+    pub(crate) nonunit: bool,
+}
+
+/// Full [`SrptSet`] state for suspend/resume. The five running/queued sums
+/// are captured bit-exact rather than recomputed on restore: they were
+/// accumulated incrementally over the run's insert/forget sequence, and any
+/// re-summation order would produce different low-order bits.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SetSnap {
+    pub(crate) running: Vec<SetEntrySnap>,
+    pub(crate) queued: Vec<SetEntrySnap>,
+    pub(crate) drain: f64,
+    pub(crate) s1: f64,
+    pub(crate) sk: f64,
+    pub(crate) key_sum: f64,
+    pub(crate) q_frac: f64,
+    pub(crate) q_rem_sum: f64,
+    pub(crate) reference: Option<Curve>,
+}
+
 /// The alive set in SRPT order with an `O(1)` uniform-drain fast path.
 #[derive(Debug, Default)]
 pub(crate) struct SrptSet {
@@ -693,6 +727,87 @@ impl SrptSet {
             return;
         }
         self.rebuild_running(|_, rem| rem, moved);
+    }
+
+    /// Captures the full set state for a snapshot. Both partitions are
+    /// emitted in SRPT order, so two engines in the same logical state
+    /// render byte-identical documents even when their heap arrays have
+    /// different internal layouts (layout depends on push history, which
+    /// is not observable — every read path sorts or pops by total order).
+    pub(crate) fn snapshot_state(&self) -> SetSnap {
+        fn conv(e: &Entry) -> SetEntrySnap {
+            SetEntrySnap {
+                key: e.key.key,
+                release: e.key.release,
+                id: e.key.id,
+                idx: e.slot.idx,
+                size: e.slot.size,
+                hetero: e.slot.hetero,
+                nonunit: e.slot.nonunit,
+            }
+        }
+        let mut running: Vec<Entry> = self.running.entries().to_vec();
+        running.sort_unstable();
+        let mut queued: Vec<Entry> = self.queued.iter().map(|r| r.0).collect();
+        queued.sort_unstable();
+        SetSnap {
+            running: running.iter().map(conv).collect(),
+            queued: queued.iter().map(conv).collect(),
+            drain: self.drain,
+            s1: self.s1,
+            sk: self.sk,
+            key_sum: self.key_sum,
+            q_frac: self.q_frac,
+            q_rem_sum: self.q_rem_sum,
+            reference: self.reference.clone(),
+        }
+    }
+
+    /// Restores the state captured by [`SrptSet::snapshot_state`], retaining
+    /// buffer capacity. Entries are re-pushed with their stored keys and
+    /// flags; the uniformity counters are recounted from the per-entry flags
+    /// and the running/queued sums are installed bit-exact.
+    pub(crate) fn restore_state(&mut self, snap: &SetSnap) {
+        self.reset();
+        self.reference = snap.reference.clone();
+        for e in &snap.running {
+            self.hetero_running += usize::from(e.hetero);
+            self.nonunit_running += usize::from(e.nonunit);
+            self.running.push(Entry {
+                key: OrdKey {
+                    key: e.key,
+                    release: e.release,
+                    id: e.id,
+                },
+                slot: Slot {
+                    idx: e.idx,
+                    size: e.size,
+                    hetero: e.hetero,
+                    nonunit: e.nonunit,
+                },
+            });
+        }
+        for e in &snap.queued {
+            self.queued.push(Reverse(Entry {
+                key: OrdKey {
+                    key: e.key,
+                    release: e.release,
+                    id: e.id,
+                },
+                slot: Slot {
+                    idx: e.idx,
+                    size: e.size,
+                    hetero: e.hetero,
+                    nonunit: e.nonunit,
+                },
+            }));
+        }
+        self.drain = snap.drain;
+        self.s1 = snap.s1;
+        self.sk = snap.sk;
+        self.key_sum = snap.key_sum;
+        self.q_frac = snap.q_frac;
+        self.q_rem_sum = snap.q_rem_sum;
     }
 }
 

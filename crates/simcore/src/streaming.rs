@@ -226,6 +226,52 @@ impl StreamingMetrics {
         &self.sketch
     }
 
+    /// Captures the full accumulator state for a snapshot. Totals are kept
+    /// as raw Neumaier `(sum, compensation)` pairs — collapsing them to
+    /// `value()` would drop the low-order bits and break bit-identical
+    /// resume.
+    pub(crate) fn snapshot_state(&self) -> SinkState {
+        let (tf, tfc) = self.total_flow.parts();
+        let (ts, tsc) = self.total_stretch.parts();
+        let (tw, twc) = self.total_weighted_flow.parts();
+        SinkState {
+            count: self.count,
+            total_flow: (tf, tfc),
+            max_flow: self.max_flow,
+            total_stretch: (ts, tsc),
+            max_stretch: self.max_stretch,
+            total_weighted_flow: (tw, twc),
+            makespan: self.makespan,
+            sketch_counts: self.sketch.counts.clone(),
+            sketch_total: self.sketch.total,
+            sketch_min: self.sketch.min,
+            sketch_max: self.sketch.max,
+        }
+    }
+
+    /// Restores the accumulator state captured by
+    /// [`StreamingMetrics::snapshot_state`]. Returns `false` when the
+    /// sketch bucket array has the wrong length (a corrupt document).
+    pub(crate) fn restore_state(&mut self, s: &SinkState) -> bool {
+        if s.sketch_counts.len() != NUM_BUCKETS {
+            return false;
+        }
+        self.count = s.count;
+        self.total_flow = NeumaierSum::from_parts(s.total_flow.0, s.total_flow.1);
+        self.max_flow = s.max_flow;
+        self.total_stretch = NeumaierSum::from_parts(s.total_stretch.0, s.total_stretch.1);
+        self.max_stretch = s.max_stretch;
+        self.total_weighted_flow =
+            NeumaierSum::from_parts(s.total_weighted_flow.0, s.total_weighted_flow.1);
+        self.makespan = s.makespan;
+        self.sketch.counts.clear();
+        self.sketch.counts.extend_from_slice(&s.sketch_counts);
+        self.sketch.total = s.sketch_total;
+        self.sketch.min = s.sketch_min;
+        self.sketch.max = s.sketch_max;
+        true
+    }
+
     /// Assembles the aggregate [`RunMetrics`], identical to what the
     /// in-memory finalizer computes from its completion list.
     pub fn run_metrics(
@@ -250,6 +296,24 @@ impl StreamingMetrics {
             total_weighted_flow: self.total_weighted_flow.value(),
         }
     }
+}
+
+/// Raw accumulator state of a [`StreamingMetrics`] sink, as captured for a
+/// `parsched-snap/v1` document. Every `f64` here is stored/compared by bit
+/// pattern (the sketch's empty-state extrema are ±∞).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SinkState {
+    pub(crate) count: u64,
+    pub(crate) total_flow: (f64, f64),
+    pub(crate) max_flow: f64,
+    pub(crate) total_stretch: (f64, f64),
+    pub(crate) max_stretch: f64,
+    pub(crate) total_weighted_flow: (f64, f64),
+    pub(crate) makespan: Time,
+    pub(crate) sketch_counts: Vec<u64>,
+    pub(crate) sketch_total: u64,
+    pub(crate) sketch_min: f64,
+    pub(crate) sketch_max: f64,
 }
 
 /// Everything a streaming run produces. There is deliberately no

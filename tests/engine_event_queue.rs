@@ -128,6 +128,80 @@ fn parallel_srpt_event_count_is_pinned_on_the_standard_n1e4_fixture() {
     }
 }
 
+/// Regression for snapshot/restore on the event queue itself: suspend a
+/// mixed-α run (multi-class Γ registry) at assorted event boundaries on
+/// BOTH queue arms, restore into a fresh engine, and require the resumed
+/// trajectory to be bit-identical to the uninterrupted run. This pins the
+/// two restore obligations the queue layer owns — the generation tags
+/// (`payload`) and insertion-sequence counter must survive verbatim (a
+/// restored arrival wakeup with a re-zeroed tag would be lazily discarded
+/// as stale, silently dropping the arrival timeline), and the rebuilt Γ
+/// class registry must assign every resumed job its original class id so
+/// the per-class rate cache stays bit-identical through later Scan
+/// intervals.
+#[test]
+fn snapshot_restore_resumes_bit_identically_on_both_queue_arms() {
+    let inst = mixed_alpha_fixture(600, 0.9, 8.0);
+    for queue in [EventQueueKind::Calendar, EventQueueKind::Heap] {
+        for kind in [PolicyKind::IntermediateSrpt, PolicyKind::Equi] {
+            let baseline = run_with_queue(&inst, &kind, queue);
+            for suspend_at in [0u64, 1, 7, 200, 899] {
+                // Run the original engine up to the suspend point.
+                let mut policy = kind.build();
+                let mut source = StaticSource::new(&inst);
+                let mut obs = NullObserver;
+                let cfg = EngineConfig::new(8.0).with_event_queue(queue);
+                let mut engine = Engine::new(cfg, policy.as_mut(), &mut source, &mut obs);
+                for _ in 0..suspend_at {
+                    assert!(engine.step().expect("pre-suspend step"));
+                }
+                let snap = engine.snapshot().expect("snapshot");
+                drop(engine);
+                // Resume on a fresh engine (fresh policy/source values,
+                // as a migrated shard would hold) and run out.
+                let mut policy2 = kind.build();
+                let mut source2 = StaticSource::new(&inst);
+                let mut obs2 = NullObserver;
+                let mut resumed = Engine::new(cfg, policy2.as_mut(), &mut source2, &mut obs2);
+                resumed.restore(&snap).expect("restore");
+                while resumed.step().expect("post-restore step") {}
+                let out = resumed.into_outcome().expect("resumed outcome");
+                let ctx = format!("{queue:?} / {} / suspend@{suspend_at}", kind.name());
+                assert_eq!(out.metrics.events, baseline.metrics.events, "{ctx}: events");
+                assert_eq!(
+                    out.metrics.total_flow.to_bits(),
+                    baseline.metrics.total_flow.to_bits(),
+                    "{ctx}: total_flow"
+                );
+                assert_eq!(
+                    out.metrics.fractional_flow.to_bits(),
+                    baseline.metrics.fractional_flow.to_bits(),
+                    "{ctx}: fractional_flow"
+                );
+                assert_eq!(
+                    out.metrics.makespan.to_bits(),
+                    baseline.metrics.makespan.to_bits(),
+                    "{ctx}: makespan"
+                );
+                assert_eq!(
+                    out.completed.len(),
+                    baseline.completed.len(),
+                    "{ctx}: completion count"
+                );
+                for (a, b) in out.completed.iter().zip(&baseline.completed) {
+                    assert_eq!(a.id, b.id, "{ctx}: completion order");
+                    assert_eq!(
+                        a.completion.to_bits(),
+                        b.completion.to_bits(),
+                        "{ctx}: completion time of {:?}",
+                        a.id
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The coalesced-step counter explains the 2n − 1 above: Parallel-SRPT
 /// hits exactly one arrival/completion coincidence on this seed.
 #[test]
