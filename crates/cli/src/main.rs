@@ -8,7 +8,7 @@
 //! parsched exp f1 [--quick] [--csv] [--md] [--seed N]
 //! parsched all  [--quick]           # run the full suite
 //! parsched compare --m 8 --p 64 --alpha 0.5 --n 300 --load 0.9
-//! parsched lint [--format json] [paths...]
+//! parsched lint [--format json|sarif] [--explain L00X <symbol>] [paths...]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -44,8 +44,12 @@ USAGE:
                                         snapshot suspend/resume; output is
                                         byte-identical for every --jobs N
   parsched lint [OPTIONS] [paths...]    static analysis: determinism, float
-                                        hygiene, and registry contracts
-                                        (rules L001–L006, see docs/LINTS.md)
+                                        hygiene, registry contracts, and
+                                        call-graph reachability (rules
+                                        L001–L009, see docs/LINTS.md);
+                                        --format human|json|sarif,
+                                        --explain L00X <symbol> prints the
+                                        offending call path
 
 GEN OPTIONS:
   --kind poisson|batch|sawtooth|trap|mix   workload family (default poisson)
@@ -1265,7 +1269,8 @@ fn cmd_bench_snapshot(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// `parsched lint [--root dir] [--format human|json] [paths...]`.
+/// `parsched lint [--root dir] [--format human|json|sarif]
+/// [--explain L00X <symbol>] [paths...]`.
 ///
 /// Returns `Ok(true)` when the tree is clean, `Ok(false)` on violations or
 /// `parsched adversary` — the seeded evolutionary hard-instance search
@@ -1588,7 +1593,8 @@ fn fleet_report_json(
 /// workspace-relative prefixes that restrict which files are analyzed.
 fn cmd_lint(args: &[String]) -> Result<bool, String> {
     let mut root = std::path::PathBuf::from(".");
-    let mut json = false;
+    let mut format = "human".to_string();
+    let mut explain: Option<(String, String)> = None;
     let mut filters: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -1611,12 +1617,29 @@ fn cmd_lint(args: &[String]) -> Result<bool, String> {
                 if key == "--root" {
                     root = std::path::PathBuf::from(val);
                 } else {
-                    json = match val.as_str() {
-                        "json" => true,
-                        "human" => false,
+                    match val.as_str() {
+                        "json" | "human" | "sarif" => format = val,
                         other => return Err(format!("unknown lint format '{other}'")),
-                    };
+                    }
                 }
+            }
+            "--explain" => {
+                // `--explain L007 Engine::advance_to` — rule then symbol.
+                let rule = match inline_val {
+                    Some(v) => v,
+                    None => {
+                        i += 1;
+                        args.get(i)
+                            .cloned()
+                            .ok_or_else(|| "--explain needs a rule id".to_string())?
+                    }
+                };
+                i += 1;
+                let symbol = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| "--explain needs a rule id and a symbol".to_string())?;
+                explain = Some((rule, symbol));
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown lint option '{other}'"));
@@ -1630,12 +1653,32 @@ fn cmd_lint(args: &[String]) -> Result<bool, String> {
         }
         i += 1;
     }
-    let outcome = parsched_lint::lint_root(&root, &filters)
-        .map_err(|e| format!("lint: cannot read {}: {e}", root.display()))?;
-    if json {
-        print!("{}", parsched_lint::report::render_json(&outcome));
-    } else {
-        print!("{}", parsched_lint::report::render_human(&outcome));
+    let ws = match parsched_lint::Workspace::load(&root, &filters) {
+        Ok(ws) => ws,
+        Err(e) => {
+            // The exit-2 path still emits a structured document for the
+            // machine formats, so a failed run can never be mistaken for
+            // a clean empty one.
+            let msg = format!("lint: cannot read {}: {e}", root.display());
+            let outcome = parsched_lint::LintOutcome::from_errors(vec![msg.clone()]);
+            match format.as_str() {
+                "json" => print!("{}", parsched_lint::report::render_json(&outcome)),
+                "sarif" => print!("{}", parsched_lint::report::render_sarif(&outcome)),
+                _ => {}
+            }
+            return Err(msg);
+        }
+    };
+    if let Some((rule, symbol)) = explain {
+        let text = parsched_lint::explain(&ws, &rule, &symbol)?;
+        print!("{text}");
+        return Ok(true);
+    }
+    let outcome = parsched_lint::run(&ws);
+    match format.as_str() {
+        "json" => print!("{}", parsched_lint::report::render_json(&outcome)),
+        "sarif" => print!("{}", parsched_lint::report::render_sarif(&outcome)),
+        _ => print!("{}", parsched_lint::report::render_human(&outcome)),
     }
     Ok(outcome.is_clean())
 }

@@ -453,3 +453,85 @@ fn fleet_rejects_degenerate_parameters() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("bad --tenants"));
 }
+
+/// Path to a lint fixture tree committed under the lint crate.
+fn lint_fixture(name: &str) -> String {
+    format!(
+        "{}/../lint/tests/fixtures/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn lint_exit_codes_agree_across_formats() {
+    // The CI gate keys off the exit code, not the report body: a tripping
+    // tree must exit 1 and a clean tree 0 in every format.
+    for (tree, want) in [("l007", 1), ("clean", 0)] {
+        for fmt in ["human", "json", "sarif"] {
+            let out = bin()
+                .args(["lint", "--root", &lint_fixture(tree), "--format", fmt])
+                .output()
+                .expect("lint");
+            assert_eq!(
+                out.status.code(),
+                Some(want),
+                "{tree}/{fmt}:\n{}",
+                String::from_utf8_lossy(&out.stdout)
+            );
+        }
+    }
+}
+
+#[test]
+fn lint_sarif_document_carries_rules_and_results() {
+    let out = bin()
+        .args(["lint", "--root", &lint_fixture("l009"), "--format", "sarif"])
+        .output()
+        .expect("lint");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("\"version\": \"2.1.0\""), "{text}");
+    assert!(text.contains("\"id\": \"L009\""), "{text}");
+    assert!(text.contains("\"results\""), "{text}");
+}
+
+#[test]
+fn lint_unreadable_root_exits_2_with_structured_errors() {
+    // Exit 2 must be structurally distinguishable from a clean empty run:
+    // the JSON document carries a non-empty `errors` array.
+    let out = bin()
+        .args(["lint", "--root", "/nonexistent-parsched-root", "--format", "json"])
+        .output()
+        .expect("lint");
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("\"schema\": \"parsched-lint/v1\""), "{text}");
+    assert!(text.contains("\"errors\": [\n    \""), "{text}");
+    assert!(text.contains("cannot read"), "{text}");
+    // Clean runs keep the (empty) array, so consumers can always key off it.
+    let clean = bin()
+        .args(["lint", "--root", &lint_fixture("clean"), "--format", "json"])
+        .output()
+        .expect("lint");
+    let clean_text = String::from_utf8(clean.stdout).expect("utf8");
+    assert!(clean_text.contains("\"errors\": [\n  ]"), "{clean_text}");
+}
+
+#[test]
+fn lint_explain_traces_a_reachability_path() {
+    let out = bin()
+        .args([
+            "lint",
+            "--root",
+            &lint_fixture("l007"),
+            "--explain",
+            "L007",
+            "first",
+        ])
+        .output()
+        .expect("lint");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    // `step` is itself a root, so the shortest witness starts there.
+    assert!(text.contains("Engine::step -> grow -> first"), "{text}");
+}

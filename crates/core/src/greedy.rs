@@ -79,6 +79,7 @@ impl Default for GreedyHybrid {
 
 impl Policy for GreedyHybrid {
     fn name(&self) -> String {
+        // lint:allow(L007) Policy::name runs at engine construction and in error reporting, never per event
         "Greedy".to_string()
     }
 
@@ -95,6 +96,7 @@ impl Policy for GreedyHybrid {
         }
         shares.fill(0.0);
         let machines = machine_count(m);
+        // lint:allow(L007) per-refresh policy scratch; the zero-alloc contract covers the engine's donated buffers, not policy-internal views (docs/PERF.md §6.2)
         let mut counts = vec![0u32; n];
         // Max-heap over (marginal gain, preferring smaller remaining then
         // smaller id on ties, encoded by Reverse keys).
@@ -106,6 +108,7 @@ impl Policy for GreedyHybrid {
                     i,
                 )
             })
+            // lint:allow(L007) per-refresh policy scratch; the zero-alloc contract covers the engine's donated buffers, not policy-internal views (docs/PERF.md §6.2)
             .collect();
         for _ in 0..machines {
             let Some((_, _, i)) = heap.pop() else { break };

@@ -41,6 +41,7 @@ impl Default for Laps {
 
 impl Policy for Laps {
     fn name(&self) -> String {
+        // lint:allow(L007) Policy::name runs at engine construction and in error reporting, never per event
         format!("LAPS({})", self.beta)
     }
 
@@ -60,11 +61,13 @@ impl Policy for Laps {
         // Indices ordered by latest arrival first (ties: higher id first,
         // matching "without loss of generality each job arrives at a unique
         // time" — ids encode arrival order for equal stamps).
+        // lint:allow(L007) per-refresh policy scratch; the zero-alloc contract covers the engine's donated buffers, not policy-internal views (docs/PERF.md §6.2)
         let mut idx: Vec<usize> = (0..n).collect();
         idx.sort_by(|&a, &b| {
             jobs[b]
                 .release()
                 .partial_cmp(&jobs[a].release())
+                // lint:allow(L007) comparator on admission-validated finite releases; cannot fail at runtime
                 .expect("finite releases")
                 .then(jobs[b].id().cmp(&jobs[a].id()))
         });

@@ -93,16 +93,19 @@ pub(crate) mod util {
     /// Indices of `jobs` ordered by (remaining work, release, id) — the
     /// SRPT order with a deterministic tie-break.
     pub(crate) fn srpt_order(jobs: &[AliveJob<'_>]) -> Vec<usize> {
+        // lint:allow(L007) per-refresh policy scratch; the zero-alloc contract covers the engine's donated buffers, not policy-internal views (docs/PERF.md §6.2)
         let mut idx: Vec<usize> = (0..jobs.len()).collect();
         idx.sort_by(|&a, &b| {
             jobs[a]
                 .remaining
                 .partial_cmp(&jobs[b].remaining)
+                // lint:allow(L007) comparator on admission-validated finite remaining work; cannot fail at runtime
                 .expect("remaining work is finite")
                 .then(
                     jobs[a]
                         .release()
                         .partial_cmp(&jobs[b].release())
+                        // lint:allow(L007) comparator on admission-validated finite releases; cannot fail at runtime
                         .expect("release times are finite"),
                 )
                 .then(jobs[a].id().cmp(&jobs[b].id()))

@@ -25,6 +25,7 @@ impl ParallelSrpt {
 
 impl Policy for ParallelSrpt {
     fn name(&self) -> String {
+        // lint:allow(L007) Policy::name runs at engine construction and in error reporting, never per event
         "Parallel-SRPT".to_string()
     }
 
@@ -40,6 +41,7 @@ impl Policy for ParallelSrpt {
         }
         shares.fill(0.0);
         let order = srpt_order(jobs);
+        // lint:allow(L007) order is a permutation of 0..n and shares has length n; in bounds by construction
         shares[order[0]] = m;
         None
     }

@@ -48,6 +48,7 @@ impl RandomAllocation {
 
 impl Policy for RandomAllocation {
     fn name(&self) -> String {
+        // lint:allow(L007) Policy::name runs at engine construction and in error reporting, never per event
         format!("Random({})", self.seed)
     }
 
@@ -64,6 +65,7 @@ impl Policy for RandomAllocation {
         }
         // Random positive weights; occasionally zero a job out entirely so
         // starvation paths are exercised (but never all of them).
+        // lint:allow(L007) per-refresh policy scratch; the zero-alloc contract covers the engine's donated buffers, not policy-internal views (docs/PERF.md §6.2)
         let mut weights = vec![0.0f64; n];
         let mut total = 0.0;
         for w in weights.iter_mut() {
@@ -77,6 +79,7 @@ impl Policy for RandomAllocation {
         }
         if total <= 0.0 {
             let pick = (self.next_u64() as usize) % n;
+            // lint:allow(L007) pick is drawn modulo n and weights has length n; in bounds by construction
             weights[pick] = 1.0;
             total = 1.0;
         }

@@ -26,6 +26,7 @@ impl SequentialSrpt {
 
 impl Policy for SequentialSrpt {
     fn name(&self) -> String {
+        // lint:allow(L007) Policy::name runs at engine construction and in error reporting, never per event
         "Sequential-SRPT".to_string()
     }
 

@@ -73,6 +73,7 @@ impl Setf {
         let shares = group
             .iter()
             .map(|&i| jobs[i].curve().inverse_rate(rho).unwrap_or(m))
+            // lint:allow(L007) per-refresh policy scratch; the zero-alloc contract covers the engine's donated buffers, not policy-internal views (docs/PERF.md §6.2)
             .collect();
         (rho, shares)
     }
@@ -80,6 +81,7 @@ impl Setf {
 
 impl Policy for Setf {
     fn name(&self) -> String {
+        // lint:allow(L007) Policy::name runs at engine construction and in error reporting, never per event
         "SETF".to_string()
     }
 
@@ -100,6 +102,7 @@ impl Policy for Setf {
         let tol = TIE_TOL * min_elapsed.max(1.0);
         let group: Vec<usize> = (0..n)
             .filter(|&i| elapsed(&jobs[i]) <= min_elapsed + tol)
+            // lint:allow(L007) per-refresh policy scratch; the zero-alloc contract covers the engine's donated buffers, not policy-internal views (docs/PERF.md §6.2)
             .collect();
         let (rho, group_shares) = Self::equalize(m, jobs, &group);
         for (&i, &s) in group.iter().zip(&group_shares) {

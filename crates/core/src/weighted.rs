@@ -32,6 +32,7 @@ impl WeightedIntermediateSrpt {
 
 impl Policy for WeightedIntermediateSrpt {
     fn name(&self) -> String {
+        // lint:allow(L007) Policy::name runs at engine construction and in error reporting, never per event
         "W-Intermediate-SRPT".to_string()
     }
 
@@ -51,16 +52,19 @@ impl Policy for WeightedIntermediateSrpt {
         if n >= machines {
             // Highest density w/p(t) first; ties by (remaining, id) so the
             // unit-weight case reproduces Intermediate-SRPT exactly.
+            // lint:allow(L007) per-refresh policy scratch; the zero-alloc contract covers the engine's donated buffers, not policy-internal views (docs/PERF.md §6.2)
             let mut idx: Vec<usize> = (0..n).collect();
             idx.sort_by(|&a, &b| {
                 let da = jobs[a].spec.weight / jobs[a].remaining;
                 let db = jobs[b].spec.weight / jobs[b].remaining;
                 db.partial_cmp(&da)
+                    // lint:allow(L007) comparator on admission-validated finite densities; cannot fail at runtime
                     .expect("finite densities")
                     .then(
                         jobs[a]
                             .remaining
                             .partial_cmp(&jobs[b].remaining)
+                            // lint:allow(L007) comparator on admission-validated finite remaining work; cannot fail at runtime
                             .expect("finite remaining"),
                     )
                     .then(jobs[a].id().cmp(&jobs[b].id()))

@@ -1,0 +1,147 @@
+//! Reachability over the workspace call graph.
+//!
+//! A plain BFS from a root set, with two refinements the rules need:
+//! a *boundary* predicate (functions that are reachable but whose own
+//! calls are not followed — e.g. `Observer` instrumentation hooks that
+//! run outside the zero-alloc steady-state contract), and a parent map so
+//! `--explain` can print the shortest root → symbol call path.
+
+use std::collections::VecDeque;
+
+use crate::callgraph::CallGraph;
+
+/// Result of one reachability pass.
+#[derive(Debug)]
+pub struct Reach {
+    /// Whether each function (by id) is reachable from the root set.
+    pub reachable: Vec<bool>,
+    /// BFS parent of each reachable non-root function.
+    parent: Vec<Option<usize>>,
+    /// The roots the pass started from.
+    pub roots: Vec<usize>,
+}
+
+impl Reach {
+    /// BFS from `roots`. Functions matched by `boundary` are marked
+    /// reachable (a diagnostic can still anchor there) but their outgoing
+    /// edges are not followed.
+    pub fn compute(graph: &CallGraph, roots: &[usize], boundary: impl Fn(usize) -> bool) -> Self {
+        let n = graph.fns.len();
+        let mut reachable = vec![false; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut queue = VecDeque::new();
+        for &r in roots {
+            if r < n && !reachable[r] {
+                reachable[r] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            if boundary(u) {
+                continue;
+            }
+            for &v in &graph.edges[u] {
+                if !reachable[v] && !graph.fns[v].def.is_test {
+                    reachable[v] = true;
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        Self {
+            reachable,
+            parent,
+            roots: roots.to_vec(),
+        }
+    }
+
+    /// Whether function `id` is reachable.
+    pub fn contains(&self, id: usize) -> bool {
+        self.reachable.get(id).copied().unwrap_or(false)
+    }
+
+    /// The shortest call path root → … → `id` (function ids), or `None`
+    /// if `id` is unreachable.
+    pub fn path_to(&self, id: usize) -> Option<Vec<usize>> {
+        if !self.contains(id) {
+            return None;
+        }
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+            if path.len() > self.reachable.len() {
+                break; // cycle guard; cannot happen with a well-formed parent map
+            }
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Renders `path_to(id)` as `A::f -> B::g -> h`.
+    pub fn render_path(&self, graph: &CallGraph, id: usize) -> Option<String> {
+        let path = self.path_to(id)?;
+        Some(
+            path.iter()
+                .map(|&i| graph.fns[i].qual_name())
+                .collect::<Vec<_>>()
+                .join(" -> "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn graph(src: &str) -> CallGraph {
+        CallGraph::build(&[SourceFile::new("crates/x/src/lib.rs", src)])
+    }
+
+    #[test]
+    fn transitive_reachability_and_paths() {
+        let g = graph("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn island() {}\n");
+        let (a, c, island) = (g.lookup("a")[0], g.lookup("c")[0], g.lookup("island")[0]);
+        let r = Reach::compute(&g, &[a], |_| false);
+        assert!(r.contains(c));
+        assert!(!r.contains(island));
+        assert_eq!(r.render_path(&g, c).unwrap(), "a -> b -> c");
+        assert!(r.path_to(island).is_none());
+    }
+
+    #[test]
+    fn boundary_is_reachable_but_not_traversed() {
+        let g = graph("fn a() { hook(); }\nfn hook() { deep(); }\nfn deep() {}\n");
+        let (a, hook, deep) = (g.lookup("a")[0], g.lookup("hook")[0], g.lookup("deep")[0]);
+        let r = Reach::compute(&g, &[a], |i| i == hook);
+        assert!(r.contains(hook));
+        assert!(!r.contains(deep));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let g = graph("fn a() { b(); }\nfn b() { a(); }\n");
+        let a = g.lookup("a")[0];
+        let r = Reach::compute(&g, &[a], |_| false);
+        assert!(r.contains(g.lookup("b")[0]));
+        assert_eq!(r.render_path(&g, a).unwrap(), "a");
+    }
+
+    #[test]
+    fn test_functions_are_not_traversed() {
+        let g = graph(
+            "fn a() { b(); }\nfn b() {}\n#[cfg(test)]\nmod tests { fn t() { super::a(); } }\n",
+        );
+        let b = g.lookup("b")[0];
+        let t = g
+            .fns
+            .iter()
+            .position(|f| f.def.name == "t")
+            .expect("test fn indexed");
+        let r = Reach::compute(&g, &[g.lookup("a")[0]], |_| false);
+        assert!(r.contains(b));
+        assert!(!r.contains(t));
+    }
+}

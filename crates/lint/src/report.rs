@@ -6,6 +6,9 @@ use crate::rules::catalog;
 /// Human `file:line:col: RULE message` lines plus a summary footer.
 pub fn render_human(out: &LintOutcome) -> String {
     let mut s = String::new();
+    for e in &out.errors {
+        s.push_str(&format!("error: {e}\n"));
+    }
     for d in &out.violations {
         s.push_str(&format!(
             "{}:{}:{}: {} {}\n",
@@ -16,7 +19,8 @@ pub fn render_human(out: &LintOutcome) -> String {
         s.push_str(&format!("{}:{}:1: waiver {}\n", p.path, p.line, p.detail));
     }
     s.push_str(&format!(
-        "{} file{} analyzed: {} violation{}, {} waived, {} waiver problem{}\n",
+        "{} file{} analyzed: {} violation{}, {} waived, {} waiver problem{}, \
+         {} open call-graph edge{}\n",
         out.files,
         plural(out.files),
         out.violations.len(),
@@ -24,6 +28,8 @@ pub fn render_human(out: &LintOutcome) -> String {
         out.waived.len(),
         out.waiver_problems.len(),
         plural(out.waiver_problems.len()),
+        out.open_edges,
+        plural(out.open_edges),
     ));
     s
 }
@@ -58,7 +64,18 @@ pub fn render_json(out: &LintOutcome) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"schema\": \"parsched-lint/v1\",\n");
     s.push_str(&format!("  \"files\": {},\n", out.files));
-    s.push_str("  \"rules\": [\n");
+    s.push_str(&format!("  \"open_edges\": {},\n", out.open_edges));
+    // Fatal run errors: present (possibly empty) in every document, so an
+    // exit-2 run is structurally distinguishable from a clean empty one.
+    s.push_str("  \"errors\": [\n");
+    for (i, e) in out.errors.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\"{}\n",
+            esc(e),
+            if i + 1 < out.errors.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"rules\": [\n");
     let rules = catalog();
     for (i, r) in rules.iter().enumerate() {
         s.push_str(&format!(
@@ -112,4 +129,96 @@ pub fn render_json(out: &LintOutcome) -> String {
     }
     s.push_str("  ]\n}\n");
     s
+}
+
+/// One SARIF result object.
+fn sarif_result(
+    rule_id: &str,
+    level: &str,
+    message: &str,
+    path: &str,
+    line: u32,
+    col: u32,
+    justification: Option<&str>,
+) -> String {
+    let suppressions = match justification {
+        Some(j) => format!(
+            ",\n          \"suppressions\": [{{\"kind\": \"inSource\", \
+             \"justification\": \"{}\"}}]",
+            esc(j)
+        ),
+        None => String::new(),
+    };
+    format!(
+        "        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"{}\",\n          \
+         \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [{{\"physicalLocation\": \
+         {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \
+         \"startColumn\": {}}}}}}}]{}\n        }}",
+        esc(rule_id),
+        level,
+        esc(message),
+        esc(path),
+        line.max(1),
+        col.max(1),
+        suppressions
+    )
+}
+
+/// SARIF 2.1.0 output (stable rule ids, one run, one result per
+/// violation/waiver problem; waived diagnostics appear as suppressed
+/// `note` results so review UIs can show them without failing the check).
+/// Exit-code semantics are identical to the other formats — the renderer
+/// only changes the encoding.
+pub fn render_sarif(out: &LintOutcome) -> String {
+    let mut results: Vec<String> = Vec::new();
+    for d in &out.violations {
+        results.push(sarif_result(
+            d.rule, "error", &d.message, &d.path, d.line, d.col, None,
+        ));
+    }
+    for p in &out.waiver_problems {
+        results.push(sarif_result(
+            "waiver", "error", &p.detail, &p.path, p.line, 1, None,
+        ));
+    }
+    for (d, reason) in &out.waived {
+        results.push(sarif_result(
+            d.rule,
+            "note",
+            &d.message,
+            &d.path,
+            d.line,
+            d.col,
+            Some(reason),
+        ));
+    }
+    let rules = catalog();
+    let rule_objs: Vec<String> = rules
+        .iter()
+        .map(|r| {
+            format!(
+                "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+                r.id(),
+                esc(r.summary())
+            )
+        })
+        .collect();
+    let notifications: Vec<String> = out
+        .errors
+        .iter()
+        .map(|e| format!("            {{\"level\": \"error\", \"message\": {{\"text\": \"{}\"}}}}", esc(e)))
+        .collect();
+    format!(
+        "{{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {{\n      \"tool\": {{\n        \
+         \"driver\": {{\n          \"name\": \"parsched-lint\",\n          \
+         \"informationUri\": \"docs/LINTS.md\",\n          \"rules\": [\n{}\n          ]\n        \
+         }}\n      }},\n      \"invocations\": [\n        {{\n          \
+         \"executionSuccessful\": {},\n          \"toolExecutionNotifications\": [\n{}\n          \
+         ]\n        }}\n      ],\n      \"results\": [\n{}\n      ]\n    }}\n  ]\n}}\n",
+        rule_objs.join(",\n"),
+        out.errors.is_empty(),
+        notifications.join(",\n"),
+        results.join(",\n")
+    )
 }

@@ -9,23 +9,29 @@ use crate::engine::Workspace;
 use crate::source::SourceFile;
 use crate::Diagnostic;
 
+pub(crate) mod event_loop;
 mod float_eq;
 mod float_sum;
 mod hygiene;
 mod nondeterminism;
 mod pow_kernel;
 mod registry;
+pub(crate) mod snapshot_complete;
+pub(crate) mod taint;
 
+pub use event_loop::{event_loop_roots, EventLoopReachability};
 pub use float_eq::FloatEq;
 pub use float_sum::FloatSum;
 pub use hygiene::CrateHygiene;
 pub use nondeterminism::Nondeterminism;
 pub use pow_kernel::PowKernelRouting;
 pub use registry::RegistryComplete;
+pub use snapshot_complete::SnapshotComplete;
+pub use taint::DeterminismTaint;
 
 /// One static-analysis rule.
 pub trait Rule {
-    /// Stable id (`L001` … `L006`), the name waivers use.
+    /// Stable id (`L001` … `L009`), the name waivers use.
     fn id(&self) -> &'static str;
     /// One-line description for `--format json` and docs.
     fn summary(&self) -> &'static str;
@@ -42,6 +48,9 @@ pub fn catalog() -> Vec<Box<dyn Rule>> {
         Box::new(RegistryComplete),
         Box::new(CrateHygiene),
         Box::new(PowKernelRouting),
+        Box::new(EventLoopReachability),
+        Box::new(DeterminismTaint),
+        Box::new(SnapshotComplete),
     ]
 }
 

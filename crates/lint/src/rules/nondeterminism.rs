@@ -11,8 +11,10 @@ use crate::lex::TokenKind;
 use crate::rules::{diag_at, in_scope, Rule};
 use crate::Diagnostic;
 
-/// The crates whose code paths feed simulations.
-const SCOPE: &[&str] = &[
+/// The crates whose code paths feed simulations. Shared with L008, which
+/// treats the same forbidden set as a *reachability* sink: L002 scans
+/// these files token-locally, L008 follows calls that leave them.
+pub(crate) const SCOPE: &[&str] = &[
     "crates/simcore/src/",
     "crates/core/src/",
     "crates/workloads/src/",
@@ -26,8 +28,8 @@ const SCOPE: &[&str] = &[
     "crates/fleet/src/",
 ];
 
-/// (identifier, what is wrong with it).
-const BANNED: &[(&str, &str)] = &[
+/// (identifier, what is wrong with it). Shared with L008.
+pub(crate) const BANNED: &[(&str, &str)] = &[
     (
         "Instant",
         "wall-clock time in a simulation path; simulations are driven by the virtual clock \

@@ -1,0 +1,158 @@
+//! L008 — transitive determinism taint.
+//!
+//! L002 forbids wall clocks, entropy RNGs, and default-hasher collections
+//! *inside* the simulation crates, token-locally. That scan cannot see a
+//! helper in another crate that a sim path calls into: `simcore → analysis
+//! helper → Instant::now()` compiles clean, passes L002, and breaks trace
+//! replay. This rule closes the gap over the call graph: every function in
+//! an L002-scoped file is a root; every function reachable from those
+//! roots — wherever it lives — is scanned for the same forbidden set.
+//!
+//! Inside L002 scope the sink scan is skipped (L002 already reports there;
+//! one diagnostic per site, not two). The graph is conservative: method
+//! calls link every same-named workspace function, so a name collision can
+//! pull an unrelated function into the reachable set — such
+//! over-approximations carry inline waivers with the reason.
+
+use crate::engine::Workspace;
+use crate::lex::TokenKind;
+use crate::reach::Reach;
+use crate::rules::nondeterminism::{BANNED, SCOPE};
+use crate::rules::{diag_at, in_scope, Rule};
+use crate::Diagnostic;
+
+/// The L008 root set: every non-test function defined in an L002-scoped
+/// file (shared with `--explain`).
+pub(crate) fn sim_roots(ws: &Workspace) -> Vec<usize> {
+    let graph = ws.graph();
+    graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.def.is_test && in_scope(&ws.files[f.file].rel, SCOPE))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// The L008 rule value.
+pub struct DeterminismTaint;
+
+impl Rule for DeterminismTaint {
+    fn id(&self) -> &'static str {
+        "L008"
+    }
+
+    fn summary(&self) -> &'static str {
+        "nondeterminism (wall clock, entropy RNG, default-hasher map/set) reachable from a \
+         simulation path through calls that leave the L002-scoped crates"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let graph = ws.graph();
+        let roots = sim_roots(ws);
+        if roots.is_empty() {
+            return Vec::new();
+        }
+        let reach = Reach::compute(graph, &roots, |_| false);
+        let mut out = Vec::new();
+        for (id, f) in graph.fns.iter().enumerate() {
+            if !reach.contains(id) || f.def.is_test {
+                continue;
+            }
+            let file = &ws.files[f.file];
+            if in_scope(&file.rel, SCOPE) {
+                continue; // L002's territory — don't double-report.
+            }
+            let Some((start, end)) = f.def.body else {
+                continue;
+            };
+            let root = reach
+                .path_to(id)
+                .and_then(|p| p.first().map(|&r| graph.fns[r].qual_name()))
+                .unwrap_or_default();
+            for i in start..end.min(file.tokens.len()) {
+                if file.tokens[i].kind != TokenKind::Ident {
+                    continue;
+                }
+                let text = file.tok(i);
+                if let Some((_, why)) = BANNED.iter().find(|(name, _)| *name == text) {
+                    out.push(diag_at(
+                        file,
+                        i,
+                        self.id(),
+                        format!(
+                            "`{text}` in `{}` is reachable from simulation path `{root}` \
+                             (path: `parsched lint --explain L008 {}`): {why}",
+                            f.def.name, f.def.name
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{run, Workspace};
+    use crate::Diagnostic;
+
+    fn l008(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = Workspace::from_memory(files.iter().map(|(a, b)| (*a, *b)));
+        run(&ws)
+            .violations
+            .into_iter()
+            .filter(|d| d.rule == "L008")
+            .collect()
+    }
+
+    #[test]
+    fn taint_crosses_crate_boundaries() {
+        let v = l008(&[
+            (
+                "crates/simcore/src/lib.rs",
+                "pub fn simulate(seed: u64) -> u64 { jitter(seed) }\n",
+            ),
+            (
+                "crates/analysis/src/util.rs",
+                "pub fn jitter(seed: u64) -> u64 { let _t = Instant::now(); seed }\n\
+                 pub fn unreached() { let _t = SystemTime::now(); }\n",
+            ),
+        ]);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(v[0].message.contains("Instant"), "{}", v[0].message);
+        assert!(v[0].message.contains("simulate"), "{}", v[0].message);
+        assert_eq!(v[0].path, "crates/analysis/src/util.rs");
+    }
+
+    #[test]
+    fn sinks_inside_l002_scope_are_not_double_reported() {
+        // One `Instant` in a sim crate: exactly one L002 diagnostic and
+        // zero L008 diagnostics.
+        let ws = Workspace::from_memory([(
+            "crates/simcore/src/lib.rs",
+            "pub fn bad() { let _t = Instant::now(); }\n",
+        )]);
+        let out = run(&ws);
+        let l2 = out.violations.iter().filter(|d| d.rule == "L002").count();
+        let l8 = out.violations.iter().filter(|d| d.rule == "L008").count();
+        assert_eq!((l2, l8), (1, 0), "{:#?}", out.violations);
+    }
+
+    #[test]
+    fn use_statements_outside_bodies_do_not_fire() {
+        let v = l008(&[
+            (
+                "crates/simcore/src/lib.rs",
+                "pub fn simulate() -> u64 { clean_helper() }\n",
+            ),
+            (
+                "crates/analysis/src/util.rs",
+                "use std::time::Instant;\npub fn clean_helper() -> u64 { 7 }\n\
+                 pub fn timed_elsewhere() -> Instant { Instant::now() }\n",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+}

@@ -77,6 +77,47 @@ fn l006_fixture_trips_only_l006() {
 }
 
 #[test]
+fn l007_fixture_trips_only_l007() {
+    let out = fixture("l007");
+    assert_eq!(rules_hit(&out), vec!["L007"], "{:?}", out.violations);
+    // Non-donated push, local-buffer push, panic!, unchecked indexing —
+    // and NOT the EngineBuffers-donated `completed.push`.
+    assert_eq!(out.violations.len(), 4, "{:?}", out.violations);
+    let msgs: Vec<&str> = out.violations.iter().map(|d| d.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("panic!")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("indexing")), "{msgs:?}");
+    assert!(
+        msgs.iter().all(|m| m.contains("event-loop root")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn l008_fixture_trips_only_l008() {
+    let out = fixture("l008");
+    assert_eq!(rules_hit(&out), vec!["L008"], "{:?}", out.violations);
+    // `Instant` and `HashMap` in the reached helpers; the unreached
+    // `SystemTime` stays silent.
+    assert_eq!(out.violations.len(), 2, "{:?}", out.violations);
+    for d in &out.violations {
+        assert_eq!(d.path, "crates/analysis/src/util.rs", "{d}");
+        assert!(d.message.contains("simulation path"), "{d}");
+    }
+}
+
+#[test]
+fn l009_fixture_trips_only_l009() {
+    let out = fixture("l009");
+    assert_eq!(rules_hit(&out), vec!["L009"], "{:?}", out.violations);
+    // `Engine.peak` off both codec paths + `Srpt` snapshotting without
+    // restoring.
+    assert_eq!(out.violations.len(), 2, "{:?}", out.violations);
+    let msgs: Vec<&str> = out.violations.iter().map(|d| d.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("`Engine.peak`")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("restore_state")), "{msgs:?}");
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let out = fixture("clean");
     assert!(out.is_clean(), "{:?}", out.violations);

@@ -1,0 +1,6 @@
+//! Clean fixture, taint half: reached from the simulation path but fully
+//! deterministic — the passing half of L008.
+
+pub fn smooth(seed: u64) -> u64 {
+    seed.rotate_left(7) ^ 0x9e3779b97f4a7c15
+}

@@ -1,0 +1,81 @@
+//! Clean fixture, event-loop half: the loop mutates only
+//! EngineBuffers-donated state (L007), the snapshot codec references every
+//! participating field on both the render and parse paths (L009), and the
+//! policy round-trips its state in a snapshot/restore pair.
+
+pub struct JobArena {
+    remaining: Vec<f64>,
+}
+
+pub struct EngineBuffers {
+    jobs: JobArena,
+    completed: Vec<u64>,
+}
+
+pub struct Engine {
+    jobs: JobArena,
+    completed: Vec<u64>,
+    now: f64,
+}
+
+pub struct Snapshot {
+    now: f64,
+    done: u64,
+    work: Vec<f64>,
+}
+
+impl Engine {
+    pub fn run(&mut self) {
+        self.step();
+    }
+
+    pub fn step(&mut self) {
+        self.completed.push(7);
+        self.now = next_time(&self.jobs.remaining, self.now);
+    }
+
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            now: self.now,
+            done: self.completed.len() as u64,
+            work: self.jobs.remaining.clone(),
+        }
+    }
+
+    pub fn restore(&mut self, s: &Snapshot) {
+        self.now = s.now;
+        self.completed.clear();
+        self.completed.resize(s.done as usize, 0);
+        self.jobs.remaining.clear();
+        self.jobs.remaining.extend_from_slice(&s.work);
+    }
+}
+
+fn next_time(xs: &[f64], now: f64) -> f64 {
+    match xs.first() {
+        Some(head) => now.max(*head),
+        None => now,
+    }
+}
+
+pub trait Policy {
+    fn rank(&self) -> u64;
+}
+
+pub struct Fifo {
+    cursor: u64,
+}
+
+impl Policy for Fifo {
+    fn rank(&self) -> u64 {
+        self.cursor
+    }
+
+    fn snapshot_state(&self) -> u64 {
+        self.cursor
+    }
+
+    fn restore_state(&mut self, v: u64) {
+        self.cursor = v;
+    }
+}

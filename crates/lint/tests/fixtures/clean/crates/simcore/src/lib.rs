@@ -6,3 +6,9 @@
 pub fn count(sizes: &[u64]) -> u64 {
     sizes.iter().copied().sum::<u64>()
 }
+
+/// A simulation path that leaves the L002-scoped crates through a
+/// deterministic helper — the passing half of L008.
+pub fn simulate(seed: u64) -> u64 {
+    smooth(seed)
+}

@@ -1,0 +1,42 @@
+//! L007 fixture: panic and allocation sinks reachable from `Engine::run`.
+//! `completed.push` is exempt (EngineBuffers-donated state); the other
+//! four sites must each produce one diagnostic.
+
+pub struct JobArena {
+    remaining: Vec<f64>,
+}
+
+pub struct EngineBuffers {
+    jobs: JobArena,
+    completed: Vec<u64>,
+}
+
+pub struct Engine {
+    jobs: JobArena,
+    completed: Vec<u64>,
+    trace: Vec<u64>,
+}
+
+impl Engine {
+    pub fn run(&mut self) {
+        self.step();
+    }
+
+    pub fn step(&mut self) {
+        self.completed.push(1); // donated: exempt
+        self.trace.push(2); // not an EngineBuffers field: flags
+        grow();
+    }
+}
+
+fn grow() {
+    let mut log = Vec::new();
+    log.push(9u64); // local buffer: flags
+    if first(&log) == 0 {
+        panic!("empty event log"); // flags
+    }
+}
+
+fn first(xs: &[u64]) -> u64 {
+    xs[0] // unchecked indexing, not a donated lane: flags
+}

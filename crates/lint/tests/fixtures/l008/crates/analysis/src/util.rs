@@ -1,0 +1,19 @@
+//! L008 fixture, helper side: `crates/analysis` is outside L002's scope,
+//! so these sinks pass the token-local scan — only the call-graph taint
+//! pass sees that `simulate` reaches them. Two diagnostics.
+
+pub fn jitter(seed: u64) -> u64 {
+    let _t = Instant::now(); // flags: wall clock on a simulation path
+    seed ^ 0x9e3779b97f4a7c15
+}
+
+pub fn shuffle(seed: u64) -> u64 {
+    let mut m = HashMap::new(); // flags: default hasher is randomly seeded
+    m.insert(seed, 1u64);
+    seed.rotate_left(7)
+}
+
+pub fn unreached_clock() -> u64 {
+    let _t = SystemTime::now(); // never called from a sim path: silent
+    0
+}

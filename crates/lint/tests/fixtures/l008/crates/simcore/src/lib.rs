@@ -1,0 +1,8 @@
+//! L008 fixture, sim side: the simulation path itself is clean — the
+//! nondeterminism hides in a helper crate outside L002's scope.
+
+#![forbid(unsafe_code)]
+
+pub fn simulate(seed: u64) -> u64 {
+    shuffle(jitter(seed))
+}

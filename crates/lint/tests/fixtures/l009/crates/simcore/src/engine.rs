@@ -1,0 +1,39 @@
+//! L009 fixture: `Engine.peak` never reaches the codec (one diagnostic),
+//! and `Srpt` snapshots its state without restoring it (one diagnostic).
+
+pub struct Engine {
+    now: f64,
+    peak: u64, // flags: on neither the render nor the parse path
+}
+
+pub struct Snapshot {
+    now: f64,
+}
+
+impl Engine {
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { now: self.now }
+    }
+
+    pub fn restore(&mut self, s: &Snapshot) {
+        self.now = s.now;
+    }
+}
+
+pub trait Policy {
+    fn rank(&self) -> u64;
+}
+
+pub struct Srpt {
+    cursor: u64,
+}
+
+impl Policy for Srpt {
+    fn rank(&self) -> u64 {
+        self.cursor
+    }
+
+    fn snapshot_state(&self) -> u64 {
+        self.cursor // flags: no paired restore_state
+    }
+}

@@ -1,0 +1,55 @@
+//! Byte-level robustness for the lint front end, mirroring the jsonlite
+//! fuzz suite: the lexer and item parser consume arbitrary (often
+//! invalid) byte soup and must return — errors and nonsense items are
+//! fine, panics or hangs are the bug. The call-graph layers above only
+//! ever see `FileItems`, so front-end totality is what makes the whole
+//! pipeline safe to run on any tree the CLI is pointed at.
+
+use parsched_lint::parse::parse_items;
+use parsched_lint::SourceFile;
+use proptest::prelude::*;
+
+/// A real, representative workspace source: the lint's own lexer. Mutating
+/// genuine Rust exercises the interesting paths (raw strings, lifetimes,
+/// nested generics, char literals) far more often than uniform bytes do.
+const SEED_SOURCE: &str = include_str!("../src/lex.rs");
+
+/// Lex + parse and touch the results so nothing is optimized away.
+fn front_end_total(text: &str) -> usize {
+    let file = SourceFile::new("fuzz.rs", text);
+    let items = parse_items(&file);
+    items.fns.len() + items.structs.len() + file.tokens.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn lexer_and_parser_never_panic_on_random_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..512)
+    ) {
+        front_end_total(&String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn lexer_and_parser_never_panic_on_mutated_rust_source(
+        ops in proptest::collection::vec((0usize..16384, 0u8..=255, 0u8..4), 1..16)
+    ) {
+        let mut bytes = SEED_SOURCE.as_bytes().to_vec();
+        for (pos, byte, kind) in ops {
+            if bytes.is_empty() {
+                break;
+            }
+            let pos = pos % bytes.len();
+            match kind {
+                0 => bytes[pos] = byte,       // point corruption (split keywords, break escapes)
+                1 => bytes.truncate(pos),     // truncation (unterminated strings/blocks)
+                2 => bytes.insert(pos, byte), // insertion (stray delimiters)
+                _ => {
+                    bytes.remove(pos); // deletion (unbalanced braces)
+                }
+            }
+        }
+        front_end_total(&String::from_utf8_lossy(&bytes));
+    }
+}

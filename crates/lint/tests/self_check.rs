@@ -5,7 +5,8 @@
 
 use std::path::PathBuf;
 
-use parsched_lint::{lint_root, report::render_human};
+use parsched_lint::rules::event_loop_roots;
+use parsched_lint::{lint_root, report::render_human, Workspace};
 
 #[test]
 fn workspace_is_lint_clean() {
@@ -16,5 +17,41 @@ fn workspace_is_lint_clean() {
         out.is_clean(),
         "workspace lint failures:\n{}",
         render_human(&out)
+    );
+}
+
+/// L007's proof is only as good as its root set: if a rename or refactor
+/// drops an `Engine::run*` entry point out of the symbol index, the rule
+/// silently proves nothing about it. Resolve the roots over the real
+/// workspace and pin the coverage.
+#[test]
+fn l007_roots_cover_every_engine_entry_point() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root, &[]).expect("workspace readable");
+    let graph = ws.graph();
+    let roots: Vec<String> = event_loop_roots(graph)
+        .into_iter()
+        .map(|id| graph.fns[id].qual_name())
+        .collect();
+    for required in [
+        "Engine::run",
+        "Engine::run_reusing",
+        "Engine::run_streaming",
+        "Engine::run_streaming_reusing",
+        "Engine::step",
+    ] {
+        assert!(
+            roots.iter().any(|r| r == required),
+            "`{required}` missing from the L007 root set; roots resolved: {roots:?}"
+        );
+    }
+    // The queue and SRPT-set mutation surface is part of the proof too.
+    assert!(
+        roots.iter().any(|r| r.starts_with("SrptSet::")),
+        "no SrptSet mutation roots resolved: {roots:?}"
+    );
+    assert!(
+        roots.iter().any(|r| r.starts_with("CalendarQueue::")),
+        "no CalendarQueue roots resolved: {roots:?}"
     );
 }

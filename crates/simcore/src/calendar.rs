@@ -154,6 +154,7 @@ impl CalendarQueue {
     }
 
     fn insert(&mut self, time: f64, payload: u64) {
+        // lint:allow(L007) intentional loud failure: a NaN/infinite key would silently corrupt pop order; the engine never schedules one
         assert!(time.is_finite(), "event time must be finite, got {time}");
         let entry = Entry {
             time,
@@ -254,6 +255,7 @@ impl CalendarQueue {
         let bucket = &self.buckets[self.cursor];
         let mut best = 0;
         for (i, e) in bucket.iter().enumerate().skip(1) {
+            // lint:allow(L007) best indexes the bucket being scanned; in bounds by construction
             if cmp_entries(e, &bucket[best]) == std::cmp::Ordering::Less {
                 best = i;
             }
@@ -434,7 +436,9 @@ impl EventQueue {
     /// would corrupt pop order.
     pub fn insert(&mut self, time: f64, payload: u64) {
         match self {
+            // lint:allow(L007) delegates to CalendarQueue::insert, itself a checked root; name-collides with the std collection sink list
             EventQueue::Calendar(q) => q.insert(time, payload),
+            // lint:allow(L007) delegates to EventHeap::insert, itself a checked root; name-collides with the std collection sink list
             EventQueue::Heap(q) => q.insert(time, payload),
         }
     }

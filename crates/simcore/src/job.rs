@@ -126,11 +126,13 @@ impl Instance {
     pub(crate) fn from_admitted(mut jobs: Vec<JobSpec>) -> Self {
         let sorted = jobs
             .windows(2)
+            // lint:allow(L007) windows(2) yields exactly two elements per item
             .all(|w| (w[0].release, w[0].id) <= (w[1].release, w[1].id));
         if !sorted {
             jobs.sort_by(|a, b| {
                 a.release
                     .partial_cmp(&b.release)
+                    // lint:allow(L007) comparator on admission-validated finite releases; cannot fail at runtime
                     .expect("releases are finite")
                     .then(a.id.cmp(&b.id))
             });

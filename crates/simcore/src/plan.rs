@@ -175,6 +175,7 @@ impl AllocationPlan {
         if idx == 0 {
             return None;
         }
+        // lint:allow(L007) idx > 0 is established by the branch above and segments is non-empty; in bounds by construction
         let seg = &self.segments[idx - 1];
         (t < seg.end - EPS).then_some(seg)
     }
@@ -230,6 +231,7 @@ impl Policy for PlannedPolicy {
         shares.fill(0.0);
         match self.plan.segment_at(now) {
             Some(seg) => {
+                // lint:allow(L007) exhaustive-oracle planning arm, not the streaming steady-state path
                 let lookup: BTreeMap<JobId, f64> = seg.shares.iter().copied().collect();
                 for (i, job) in jobs.iter().enumerate() {
                     if let Some(&s) = lookup.get(&job.id()) {

@@ -39,6 +39,7 @@ impl Curve {
     ///
     /// Use [`Curve::try_power`] for fallible construction.
     pub fn power(alpha: f64) -> Self {
+        // lint:allow(L007) curve construction, not per-event evaluation; an out-of-range exponent is a programming error caught at build time
         Self::try_power(alpha).expect("power-law exponent must lie in [0, 1]")
     }
 
@@ -132,7 +133,9 @@ impl Curve {
                 // Walk segments; handle the extrapolated tail.
                 let pts = p.points();
                 for w in pts.windows(2) {
+                    // lint:allow(L007) windows(2) yields exactly two elements per item
                     let (x0, y0) = w[0];
+                    // lint:allow(L007) windows(2) yields exactly two elements per item
                     let (x1, y1) = w[1];
                     if r <= y1 {
                         if y1 == y0 {
@@ -141,7 +144,9 @@ impl Curve {
                         return Some(x0 + (x1 - x0) * (r - y0) / (y1 - y0));
                     }
                 }
+                // lint:allow(L007) piecewise curves carry >= 2 points, validated at construction
                 let (xa, ya) = pts[pts.len() - 2];
+                // lint:allow(L007) piecewise curves carry >= 2 points, validated at construction
                 let (xb, yb) = pts[pts.len() - 1];
                 let slope = (yb - ya) / (xb - xa);
                 if slope <= 0.0 {

@@ -438,7 +438,9 @@ impl PowKernel {
             * (-0.5
                 + q * (1.0 / 3.0 + q * (-0.25 + q * (0.2 + q * (-1.0 / 6.0 + q * (1.0 / 7.0))))));
         let ef = e as f64;
+        // lint:allow(L007) k comes from the 6-bit significand reduction above; always < the 65-entry table
         let (th, t_err) = two_sum(ef * LN2_HI, LN_TBL[k].0);
+        // lint:allow(L007) k comes from the 6-bit significand reduction above; always < the 65-entry table
         let lo0 = t_err + ef * LN2_LO + LN_TBL[k].1;
         let (lh, l_err) = two_sum(th, q);
         let lo = lo0 + l_err + w;

@@ -318,6 +318,7 @@ impl PhaseAdversary {
             s + self.family.phase_len(i) / 2.0,
             PendingEvent::Decision { phase: i },
         ));
+        // lint:allow(L007) adversary bookkeeping grows once per phase, not per event; adaptive sources are outside the zero-alloc contract
         self.phases.push(PhaseRecord::default());
         // Events are pushed in increasing time order: waves precede the
         // midpoint because j ≤ ⌊p_i/2⌋ − 1 < p_i/2.
@@ -340,6 +341,7 @@ impl PhaseAdversary {
     fn fresh_ids(&mut self, count: usize) -> Vec<JobId> {
         let start = self.next_id;
         self.next_id += count as u64;
+        // lint:allow(L007) fresh id batch per wave; adaptive sources are outside the zero-alloc contract
         (start..self.next_id).map(JobId).collect()
     }
 
@@ -368,32 +370,40 @@ impl ArrivalSource for PhaseAdversary {
             if t > view.now + 1e-9 * view.now.max(1.0) {
                 break;
             }
+            // lint:allow(L007) front() was checked non-empty by the loop condition just above
             let (t, ev) = self.queue.pop_front().expect("non-empty");
             match ev {
                 PendingEvent::Longs { phase } => {
                     let ids = self.fresh_ids(m / 2);
                     let len = self.family.phase_len(phase);
                     for &id in &ids {
+                        // lint:allow(L007) emission builds the returned batch; adaptive sources are outside the zero-alloc contract (the audited arm streams via StaticSource)
                         out.push(JobSpec::new(id, t, len, curve.clone()));
                     }
+                    // lint:allow(L007) phase indices are assigned from phases.len() at scheduling; in bounds by construction
                     self.phases[phase].long_ids = ids;
                 }
                 PendingEvent::Shorts { phase } => {
                     let ids = self.fresh_ids(m);
                     for &id in &ids {
+                        // lint:allow(L007) emission builds the returned batch; adaptive sources are outside the zero-alloc contract (the audited arm streams via StaticSource)
                         out.push(JobSpec::new(id, t, 1.0, curve.clone()));
                     }
+                    // lint:allow(L007) phase indices are in bounds by construction and wave bookkeeping grows per wave; adaptive sources are outside the zero-alloc contract
                     self.phases[phase].short_waves.push((t, ids));
                 }
                 PendingEvent::Decision { phase } => {
                     // Remaining short work of this phase in the online
                     // algorithm's queue.
+                    // lint:allow(L007) phase indices are assigned from phases.len() at scheduling; in bounds by construction
                     let shorts: std::collections::BTreeSet<JobId> = self.phases[phase]
                         .short_waves
                         .iter()
                         .flat_map(|(_, ids)| ids.iter().copied())
+                        // lint:allow(L007) midpoint debt set is rebuilt per wave; adaptive sources are outside the zero-alloc contract
                         .collect();
                     let debt = view.remaining_work_where(|j| shorts.contains(&j.id()));
+                    // lint:allow(L007) midpoint debt grows per wave; adaptive sources are outside the zero-alloc contract
                     self.midpoint_debt.push(debt);
                     if debt >= self.family.threshold() {
                         self.start_part2(t, StoppingCase::MidPhase { phase });
@@ -407,8 +417,10 @@ impl ArrivalSource for PhaseAdversary {
                 PendingEvent::StreamWave => {
                     let ids = self.fresh_ids(m);
                     for &id in &ids {
+                        // lint:allow(L007) emission builds the returned batch; adaptive sources are outside the zero-alloc contract (the audited arm streams via StaticSource)
                         out.push(JobSpec::new(id, t, 1.0, curve.clone()));
                     }
+                    // lint:allow(L007) stream bookkeeping grows per wave; adaptive sources are outside the zero-alloc contract
                     self.stream.push((t, ids));
                 }
             }

@@ -97,6 +97,7 @@ impl ArrivalSource for PoissonSource {
         let tol = release_tol(view.now);
         while let Some(j) = &self.next {
             if j.release <= view.now + tol {
+                // lint:allow(L007) next.is_some() was checked by the branch guard just above
                 out.push(self.next.take().expect("checked above"));
                 self.next = self.generate_next();
             } else {
