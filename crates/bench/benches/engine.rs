@@ -297,6 +297,60 @@ fn engine_sweep_pool(c: &mut Criterion) {
     g.finish();
 }
 
+fn engine_hotpath(c: &mut Criterion) {
+    // Monomorphized fast loop vs the generic `step()` control arm, same
+    // binary and fixtures: the specialized-vs-generic ratio is readable
+    // from one report (docs/PERF.md §8). The two arms compute
+    // bit-identical results (tests/engine_fastpath_differential.rs), so
+    // any gap is pure dispatch/bookkeeping.
+    let m = 8.0;
+    let mut g = c.benchmark_group("engine/hotpath");
+    g.sample_size(20);
+    for (label, inst) in [
+        ("stable-1e4", poisson_fixture(10_000, 0.9, m)),
+        ("stable-1e5", poisson_fixture(100_000, 0.9, m)),
+        ("overload-1e4", overload_fixture(10_000, m)),
+        ("mixed-1e4", mixed_alpha_fixture(10_000, 0.9, m)),
+    ] {
+        g.throughput(Throughput::Elements(inst.jobs().len() as u64));
+        for (arm, fast) in [("fast", true), ("generic", false)] {
+            g.bench_with_input(BenchmarkId::new(arm, label), &inst, |b, inst| {
+                b.iter(|| {
+                    let cfg = EngineConfig::new(m).with_fast_loop(fast);
+                    black_box(
+                        timed_run_cfg(black_box(inst), &mut IntermediateSrpt::new(), cfg)
+                            .total_flow,
+                    )
+                })
+            });
+        }
+        // With the `hotpath` feature, append the per-phase breakdown for
+        // both arms — the microbench view of where the event loop spends
+        // its time. Stamping adds clock reads per phase, so these numbers
+        // compare phases between arms; the criterion rows above are the
+        // wall-clock of record.
+        #[cfg(feature = "hotpath")]
+        for (arm, fast) in [("fast", true), ("generic", false)] {
+            use parsched_sim::{Engine, NullObserver, StaticSource};
+            let cfg = EngineConfig::new(m)
+                .with_fast_loop(fast)
+                .with_hotpath_profile(true);
+            let mut policy = IntermediateSrpt::new();
+            let mut src = StaticSource::new(&inst);
+            let mut obs = NullObserver;
+            let mut eng = Engine::new(cfg, &mut policy, &mut src, &mut obs);
+            eng.run_loop().expect("profiled run");
+            let hp = eng.hotpath_totals();
+            let (queue, refresh, metrics, dispatch) = hp.per_event();
+            eprintln!(
+                "engine/hotpath/{arm}/{label} phases (ns/event): queue {queue:.1}, \
+                 refresh {refresh:.1}, metrics {metrics:.1}, dispatch {dispatch:.1}"
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     engine_scaling_n,
@@ -308,6 +362,7 @@ criterion_group!(
     engine_scaling_m,
     planned_schedule_replay,
     plan_from_tracks,
-    engine_sweep_pool
+    engine_sweep_pool,
+    engine_hotpath
 );
 criterion_main!(benches);

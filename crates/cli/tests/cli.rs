@@ -500,7 +500,13 @@ fn lint_unreadable_root_exits_2_with_structured_errors() {
     // Exit 2 must be structurally distinguishable from a clean empty run:
     // the JSON document carries a non-empty `errors` array.
     let out = bin()
-        .args(["lint", "--root", "/nonexistent-parsched-root", "--format", "json"])
+        .args([
+            "lint",
+            "--root",
+            "/nonexistent-parsched-root",
+            "--format",
+            "json",
+        ])
         .output()
         .expect("lint");
     assert_eq!(out.status.code(), Some(2));
@@ -530,7 +536,11 @@ fn lint_explain_traces_a_reachability_path() {
         ])
         .output()
         .expect("lint");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).expect("utf8");
     // `step` is itself a root, so the shortest witness starts there.
     assert!(text.contains("Engine::step -> grow -> first"), "{text}");

@@ -53,6 +53,12 @@ impl Policy for SequentialSrpt {
         AllocationStability::SrptPrefix
     }
 
+    fn event_hooks_are_noop(&self) -> bool {
+        // Stateless between decisions: both event hooks are the empty
+        // defaults, so the fast loop may elide the per-event calls.
+        true
+    }
+
     fn srpt_ordered(&self) -> bool {
         true
     }

@@ -423,7 +423,11 @@ mod tests {
              impl Eng { fn step(&self) { self.policy.go(); } }\n",
         )]);
         let step = g.lookup("Eng::step")[0];
-        assert_eq!(g.resolved[step][0].targets.len(), 3, "trait decl + both impls");
+        assert_eq!(
+            g.resolved[step][0].targets.len(),
+            3,
+            "trait decl + both impls"
+        );
     }
 
     #[test]

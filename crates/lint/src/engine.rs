@@ -240,18 +240,24 @@ pub fn explain(ws: &Workspace, rule: &str, symbol: &str) -> Result<String, Strin
                 let at = format!("{} ({})", f.qual_name(), ws.files[f.file].rel);
                 match reach.render_path(graph, id) {
                     Some(path) => {
-                        s.push_str(&format!("{rule}: {at}\n  reachable from {label} via:\n  {path}\n"));
+                        s.push_str(&format!(
+                            "{rule}: {at}\n  reachable from {label} via:\n  {path}\n"
+                        ));
                     }
-                    None => s.push_str(&format!("{rule}: {at}\n  not reachable from any {label}\n")),
+                    None => {
+                        s.push_str(&format!("{rule}: {at}\n  not reachable from any {label}\n"))
+                    }
                 }
             }
             Ok(s)
         }
         "L009" => {
             let Some((render, parse)) = snapshot_complete::coverage(ws) else {
-                return Err("workspace has no parsched-snap/v1 codec (no Engine::snapshot / \
+                return Err(
+                    "workspace has no parsched-snap/v1 codec (no Engine::snapshot / \
                             Snapshot::to_value roots)"
-                    .to_string());
+                        .to_string(),
+                );
             };
             let structs = graph.structs_named(symbol);
             if structs.is_empty() {
@@ -267,8 +273,16 @@ pub fn explain(ws: &Workspace, rule: &str, symbol: &str) -> Result<String, Strin
                     s.push_str(&format!(
                         "  {:24} {} / {}\n",
                         field.name,
-                        if render.contains(&field.name) { "yes" } else { "MISSING" },
-                        if parse.contains(&field.name) { "yes" } else { "MISSING" },
+                        if render.contains(&field.name) {
+                            "yes"
+                        } else {
+                            "MISSING"
+                        },
+                        if parse.contains(&field.name) {
+                            "yes"
+                        } else {
+                            "MISSING"
+                        },
                     ));
                 }
             }

@@ -682,6 +682,37 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// The code index just past a balanced `<…>` group opening at `open`
+    /// (which must be `<`), or `None` if the group hits a token that
+    /// cannot appear inside a turbofish argument list before closing.
+    /// `>>` closes two levels (the lexer folds nested closers like
+    /// `Vec<Vec<u8>>` into one shift token).
+    fn angle_close(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut k = open;
+        while k < self.len() {
+            match self.txt(k) {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k + 1);
+                    }
+                }
+                ">>" => {
+                    depth -= 2;
+                    if depth <= 0 {
+                        return Some(k + 1);
+                    }
+                }
+                "(" | ")" | "{" | "}" | ";" | "&&" | "||" => return None,
+                _ => {}
+            }
+            k += 1;
+        }
+        None
+    }
+
     /// Records a call-shaped expression at code index `i` into the
     /// innermost enclosing fn (if any). Returns whether one was recorded.
     fn record_call(&mut self, i: usize) {
@@ -717,6 +748,19 @@ impl<'a> Parser<'a> {
             } else {
                 return;
             };
+            // `name::<T, …>(…)` — a turbofish call. The `::<` belongs to
+            // the argument list, not a path segment, so when the balanced
+            // `<…>` closes directly onto `(` this classifies exactly like
+            // the plain `name(…)` shape below. Without this, const-generic
+            // helpers invoked as `self.helper::<true>()` (the engine's
+            // monomorphized fast-loop cores) would fall out of the call
+            // graph and look unreachable to L007/L008.
+            let turbofish_call = next == "::"
+                && i + 2 < self.len()
+                && self.txt(i + 2) == "<"
+                && self
+                    .angle_close(i + 2)
+                    .is_some_and(|j| j < self.len() && self.txt(j) == "(");
             if next == "!" {
                 let after = if i + 2 < self.len() {
                     self.txt(i + 2)
@@ -731,10 +775,14 @@ impl<'a> Parser<'a> {
                     kind: CallKind::Macro(t),
                     receiver: None,
                 }
-            } else if next == "(" {
+            } else if next == "(" || turbofish_call {
                 let prev = if i > 0 { self.txt(i - 1) } else { "" };
                 if prev == "." {
-                    let receiver = if i >= 2 { self.receiver_before(i - 2) } else { None };
+                    let receiver = if i >= 2 {
+                        self.receiver_before(i - 2)
+                    } else {
+                        None
+                    };
                     CallSite {
                         tok: self.orig(i),
                         kind: CallKind::Method(t),
@@ -803,7 +851,11 @@ impl<'a> Parser<'a> {
                     while j < self.len() && !matches!(self.txt(j), "{" | "(" | "[") {
                         j += 1;
                     }
-                    i = if j < self.len() { self.skip_group(j) } else { j };
+                    i = if j < self.len() {
+                        self.skip_group(j)
+                    } else {
+                        j
+                    };
                 }
                 "{" => {
                     self.open_scope(ScopeKind::Block);
@@ -901,6 +953,44 @@ mod tests {
             CallKind::Qualified { root, .. } => assert_eq!(root, "std"),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn turbofish_calls_are_recorded() {
+        let it = items(
+            "fn f(&mut self) {\n\
+                 self.admit_core::<true, false, NOTIFY>();\n\
+                 run_fast_loop::<false>();\n\
+                 parse::<Vec<Vec<u8>>>(s);\n\
+                 Wrapper::lift::<u32>(x);\n\
+                 let small = a < b;\n\
+             }\n",
+        );
+        let f = &it.fns[0];
+        let admit = f
+            .calls
+            .iter()
+            .find(|c| c.kind.name() == "admit_core")
+            .expect("const-generic method turbofish records a call");
+        assert!(matches!(&admit.kind, CallKind::Method(_)));
+        assert!(
+            f.calls
+                .iter()
+                .any(|c| c.kind.name() == "run_fast_loop" && matches!(&c.kind, CallKind::Plain(_))),
+            "plain turbofish call recorded"
+        );
+        assert!(
+            f.calls.iter().any(|c| c.kind.name() == "parse"),
+            "nested generics with a folded `>>` closer still resolve"
+        );
+        assert!(
+            f.calls
+                .iter()
+                .any(|c| matches!(&c.kind, CallKind::Qualified { name, .. } if name == "lift")),
+            "qualified turbofish call keeps its path"
+        );
+        // A bare comparison must not be mistaken for a turbofish.
+        assert!(!f.calls.iter().any(|c| c.kind.name() == "b"));
     }
 
     #[test]

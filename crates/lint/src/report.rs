@@ -206,7 +206,12 @@ pub fn render_sarif(out: &LintOutcome) -> String {
     let notifications: Vec<String> = out
         .errors
         .iter()
-        .map(|e| format!("            {{\"level\": \"error\", \"message\": {{\"text\": \"{}\"}}}}", esc(e)))
+        .map(|e| {
+            format!(
+                "            {{\"level\": \"error\", \"message\": {{\"text\": \"{}\"}}}}",
+                esc(e)
+            )
+        })
         .collect();
     format!(
         "{{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \

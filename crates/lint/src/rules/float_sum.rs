@@ -14,7 +14,11 @@ use crate::source::SourceFile;
 use crate::Diagnostic;
 
 /// Paths whose accumulations are flow/metric arithmetic.
-const SCOPE: &[&str] = &["crates/simcore/src/", "crates/analysis/src/", "crates/fleet/src/"];
+const SCOPE: &[&str] = &[
+    "crates/simcore/src/",
+    "crates/analysis/src/",
+    "crates/fleet/src/",
+];
 
 /// The compensated-summation helpers themselves (and their tests) are the
 /// one place raw accumulation is the point.

@@ -19,7 +19,11 @@ use crate::Diagnostic;
 /// Crates whose non-test code sits on the per-event hot path. The
 /// `speedup` crate is deliberately absent: it *implements* the kernel,
 /// so raw `powf` is its job.
-const SCOPE: &[&str] = &["crates/simcore/src/", "crates/core/src/", "crates/fleet/src/"];
+const SCOPE: &[&str] = &[
+    "crates/simcore/src/",
+    "crates/core/src/",
+    "crates/fleet/src/",
+];
 
 /// The L006 rule value.
 pub struct PowKernelRouting;

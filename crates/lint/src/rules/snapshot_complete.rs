@@ -250,7 +250,8 @@ impl Policy for Srpt {
 
     #[test]
     fn inert_without_a_codec() {
-        let v = l009("pub struct Engine { hidden: u64 }\nimpl Engine { pub fn run(&mut self) {} }\n");
+        let v =
+            l009("pub struct Engine { hidden: u64 }\nimpl Engine { pub fn run(&mut self) {} }\n");
         assert!(v.is_empty(), "{v:#?}");
     }
 }

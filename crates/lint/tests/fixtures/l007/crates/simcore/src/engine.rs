@@ -1,6 +1,8 @@
-//! L007 fixture: panic and allocation sinks reachable from `Engine::run`.
+//! L007 fixture: panic and allocation sinks reachable from `Engine::run`
+//! and from the monomorphized `Engine::run_fast_loop` root (reached only
+//! through a const-generic turbofish call, which the parser must record).
 //! `completed.push` is exempt (EngineBuffers-donated state); the other
-//! four sites must each produce one diagnostic.
+//! five sites must each produce one diagnostic.
 
 pub struct JobArena {
     remaining: Vec<f64>,
@@ -22,6 +24,14 @@ impl Engine {
         self.step();
     }
 
+    pub fn run_loop(&mut self) {
+        self.run_fast_loop::<true>();
+    }
+
+    fn run_fast_loop<const V: bool>(&mut self) {
+        guard_capacity::<u64>(self.trace.len());
+    }
+
     pub fn step(&mut self) {
         self.completed.push(1); // donated: exempt
         self.trace.push(2); // not an EngineBuffers field: flags
@@ -39,4 +49,9 @@ fn grow() {
 
 fn first(xs: &[u64]) -> u64 {
     xs[0] // unchecked indexing, not a donated lane: flags
+}
+
+fn guard_capacity<T>(n: usize) {
+    // Reachable only via `run_fast_loop`'s turbofish call: flags.
+    assert!(n < 1_000_000, "arena overflow");
 }

@@ -38,6 +38,8 @@ fn l007_roots_cover_every_engine_entry_point() {
         "Engine::run_reusing",
         "Engine::run_streaming",
         "Engine::run_streaming_reusing",
+        "Engine::run_loop",
+        "Engine::run_fast_loop",
         "Engine::step",
     ] {
         assert!(

@@ -91,6 +91,22 @@ pub struct EngineConfig {
     /// `(time, insertion)` order, so runs are bit-identical across the
     /// flag — which is exactly what the queue-differential tests check.
     pub event_queue: EventQueueKind,
+    /// Whether the `run*` finalizers may use the monomorphized fast event
+    /// loop ([`Engine::run_loop`]): a fused dispatch loop for the
+    /// incremental path with the per-event `dyn` calls, admission
+    /// re-validation, and event-queue bookkeeping hoisted out, plus a
+    /// per-`n` memo of the policy's prefix profile. Bit-identical to the
+    /// generic `step()` loop (the differential suite pins this); `false`
+    /// keeps the generic loop as the control arm, like
+    /// [`EngineConfig::with_full_reassign`] does for the exhaustive path.
+    pub fast_loop: bool,
+    /// Runtime switch for the per-phase hot-path profiler (only
+    /// meaningful when the crate is built with the `hotpath` feature;
+    /// inert otherwise). When on, the event loops accumulate wall-clock
+    /// nanoseconds per phase (queue/refresh/metrics/dispatch) — see
+    /// [`Engine::hotpath_report`]. Leave off for headline measurements:
+    /// the timestamping itself costs tens of ns per event.
+    pub hotpath_profile: bool,
 }
 
 /// Selector for the engine's future-event queue arm — see
@@ -118,6 +134,8 @@ impl EngineConfig {
             streaming: false,
             pow_kernel: true,
             event_queue: EventQueueKind::Calendar,
+            fast_loop: true,
+            hotpath_profile: false,
         }
     }
 
@@ -171,6 +189,45 @@ impl EngineConfig {
         self.event_queue = event_queue;
         self
     }
+
+    /// Enables (or, for the differential control arm, disables) the
+    /// monomorphized fast event loop — see [`EngineConfig::fast_loop`].
+    pub fn with_fast_loop(mut self, fast_loop: bool) -> Self {
+        self.fast_loop = fast_loop;
+        self
+    }
+
+    /// Enables the per-phase hot-path profiler — see
+    /// [`EngineConfig::hotpath_profile`].
+    pub fn with_hotpath_profile(mut self, hotpath_profile: bool) -> Self {
+        self.hotpath_profile = hotpath_profile;
+        self
+    }
+}
+
+// Phase accounting for the hot-path profiler: wraps one phase's work and
+// charges its wall-clock duration to the named `PhaseTotals` slot when the
+// feature is compiled in *and* the runtime flag is armed. Compiles to the
+// bare body otherwise.
+#[cfg(feature = "hotpath")]
+macro_rules! hp_phase {
+    ($self:ident, $slot:ident, $body:expr) => {{
+        if $self.cfg.hotpath_profile {
+            let __hp_t0 = crate::hotpath::stamp();
+            let __hp_r = $body;
+            $self.hotpath.$slot += crate::hotpath::ns_since(__hp_t0);
+            __hp_r
+        } else {
+            $body
+        }
+    }};
+}
+#[cfg(not(feature = "hotpath"))]
+macro_rules! hp_phase {
+    ($self:ident, $slot:ident, $body:expr) => {{
+        let _ = stringify!($slot);
+        $body
+    }};
 }
 
 // The event queue holds only the *arrival timeline*: wakeups whose times
@@ -447,6 +504,37 @@ enum IntervalKind {
     Scan,
 }
 
+/// One slot of the fast loop's per-`n` allocation memo. The
+/// [`PrefixAllocation`] contract makes the policy's profile a pure
+/// function of `(n_alive, m)` (see [`crate::policy`]), and `m` is fixed
+/// per run, so the *validated* `(count, share)` pair for each alive count
+/// can be computed once and replayed — the delta-allocation refresh. The
+/// slot also memoizes the uniform-interval drain rate for one kernel
+/// class at this `n`: same class ⇒ bit-identical kernel ⇒ bit-identical
+/// `speed·Γ_c(share)`, so replaying it is exact, not approximate.
+#[derive(Debug, Clone, Copy)]
+struct CachedProfile {
+    /// Validated prefix count, or `u32::MAX` while the slot is empty.
+    count: u32,
+    /// Kernel class whose uniform rate is memoized in `rate`, or
+    /// `CLASS_CURVE` (which `rate_cached`-eligible classes can never
+    /// equal) while no rate is memoized.
+    rate_class: u32,
+    /// Validated (clamped) prefix share.
+    share: f64,
+    /// Memoized `speed·Γ_{rate_class}(share)`.
+    rate: f64,
+}
+
+impl CachedProfile {
+    const EMPTY: Self = Self {
+        count: u32::MAX,
+        rate_class: CLASS_CURVE,
+        share: 0.0,
+        rate: 0.0,
+    };
+}
+
 /// The simulation engine. See the crate docs for the architecture and
 /// [`simulate`] for the one-call entry point.
 pub struct Engine<'a> {
@@ -473,6 +561,11 @@ pub struct Engine<'a> {
     profile: PrefixAllocation,
     /// Incremental path: drain shape of the current interval.
     interval: IntervalKind,
+    /// Fast loop only: per-`n` memo of the validated prefix profile and
+    /// uniform rate, indexed by alive count (slot 0 unused). O(peak
+    /// alive) — same order as the SRPT set itself.
+    // lint:allow(L009) pure memo of the policy's (n, m)-pure prefix profile; a cold cache re-derives every entry bit-identically
+    profile_cache: Vec<CachedProfile>,
     /// Incremental path: the interval's precomputed next completion time.
     /// Absolute, so it stays valid across partial `advance_to` calls (for
     /// `Uniform` intervals the front's `now + rem/rate` is invariant under
@@ -533,6 +626,11 @@ pub struct Engine<'a> {
     admitted: usize,
     /// High-water mark of the alive set.
     peak_alive: usize,
+    /// Per-phase wall-clock totals (see [`crate::hotpath`]); pure
+    /// diagnostics, armed by [`EngineConfig::hotpath_profile`].
+    #[cfg(feature = "hotpath")]
+    // lint:allow(L009) profiler diagnostics, not run state; deliberately not captured (like the audit layer)
+    hotpath: crate::hotpath::PhaseTotals,
 }
 
 /// The engine's heap-backed working state, detached from any run.
@@ -564,6 +662,7 @@ pub struct EngineBuffers {
     free: Vec<usize>,
     sink: StreamingMetrics,
     equeue: EventQueue,
+    profile_cache: Vec<CachedProfile>,
 }
 
 impl EngineBuffers {
@@ -586,6 +685,7 @@ impl EngineBuffers {
         self.free.clear();
         self.sink.reset();
         self.equeue.clear();
+        self.profile_cache.clear();
     }
 }
 
@@ -683,6 +783,7 @@ impl<'a> Engine<'a> {
                 share: 0.0,
             },
             interval: IntervalKind::Idle,
+            profile_cache: bufs.profile_cache,
             next_completion: None,
             next_arrival,
             equeue,
@@ -705,6 +806,8 @@ impl<'a> Engine<'a> {
             free: bufs.free,
             admitted: 0,
             peak_alive: 0,
+            #[cfg(feature = "hotpath")]
+            hotpath: crate::hotpath::PhaseTotals::ZERO,
         }
     }
 
@@ -739,6 +842,7 @@ impl<'a> Engine<'a> {
             share: 0.0,
         };
         self.interval = IntervalKind::Idle;
+        self.profile_cache.clear();
         self.next_completion = None;
         self.equeue.clear();
         debug_assert_eq!(self.equeue.len(), 0);
@@ -765,6 +869,10 @@ impl<'a> Engine<'a> {
         self.free.clear();
         self.admitted = 0;
         self.peak_alive = 0;
+        #[cfg(feature = "hotpath")]
+        {
+            self.hotpath = crate::hotpath::PhaseTotals::ZERO;
+        }
     }
 
     /// Tears the engine down to its reusable buffers (cleared, capacity
@@ -784,6 +892,7 @@ impl<'a> Engine<'a> {
             free: std::mem::take(&mut self.free),
             sink: std::mem::take(&mut self.sink),
             equeue: std::mem::take(&mut self.equeue),
+            profile_cache: std::mem::take(&mut self.profile_cache),
         }
     }
 
@@ -819,6 +928,15 @@ impl<'a> Engine<'a> {
     /// `docs/PERF.md` §4).
     pub fn coalesced_steps(&self) -> u64 {
         self.coalesced
+    }
+
+    /// The hot-path profiler's accumulated per-phase totals (only under
+    /// the `hotpath` feature; all-zero unless
+    /// [`EngineConfig::hotpath_profile`] was armed). Read before
+    /// finalizing — the finalizers consume the engine.
+    #[cfg(feature = "hotpath")]
+    pub fn hotpath_totals(&self) -> crate::hotpath::PhaseTotals {
+        self.hotpath
     }
 
     /// Remaining work of a job: `Some(0.0)` once completed, `None` if the
@@ -1202,6 +1320,26 @@ impl<'a> Engine<'a> {
     /// the job arena — the seed engine cloned each spec twice here, which
     /// dominated arrival cost for jobs with piecewise curves.
     fn admit_due_arrivals(&mut self) -> Result<bool, SimError> {
+        self.admit_core::<true, true, true, true>()
+    }
+
+    /// Admission core, monomorphized per caller (see [`Engine::run_loop`]):
+    /// `VALIDATE` gates the per-spec invariant checks (elided when the
+    /// source [`ArrivalSource::pre_validated`]s its stream), `NOTIFY` the
+    /// observer announcement (elided when [`Observer::is_noop`]), `EQUEUE`
+    /// the event-queue bookkeeping (elided by the fast loop, which reads
+    /// the cached `next_arrival` directly and never touches the queue),
+    /// and `PHOOKS` the [`Policy::on_arrival`] notification (elided when
+    /// [`Policy::event_hooks_are_noop`]). The `<true, true, true, true>`
+    /// instantiation *is* the generic engine's admission path, unchanged.
+    fn admit_core<
+        const VALIDATE: bool,
+        const NOTIFY: bool,
+        const EQUEUE: bool,
+        const PHOOKS: bool,
+    >(
+        &mut self,
+    ) -> Result<bool, SimError> {
         let mut any = false;
         let mut rounds = 0u32;
         while let Some(t) = self.next_arrival {
@@ -1272,7 +1410,9 @@ impl<'a> Engine<'a> {
             // Validate up front, mirroring `Instance::new`'s invariants —
             // admission is the single validation point, which lets the
             // outcome instance be rebuilt without a second O(n) pass.
-            for (i, spec) in batch.iter().enumerate() {
+            // (Skipped when the source pre-validates: its specs already
+            // satisfy exactly these invariants, so the checks cannot fire.)
+            for (i, spec) in batch.iter().enumerate().filter(|_| VALIDATE) {
                 if !spec.release.is_finite() || spec.release < 0.0 {
                     return Err(SimError::BadInstance {
                         // lint:allow(L007) error construction: a failed admission validation terminates the run
@@ -1311,7 +1451,9 @@ impl<'a> Engine<'a> {
                     });
                 }
             }
-            self.observer.on_arrivals(self.now, &batch);
+            if NOTIFY {
+                self.observer.on_arrivals(self.now, &batch);
+            }
             for spec in batch.drain(..) {
                 // Streaming mode recycles retired slots so the arena stays
                 // O(peak alive). The arena index is *not* part of any
@@ -1357,7 +1499,9 @@ impl<'a> Engine<'a> {
                 }
             }
             self.scratch_batch = batch;
-            self.policy.on_arrival(self.now, self.num_alive());
+            if PHOOKS {
+                self.policy.on_arrival(self.now, self.num_alive());
+            }
             self.peak_alive = self.peak_alive.max(self.num_alive());
             any = true;
         }
@@ -1366,7 +1510,7 @@ impl<'a> Engine<'a> {
             // candidate and queue the new wakeup (older entries go
             // stale and are lazily discarded at the queue front).
             self.arr_gen += 1;
-            if self.mode == ExecMode::Incremental {
+            if EQUEUE && self.mode == ExecMode::Incremental {
                 // The superseded wakeup is the queue minimum (its time
                 // was just admitted, hence ≤ now): retire it eagerly so
                 // the queue holds exactly the live arrival timeline. The
@@ -1496,6 +1640,134 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
+    /// Delta-allocation refresh for the fast loop: like
+    /// [`Engine::refresh_profile`], but the validated `(count, share)`
+    /// pair is replayed from the per-`n` memo instead of re-querying the
+    /// policy through `dyn` dispatch and re-validating the answer on
+    /// every event. The [`PrefixAllocation`] contract makes the profile a
+    /// pure function of `(n_alive, m)` with `m` fixed per run, and the
+    /// clamping/feasibility pipeline applied to it is deterministic, so
+    /// caching the *validated* result is exact — a memo miss (first time
+    /// this alive count is seen) runs the full query + validation and
+    /// fills the slot. Uniform-interval rates are likewise memoized per
+    /// `(n, kernel class)`: same class ⇒ bit-identical kernel ⇒
+    /// bit-identical `speed·Γ_c(share)`. Everything downstream of the
+    /// profile (rebase, rebalance, interval classification, next
+    /// completion) is the same arithmetic in the same order as
+    /// [`Engine::refresh_profile`].
+    #[inline]
+    fn refresh_profile_fast(&mut self) -> Result<(), SimError> {
+        self.quantum_deadline = None;
+        self.next_completion = None;
+        let n = self.srpt.len();
+        if n == 0 {
+            self.interval = IntervalKind::Idle;
+            self.alloc_fresh = true;
+            return Ok(());
+        }
+        if self.profile_cache.len() <= n {
+            self.profile_cache.resize(n + 1, CachedProfile::EMPTY);
+        }
+        let memo = self.profile_cache[n];
+        let (count, share) = if memo.count != u32::MAX {
+            (memo.count as usize, memo.share)
+        } else {
+            let Some(profile) = self.policy.prefix_allocation(n, self.cfg.m) else {
+                return Err(SimError::BadInstance {
+                    // lint:allow(L007) error construction: an infeasible profile terminates the run
+                    what: format!(
+                        "policy {} declares SrptPrefix stability but returned no prefix profile for n = {n}",
+                        self.policy.name()
+                    ),
+                });
+            };
+            if !profile.share.is_finite() || profile.share < -EPS {
+                return Err(SimError::InvalidShare {
+                    at: self.now,
+                    share: profile.share,
+                    policy: self.policy.name(),
+                });
+            }
+            let count = profile.count.clamp(1, n);
+            let share = profile.share.max(0.0);
+            let total = count as f64 * share;
+            if total > self.cfg.m * (1.0 + 1e-9) + EPS {
+                return Err(SimError::InfeasibleAllocation {
+                    at: self.now,
+                    requested: total,
+                    available: self.cfg.m,
+                    policy: self.policy.name(),
+                });
+            }
+            // lint:allow(L005, L007) count ≤ n ≤ the u32 arena-slot envelope the IdMap already enforces
+            let count_u32 = u32::try_from(count).expect("alive count exceeds u32");
+            self.profile_cache[n] = CachedProfile {
+                count: count_u32,
+                rate_class: CLASS_CURVE,
+                share,
+                rate: 0.0,
+            };
+            (count, share)
+        };
+        self.profile = PrefixAllocation { count, share };
+        let jobs = &mut self.jobs;
+        self.srpt
+            .maybe_rebase(|idx, p| apply_placement(jobs, idx, p));
+        self.srpt
+            .rebalance(count, |idx, p| apply_placement(jobs, idx, p));
+        // Interval classification — same predicates as refresh_profile.
+        let share_is_unit = (share - 1.0).abs() <= 1e-12;
+        let unit_rate = share_is_unit && self.srpt.unit_rate_at_one();
+        let uniform = self.srpt.running_len() <= 1 || self.srpt.uniform_curves() || unit_rate;
+        if uniform {
+            let rate = match self.srpt.front_running() {
+                Some((slot, rem)) => {
+                    let rate = if unit_rate {
+                        self.cfg.speed
+                    } else {
+                        let class = self.jobs.class[slot.idx];
+                        let memo = self.profile_cache[n];
+                        if class < CLASS_UNGROUPED && memo.rate_class == class {
+                            memo.rate
+                        } else {
+                            let r = self.cfg.speed * self.jobs.gamma(slot.idx, share);
+                            if class < CLASS_UNGROUPED {
+                                self.profile_cache[n].rate_class = class;
+                                self.profile_cache[n].rate = r;
+                            }
+                            r
+                        }
+                    };
+                    if rate > 0.0 {
+                        self.next_completion = Some(self.now + rem / rate);
+                    }
+                    rate
+                }
+                None => 0.0,
+            };
+            self.interval = IntervalKind::Uniform { rate };
+        } else {
+            self.jobs.refresh_class_rates(self.cfg.speed, share);
+            let mut next: Option<Time> = None;
+            let jobs = &self.jobs;
+            let now = self.now;
+            let speed = self.cfg.speed;
+            self.srpt.for_each_running_ordered(|slot, rem| {
+                let rate = jobs.rate_cached(slot.idx, speed, share);
+                if rate > 0.0 {
+                    let t = now + rem / rate;
+                    if next.is_none_or(|n| t < n) {
+                        next = Some(t);
+                    }
+                }
+            });
+            self.interval = IntervalKind::Scan;
+            self.next_completion = next;
+        }
+        self.alloc_fresh = true;
+        Ok(())
+    }
+
     /// Re-runs the policy and recomputes rates and the quantum deadline.
     fn refresh_allocation(&mut self) -> Result<(), SimError> {
         self.shares.clear();
@@ -1562,49 +1834,52 @@ impl<'a> Engine<'a> {
         }
         // Arrivals due exactly now (including the ones at t = 0 before the
         // first step) must be admitted before deciding the allocation.
-        self.admit_due_arrivals()?;
+        hp_phase!(self, queue_ns, self.admit_due_arrivals())?;
         if !self.alloc_fresh {
-            self.ensure_fresh()?;
+            hp_phase!(self, refresh_ns, self.ensure_fresh())?;
         }
-        let mut next: Option<Time> = None;
-        let mut consider = |t: Time| {
-            if next.is_none_or(|n| t < n) {
-                next = Some(t);
-            }
-        };
-        match self.mode {
-            ExecMode::Exhaustive => {
-                for (i, &idx) in self.alive.iter().enumerate() {
-                    if self.rates[i] > 0.0 {
-                        consider(self.now + self.jobs.remaining[idx] / self.rates[i]);
+        let next = hp_phase!(self, queue_ns, {
+            let mut next: Option<Time> = None;
+            let mut consider = |t: Time| {
+                if next.is_none_or(|n| t < n) {
+                    next = Some(t);
+                }
+            };
+            match self.mode {
+                ExecMode::Exhaustive => {
+                    for (i, &idx) in self.alive.iter().enumerate() {
+                        if self.rates[i] > 0.0 {
+                            consider(self.now + self.jobs.remaining[idx] / self.rates[i]);
+                        }
                     }
-                }
-                if let Some(t) = self.next_arrival {
-                    consider(t.max(self.now));
-                }
-            }
-            // Incremental: the interval's completion candidate is a plain
-            // field (recomputed by every refresh); the arrival wakeup is
-            // peeked from the event queue, lazily discarding superseded
-            // generations (their times are ≤ now, so they sit at the
-            // front). Clamping to `now` after the min is identical to
-            // clamping before it (max(·, now) is monotone).
-            ExecMode::Incremental => {
-                if let Some(t) = self.next_completion {
-                    consider(t.max(self.now));
-                }
-                while let Some((t, gen)) = self.equeue.peek() {
-                    if gen == self.arr_gen {
+                    if let Some(t) = self.next_arrival {
                         consider(t.max(self.now));
-                        break;
                     }
-                    self.equeue.pop();
+                }
+                // Incremental: the interval's completion candidate is a plain
+                // field (recomputed by every refresh); the arrival wakeup is
+                // peeked from the event queue, lazily discarding superseded
+                // generations (their times are ≤ now, so they sit at the
+                // front). Clamping to `now` after the min is identical to
+                // clamping before it (max(·, now) is monotone).
+                ExecMode::Incremental => {
+                    if let Some(t) = self.next_completion {
+                        consider(t.max(self.now));
+                    }
+                    while let Some((t, gen)) = self.equeue.peek() {
+                        if gen == self.arr_gen {
+                            consider(t.max(self.now));
+                            break;
+                        }
+                        self.equeue.pop();
+                    }
                 }
             }
-        }
-        if let Some(t) = self.quantum_deadline {
-            consider(t.max(self.now));
-        }
+            if let Some(t) = self.quantum_deadline {
+                consider(t.max(self.now));
+            }
+            next
+        });
         match next {
             Some(t) => Ok(Some(t)),
             None => {
@@ -1630,28 +1905,35 @@ impl<'a> Engine<'a> {
             "time went backwards"
         );
         if !self.alloc_fresh {
-            self.ensure_fresh()?;
+            hp_phase!(self, refresh_ns, self.ensure_fresh())?;
         }
         let dt = (t - self.now).max(0.0);
         if dt > 0.0 {
-            match self.mode {
-                ExecMode::Exhaustive => self.integrate_exhaustive(dt),
-                ExecMode::Incremental => self.integrate_incremental(dt),
-            }
+            hp_phase!(
+                self,
+                metrics_ns,
+                match self.mode {
+                    ExecMode::Exhaustive => self.integrate_exhaustive(dt),
+                    ExecMode::Incremental => self.integrate_incremental(dt),
+                }
+            );
             self.observer.on_advance(self.now, t);
             self.now = t;
         } else {
             self.now = self.now.max(t);
         }
         // Completions at the new time.
-        let completed_any = match self.mode {
-            ExecMode::Exhaustive => self.collect_completions_exhaustive(),
-            ExecMode::Incremental => self.collect_completions_incremental(),
-        };
-        if completed_any {
-            self.alloc_fresh = false;
-            self.policy.on_completion(self.now, self.num_alive());
-        }
+        let completed_any = hp_phase!(self, dispatch_ns, {
+            let completed_any = match self.mode {
+                ExecMode::Exhaustive => self.collect_completions_exhaustive(),
+                ExecMode::Incremental => self.collect_completions_incremental(),
+            };
+            if completed_any {
+                self.alloc_fresh = false;
+                self.policy.on_completion(self.now, self.num_alive());
+            }
+            completed_any
+        });
         // Quantum expiry forces a re-decision.
         if let Some(q) = self.quantum_deadline {
             if self.now + EPS * self.now.max(1.0) >= q {
@@ -1663,7 +1945,7 @@ impl<'a> Engine<'a> {
         // event, one step — which is the first-class same-timestamp
         // coalescing documented in `docs/PERF.md` §4; count it so tests
         // can pin the behavior instead of inferring it from event totals.
-        let arrived = self.admit_due_arrivals()?;
+        let arrived = hp_phase!(self, queue_ns, self.admit_due_arrivals())?;
         if completed_any && arrived {
             self.coalesced += 1;
         }
@@ -1692,6 +1974,7 @@ impl<'a> Engine<'a> {
     /// over the running prefix, plus `dt·Σ rem_j/p_j` over the (static)
     /// queue. Scan intervals fall back to per-job integration over the
     /// prefix only.
+    #[inline]
     fn integrate_incremental(&mut self, dt: f64) {
         self.alive_integral.add(self.srpt.len() as f64 * dt);
         match self.interval {
@@ -1746,6 +2029,13 @@ impl<'a> Engine<'a> {
     /// the arena slot (streaming mode). Callers have already detached the
     /// job from their alive structure.
     fn finish_job(&mut self, idx: usize) {
+        self.finish_job_core::<true>(idx)
+    }
+
+    /// Completion-recording core; `NOTIFY` gates the observer callback
+    /// (elided by the fast loop, whose eligibility requires
+    /// [`Observer::is_noop`]). `<true>` is the generic path, unchanged.
+    fn finish_job_core<const NOTIFY: bool>(&mut self, idx: usize) {
         self.jobs.remaining[idx] = 0.0;
         self.jobs.in_running[idx] = false;
         self.jobs.done[idx] = true;
@@ -1761,7 +2051,9 @@ impl<'a> Engine<'a> {
                 weight: spec.weight,
             });
         }
-        self.observer.on_completion(self.now, &self.jobs.specs[idx]);
+        if NOTIFY {
+            self.observer.on_completion(self.now, &self.jobs.specs[idx]);
+        }
         if self.cfg.streaming {
             // Retire the slot: forget the id and hand the arena index to
             // the next arrival. The spec stays in place (inert) until
@@ -1799,6 +2091,13 @@ impl<'a> Engine<'a> {
     /// can finish (SRPT order), so this pops while the front is within
     /// tolerance — O(log n) per completion, no sweep.
     fn collect_completions_incremental(&mut self) -> bool {
+        self.collect_completions_incremental_core::<true>()
+    }
+
+    /// Incremental completion core; `NOTIFY` as in
+    /// [`Engine::finish_job_core`].
+    #[inline]
+    fn collect_completions_incremental_core<const NOTIFY: bool>(&mut self) -> bool {
         let mut completed_any = false;
         while let Some((slot, rem)) = self.srpt.front_running() {
             let rate = match self.interval {
@@ -1814,7 +2113,7 @@ impl<'a> Engine<'a> {
             }
             let idx = slot.idx;
             self.srpt.pop_front_running();
-            self.finish_job(idx);
+            self.finish_job_core::<NOTIFY>(idx);
             completed_any = true;
         }
         completed_any
@@ -1917,8 +2216,163 @@ impl<'a> Engine<'a> {
                 limit: self.cfg.max_events,
             });
         }
+        #[cfg(feature = "hotpath")]
+        if self.cfg.hotpath_profile {
+            self.hotpath.events += 1;
+        }
         self.advance_to(t)?;
         Ok(true)
+    }
+
+    /// Drives the run to completion without finalizing: the monomorphized
+    /// fast event loop when eligible, the generic [`Engine::step`] loop
+    /// otherwise. All four `run*` finalizers route through here; it is
+    /// public so external drivers (benchmarks, the allocation audit) can
+    /// execute the exact finalizer loop and then inspect the engine
+    /// before materializing an outcome.
+    ///
+    /// Fast-loop eligibility: [`EngineConfig::fast_loop`] on, the
+    /// incremental path, auditing off, and a no-op observer
+    /// ([`Observer::is_noop`]). The fast loop is bit-identical to the
+    /// generic loop — same completion order, same metric bits, same
+    /// error taxonomy — which `tests/engine_fastpath_differential.rs`
+    /// pins policy by policy. What it removes is dispatch and
+    /// bookkeeping, not arithmetic: the per-event `dyn` profile query is
+    /// replayed from the per-`n` memo
+    /// ([`Engine::refresh_profile_fast`]), admission re-validation is
+    /// skipped for [`ArrivalSource::pre_validated`] sources, no-op
+    /// observer and policy-hook calls are elided
+    /// ([`Policy::event_hooks_are_noop`]), and the arrival wakeup is
+    /// read from the cached `next_arrival` field instead of
+    /// round-tripping the event queue.
+    pub fn run_loop(&mut self) -> Result<(), SimError> {
+        let fast = self.cfg.fast_loop
+            && self.mode == ExecMode::Incremental
+            && self.auditor.is_none()
+            && self.observer.is_noop();
+        if !fast {
+            while self.step()? {}
+            return Ok(());
+        }
+        let hooks = !self.policy.event_hooks_are_noop();
+        match (self.source.pre_validated(), hooks) {
+            (true, true) => self.run_fast_loop::<false, true>(),
+            (true, false) => self.run_fast_loop::<false, false>(),
+            (false, true) => self.run_fast_loop::<true, true>(),
+            (false, false) => self.run_fast_loop::<true, false>(),
+        }
+    }
+
+    /// The monomorphized fast event loop — see [`Engine::run_loop`] for
+    /// eligibility and the equivalence contract. One iteration performs
+    /// exactly one `step()`: leading admission, (delta-)refresh, event
+    /// selection, budget checks, interval integration, completion
+    /// collection, trailing admission — in the generic loop's order, with
+    /// its tie-breaking (completion candidate considered before the
+    /// arrival, strict `<` to replace) and its `max(now)` clamping.
+    fn run_fast_loop<const VALIDATE: bool, const PHOOKS: bool>(&mut self) -> Result<(), SimError> {
+        debug_assert!(
+            self.quantum_deadline.is_none(),
+            "the incremental path never schedules a quantum"
+        );
+        if self.finished {
+            return Ok(());
+        }
+        // `step()` admits due arrivals at the top of every step, but inside
+        // a closed loop that leading admission is provably a no-op after
+        // the first iteration: the previous iteration's trailing admission
+        // drained everything due at `now`, and nothing advances the clock
+        // in between. One admission before the loop replaces it exactly.
+        hp_phase!(
+            self,
+            queue_ns,
+            self.admit_core::<VALIDATE, false, false, PHOOKS>()
+        )?;
+        loop {
+            if !self.alloc_fresh {
+                hp_phase!(self, refresh_ns, self.refresh_profile_fast())?;
+            }
+            let next = hp_phase!(self, queue_ns, {
+                let mut next: Option<Time> = None;
+                if let Some(t) = self.next_completion {
+                    next = Some(t.max(self.now));
+                }
+                if let Some(t) = self.next_arrival {
+                    let t = t.max(self.now);
+                    if next.is_none_or(|n| t < n) {
+                        next = Some(t);
+                    }
+                }
+                next
+            });
+            let Some(t) = next else {
+                if self.srpt.len() == 0 {
+                    self.finished = true;
+                    return Ok(());
+                }
+                return Err(SimError::Stalled {
+                    at: self.now,
+                    alive: self.srpt.len(),
+                });
+            };
+            if t > self.cfg.max_time {
+                return Err(SimError::TimeLimit {
+                    limit: self.cfg.max_time,
+                });
+            }
+            self.events += 1;
+            if self.events > self.cfg.max_events {
+                return Err(SimError::EventLimit {
+                    limit: self.cfg.max_events,
+                });
+            }
+            #[cfg(feature = "hotpath")]
+            if self.cfg.hotpath_profile {
+                self.hotpath.events += 1;
+            }
+            // `advance_to`, fused.
+            debug_assert!(
+                t >= self.now - EPS * self.now.max(1.0),
+                "time went backwards"
+            );
+            let dt = (t - self.now).max(0.0);
+            if dt > 0.0 {
+                hp_phase!(self, metrics_ns, self.integrate_incremental(dt));
+                self.now = t;
+            } else {
+                self.now = self.now.max(t);
+            }
+            let completed_any = hp_phase!(self, dispatch_ns, {
+                let completed_any = self.collect_completions_incremental_core::<false>();
+                if completed_any {
+                    self.alloc_fresh = false;
+                    if PHOOKS {
+                        self.policy.on_completion(self.now, self.srpt.len());
+                    }
+                }
+                completed_any
+            });
+            // Trailing admission, with `admit_core`'s own entry test
+            // duplicated here so non-arrival events (half the steady
+            // state) skip the call entirely. The test has no side effects
+            // and uses the same float ops, so admission behavior is
+            // unchanged.
+            let due = self
+                .next_arrival
+                .is_some_and(|t| t <= self.now + crate::source::arrival_tolerance(self.now));
+            let arrived = if due {
+                hp_phase!(
+                    self,
+                    queue_ns,
+                    self.admit_core::<VALIDATE, false, false, PHOOKS>()
+                )?
+            } else {
+                false
+            };
+            if completed_any && arrived {
+                self.coalesced += 1;
+            }
+        }
     }
 
     /// Runs to completion and returns the outcome. Streaming runs must use
@@ -1932,7 +2386,7 @@ impl<'a> Engine<'a> {
                     .into(),
             });
         }
-        while self.step()? {}
+        self.run_loop()?;
         self.into_outcome()
     }
 
@@ -1949,8 +2403,14 @@ impl<'a> Engine<'a> {
                     .into(),
             });
         }
-        while self.step()? {}
+        self.run_loop()?;
         let outcome = self.take_outcome()?;
+        // The completion log transferred to the outcome (it *is* the
+        // outcome). Re-reserve its capacity now, at finalization, so the
+        // next run on these buffers logs completions without regrowing —
+        // the steady-state zero-allocation contract (docs/PERF.md §6)
+        // covers the in-memory reuse path too.
+        self.completed.reserve_exact(outcome.completed.len());
         Ok((outcome, self.into_buffers()))
     }
 
@@ -1959,7 +2419,7 @@ impl<'a> Engine<'a> {
     /// simply doesn't recycle memory), so the same finalizer serves the
     /// differential tests on both sides.
     pub fn run_streaming(mut self) -> Result<StreamingOutcome, SimError> {
-        while self.step()? {}
+        self.run_loop()?;
         self.into_streaming_outcome()
     }
 
@@ -1968,7 +2428,7 @@ impl<'a> Engine<'a> {
     /// allocation-free repeat-run shape: the streaming outcome is
     /// constant-size and nothing per-job survives the run.
     pub fn run_streaming_reusing(mut self) -> Result<(StreamingOutcome, EngineBuffers), SimError> {
-        while self.step()? {}
+        self.run_loop()?;
         let outcome = self.take_streaming_outcome()?;
         Ok((outcome, self.into_buffers()))
     }

@@ -50,6 +50,8 @@ mod calendar;
 pub mod csv;
 mod engine;
 mod error;
+#[cfg(feature = "hotpath")]
+pub mod hotpath;
 pub mod invariant;
 mod job;
 pub mod jsonlite;

@@ -43,6 +43,17 @@ pub trait Observer {
     fn needs_allocation_stream(&self) -> bool {
         true
     }
+
+    /// Whether every callback on this observer is a no-op.
+    ///
+    /// Observers returning `true` promise that skipping their callbacks
+    /// entirely is indistinguishable from calling them, which lets the
+    /// engine's monomorphized fast loop elide the per-event virtual
+    /// dispatch (see `Engine::run_loop`). The default is `false` — the
+    /// conservative answer that keeps every callback firing.
+    fn is_noop(&self) -> bool {
+        false
+    }
 }
 
 /// An observer that records nothing.
@@ -52,6 +63,10 @@ pub struct NullObserver;
 impl Observer for NullObserver {
     fn needs_allocation_stream(&self) -> bool {
         false
+    }
+
+    fn is_noop(&self) -> bool {
+        true
     }
 }
 

@@ -164,6 +164,20 @@ pub trait Policy {
         let _ = (now, n_alive);
     }
 
+    /// Whether [`Policy::on_arrival`] and [`Policy::on_completion`] are
+    /// both no-ops for this policy.
+    ///
+    /// Policies returning `true` promise that skipping the notifications
+    /// is indistinguishable from delivering them, which lets the engine's
+    /// monomorphized fast loop elide the two per-event virtual calls (the
+    /// [`crate::Observer::is_noop`] pattern). The default is `false` — the
+    /// conservative answer that keeps every notification firing — so a
+    /// policy that starts keeping event statistics cannot be silently
+    /// starved by a stale hint it never opted into.
+    fn event_hooks_are_noop(&self) -> bool {
+        false
+    }
+
     /// The policy's mutable run state as opaque words, for
     /// [`crate::Engine::snapshot`]. Stateless policies (the default) return
     /// an empty vector. Stateful policies (e.g. a seeded randomized policy's
@@ -221,6 +235,10 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
         (**self).on_completion(now, n_alive)
     }
 
+    fn event_hooks_are_noop(&self) -> bool {
+        (**self).event_hooks_are_noop()
+    }
+
     fn snapshot_state(&self) -> Vec<u64> {
         (**self).snapshot_state()
     }
@@ -269,6 +287,12 @@ impl Policy for EquiSplit {
 
     fn stability(&self) -> AllocationStability {
         AllocationStability::SrptPrefix
+    }
+
+    fn event_hooks_are_noop(&self) -> bool {
+        // Stateless: both event hooks are the empty defaults, so the
+        // fast loop may elide the two per-event virtual calls.
+        true
     }
 
     fn prefix_allocation(&self, n_alive: usize, m: f64) -> Option<PrefixAllocation> {

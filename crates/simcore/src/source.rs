@@ -93,6 +93,19 @@ pub trait ArrivalSource {
         let _ = emitted_jobs;
         false
     }
+
+    /// Whether every spec this source emits already satisfies the
+    /// admission invariants (finite non-negative release, positive finite
+    /// size and weight, valid curve, globally unique ids).
+    ///
+    /// Sources that replay an [`Instance`] can return `true` — the
+    /// instance constructors enforce exactly those invariants — which lets
+    /// the engine's fast loop skip its per-spec re-validation. Generative
+    /// or adaptive sources keep the default `false`, the conservative
+    /// answer that re-validates every admission.
+    fn pre_validated(&self) -> bool {
+        false
+    }
 }
 
 /// Cap on the clock-relative admission window (absolute sim-time units).
@@ -175,6 +188,14 @@ impl ArrivalSource for StaticSource {
             return false;
         }
         self.cursor = emitted_jobs;
+        true
+    }
+
+    fn pre_validated(&self) -> bool {
+        // Every `Instance` constructor validates its specs (or, for
+        // `Instance::from_admitted`, receives specs the engine already
+        // validated at admission), so replaying one cannot emit an
+        // invalid or duplicate job.
         true
     }
 }

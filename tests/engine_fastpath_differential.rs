@@ -1,0 +1,254 @@
+//! Differential oracle for the monomorphized fast event loop
+//! (`Engine::run_fast_loop`, see docs/PERF.md §8): with a no-op observer
+//! and no auditor, the fast loop must be **bit-identical** to the generic
+//! `step()` loop — same aggregate metric bits, same completion sequence
+//! (including intra-event order), same per-completion time bits — for
+//! every registry policy. The fast loop removes dispatch and bookkeeping,
+//! not arithmetic, so there is no tolerance anywhere in this suite.
+//!
+//! Coverage:
+//! * every [`PolicyKind::all_registered`] policy × the three bench
+//!   fixtures (stable load, overload, mixed-α) — the exact distributions
+//!   the committed `BENCH_engine.json` rows measure;
+//! * random mixed-curve instances under proptest, including burst
+//!   arrivals and single-machine cases;
+//! * a strict audit forces the generic loop (the fast path requires
+//!   `auditor.is_none()`), and that audited run must still reproduce the
+//!   fast run bit-for-bit — pinning that the fallback is the same
+//!   schedule, not a near miss;
+//! * suspend under the generic loop, round-trip the `parsched-snap/v1`
+//!   document, resume into the *fast* loop: the memoized allocation
+//!   profile and cached next-completion are rebuilt from restored state,
+//!   so the resumed run must finish bit-identically to both uninterrupted
+//!   arms.
+
+use parsched::PolicyKind;
+use parsched_bench::{mixed_alpha_fixture, overload_fixture, poisson_fixture};
+use parsched_sim::{
+    AuditLevel, Engine, EngineConfig, Instance, JobId, JobSpec, NullObserver, RunOutcome, SimError,
+    Snapshot, StaticSource,
+};
+use parsched_speedup::Curve;
+use proptest::prelude::*;
+
+/// One full run; `fast` toggles the monomorphized loop, everything else
+/// (incremental path, no observer, no audit) is the fast loop's
+/// eligibility configuration.
+fn run_arm(inst: &Instance, kind: PolicyKind, m: f64, fast: bool) -> RunOutcome {
+    let mut policy = kind.build();
+    let mut source = StaticSource::new(inst);
+    let mut obs = NullObserver;
+    let cfg = EngineConfig::new(m).with_fast_loop(fast);
+    Engine::new(cfg, policy.as_mut(), &mut source, &mut obs)
+        .run()
+        .unwrap_or_else(|e| panic!("{} (fast={fast}): {e}", kind.name()))
+}
+
+/// Completion sequence as raw bits: order, identity, and exact times.
+fn completion_bits(out: &RunOutcome) -> Vec<(u64, u64)> {
+    out.completed
+        .iter()
+        .map(|c| (c.id.0, c.completion.to_bits()))
+        .collect()
+}
+
+/// The headline equivalence: fast ≡ generic, exactly.
+fn assert_fastpath_identical(inst: &Instance, kind: PolicyKind, m: f64, ctx: &str) {
+    let name = kind.name();
+    let fast = run_arm(inst, kind, m, true);
+    let generic = run_arm(inst, kind, m, false);
+    assert_eq!(
+        fast.metrics, generic.metrics,
+        "{ctx}/{name}: metrics diverge"
+    );
+    assert_eq!(
+        completion_bits(&fast),
+        completion_bits(&generic),
+        "{ctx}/{name}: completion sequence diverges"
+    );
+}
+
+/// Every registry policy the fast loop must be transparent for.
+fn registry() -> Vec<PolicyKind> {
+    PolicyKind::all_registered()
+}
+
+/// The three committed bench fixtures, at a size that keeps the full
+/// catalog sweep in CI budget while still crossing arena growth,
+/// slot-reuse, and interval re-classification boundaries many times.
+#[test]
+fn every_registry_policy_matches_on_bench_fixtures() {
+    let m = 8.0;
+    for (ctx, inst) in [
+        ("stable", poisson_fixture(2_000, 0.9, m)),
+        ("overload", overload_fixture(2_000, m)),
+        ("mixed_alpha", mixed_alpha_fixture(2_000, 0.9, m)),
+    ] {
+        for kind in registry() {
+            assert_fastpath_identical(&inst, kind, m, ctx);
+        }
+    }
+}
+
+/// A strict audit disables the fast loop (its frames observe every step),
+/// yet the audited generic run must reproduce the unaudited fast run
+/// bit-for-bit: auditing observes the schedule, it never perturbs it.
+#[test]
+fn strict_audit_falls_back_and_matches_fast_run_exactly() {
+    let m = 8.0;
+    let inst = mixed_alpha_fixture(1_000, 0.9, m);
+    for kind in registry() {
+        let name = kind.name();
+        let fast = run_arm(&inst, kind, m, true);
+        let mut policy = kind.build();
+        let mut source = StaticSource::new(&inst);
+        let mut obs = NullObserver;
+        let cfg = EngineConfig::new(m).with_audit(AuditLevel::Strict);
+        let audited = Engine::new(cfg, policy.as_mut(), &mut source, &mut obs)
+            .run()
+            .unwrap_or_else(|e| panic!("{name} (strict audit): {e}"));
+        assert!(
+            audited.audit.is_some(),
+            "{name}: strict audit did not report"
+        );
+        assert_eq!(fast.metrics, audited.metrics, "{name}: audited ≠ fast");
+        assert_eq!(
+            completion_bits(&fast),
+            completion_bits(&audited),
+            "{name}: audited completion sequence ≠ fast"
+        );
+    }
+}
+
+/// Suspend mid-run under the generic `step()` loop, round-trip the
+/// snapshot document, resume into an engine whose remaining events run
+/// through the fast loop. The restored engine must rebuild the fast
+/// loop's derived state (allocation memo, cached next completion) and
+/// finish bit-identically to an uninterrupted run of either arm.
+fn suspend_then_resume_fast(
+    inst: &Instance,
+    kind: PolicyKind,
+    m: f64,
+    suspend_at: u64,
+) -> RunOutcome {
+    let name = kind.name();
+    let mut policy = kind.build();
+    let mut source = StaticSource::new(inst);
+    let mut obs = NullObserver;
+    let cfg = EngineConfig::new(m).with_fast_loop(false);
+    let mut engine = Engine::new(cfg, policy.as_mut(), &mut source, &mut obs);
+    for _ in 0..suspend_at {
+        match engine.step() {
+            Ok(true) => {}
+            Ok(false) => break, // short run: resume from the finished state
+            Err(e) => panic!("{name}: pre-suspend step: {e}"),
+        }
+    }
+    let snap = engine.snapshot().expect("snapshot");
+    drop(engine);
+
+    // Ship the document, not the struct — resume from the decoded form.
+    let decoded = Snapshot::from_json(&snap.to_json()).expect("parse own rendering");
+    assert_eq!(decoded, snap, "{name}: snapshot codec round trip drifted");
+
+    let mut policy2 = kind.build();
+    let mut source2 = StaticSource::new(inst);
+    let mut obs2 = NullObserver;
+    let mut resumed = Engine::new(
+        EngineConfig::new(m),
+        policy2.as_mut(),
+        &mut source2,
+        &mut obs2,
+    );
+    resumed.restore(&decoded).expect("restore");
+    resumed
+        .run_loop()
+        .unwrap_or_else(|e: SimError| panic!("{name}: post-restore fast loop: {e}"));
+    resumed
+        .into_outcome()
+        .unwrap_or_else(|e| panic!("{name}: resumed outcome: {e}"))
+}
+
+#[test]
+fn snapshot_resume_into_fast_loop_is_bit_identical() {
+    let m = 4.0;
+    let inst = poisson_fixture(600, 0.9, m);
+    for kind in registry() {
+        let name = kind.name();
+        let fast = run_arm(&inst, kind, m, true);
+        for suspend_at in [1, 37, 250, 900] {
+            let resumed = suspend_then_resume_fast(&inst, kind, m, suspend_at);
+            assert_eq!(
+                fast.metrics, resumed.metrics,
+                "{name}@{suspend_at}: resumed metrics diverge"
+            );
+            assert_eq!(
+                completion_bits(&fast),
+                completion_bits(&resumed),
+                "{name}@{suspend_at}: resumed completion sequence diverges"
+            );
+        }
+    }
+}
+
+/// One generated job: `(release, size, curve selector, alpha)` — the same
+/// generator the streaming differential sweeps, so the two oracles probe
+/// the same instance space.
+fn job_from(id: u64, raw: (f64, f64, u8, f64)) -> JobSpec {
+    let (release, size, which, alpha) = raw;
+    let curve = match which % 4 {
+        0 => Curve::Sequential,
+        1 => Curve::FullyParallel,
+        2 => Curve::power(alpha),
+        _ => Curve::try_amdahl(alpha.min(0.9)).unwrap(),
+    };
+    JobSpec::new(JobId(id), release, size, curve)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mixed-curve instances: fast ≡ generic for every registry
+    /// policy, across machine counts including the single-machine edge.
+    #[test]
+    fn fast_loop_matches_generic_on_random_instances(
+        raw in proptest::collection::vec(
+            (0.0f64..12.0, 0.1f64..8.0, 0u8..4, 0.05f64..1.0),
+            1..24,
+        ),
+        m_sel in 0u8..3,
+    ) {
+        let m = [1.0, 2.0, 8.0][m_sel as usize];
+        let jobs: Vec<JobSpec> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| job_from(i as u64, r))
+            .collect();
+        let inst = Instance::new(jobs).unwrap();
+        for kind in registry() {
+            assert_fastpath_identical(&inst, kind, m, "random");
+        }
+    }
+
+    /// Coincident arrivals and ties: many jobs released at identical
+    /// instants force admission batching, zero-dt events, and slot reuse
+    /// in the same event — the paths the fast loop's hoisted admission
+    /// restructure touches most.
+    #[test]
+    fn coincident_releases_match(
+        sizes in proptest::collection::vec(0.25f64..4.0, 2..12),
+        burst_t in 0.0f64..3.0,
+    ) {
+        let jobs: Vec<JobSpec> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                JobSpec::new(JobId(i as u64), burst_t, p, Curve::power(0.5))
+            })
+            .collect();
+        let inst = Instance::new(jobs).unwrap();
+        for kind in registry() {
+            assert_fastpath_identical(&inst, kind, 2.0, "coincident");
+        }
+    }
+}

@@ -130,6 +130,60 @@ fn steady_state_mixed_alpha_runs_allocate_nothing() {
     assert_eq!(third, 0, "third mixed-alpha run allocated {third} times");
 }
 
+/// Runs `inst` through [`Engine::run_loop`] — which takes the
+/// monomorphized fast loop here (incremental policy, no-op observer, no
+/// auditor) — on donated buffers; returns the allocation count observed
+/// strictly inside the loop, plus the buffers. `streaming` toggles the
+/// memory mode; both finalizers run outside the audited window.
+fn audited_fast_run(inst: &Instance, streaming: bool, bufs: EngineBuffers) -> (u64, EngineBuffers) {
+    let mut policy = PolicyKind::IntermediateSrpt.build();
+    let mut source = StaticSource::new(inst);
+    let mut obs = NullObserver;
+    let cfg = EngineConfig::new(8.0).with_streaming(streaming);
+    let mut engine = Engine::with_buffers(cfg, policy.as_mut(), &mut source, &mut obs, bufs);
+    let before = allocs();
+    engine.run_loop().expect("fast run failed");
+    let during = allocs() - before;
+    let (num_jobs, bufs) = if streaming {
+        let (outcome, bufs) = engine.run_streaming_reusing().expect("finalize failed");
+        (outcome.metrics.num_jobs, bufs)
+    } else {
+        let (outcome, bufs) = engine.run_reusing().expect("finalize failed");
+        (outcome.metrics.num_jobs, bufs)
+    };
+    assert_eq!(num_jobs, inst.jobs().len());
+    (during, bufs)
+}
+
+#[test]
+fn fast_loop_steady_state_allocates_nothing() {
+    // The specialized loops inherit the buffer-reuse contract: after a
+    // warm-up, the monomorphized fast loop — including the delta-refresh
+    // memo, which the mixed-α workload forces through the kernel-class
+    // registry and the grouped-Γ rate cache on every re-classification —
+    // must run the whole event loop without touching the heap. Audited
+    // in both memory modes, since the incremental in-memory path grows
+    // the completion log and the streaming path exercises the sink.
+    let inst = workload_with_alphas(4_000, &[0.25, 0.5, 0.75, 0.37]);
+    for streaming in [false, true] {
+        let (warmup_allocs, bufs) = audited_fast_run(&inst, streaming, EngineBuffers::new());
+        assert!(
+            warmup_allocs > 0,
+            "warm-up (streaming={streaming}) should have grown the buffers"
+        );
+        let (second, bufs) = audited_fast_run(&inst, streaming, bufs);
+        assert_eq!(
+            second, 0,
+            "second fast run (streaming={streaming}) allocated {second} times"
+        );
+        let (third, _bufs) = audited_fast_run(&inst, streaming, bufs);
+        assert_eq!(
+            third, 0,
+            "third fast run (streaming={streaming}) allocated {third} times"
+        );
+    }
+}
+
 #[test]
 fn engine_reset_reruns_allocate_nothing() {
     let inst = workload(2_000);
